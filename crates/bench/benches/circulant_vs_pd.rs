@@ -1,0 +1,30 @@
+//! Benchmarks the CIRCNN-style block-circulant mat-vec (direct and FFT) against the
+//! permuted-diagonal mat-vec at equal compression ratio (Table VI's arithmetic claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pd_tensor::init::seeded_rng;
+use permdnn_circulant::BlockCirculantMatrix;
+use permdnn_core::BlockPermDiagMatrix;
+
+fn bench_circulant_vs_pd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circulant_vs_pd_512x512_k8");
+    let n = 512;
+    let k = 8;
+    let pd = BlockPermDiagMatrix::random(n, n, k, &mut seeded_rng(1));
+    let circ = BlockCirculantMatrix::random(n, n, k, &mut seeded_rng(2));
+    let x: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.21).cos()).collect();
+
+    group.bench_function("permuted_diagonal_matvec", |b| {
+        b.iter(|| pd.matvec(std::hint::black_box(&x)))
+    });
+    group.bench_function("circulant_matvec_fft", |b| {
+        b.iter(|| circ.matvec_fft(std::hint::black_box(&x)).unwrap())
+    });
+    group.bench_function("circulant_matvec_direct", |b| {
+        b.iter(|| circ.matvec_direct(std::hint::black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_circulant_vs_pd);
+criterion_main!(benches);

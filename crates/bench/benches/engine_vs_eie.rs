@@ -1,0 +1,53 @@
+//! Software analogue of Fig. 12: executes the same FC layer from its permuted-diagonal
+//! representation (index-free, zero-skipping) and from its EIE encoding (tag + relative
+//! index decode, padding entries), plus the cycle-model simulations used by the fig12
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pd_tensor::init::{seeded_rng, xavier_uniform};
+use permdnn_core::matvec::matvec_column_wise;
+use permdnn_core::sparsity::exact_sparsity_vector;
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_prune::eie_format::{uniform_codebook, EieEncodedMatrix};
+use permdnn_prune::magnitude_prune;
+use permdnn_sim::eie::{self, EieConfig};
+use permdnn_sim::workload::workload_by_name;
+use permdnn_sim::{engine, EngineConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_software_analogue_1024x1024");
+    let rows = 1024;
+    let cols = 1024;
+    let p = 10;
+    let pd = BlockPermDiagMatrix::random(rows, cols, p, &mut seeded_rng(1));
+    let dense = xavier_uniform(&mut seeded_rng(2), rows, cols);
+    let pruned = magnitude_prune(&dense, 1.0 / p as f64).pruned;
+    let codebook = uniform_codebook(4, pruned.max_abs());
+    let eie_encoded = EieEncodedMatrix::encode(&pruned, &codebook, 4, 4);
+    let x = exact_sparsity_vector(&mut seeded_rng(3), cols, 0.358);
+
+    group.bench_function("permdnn_zero_skipping_matvec", |b| {
+        b.iter(|| matvec_column_wise(&pd, std::hint::black_box(&x)).unwrap())
+    });
+    group.bench_function("eie_encoded_matvec", |b| {
+        b.iter(|| eie_encoded.matvec(std::hint::black_box(&x)))
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_model_simulation");
+    let w = workload_by_name("Alex-FC7").unwrap();
+    let permdnn_cfg = EngineConfig::paper_32pe();
+    let eie_cfg = EieConfig::projected_28nm();
+    group.bench_function("permdnn_engine_model_alex_fc7", |b| {
+        b.iter(|| engine::simulate_layer(&permdnn_cfg, std::hint::black_box(&w)))
+    });
+    group.bench_function("eie_model_alex_fc7", |b| {
+        b.iter(|| eie::simulate_layer(&eie_cfg, std::hint::black_box(&w), &mut seeded_rng(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simulators);
+criterion_main!(benches);

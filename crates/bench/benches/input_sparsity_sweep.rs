@@ -1,0 +1,25 @@
+//! Sweeps the input (activation) sparsity and measures the zero-skipping kernel — the
+//! dynamic-sparsity advantage PermDNN has over CIRCNN (Section III-H).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pd_tensor::init::seeded_rng;
+use permdnn_core::matvec::matvec_column_wise;
+use permdnn_core::sparsity::exact_sparsity_vector;
+use permdnn_core::BlockPermDiagMatrix;
+
+fn bench_input_sparsity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("input_sparsity_sweep_2048x2048_p8");
+    let pd = BlockPermDiagMatrix::random(2048, 2048, 8, &mut seeded_rng(1));
+    for nonzero_pct in [100usize, 75, 50, 35, 20, 10] {
+        let x = exact_sparsity_vector(&mut seeded_rng(2), 2048, nonzero_pct as f64 / 100.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nonzero_pct}pct_nonzero")),
+            &x,
+            |b, x| b.iter(|| matvec_column_wise(&pd, std::hint::black_box(x)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_input_sparsity);
+criterion_main!(benches);

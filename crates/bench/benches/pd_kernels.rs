@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the permuted-diagonal mat-vec kernels against dense and CSC
+//! sparse baselines at equal layer shape (software analogue of the Section III-G
+//! computation-reduction claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pd_tensor::init::{seeded_rng, xavier_uniform};
+use permdnn_core::matvec::matvec_column_wise;
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_prune::{magnitude_prune, CscMatrix};
+
+fn bench_pd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pd_kernels_1024x1024");
+    let rows = 1024;
+    let cols = 1024;
+    let p = 8;
+    let mut rng = seeded_rng(1);
+    let dense = xavier_uniform(&mut rng, rows, cols);
+    let pd = BlockPermDiagMatrix::random(rows, cols, p, &mut rng);
+    let pruned = magnitude_prune(&dense, 1.0 / p as f64).pruned;
+    let csc = CscMatrix::from_dense(&pruned);
+    let x: Vec<f32> = (0..cols).map(|i| ((i as f32) * 0.37).sin()).collect();
+
+    group.bench_function("dense_matvec", |b| b.iter(|| dense.matvec(std::hint::black_box(&x))));
+    group.bench_function(BenchmarkId::new("pd_matvec_row_wise", p), |b| {
+        b.iter(|| pd.matvec(std::hint::black_box(&x)))
+    });
+    group.bench_function(BenchmarkId::new("pd_matvec_column_wise", p), |b| {
+        b.iter(|| matvec_column_wise(&pd, std::hint::black_box(&x)).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("csc_matvec_same_density", p), |b| {
+        b.iter(|| csc.matvec(std::hint::black_box(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pd_kernels);
+criterion_main!(benches);

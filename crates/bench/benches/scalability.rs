@@ -1,0 +1,25 @@
+//! Benchmarks the cycle-model evaluation across PE counts (the machinery behind Fig. 13)
+//! and the small-engine functional scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pd_tensor::init::seeded_rng;
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_sim::comparison::fig13_scalability;
+use permdnn_sim::schedule::schedule_dense_input;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    for n_pe in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("fig13_sweep_up_to", n_pe), &n_pe, |b, &n| {
+            b.iter(|| fig13_scalability(std::hint::black_box(&[8, n])))
+        });
+    }
+    let matrix = BlockPermDiagMatrix::random(128, 128, 4, &mut seeded_rng(1));
+    group.bench_function("functional_schedule_128x128_4pe", |b| {
+        b.iter(|| schedule_dense_input(std::hint::black_box(&matrix), 4, 2, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

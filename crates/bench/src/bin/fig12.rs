@@ -1,0 +1,33 @@
+//! Regenerates Fig. 12 — speedup, area efficiency and energy efficiency of PERMDNN over
+//! EIE (projected to 28 nm) on the AlexNet benchmark FC layers.
+//!
+//! Paper reference bands: 3.3x–4.8x speedup, 5.9x–8.5x area efficiency, 2.8x–4.0x energy
+//! efficiency. Pass --all to also include the NMT layers (dense activations).
+
+use permdnn_sim::comparison::{fig12_comparison, full_comparison};
+
+fn main() {
+    permdnn_bench::print_header("Fig. 12 — PERMDNN vs EIE (28 nm projected) on benchmark FC layers");
+    let rows = if std::env::args().any(|a| a == "--all") {
+        full_comparison(42)
+    } else {
+        fig12_comparison(42)
+    };
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>16} {:>18}",
+        "layer", "PERMDNN (us)", "EIE (us)", "speedup", "area efficiency", "energy efficiency"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>12} {:>16} {:>18}",
+            row.workload,
+            row.permdnn.latency_us,
+            row.eie.latency_us,
+            permdnn_bench::ratio(row.speedup),
+            permdnn_bench::ratio(row.area_efficiency),
+            permdnn_bench::ratio(row.energy_efficiency)
+        );
+    }
+    println!();
+    println!("Paper reference bands: speedup 3.3x-4.8x, area efficiency 5.9x-8.5x, energy 2.8x-4.0x.");
+}

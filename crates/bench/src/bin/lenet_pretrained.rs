@@ -1,0 +1,14 @@
+//! Regenerates the Section III-F result: converting a pre-trained dense model to PD form
+//! (dense -> l2-optimal PD approximation -> fine-tune).
+//!
+//! Paper reference (LeNet-5 on MNIST, p=4 CONV / p=100 FC): 99.06% accuracy after
+//! conversion + re-training, 40x overall compression.
+
+fn main() {
+    let quick = !permdnn_bench::full_run_requested();
+    permdnn_bench::print_header("Section III-F — pre-trained dense model to PermDNN");
+    let report = permdnn_nn::experiments::lenet_pretrained::run(46, quick);
+    print!("{}", report.to_table());
+    println!();
+    println!("Paper reference: LeNet-5 99.06% accuracy and 40x compression after the same pipeline.");
+}

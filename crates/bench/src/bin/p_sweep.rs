@@ -1,0 +1,9 @@
+//! Ablation: task accuracy versus block size p (the controllable compression knob of
+//! Section III-G). Not a numbered table in the paper; supports the design-space claim.
+
+fn main() {
+    let quick = !permdnn_bench::full_run_requested();
+    permdnn_bench::print_header("Ablation — accuracy vs block size p");
+    let report = permdnn_nn::experiments::p_sweep::run(47, quick, &[1, 2, 4, 5, 8, 10]);
+    print!("{}", report.to_table());
+}

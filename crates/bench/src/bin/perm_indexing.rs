@@ -1,0 +1,11 @@
+//! Ablation: natural vs random permutation-parameter selection (Section III-D reports no
+//! task-performance difference between the two).
+
+fn main() {
+    let quick = !permdnn_bench::full_run_requested();
+    permdnn_bench::print_header("Ablation — natural vs random permutation indexing (Sec. III-D)");
+    let report = permdnn_nn::experiments::perm_indexing::run(48, quick);
+    print!("{}", report.to_table());
+    println!();
+    println!("Paper reference: \"no difference between task performance for these two setting methods\".");
+}

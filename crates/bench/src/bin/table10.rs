@@ -1,0 +1,21 @@
+//! Regenerates Table X — design parameters of EIE (reported and projected to 28 nm) and
+//! the 32-PE PERMDNN engine.
+
+use permdnn_sim::comparison::table10_rows;
+
+fn main() {
+    permdnn_bench::print_header("Table X — comparison of EIE and PERMDNN design parameters");
+    println!(
+        "{:<22} {:>6} {:>8} {:>12} {:>12} {:>10}",
+        "design", "PEs", "node", "clock (MHz)", "area (mm2)", "power (W)"
+    );
+    for row in table10_rows() {
+        println!(
+            "{:<22} {:>6} {:>6}nm {:>12.0} {:>12.2} {:>10.2}",
+            row.design, row.n_pe, row.node_nm, row.clock_mhz, row.area_mm2, row.power_w
+        );
+    }
+    println!();
+    println!("Projection rule (footnote 10): linear frequency, quadratic area, constant power.");
+    println!("Both designs use 4-bit weight sharing and 16-bit quantization.");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table III — Stanford NMT LSTM compression and BLEU.
+//!
+//! Paper reference: dense 419.4 MB / 23.3 BLEU; PD(8) 52.4 MB (8x) / 23.3 BLEU;
+//! PD + 16-bit 26.2 MB (16x) / 23.2 BLEU.
+
+fn main() {
+    let quick = !permdnn_bench::full_run_requested();
+    permdnn_bench::print_header("Table III — Stanford NMT (32-FC-layer LSTMs) on IWSLT15");
+    let report = permdnn_nn::experiments::nmt::run(43, quick);
+    print!("{}", report.to_table());
+    println!();
+    println!("Paper reference: 419.4 MB -> 52.4 MB (8x) -> 26.2 MB (16x); BLEU 23.3 / 23.3 / 23.2.");
+}

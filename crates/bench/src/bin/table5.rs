@@ -1,0 +1,13 @@
+//! Regenerates Table V — Wide ResNet-48 CONV-layer compression and accuracy (p = 4).
+//!
+//! Paper reference: dense 190.2 MB / 95.14%; PD 61.9 MB (3.07x) / 94.92%;
+//! PD + 16-bit 30.9 MB (6.14x) / 94.76%.
+
+fn main() {
+    let quick = !permdnn_bench::full_run_requested();
+    permdnn_bench::print_header("Table V — Wide ResNet-48 on CIFAR-10 (CONV layers, p=4)");
+    let report = permdnn_nn::experiments::conv_tables::run(45, quick, true);
+    print!("{}", report.to_table());
+    println!();
+    println!("Paper reference: 190.2 MB -> 61.9 MB (3.07x) -> 30.9 MB (6.14x); acc 95.14 / 94.92 / 94.76 %.");
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the paper's
+//! evaluation (see DESIGN.md §4 for the index); this library provides the small amount of
+//! shared formatting and argument handling they use so the binaries stay tiny.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Returns `true` when the binary was invoked with `--full`, selecting the longer-running
+/// (non-quick) experiment configuration.
+pub fn full_run_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Prints a titled separator so the binaries' output reads like the paper's tables.
+pub fn print_header(title: &str) {
+    println!("{}", "=".repeat(title.len().max(20)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(20)));
+}
+
+/// Formats a ratio as the paper prints it ("3.3x").
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(3.333), "3.33x");
+        assert_eq!(ratio(11.514), "11.51x");
+    }
+}

@@ -1,0 +1,437 @@
+//! Block-circulant matrices and their FFT-based matrix-vector product.
+
+use pd_tensor::Matrix;
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, fft_real, ifft_in_place};
+
+/// Errors produced by block-circulant construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CirculantError {
+    /// The block size was zero.
+    ZeroBlockSize,
+    /// The block size is not a power of two, so the FFT-based kernel (and the CIRCNN
+    /// hardware) cannot be used.
+    NonPowerOfTwo {
+        /// The offending block size.
+        k: usize,
+    },
+    /// Vector length did not match the matrix dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The number of supplied first rows did not match the number of blocks.
+    BlockCountMismatch {
+        /// Number supplied.
+        got: usize,
+        /// Number expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CirculantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CirculantError::ZeroBlockSize => write!(f, "block size must be non-zero"),
+            CirculantError::NonPowerOfTwo { k } => {
+                write!(f, "block size {k} is not a power of two (required by the FFT kernel)")
+            }
+            CirculantError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            CirculantError::BlockCountMismatch { got, expected } => {
+                write!(f, "expected {expected} circulant blocks, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CirculantError {}
+
+/// A single `k × k` circulant block, defined by its first row `w`: entry `(i, j)` is
+/// `w[(j - i) mod k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CirculantBlock {
+    first_row: Vec<f32>,
+}
+
+impl CirculantBlock {
+    /// Creates a circulant block from its first row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::ZeroBlockSize`] if the row is empty.
+    pub fn new(first_row: Vec<f32>) -> Result<Self, CirculantError> {
+        if first_row.is_empty() {
+            return Err(CirculantError::ZeroBlockSize);
+        }
+        Ok(CirculantBlock { first_row })
+    }
+
+    /// Block size `k`.
+    pub fn k(&self) -> usize {
+        self.first_row.len()
+    }
+
+    /// The stored first row.
+    pub fn first_row(&self) -> &[f32] {
+        &self.first_row
+    }
+
+    /// Entry `(i, j)` of the dense block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn entry(&self, i: usize, j: usize) -> f32 {
+        let k = self.k();
+        assert!(i < k && j < k, "index out of bounds");
+        self.first_row[(j + k - i % k) % k]
+    }
+
+    /// Expands into a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let k = self.k();
+        Matrix::from_fn(k, k, |i, j| self.entry(i, j))
+    }
+
+    /// Direct (time-domain) product with a length-`k` vector, accumulating into `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != k` or `y.len() != k`.
+    pub fn matvec_accumulate_direct(&self, x: &[f32], y: &mut [f32]) {
+        let k = self.k();
+        assert_eq!(x.len(), k);
+        assert_eq!(y.len(), k);
+        for i in 0..k {
+            let mut acc = 0.0f32;
+            for j in 0..k {
+                acc += self.entry(i, j) * x[j];
+            }
+            y[i] += acc;
+        }
+    }
+}
+
+/// An `m × n` block-circulant matrix: a tiling of `k × k` circulant blocks, each stored as
+/// its first row (`k` values instead of `k²` — the same compression ratio `k` as PermDNN's
+/// block size `p`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCirculantMatrix {
+    rows: usize,
+    cols: usize,
+    k: usize,
+    block_rows: usize,
+    block_cols: usize,
+    /// First rows, indexed by block `l = block_row * block_cols + block_col`.
+    blocks: Vec<CirculantBlock>,
+}
+
+impl BlockCirculantMatrix {
+    /// Creates a block-circulant matrix from per-block first rows.
+    ///
+    /// The FFT kernel requires `k` to be a power of two, mirroring the hardware
+    /// restriction the paper criticises; use [`Self::new_any_size`] to build non-2ᵗ blocks
+    /// for the flexibility ablation (they can only use the direct kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError`] on a zero/non-power-of-two block size or a block-count
+    /// mismatch.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        blocks: Vec<CirculantBlock>,
+    ) -> Result<Self, CirculantError> {
+        if k == 0 {
+            return Err(CirculantError::ZeroBlockSize);
+        }
+        if !k.is_power_of_two() {
+            return Err(CirculantError::NonPowerOfTwo { k });
+        }
+        Self::new_any_size(rows, cols, k, blocks)
+    }
+
+    /// Creates a block-circulant matrix without the power-of-two restriction (software
+    /// reference only — no FFT hardware could execute it, which is the flexibility
+    /// drawback of Section II-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError`] on a zero block size or block-count mismatch.
+    pub fn new_any_size(
+        rows: usize,
+        cols: usize,
+        k: usize,
+        blocks: Vec<CirculantBlock>,
+    ) -> Result<Self, CirculantError> {
+        if k == 0 {
+            return Err(CirculantError::ZeroBlockSize);
+        }
+        let block_rows = rows.div_ceil(k);
+        let block_cols = cols.div_ceil(k);
+        if blocks.len() != block_rows * block_cols {
+            return Err(CirculantError::BlockCountMismatch {
+                got: blocks.len(),
+                expected: block_rows * block_cols,
+            });
+        }
+        Ok(BlockCirculantMatrix {
+            rows,
+            cols,
+            k,
+            block_rows,
+            block_cols,
+            blocks,
+        })
+    }
+
+    /// Creates a randomly initialised block-circulant matrix (power-of-two `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or not a power of two.
+    pub fn random(rows: usize, cols: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k.is_power_of_two() && k > 0, "block size must be a power of two");
+        let block_rows = rows.div_ceil(k);
+        let block_cols = cols.div_ceil(k);
+        let bound = (6.0f32 / (rows + cols) as f32).sqrt() * (k as f32).sqrt();
+        let blocks = (0..block_rows * block_cols)
+            .map(|_| {
+                CirculantBlock::new((0..k).map(|_| rng.gen_range(-bound..=bound)).collect())
+                    .expect("k > 0")
+            })
+            .collect();
+        Self::new(rows, cols, k, blocks).expect("dimensions are consistent")
+    }
+
+    /// Logical number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block size `k` (the compression ratio).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored weights (`num_blocks · k`).
+    pub fn stored_weights(&self) -> usize {
+        self.blocks.len() * self.k
+    }
+
+    /// Compression ratio versus the dense matrix.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.rows * self.cols) as f64 / self.stored_weights() as f64
+    }
+
+    /// The block at `(block_row, block_col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block coordinates are out of range.
+    pub fn block(&self, block_row: usize, block_col: usize) -> &CirculantBlock {
+        assert!(block_row < self.block_rows && block_col < self.block_cols);
+        &self.blocks[block_row * self.block_cols + block_col]
+    }
+
+    /// Entry `(i, j)` of the dense matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn entry(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.block(i / self.k, j / self.k).entry(i % self.k, j % self.k)
+    }
+
+    /// Expands into a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.entry(i, j))
+    }
+
+    /// Direct (time-domain) mat-vec, the correctness reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec_direct(&self, x: &[f32]) -> Result<Vec<f32>, CirculantError> {
+        if x.len() != self.cols {
+            return Err(CirculantError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let k = self.k;
+        let mut y = vec![0.0f32; self.block_rows * k];
+        let mut x_padded = x.to_vec();
+        x_padded.resize(self.block_cols * k, 0.0);
+        for br in 0..self.block_rows {
+            for bc in 0..self.block_cols {
+                let block = &self.blocks[br * self.block_cols + bc];
+                block.matvec_accumulate_direct(
+                    &x_padded[bc * k..(bc + 1) * k],
+                    &mut y[br * k..(br + 1) * k],
+                );
+            }
+        }
+        y.truncate(self.rows);
+        Ok(y)
+    }
+
+    /// FFT-based mat-vec `IFFT(FFT(w) ∘ FFT(x))` — the CIRCNN inference kernel.
+    ///
+    /// Input FFTs are computed once per block column and output accumulation happens in
+    /// the frequency domain, with a single IFFT per block row (the standard CIRCNN
+    /// dataflow). Note that the input vector is used *in the frequency domain*: its
+    /// time-domain sparsity cannot be exploited, which is PermDNN's third advantage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::DimensionMismatch`] if `x.len() != cols` and
+    /// [`CirculantError::NonPowerOfTwo`] if the block size cannot be FFT-ed.
+    pub fn matvec_fft(&self, x: &[f32]) -> Result<Vec<f32>, CirculantError> {
+        if x.len() != self.cols {
+            return Err(CirculantError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        if !self.k.is_power_of_two() {
+            return Err(CirculantError::NonPowerOfTwo { k: self.k });
+        }
+        let k = self.k;
+        let mut x_padded = x.to_vec();
+        x_padded.resize(self.block_cols * k, 0.0);
+
+        // FFT of every input block column (shared across all block rows).
+        let x_spectra: Vec<Vec<Complex>> = (0..self.block_cols)
+            .map(|bc| fft_real(&x_padded[bc * k..(bc + 1) * k]))
+            .collect();
+
+        let mut y = Vec::with_capacity(self.block_rows * k);
+        for br in 0..self.block_rows {
+            let mut acc = vec![Complex::ZERO; k];
+            for bc in 0..self.block_cols {
+                let block = &self.blocks[br * self.block_cols + bc];
+                // The circulant matvec is a circular correlation of the first row with x:
+                // y = IFFT(conj(FFT(w)) ∘ FFT(x)) for our row-definition w[(j-i) mod k].
+                let mut w_spec = fft_real(block.first_row());
+                for (ws, xs) in w_spec.iter_mut().zip(x_spectra[bc].iter()) {
+                    *ws = ws.conj() * *xs;
+                }
+                for (a, v) in acc.iter_mut().zip(w_spec.iter()) {
+                    *a += *v;
+                }
+            }
+            ifft_in_place(&mut acc);
+            y.extend(acc.iter().map(|c| c.re as f32));
+        }
+        y.truncate(self.rows);
+        Ok(y)
+    }
+}
+
+/// Applies an in-place FFT to a complex buffer — re-exported helper so benches can time
+/// transform cost in isolation.
+pub fn fft_buffer(data: &mut [Complex]) {
+    fft_in_place(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn circulant_block_structure() {
+        let b = CirculantBlock::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let d = b.to_dense();
+        // Row 0 is the first row; each later row is a right rotation.
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.row(1), &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(d.row(3), &[2.0, 3.0, 4.0, 1.0]);
+        // Constant diagonals.
+        for i in 0..4 {
+            assert_eq!(d[(i, i)], 1.0);
+        }
+    }
+
+    #[test]
+    fn block_count_and_power_of_two_validation() {
+        let blocks = vec![CirculantBlock::new(vec![0.0; 3]).unwrap(); 4];
+        assert!(matches!(
+            BlockCirculantMatrix::new(6, 6, 3, blocks.clone()),
+            Err(CirculantError::NonPowerOfTwo { k: 3 })
+        ));
+        assert!(BlockCirculantMatrix::new_any_size(6, 6, 3, blocks).is_ok());
+        let too_few = vec![CirculantBlock::new(vec![0.0; 4]).unwrap(); 3];
+        assert!(matches!(
+            BlockCirculantMatrix::new(8, 8, 4, too_few),
+            Err(CirculantError::BlockCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn direct_matvec_matches_dense() {
+        let m = BlockCirculantMatrix::random(16, 24, 8, &mut seeded_rng(1));
+        let mut rng = seeded_rng(2);
+        let x: Vec<f32> = (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expected = m.to_dense().matvec(&x);
+        let got = m.matvec_direct(&x).unwrap();
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft_matvec_matches_direct() {
+        for &(rows, cols, k) in &[(16usize, 16usize, 4usize), (32, 64, 8), (20, 36, 4)] {
+            let m = BlockCirculantMatrix::random(rows, cols, k, &mut seeded_rng(3));
+            let mut rng = seeded_rng(4);
+            let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let direct = m.matvec_direct(&x).unwrap();
+            let fft = m.matvec_fft(&x).unwrap();
+            for (a, b) in fft.iter().zip(direct.iter()) {
+                assert!((a - b).abs() < 1e-3, "{rows}x{cols} k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_k() {
+        let m = BlockCirculantMatrix::random(64, 64, 8, &mut seeded_rng(5));
+        assert!((m.compression_ratio() - 8.0).abs() < 1e-12);
+        assert_eq!(m.stored_weights(), 64 * 64 / 8);
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let m = BlockCirculantMatrix::random(8, 8, 4, &mut seeded_rng(6));
+        assert!(m.matvec_direct(&[0.0; 7]).is_err());
+        assert!(m.matvec_fft(&[0.0; 9]).is_err());
+    }
+
+    #[test]
+    fn frequency_domain_loses_input_sparsity() {
+        // Even an all-zero-but-one input produces dense FFT spectra: there is no
+        // frequency-domain analogue of the time-domain zero-skipping PermDNN exploits.
+        let mut x = vec![0.0f32; 8];
+        x[3] = 1.0;
+        let spectrum = fft_real(&x);
+        let nonzero_bins = spectrum.iter().filter(|c| c.abs() > 1e-12).count();
+        assert_eq!(nonzero_bins, 8, "a sparse time signal has a dense spectrum");
+    }
+}

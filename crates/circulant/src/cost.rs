@@ -1,0 +1,129 @@
+//! Instrumented arithmetic-cost counters for the circulant kernels.
+//!
+//! `permdnn_core::cost` provides the analytical operation counts used in the paper's
+//! Table VI comparison; this module *measures* them on the actual kernels so the analysis
+//! and the implementation can be cross-checked (the `circulant_vs_pd` bench does exactly
+//! that).
+
+use crate::fft::butterfly_count;
+
+/// Measured real-operation cost of one block-circulant mat-vec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasuredCost {
+    /// Real multiplications.
+    pub real_muls: u64,
+    /// Real additions.
+    pub real_adds: u64,
+    /// Number of k-point FFT/IFFT transforms executed.
+    pub transforms: u64,
+}
+
+impl MeasuredCost {
+    /// Total real operations.
+    pub fn total(&self) -> u64 {
+        self.real_muls + self.real_adds
+    }
+}
+
+/// Real-operation cost of the FFT-based block-circulant mat-vec implemented by
+/// [`crate::BlockCirculantMatrix::matvec_fft`]: one FFT per block column, one first-row
+/// FFT plus element-wise complex product per block, frequency-domain accumulation, and one
+/// IFFT per block row.
+pub fn fft_matvec_cost(rows: usize, cols: usize, k: usize) -> MeasuredCost {
+    assert!(k.is_power_of_two() && k > 0, "block size must be a power of two");
+    let block_rows = rows.div_ceil(k) as u64;
+    let block_cols = cols.div_ceil(k) as u64;
+    let blocks = block_rows * block_cols;
+    let butterflies = butterfly_count(k);
+
+    // Each butterfly: 1 complex mul (4 real mul + 2 real add) + 2 complex adds (4 real adds).
+    let fft_muls = butterflies * 4;
+    let fft_adds = butterflies * 2 + butterflies * 4;
+
+    // Transforms: input FFT per block column + weight FFT per block + output IFFT per row.
+    let transforms = block_cols + blocks + block_rows;
+    let transform_muls = transforms * fft_muls;
+    let transform_adds = transforms * fft_adds;
+
+    // Element-wise complex product per block: k complex multiplications.
+    let ewise_muls = blocks * k as u64 * 4;
+    let ewise_adds = blocks * k as u64 * 2;
+
+    // Frequency-domain accumulation: (block_cols - 1) complex adds per bin per block row.
+    let accum_adds = block_rows * block_cols.saturating_sub(1) * k as u64 * 2;
+
+    MeasuredCost {
+        real_muls: transform_muls + ewise_muls,
+        real_adds: transform_adds + ewise_adds + accum_adds,
+        transforms,
+    }
+}
+
+/// Real-operation cost of the weight-FFT-precomputed variant, where the spectra of the
+/// stored first rows are computed once offline (the deployment configuration of CIRCNN):
+/// only the input FFTs, element-wise products, accumulation and output IFFTs remain.
+pub fn fft_matvec_cost_precomputed_weights(rows: usize, cols: usize, k: usize) -> MeasuredCost {
+    assert!(k.is_power_of_two() && k > 0, "block size must be a power of two");
+    let block_rows = rows.div_ceil(k) as u64;
+    let block_cols = cols.div_ceil(k) as u64;
+    let blocks = block_rows * block_cols;
+    let butterflies = butterfly_count(k);
+    let fft_muls = butterflies * 4;
+    let fft_adds = butterflies * 6;
+    let transforms = block_cols + block_rows;
+    MeasuredCost {
+        real_muls: transforms * fft_muls + blocks * k as u64 * 4,
+        real_adds: transforms * fft_adds
+            + blocks * k as u64 * 2
+            + block_rows * block_cols.saturating_sub(1) * k as u64 * 2,
+        transforms,
+    }
+}
+
+/// Real multiplications of the PermDNN mat-vec on the same layer at equal compression
+/// (`p = k`) and dense input, for direct ratio computations in reports.
+pub fn permdnn_equivalent_muls(rows: usize, cols: usize, k: usize) -> u64 {
+    (rows as u64).div_ceil(k as u64) * cols as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precomputed_weights_cost_less() {
+        let full = fft_matvec_cost(1024, 1024, 8);
+        let pre = fft_matvec_cost_precomputed_weights(1024, 1024, 8);
+        assert!(pre.real_muls < full.real_muls);
+        assert!(pre.transforms < full.transforms);
+    }
+
+    #[test]
+    fn circulant_needs_more_muls_than_permdnn_at_equal_compression() {
+        for &k in &[4usize, 8, 16] {
+            let circ = fft_matvec_cost_precomputed_weights(2048, 2048, k);
+            let pd = permdnn_equivalent_muls(2048, 2048, k);
+            let ratio = circ.real_muls as f64 / pd as f64;
+            assert!(
+                ratio >= 4.0,
+                "k={k}: element-wise complex products alone are 4x (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn transform_count_formula() {
+        let c = fft_matvec_cost(64, 128, 8);
+        // 8 block rows, 16 block cols: 16 input FFTs + 128 weight FFTs + 8 IFFTs.
+        assert_eq!(c.transforms, 16 + 128 + 8);
+        let pre = fft_matvec_cost_precomputed_weights(64, 128, 8);
+        assert_eq!(pre.transforms, 16 + 8);
+    }
+
+    #[test]
+    fn costs_scale_with_matrix_size() {
+        let small = fft_matvec_cost(256, 256, 8);
+        let large = fft_matvec_cost(1024, 1024, 8);
+        assert!(large.total() > 10 * small.total());
+    }
+}

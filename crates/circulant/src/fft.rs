@@ -1,0 +1,219 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! CIRCNN's inference kernel is `IFFT(FFT(w) ∘ FFT(x))`; the restriction to power-of-two
+//! transform lengths is exactly the flexibility limitation the PermDNN paper calls out
+//! (Section II-C, footnote 2). The implementation here is the standard bit-reversal +
+//! butterfly formulation and is validated against a direct O(n²) DFT in the tests.
+
+use crate::Complex;
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (including zero).
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the 1/n normalisation).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (including zero).
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+}
+
+/// Forward FFT of a real-valued slice, returning the complex spectrum.
+///
+/// # Panics
+///
+/// Panics if `real.len()` is not a power of two.
+pub fn fft_real(real: &[f32]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = real.iter().map(|&v| Complex::from_real(v as f64)).collect();
+    fft_in_place(&mut data);
+    data
+}
+
+/// Number of complex butterflies executed by a radix-2 FFT of length `n`
+/// (`n/2 · log2 n`); each butterfly is 1 complex multiplication + 2 complex additions.
+pub fn butterfly_count(n: usize) -> u64 {
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two");
+    (n as u64 / 2) * n.trailing_zeros() as u64
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = reverse_bits(i, bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(angle);
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+fn reverse_bits(value: usize, bits: u32) -> usize {
+    let mut v = value;
+    let mut result = 0usize;
+    for _ in 0..bits {
+        result = (result << 1) | (v & 1);
+        v >>= 1;
+    }
+    result
+}
+
+/// Direct O(n²) DFT used as a reference in tests and for non-power-of-two lengths in the
+/// flexibility ablation.
+pub fn dft_reference(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (t, &x) in data.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            *o += x * Complex::from_polar_unit(angle);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx_eq(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b.iter())
+                .all(|(x, y)| (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol)
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data);
+        assert!(data.iter().all(|c| (c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12));
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::ONE; 16];
+        fft_in_place(&mut data);
+        assert!((data[0].re - 16.0).abs() < 1e-9);
+        assert!(data[1..].iter().all(|c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let input: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+            .collect();
+        let reference = dft_reference(&input);
+        let mut fast = input.clone();
+        fft_in_place(&mut fast);
+        assert!(approx_eq(&fast, &reference, 1e-9));
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let input: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sqrt(), (i % 7) as f64))
+            .collect();
+        let mut data = input.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        assert!(approx_eq(&data, &input, 1e-9));
+    }
+
+    #[test]
+    fn fft_real_spectrum_is_conjugate_symmetric() {
+        let signal: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+        let spectrum = fft_real(&signal);
+        for k in 1..16 {
+            let a = spectrum[k];
+            let b = spectrum[16 - k].conj();
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut data = vec![Complex::new(3.0, -2.0)];
+        fft_in_place(&mut data);
+        assert_eq!(data[0], Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn butterfly_counts() {
+        assert_eq!(butterfly_count(2), 1);
+        assert_eq!(butterfly_count(8), 12);
+        assert_eq!(butterfly_count(1024), 512 * 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fft_roundtrip(values in proptest::collection::vec(-100.0f64..100.0, 1..=6)) {
+            // Use the number of values to pick a power-of-two size between 2 and 64.
+            let n = 1usize << values.len();
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(values[i % values.len()] * ((i + 1) as f64).ln(), 0.0))
+                .collect();
+            let mut data = input.clone();
+            fft_in_place(&mut data);
+            ifft_in_place(&mut data);
+            prop_assert!(approx_eq(&data, &input, 1e-6));
+        }
+
+        #[test]
+        fn prop_parseval(values in proptest::collection::vec(-10.0f64..10.0, 8..=8)) {
+            // Parseval: sum |x|^2 == (1/n) sum |X|^2.
+            let input: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+            let time_energy: f64 = input.iter().map(|c| c.abs().powi(2)).sum();
+            let mut data = input.clone();
+            fft_in_place(&mut data);
+            let freq_energy: f64 = data.iter().map(|c| c.abs().powi(2)).sum::<f64>() / 8.0;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+        }
+    }
+}

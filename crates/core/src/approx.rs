@@ -1,0 +1,357 @@
+//! Permuted-diagonal approximation of pre-trained dense weights (Section III-F).
+//!
+//! To convert a pre-trained dense model, each `p × p` block of the dense weight matrix is
+//! projected onto the closest permuted-diagonal matrix in the l2 (Frobenius) sense. For a
+//! fixed permutation parameter `k` the optimal projection simply *keeps* the entries on
+//! the chosen permuted diagonal and zeroes everything else; the optimal `k` for a block is
+//! therefore the one whose permuted diagonal carries the most energy (sum of squares).
+//! After projection the model is fine-tuned with the structure-preserving updates of
+//! [`crate::grad`], reproducing the paper's two-step "approximate then re-train" flow
+//! (Fig. 3).
+
+use pd_tensor::{Matrix, Tensor4};
+
+use crate::{BlockPermDiagMatrix, BlockPermDiagTensor4, PdError, PermutationIndexing};
+
+/// Strategy for choosing the permutation parameter of each block during approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproxStrategy {
+    /// For every block choose the `k` whose permuted diagonal has maximum energy — the
+    /// l2-optimal projection described in the paper.
+    #[default]
+    BestPerBlock,
+    /// Force natural indexing (`k_l = l mod p`) regardless of the dense content; used by
+    /// the permutation-indexing ablation.
+    Natural,
+}
+
+/// Result of a permuted-diagonal approximation: the projected matrix plus the relative
+/// l2 approximation error `||W - Ŵ||_F / ||W||_F`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdApproximation {
+    /// The projected block-permuted-diagonal matrix.
+    pub matrix: BlockPermDiagMatrix,
+    /// Relative Frobenius-norm error of the projection.
+    pub relative_error: f64,
+}
+
+/// Projects a dense matrix onto the block-permuted-diagonal manifold with block size `p`.
+///
+/// # Errors
+///
+/// Returns [`PdError::ZeroBlockSize`] if `p == 0`.
+pub fn pd_approximate(
+    dense: &Matrix,
+    p: usize,
+    strategy: ApproxStrategy,
+) -> Result<PdApproximation, PdError> {
+    if p == 0 {
+        return Err(PdError::ZeroBlockSize);
+    }
+    let (rows, cols) = dense.shape();
+    let block_rows = rows.div_ceil(p);
+    let block_cols = cols.div_ceil(p);
+    let nblocks = block_rows * block_cols;
+    let mut perms = vec![0usize; nblocks];
+    let mut values = vec![0.0f32; nblocks * p];
+
+    for br in 0..block_rows {
+        for bc in 0..block_cols {
+            let l = br * block_cols + bc;
+            let k = match strategy {
+                ApproxStrategy::Natural => l % p,
+                ApproxStrategy::BestPerBlock => best_permutation(dense, br, bc, p),
+            };
+            perms[l] = k;
+            for c in 0..p {
+                let i = br * p + c;
+                let j = bc * p + (c + k) % p;
+                values[l * p + c] = if i < rows && j < cols { dense[(i, j)] } else { 0.0 };
+            }
+        }
+    }
+
+    let matrix = BlockPermDiagMatrix::new(rows, cols, p, perms, values)?;
+    let approx_dense = matrix.to_dense();
+    let diff = dense.sub(&approx_dense).expect("shapes match");
+    let denom = dense.frobenius_norm() as f64;
+    let relative_error = if denom == 0.0 {
+        0.0
+    } else {
+        diff.frobenius_norm() as f64 / denom
+    };
+    Ok(PdApproximation {
+        matrix,
+        relative_error,
+    })
+}
+
+/// Energy (sum of squares) captured by permutation `k` in block `(br, bc)` of `dense`.
+fn diagonal_energy(dense: &Matrix, br: usize, bc: usize, p: usize, k: usize) -> f64 {
+    let mut energy = 0.0f64;
+    for c in 0..p {
+        let i = br * p + c;
+        let j = bc * p + (c + k) % p;
+        if let Some(v) = dense.get(i, j) {
+            energy += (v as f64) * (v as f64);
+        }
+    }
+    energy
+}
+
+/// The l2-optimal permutation parameter for one block: the diagonal carrying the most
+/// energy (ties broken towards the smaller `k`).
+pub fn best_permutation(dense: &Matrix, br: usize, bc: usize, p: usize) -> usize {
+    let mut best_k = 0usize;
+    let mut best_energy = f64::NEG_INFINITY;
+    for k in 0..p {
+        let e = diagonal_energy(dense, br, bc, p, k);
+        if e > best_energy {
+            best_energy = e;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Result of a permuted-diagonal approximation of a convolution weight tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdTensorApproximation {
+    /// The projected permuted-diagonal weight tensor.
+    pub tensor: BlockPermDiagTensor4,
+    /// Relative Frobenius-norm error of the projection.
+    pub relative_error: f64,
+}
+
+/// Projects a dense `[c_out, c_in, kh, kw]` weight tensor onto the permuted-diagonal
+/// channel structure with block size `p`.
+///
+/// For each channel block, the permutation is chosen to maximise the energy of the kept
+/// filter kernels (the per-entry generalisation of the matrix case, since each "entry" of
+/// the channel macro-matrix is a whole kernel).
+///
+/// # Errors
+///
+/// Returns [`PdError::ZeroBlockSize`] if `p == 0`.
+pub fn pd_approximate_tensor(
+    dense: &Tensor4,
+    p: usize,
+    strategy: ApproxStrategy,
+) -> Result<PdTensorApproximation, PdError> {
+    if p == 0 {
+        return Err(PdError::ZeroBlockSize);
+    }
+    let [c_out, c_in, kh, kw] = dense.shape();
+    let mut tensor =
+        BlockPermDiagTensor4::zeros(c_out, c_in, kh, kw, p, PermutationIndexing::Natural)?;
+    let block_cols = c_in.div_ceil(p);
+
+    // Choose permutations.
+    let mut perms = vec![0usize; c_out.div_ceil(p) * block_cols];
+    for br in 0..c_out.div_ceil(p) {
+        for bc in 0..block_cols {
+            let l = br * block_cols + bc;
+            perms[l] = match strategy {
+                ApproxStrategy::Natural => l % p,
+                ApproxStrategy::BestPerBlock => {
+                    let mut best_k = 0;
+                    let mut best_energy = f64::NEG_INFINITY;
+                    for k in 0..p {
+                        let mut e = 0.0f64;
+                        for c in 0..p {
+                            let o = br * p + c;
+                            let i = bc * p + (c + k) % p;
+                            if o < c_out && i < c_in {
+                                for ky in 0..kh {
+                                    for kx in 0..kw {
+                                        let v = dense[[o, i, ky, kx]] as f64;
+                                        e += v * v;
+                                    }
+                                }
+                            }
+                        }
+                        if e > best_energy {
+                            best_energy = e;
+                            best_k = k;
+                        }
+                    }
+                    best_k
+                }
+            };
+        }
+    }
+
+    // Rebuild the tensor with the chosen permutations and copy the kept kernels.
+    tensor = rebuild_with_perms(tensor, &perms);
+    let (c_outp, c_inp) = (tensor.c_out(), tensor.c_in());
+    for o in 0..c_outp {
+        for i in tensor.connected_inputs(o) {
+            if i < c_inp {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let v = dense[[o, i, ky, kx]];
+                        set_kernel_entry(&mut tensor, o, i, ky, kx, v);
+                    }
+                }
+            }
+        }
+    }
+
+    let approx_dense = tensor.to_dense();
+    let num: f64 = dense
+        .as_slice()
+        .iter()
+        .zip(approx_dense.as_slice().iter())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum();
+    let den: f64 = dense.as_slice().iter().map(|&a| (a as f64).powi(2)).sum();
+    let relative_error = if den == 0.0 { 0.0 } else { (num / den).sqrt() };
+    Ok(PdTensorApproximation {
+        tensor,
+        relative_error,
+    })
+}
+
+/// Rebuilds a zero PD tensor with explicit permutation parameters (the public constructor
+/// only exposes the two indexing policies).
+fn rebuild_with_perms(t: BlockPermDiagTensor4, perms: &[usize]) -> BlockPermDiagTensor4 {
+    // Reconstruct through the dense path: build a dense tensor whose structural pattern
+    // matches `perms`, then copy. Since all values are zero this is cheap; we only need
+    // the permutation bookkeeping, which we achieve by constructing a fresh tensor and
+    // overwriting its perms via the natural-indexing constructor plus a fix-up pass.
+    let mut out = BlockPermDiagTensor4::zeros(
+        t.c_out(),
+        t.c_in(),
+        t.kh(),
+        t.kw(),
+        t.p(),
+        PermutationIndexing::Natural,
+    )
+    .expect("p validated by caller");
+    out.set_perms(perms);
+    out
+}
+
+fn set_kernel_entry(
+    t: &mut BlockPermDiagTensor4,
+    o: usize,
+    i: usize,
+    ky: usize,
+    kx: usize,
+    v: f32,
+) {
+    t.set_entry(o, i, ky, kx, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn approximation_of_pd_matrix_is_exact() {
+        let original = BlockPermDiagMatrix::random(16, 24, 4, &mut seeded_rng(1));
+        let dense = original.to_dense();
+        let approx = pd_approximate(&dense, 4, ApproxStrategy::BestPerBlock).unwrap();
+        assert!(approx.relative_error < 1e-6);
+        assert!(approx.matrix.to_dense().approx_eq(&dense, 1e-6));
+    }
+
+    #[test]
+    fn approximation_error_zero_for_zero_matrix() {
+        let dense = Matrix::zeros(8, 8);
+        let approx = pd_approximate(&dense, 4, ApproxStrategy::BestPerBlock).unwrap();
+        assert_eq!(approx.relative_error, 0.0);
+    }
+
+    #[test]
+    fn best_per_block_never_worse_than_natural() {
+        let mut rng = seeded_rng(2);
+        let dense = Matrix::from_fn(20, 20, |_, _| rng.gen_range(-1.0..1.0));
+        let best = pd_approximate(&dense, 5, ApproxStrategy::BestPerBlock).unwrap();
+        let natural = pd_approximate(&dense, 5, ApproxStrategy::Natural).unwrap();
+        assert!(best.relative_error <= natural.relative_error + 1e-12);
+    }
+
+    #[test]
+    fn best_permutation_is_l2_optimal_per_block() {
+        // Exhaustively verify optimality on a single block: keeping diagonal k keeps
+        // exactly the energy of that diagonal, so the best k maximises kept energy and
+        // minimises the squared error.
+        let mut rng = seeded_rng(3);
+        let dense = Matrix::from_fn(6, 6, |_, _| rng.gen_range(-1.0..1.0));
+        let p = 6;
+        let chosen = best_permutation(&dense, 0, 0, p);
+        let chosen_energy = (0..p)
+            .map(|c| {
+                let v = dense[(c, (c + chosen) % p)] as f64;
+                v * v
+            })
+            .sum::<f64>();
+        for k in 0..p {
+            let e = (0..p)
+                .map(|c| {
+                    let v = dense[(c, (c + k) % p)] as f64;
+                    v * v
+                })
+                .sum::<f64>();
+            assert!(chosen_energy >= e - 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_by_one_for_random_matrices() {
+        let mut rng = seeded_rng(4);
+        let dense = Matrix::from_fn(32, 32, |_, _| rng.gen_range(-1.0..1.0));
+        let approx = pd_approximate(&dense, 8, ApproxStrategy::BestPerBlock).unwrap();
+        // Projection keeps a subset of entries, so the error is strictly below 1 for a
+        // generic matrix and above 0.
+        assert!(approx.relative_error > 0.0 && approx.relative_error < 1.0);
+    }
+
+    #[test]
+    fn rejects_zero_block_size() {
+        let dense = Matrix::zeros(4, 4);
+        assert!(pd_approximate(&dense, 0, ApproxStrategy::BestPerBlock).is_err());
+    }
+
+    #[test]
+    fn tensor_approximation_of_pd_tensor_is_exact() {
+        let original = BlockPermDiagTensor4::random(
+            8,
+            8,
+            3,
+            3,
+            4,
+            PermutationIndexing::Natural,
+            &mut seeded_rng(5),
+        );
+        let dense = original.to_dense();
+        let approx = pd_approximate_tensor(&dense, 4, ApproxStrategy::BestPerBlock).unwrap();
+        assert!(approx.relative_error < 1e-6, "{}", approx.relative_error);
+    }
+
+    #[test]
+    fn tensor_approximation_generic_error_in_range() {
+        let mut rng = seeded_rng(6);
+        let dense = Tensor4::from_fn([8, 8, 3, 3], |_| rng.gen_range(-1.0..1.0));
+        let approx = pd_approximate_tensor(&dense, 2, ApproxStrategy::BestPerBlock).unwrap();
+        assert!(approx.relative_error > 0.0 && approx.relative_error < 1.0);
+        assert!((approx.tensor.compression_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let mut rng = seeded_rng(7);
+        let dense = Matrix::from_fn(16, 16, |_, _| rng.gen_range(-1.0..1.0));
+        let once = pd_approximate(&dense, 4, ApproxStrategy::BestPerBlock).unwrap();
+        let twice =
+            pd_approximate(&once.matrix.to_dense(), 4, ApproxStrategy::BestPerBlock).unwrap();
+        assert!(twice.relative_error < 1e-6);
+        assert!(once
+            .matrix
+            .to_dense()
+            .approx_eq(&twice.matrix.to_dense(), 1e-6));
+    }
+}

@@ -1,0 +1,721 @@
+//! Permuted-diagonal convolutional weight tensors (Section III-C, Eqns. 4–6).
+//!
+//! The CONV-layer weight tensor `F ∈ R^{c_out × c_in × kh × kw}` is viewed as a "macro"
+//! matrix over the (output-channel, input-channel) dimensions whose entries are whole
+//! `kh × kw` filter kernels (Fig. 2). The permuted-diagonal structure is imposed on that
+//! macro matrix: filter `F(o, i, ·, ·)` is non-zero only when input channel `i` lies on
+//! the permuted diagonal of output channel `o`'s block. The compression ratio for the
+//! layer is therefore exactly `p`, as for FC layers.
+
+use pd_tensor::tensor4::conv_out_dim;
+use pd_tensor::Tensor4;
+use rand::Rng;
+
+use crate::{PdError, PermutationIndexing};
+
+/// A permuted-diagonal 4-D convolution weight tensor.
+///
+/// Only the kernels on the permuted channel diagonal are stored: `(c_out·c_in/p)·kh·kw`
+/// values plus one permutation parameter per channel block.
+///
+/// # Example
+///
+/// ```
+/// use permdnn_core::BlockPermDiagTensor4;
+/// use permdnn_core::PermutationIndexing;
+/// use pd_tensor::init::seeded_rng;
+///
+/// let f = BlockPermDiagTensor4::random(8, 8, 3, 3, 2, PermutationIndexing::Natural,
+///                                      &mut seeded_rng(0));
+/// assert_eq!(f.stored_weights(), 8 * 8 / 2 * 9);
+/// assert_eq!(f.compression_ratio(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPermDiagTensor4 {
+    c_out: usize,
+    c_in: usize,
+    kh: usize,
+    kw: usize,
+    p: usize,
+    block_rows: usize,
+    block_cols: usize,
+    /// Permutation parameter per channel block, `l = block_row * block_cols + block_col`.
+    perms: Vec<usize>,
+    /// Stored kernels: index `((l * p + c) * kh + ky) * kw + kx` where `c` is the
+    /// output-channel offset within the block.
+    kernels: Vec<f32>,
+}
+
+impl BlockPermDiagTensor4 {
+    /// Creates an all-zero permuted-diagonal weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::ZeroBlockSize`] if `p == 0`.
+    pub fn zeros(
+        c_out: usize,
+        c_in: usize,
+        kh: usize,
+        kw: usize,
+        p: usize,
+        indexing: PermutationIndexing,
+    ) -> Result<Self, PdError> {
+        if p == 0 {
+            return Err(PdError::ZeroBlockSize);
+        }
+        let block_rows = c_out.div_ceil(p);
+        let block_cols = c_in.div_ceil(p);
+        let nblocks = block_rows * block_cols;
+        let perms = match indexing {
+            PermutationIndexing::Natural => (0..nblocks).map(|l| l % p).collect(),
+            PermutationIndexing::Random => vec![0; nblocks],
+        };
+        Ok(BlockPermDiagTensor4 {
+            c_out,
+            c_in,
+            kh,
+            kw,
+            p,
+            block_rows,
+            block_cols,
+            perms,
+            kernels: vec![0.0; nblocks * p * kh * kw],
+        })
+    }
+
+    /// Creates a randomly initialised permuted-diagonal weight tensor (Xavier scaled to
+    /// the effective fan-in `c_in/p · kh · kw`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn random(
+        c_out: usize,
+        c_in: usize,
+        kh: usize,
+        kw: usize,
+        p: usize,
+        indexing: PermutationIndexing,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut t = Self::zeros(c_out, c_in, kh, kw, p, indexing).expect("p must be non-zero");
+        if indexing == PermutationIndexing::Random {
+            for k in t.perms.iter_mut() {
+                *k = rng.gen_range(0..p);
+            }
+        }
+        let fan_in = (c_in.div_ceil(p)).max(1) * kh * kw;
+        let fan_out = (c_out.div_ceil(p)).max(1) * kh * kw;
+        let a = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+        for v in t.kernels.iter_mut() {
+            *v = rng.gen_range(-a..=a);
+        }
+        t
+    }
+
+    /// Number of output channels.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Number of input channels.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// Kernel height.
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel width.
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+
+    /// Block size / compression ratio `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Per-block permutation parameters.
+    pub fn perms(&self) -> &[usize] {
+        &self.perms
+    }
+
+    /// Flat stored-kernel values.
+    pub fn kernels(&self) -> &[f32] {
+        &self.kernels
+    }
+
+    /// Mutable flat stored-kernel values.
+    pub fn kernels_mut(&mut self) -> &mut [f32] {
+        &mut self.kernels
+    }
+
+    /// Number of stored weight values.
+    pub fn stored_weights(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Compression ratio versus the dense `c_out·c_in·kh·kw` tensor.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.c_out * self.c_in * self.kh * self.kw) as f64 / self.stored_weights() as f64
+    }
+
+    /// Returns `true` if filter `(o, i)` is structurally non-zero (on the permuted channel
+    /// diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o >= c_out` or `i >= c_in`.
+    pub fn is_structural(&self, o: usize, i: usize) -> bool {
+        assert!(o < self.c_out && i < self.c_in, "channel index out of range");
+        let l = (o / self.p) * self.block_cols + (i / self.p);
+        (o % self.p + self.perms[l]) % self.p == i % self.p
+    }
+
+    /// For output channel `o`, the structurally connected input channels (one per channel
+    /// block column).
+    pub fn connected_inputs(&self, o: usize) -> Vec<usize> {
+        assert!(o < self.c_out, "output channel out of range");
+        let c = o % self.p;
+        let br = o / self.p;
+        (0..self.block_cols)
+            .filter_map(|bc| {
+                let l = br * self.block_cols + bc;
+                let i = bc * self.p + (c + self.perms[l]) % self.p;
+                (i < self.c_in).then_some(i)
+            })
+            .collect()
+    }
+
+    fn kernel_base(&self, o: usize, i: usize) -> usize {
+        let l = (o / self.p) * self.block_cols + (i / self.p);
+        (l * self.p + o % self.p) * self.kh * self.kw
+    }
+
+    /// The stored kernel for filter `(o, i)`, or `None` if that filter is structurally
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o >= c_out` or `i >= c_in`.
+    pub fn kernel(&self, o: usize, i: usize) -> Option<&[f32]> {
+        if self.is_structural(o, i) {
+            let base = self.kernel_base(o, i);
+            Some(&self.kernels[base..base + self.kh * self.kw])
+        } else {
+            None
+        }
+    }
+
+    /// Single weight entry `F(o, i, ky, kx)` (zero off the permuted channel diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn entry(&self, o: usize, i: usize, ky: usize, kx: usize) -> f32 {
+        assert!(ky < self.kh && kx < self.kw, "kernel index out of range");
+        match self.kernel(o, i) {
+            Some(k) => k[ky * self.kw + kx],
+            None => 0.0,
+        }
+    }
+
+    /// Replaces the per-block permutation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perms.len()` does not equal the number of channel blocks or any value
+    /// is `>= p`.
+    pub fn set_perms(&mut self, perms: &[usize]) {
+        assert_eq!(
+            perms.len(),
+            self.perms.len(),
+            "expected {} permutation parameters",
+            self.perms.len()
+        );
+        assert!(
+            perms.iter().all(|&k| k < self.p),
+            "permutation parameter out of range 0..{}",
+            self.p
+        );
+        self.perms.copy_from_slice(perms);
+    }
+
+    /// Sets a single weight entry on the structural (permuted-diagonal) positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(o, i)` is not a structural filter position or any index is out of
+    /// range.
+    pub fn set_entry(&mut self, o: usize, i: usize, ky: usize, kx: usize, v: f32) {
+        assert!(
+            self.is_structural(o, i),
+            "filter ({o},{i}) is structurally zero and cannot be set"
+        );
+        assert!(ky < self.kh && kx < self.kw, "kernel index out of range");
+        let base = self.kernel_base(o, i);
+        self.kernels[base + ky * self.kw + kx] = v;
+    }
+
+    /// Expands into a dense [`Tensor4`] of shape `[c_out, c_in, kh, kw]`.
+    pub fn to_dense(&self) -> Tensor4 {
+        Tensor4::from_fn([self.c_out, self.c_in, self.kh, self.kw], |(o, i, ky, kx)| {
+            self.entry(o, i, ky, kx)
+        })
+    }
+
+    /// Forward convolution of a single image (Eqn. 4): input `[1, c_in, h, w]`, output
+    /// `[1, c_out, out_h, out_w]`. Only the structurally non-zero channel pairs are
+    /// visited, giving the `p ×` reduction in multiply-accumulate work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::DimensionMismatch`] if the input channel count differs from
+    /// `c_in` or the batch dimension is not 1.
+    pub fn forward(
+        &self,
+        input: &Tensor4,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor4, PdError> {
+        let [b, ci, h, w] = input.shape();
+        if b != 1 {
+            return Err(PdError::DimensionMismatch {
+                op: "conv forward (batch)",
+                expected: 1,
+                got: b,
+            });
+        }
+        if ci != self.c_in {
+            return Err(PdError::DimensionMismatch {
+                op: "conv forward (input channels)",
+                expected: self.c_in,
+                got: ci,
+            });
+        }
+        let out_h = conv_out_dim(h, self.kh, stride, padding);
+        let out_w = conv_out_dim(w, self.kw, stride, padding);
+        let mut out = Tensor4::zeros([1, self.c_out, out_h, out_w]);
+        for o in 0..self.c_out {
+            for i in self.connected_inputs(o) {
+                let base = self.kernel_base(o, i);
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.kh {
+                            for kx in 0..self.kw {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    acc += self.kernels[base + ky * self.kw + kx]
+                                        * input[[0, i, iy as usize, ix as usize]];
+                                }
+                            }
+                        }
+                        out[[0, o, oy, ox]] += acc;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gradient of the loss with respect to the stored kernels (Eqn. 5), for one image.
+    ///
+    /// Layout matches [`kernels`](Self::kernels). `grad_output` must have shape
+    /// `[1, c_out, out_h, out_w]` consistent with `input`, `stride` and `padding`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::DimensionMismatch`] on any shape inconsistency.
+    pub fn weight_gradient(
+        &self,
+        input: &Tensor4,
+        grad_output: &Tensor4,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Vec<f32>, PdError> {
+        let [b, ci, h, w] = input.shape();
+        let [gb, go, out_h, out_w] = grad_output.shape();
+        if b != 1 || gb != 1 {
+            return Err(PdError::DimensionMismatch {
+                op: "conv weight_gradient (batch)",
+                expected: 1,
+                got: b.max(gb),
+            });
+        }
+        if ci != self.c_in || go != self.c_out {
+            return Err(PdError::DimensionMismatch {
+                op: "conv weight_gradient (channels)",
+                expected: self.c_in,
+                got: ci,
+            });
+        }
+        if out_h != conv_out_dim(h, self.kh, stride, padding)
+            || out_w != conv_out_dim(w, self.kw, stride, padding)
+        {
+            return Err(PdError::DimensionMismatch {
+                op: "conv weight_gradient (spatial)",
+                expected: conv_out_dim(h, self.kh, stride, padding),
+                got: out_h,
+            });
+        }
+        let mut grad = vec![0.0f32; self.kernels.len()];
+        for o in 0..self.c_out {
+            for i in self.connected_inputs(o) {
+                let base = self.kernel_base(o, i);
+                for ky in 0..self.kh {
+                    for kx in 0..self.kw {
+                        let mut acc = 0.0f32;
+                        for oy in 0..out_h {
+                            for ox in 0..out_w {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    acc += input[[0, i, iy as usize, ix as usize]]
+                                        * grad_output[[0, o, oy, ox]];
+                                }
+                            }
+                        }
+                        grad[base + ky * self.kw + kx] += acc;
+                    }
+                }
+            }
+        }
+        Ok(grad)
+    }
+
+    /// Gradient of the loss with respect to the input image (Eqn. 6), for one image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::DimensionMismatch`] on any shape inconsistency.
+    pub fn input_gradient(
+        &self,
+        grad_output: &Tensor4,
+        input_shape: [usize; 4],
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor4, PdError> {
+        let [b, ci, h, w] = input_shape;
+        let [gb, go, out_h, out_w] = grad_output.shape();
+        if b != 1 || gb != 1 {
+            return Err(PdError::DimensionMismatch {
+                op: "conv input_gradient (batch)",
+                expected: 1,
+                got: b.max(gb),
+            });
+        }
+        if ci != self.c_in || go != self.c_out {
+            return Err(PdError::DimensionMismatch {
+                op: "conv input_gradient (channels)",
+                expected: self.c_in,
+                got: ci,
+            });
+        }
+        let mut grad = Tensor4::zeros(input_shape);
+        for o in 0..self.c_out {
+            for i in self.connected_inputs(o) {
+                let base = self.kernel_base(o, i);
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let g = grad_output[[0, o, oy, ox]];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ky in 0..self.kh {
+                            for kx in 0..self.kw {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    grad[[0, i, iy as usize, ix as usize]] +=
+                                        self.kernels[base + ky * self.kw + kx] * g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad)
+    }
+
+    /// Applies the structure-preserving SGD update (Eqn. 5) in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::DimensionMismatch`] on any shape inconsistency.
+    pub fn sgd_step(
+        &mut self,
+        input: &Tensor4,
+        grad_output: &Tensor4,
+        stride: usize,
+        padding: usize,
+        lr: f32,
+    ) -> Result<(), PdError> {
+        let grad = self.weight_gradient(input, grad_output, stride, padding)?;
+        for (v, g) in self.kernels.iter_mut().zip(grad.iter()) {
+            *v -= lr * g;
+        }
+        Ok(())
+    }
+}
+
+/// Dense reference convolution used to validate the permuted-diagonal kernels in tests
+/// and by the dense baselines in the training framework.
+///
+/// `weights` has shape `[c_out, c_in, kh, kw]`, `input` `[1, c_in, h, w]`.
+///
+/// # Panics
+///
+/// Panics if the shapes are inconsistent.
+pub fn dense_conv2d(weights: &Tensor4, input: &Tensor4, stride: usize, padding: usize) -> Tensor4 {
+    let [c_out, c_in, kh, kw] = weights.shape();
+    let [b, ci, h, w] = input.shape();
+    assert_eq!(b, 1, "dense_conv2d expects batch == 1");
+    assert_eq!(ci, c_in, "channel mismatch");
+    let out_h = conv_out_dim(h, kh, stride, padding);
+    let out_w = conv_out_dim(w, kw, stride, padding);
+    let mut out = Tensor4::zeros([1, c_out, out_h, out_w]);
+    for o in 0..c_out {
+        for i in 0..c_in {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc = 0.0f32;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                acc += weights[[o, i, ky, kx]]
+                                    * input[[0, i, iy as usize, ix as usize]];
+                            }
+                        }
+                    }
+                    out[[0, o, oy, ox]] += acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+    use rand::Rng;
+
+    fn random_input(c: usize, h: usize, w: usize, seed: u64) -> Tensor4 {
+        let mut rng = seeded_rng(seed);
+        Tensor4::from_fn([1, c, h, w], |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn storage_and_compression() {
+        let f = BlockPermDiagTensor4::zeros(16, 8, 3, 3, 4, PermutationIndexing::Natural).unwrap();
+        assert_eq!(f.stored_weights(), 16 * 8 / 4 * 9);
+        assert!((f.compression_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_pattern_one_input_per_block() {
+        let f = BlockPermDiagTensor4::zeros(8, 8, 1, 1, 4, PermutationIndexing::Natural).unwrap();
+        for o in 0..8 {
+            let conn = f.connected_inputs(o);
+            assert_eq!(conn.len(), 2, "one connected input per block column");
+            for &i in &conn {
+                assert!(f.is_structural(o, i));
+            }
+            let non_conn = (0..8).filter(|i| !conn.contains(i));
+            for i in non_conn {
+                assert!(!f.is_structural(o, i));
+                assert!(f.kernel(o, i).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_dense_reference() {
+        let mut rng = seeded_rng(31);
+        let f = BlockPermDiagTensor4::random(8, 4, 3, 3, 2, PermutationIndexing::Natural, &mut rng);
+        let input = random_input(4, 6, 6, 32);
+        for &(stride, padding) in &[(1usize, 1usize), (1, 0), (2, 1)] {
+            let pd_out = f.forward(&input, stride, padding).unwrap();
+            let dense_out = dense_conv2d(&f.to_dense(), &input, stride, padding);
+            assert_eq!(pd_out.shape(), dense_out.shape());
+            for (a, b) in pd_out.as_slice().iter().zip(dense_out.as_slice().iter()) {
+                assert!((a - b).abs() < 1e-4, "stride {stride} pad {padding}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_validates_shapes() {
+        let f = BlockPermDiagTensor4::zeros(4, 4, 3, 3, 2, PermutationIndexing::Natural).unwrap();
+        let wrong_channels = Tensor4::zeros([1, 3, 6, 6]);
+        assert!(f.forward(&wrong_channels, 1, 1).is_err());
+        let wrong_batch = Tensor4::zeros([2, 4, 6, 6]);
+        assert!(f.forward(&wrong_batch, 1, 1).is_err());
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(41);
+        let f = BlockPermDiagTensor4::random(4, 4, 2, 2, 2, PermutationIndexing::Natural, &mut rng);
+        let input = random_input(4, 4, 4, 42);
+        let target = {
+            let mut rng = seeded_rng(43);
+            let out = f.forward(&input, 1, 0).unwrap();
+            Tensor4::from_fn(out.shape(), |_| rng.gen_range(-1.0..1.0))
+        };
+        let loss = |f: &BlockPermDiagTensor4| -> f64 {
+            let out = f.forward(&input, 1, 0).unwrap();
+            out.as_slice()
+                .iter()
+                .zip(target.as_slice().iter())
+                .map(|(o, t)| 0.5 * ((o - t) as f64).powi(2))
+                .sum()
+        };
+        let out = f.forward(&input, 1, 0).unwrap();
+        let grad_out = Tensor4::from_vec(
+            out.shape(),
+            out.as_slice()
+                .iter()
+                .zip(target.as_slice().iter())
+                .map(|(o, t)| o - t)
+                .collect(),
+        )
+        .unwrap();
+        let analytic = f.weight_gradient(&input, &grad_out, 1, 0).unwrap();
+        let eps = 1e-3f32;
+        // Spot-check a sample of kernel slots.
+        for idx in (0..f.kernels().len()).step_by(7) {
+            let mut fp = f.clone();
+            fp.kernels_mut()[idx] += eps;
+            let mut fm = f.clone();
+            fm.kernels_mut()[idx] -= eps;
+            let numeric = (loss(&fp) - loss(&fm)) / (2.0 * eps as f64);
+            assert!(
+                (numeric - analytic[idx] as f64).abs() < 5e-2,
+                "slot {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(51);
+        let f = BlockPermDiagTensor4::random(4, 2, 3, 3, 2, PermutationIndexing::Natural, &mut rng);
+        let input = random_input(2, 5, 5, 52);
+        let out = f.forward(&input, 1, 1).unwrap();
+        let target = Tensor4::from_fn(out.shape(), |(_, o, y, x)| ((o + y + x) as f32 * 0.1).sin());
+        let grad_out = Tensor4::from_vec(
+            out.shape(),
+            out.as_slice()
+                .iter()
+                .zip(target.as_slice().iter())
+                .map(|(o, t)| o - t)
+                .collect(),
+        )
+        .unwrap();
+        let analytic = f
+            .input_gradient(&grad_out, input.shape(), 1, 1)
+            .unwrap();
+        let loss = |inp: &Tensor4| -> f64 {
+            let out = f.forward(inp, 1, 1).unwrap();
+            out.as_slice()
+                .iter()
+                .zip(target.as_slice().iter())
+                .map(|(o, t)| 0.5 * ((o - t) as f64).powi(2))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for idx in (0..input.len()).step_by(11) {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&ip) - loss(&im)) / (2.0 * eps as f64);
+            assert!(
+                (numeric - analytic.as_slice()[idx] as f64).abs() < 5e-2,
+                "pixel {idx}: numeric {numeric} vs analytic {}",
+                analytic.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_step_reduces_loss_and_preserves_structure() {
+        let mut rng = seeded_rng(61);
+        let mut f =
+            BlockPermDiagTensor4::random(4, 4, 3, 3, 2, PermutationIndexing::Natural, &mut rng);
+        let input = random_input(4, 5, 5, 62);
+        let out0 = f.forward(&input, 1, 1).unwrap();
+        let target = Tensor4::from_fn(out0.shape(), |(_, o, y, x)| ((o * 3 + y + x) as f32 * 0.05).cos());
+        let loss = |f: &BlockPermDiagTensor4| -> f64 {
+            let out = f.forward(&input, 1, 1).unwrap();
+            out.as_slice()
+                .iter()
+                .zip(target.as_slice().iter())
+                .map(|(o, t)| 0.5 * ((o - t) as f64).powi(2))
+                .sum()
+        };
+        let before = loss(&f);
+        for _ in 0..10 {
+            let out = f.forward(&input, 1, 1).unwrap();
+            let grad_out = Tensor4::from_vec(
+                out.shape(),
+                out.as_slice()
+                    .iter()
+                    .zip(target.as_slice().iter())
+                    .map(|(o, t)| o - t)
+                    .collect(),
+            )
+            .unwrap();
+            f.sgd_step(&input, &grad_out, 1, 1, 0.01).unwrap();
+        }
+        let after = loss(&f);
+        assert!(after < before, "conv training should reduce loss: {before} -> {after}");
+        // Structure preserved: off-diagonal filters remain exactly zero in the dense view.
+        let dense = f.to_dense();
+        for o in 0..4 {
+            for i in 0..4 {
+                if !f.is_structural(o, i) {
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            assert_eq!(dense[[o, i, ky, kx]], 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_conv_identity_kernel_preserves_input() {
+        // 1x1 kernel equal to 1.0 on a single channel: output equals input.
+        let w = Tensor4::from_fn([1, 1, 1, 1], |_| 1.0);
+        let input = random_input(1, 4, 4, 71);
+        let out = dense_conv2d(&w, &input, 1, 0);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn ragged_channel_counts() {
+        // c_out=6, c_in=10, p=4: blocks are padded; forward must still match dense.
+        let mut rng = seeded_rng(81);
+        let f =
+            BlockPermDiagTensor4::random(6, 10, 3, 3, 4, PermutationIndexing::Natural, &mut rng);
+        let input = random_input(10, 5, 5, 82);
+        let pd = f.forward(&input, 1, 1).unwrap();
+        let dense = dense_conv2d(&f.to_dense(), &input, 1, 1);
+        for (a, b) in pd.as_slice().iter().zip(dense.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

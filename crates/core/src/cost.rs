@@ -1,0 +1,195 @@
+//! Arithmetic-cost accounting for the structured formats (Section III-H, Table VI).
+//!
+//! The paper's comparison with CIRCNN rests on a simple operation count: multiplying a
+//! compressed `p × p` block by a length-`p` vector slice costs
+//!
+//! * **PermDNN**: `p` real multiplications and (at most) `p` real additions into the
+//!   accumulators;
+//! * **CIRCNN**: `p` complex multiplications for the element-wise product plus
+//!   `p·log2(p)` complex butterflies for FFT/IFFT, where every complex multiplication is
+//!   4 real multiplications + 2 real additions.
+//!
+//! These counters feed Table VI and the roughly-4× arithmetic advantage quoted in
+//! Section V-C.
+
+/// Count of real arithmetic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCount {
+    /// Real multiplications.
+    pub real_muls: u64,
+    /// Real additions.
+    pub real_adds: u64,
+}
+
+impl OpCount {
+    /// Total real operations (multiplications + additions).
+    pub fn total(&self) -> u64 {
+        self.real_muls + self.real_adds
+    }
+
+    /// Sums two counts.
+    pub fn plus(self, other: OpCount) -> OpCount {
+        OpCount {
+            real_muls: self.real_muls + other.real_muls,
+            real_adds: self.real_adds + other.real_adds,
+        }
+    }
+
+    /// Scales a count by an integer factor.
+    pub fn times(self, factor: u64) -> OpCount {
+        OpCount {
+            real_muls: self.real_muls * factor,
+            real_adds: self.real_adds * factor,
+        }
+    }
+}
+
+/// Cost of one complex multiplication expressed in real operations (4 muls + 2 adds).
+pub const COMPLEX_MUL: OpCount = OpCount {
+    real_muls: 4,
+    real_adds: 2,
+};
+
+/// Cost of one complex addition expressed in real operations (2 adds).
+pub const COMPLEX_ADD: OpCount = OpCount {
+    real_muls: 0,
+    real_adds: 2,
+};
+
+/// Real-operation cost of a dense `m × n` matrix-vector product.
+pub fn dense_matvec_ops(m: usize, n: usize) -> OpCount {
+    OpCount {
+        real_muls: (m * n) as u64,
+        real_adds: (m * n) as u64,
+    }
+}
+
+/// Real-operation cost of a permuted-diagonal `m × n` mat-vec with block size `p` and an
+/// input vector whose non-zero fraction is `input_density` (1.0 = dense input).
+///
+/// Only columns with a non-zero activation are processed (the zero-skipping dataflow), and
+/// each processed column touches `m / p` stored weights.
+pub fn permdnn_matvec_ops(m: usize, n: usize, p: usize, input_density: f64) -> OpCount {
+    assert!(p > 0, "block size must be non-zero");
+    let processed_cols = (n as f64 * input_density.clamp(0.0, 1.0)).round() as u64;
+    let per_col = (m as u64).div_ceil(p as u64);
+    OpCount {
+        real_muls: processed_cols * per_col,
+        real_adds: processed_cols * per_col,
+    }
+}
+
+/// Real-operation cost of a block-circulant `m × n` mat-vec with block size `p`
+/// (CIRCNN): per block, an FFT of the input slice, an element-wise complex product, and
+/// an IFFT, using `p/2·log2(p)` complex butterflies per transform (each butterfly is one
+/// complex multiplication and two complex additions).
+///
+/// Input FFTs can be shared across a block column and output IFFTs across a block row;
+/// `share_transforms` selects that optimistic accounting (the paper's own comparison is
+/// even simpler, so both options are provided for the ablation bench).
+pub fn circnn_matvec_ops(m: usize, n: usize, p: usize, share_transforms: bool) -> OpCount {
+    assert!(p > 0 && p.is_power_of_two(), "CIRCNN requires power-of-two block size");
+    let block_rows = (m as u64).div_ceil(p as u64);
+    let block_cols = (n as u64).div_ceil(p as u64);
+    let blocks = block_rows * block_cols;
+    let logp = (p as f64).log2() as u64;
+    let butterflies_per_fft = (p as u64 / 2) * logp;
+    let fft_cost = COMPLEX_MUL
+        .times(butterflies_per_fft)
+        .plus(COMPLEX_ADD.times(2 * butterflies_per_fft));
+    // Element-wise complex product per block: p complex multiplications.
+    let ewise = COMPLEX_MUL.times(p as u64).times(blocks);
+    // Accumulating block results along a row: (block_cols - 1) complex adds per output bin.
+    let accum = COMPLEX_ADD
+        .times(p as u64)
+        .times(block_rows * block_cols.saturating_sub(1));
+    let transforms = if share_transforms {
+        // One FFT per block column (input reuse) + one IFFT per block row (output reuse).
+        fft_cost.times(block_cols + block_rows)
+    } else {
+        // One FFT + one IFFT per block.
+        fft_cost.times(2 * blocks)
+    };
+    transforms.plus(ewise).plus(accum)
+}
+
+/// Ratio of CIRCNN to PermDNN real-multiplication counts at equal compression `p`
+/// (the "roughly 4×" of Section V-C when transforms are amortised).
+pub fn circnn_to_permdnn_mul_ratio(m: usize, n: usize, p: usize) -> f64 {
+    let pd = permdnn_matvec_ops(m, n, p, 1.0);
+    let circ = circnn_matvec_ops(m, n, p, true);
+    circ.real_muls as f64 / pd.real_muls as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ops_count() {
+        let c = dense_matvec_ops(100, 200);
+        assert_eq!(c.real_muls, 20_000);
+        assert_eq!(c.total(), 40_000);
+    }
+
+    #[test]
+    fn permdnn_ops_scale_with_p_and_density() {
+        let full = permdnn_matvec_ops(1024, 1024, 8, 1.0);
+        assert_eq!(full.real_muls, 1024 * 1024 / 8);
+        let sparse = permdnn_matvec_ops(1024, 1024, 8, 0.5);
+        assert_eq!(sparse.real_muls, 1024 * 1024 / 8 / 2);
+        let dense_equiv = permdnn_matvec_ops(1024, 1024, 1, 1.0);
+        assert_eq!(dense_equiv.real_muls, 1024 * 1024);
+    }
+
+    #[test]
+    fn circnn_requires_power_of_two() {
+        let result = std::panic::catch_unwind(|| circnn_matvec_ops(64, 64, 10, true));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn circnn_costs_more_real_muls_than_permdnn() {
+        for &p in &[4usize, 8, 16, 64] {
+            let ratio = circnn_to_permdnn_mul_ratio(2048, 2048, p);
+            assert!(
+                ratio >= 4.0,
+                "CIRCNN should need at least 4x the real multiplications (p={p}, ratio={ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn circnn_element_wise_part_is_4x() {
+        // With transform sharing on a large matrix the element-wise complex products
+        // dominate, giving a ratio close to (but above) 4.
+        let ratio = circnn_to_permdnn_mul_ratio(4096, 4096, 8);
+        assert!(ratio > 4.0 && ratio < 6.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn unshared_transforms_cost_more() {
+        let shared = circnn_matvec_ops(1024, 1024, 8, true);
+        let unshared = circnn_matvec_ops(1024, 1024, 8, false);
+        assert!(unshared.total() > shared.total());
+    }
+
+    #[test]
+    fn opcount_algebra() {
+        let a = OpCount {
+            real_muls: 1,
+            real_adds: 2,
+        };
+        let b = a.times(3).plus(a);
+        assert_eq!(b.real_muls, 4);
+        assert_eq!(b.real_adds, 8);
+    }
+
+    #[test]
+    fn input_sparsity_reduces_permdnn_cost_linearly() {
+        let dense_in = permdnn_matvec_ops(512, 512, 4, 1.0);
+        let third = permdnn_matvec_ops(512, 512, 4, 1.0 / 3.0);
+        let ratio = dense_in.real_muls as f64 / third.real_muls as f64;
+        assert!((ratio - 3.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,61 @@
+//! Permuted-diagonal structured-sparse DNN representation (the PermDNN contribution).
+//!
+//! This crate implements the algorithmic core of *"PermDNN: Efficient Compressed DNN
+//! Architecture with Permuted Diagonal Matrices"* (Deng et al., MICRO 2018):
+//!
+//! * [`PermutedDiagonalBlock`] — a single `p × p` permuted-diagonal matrix: `p` stored
+//!   values plus one permutation parameter `k`; non-zeros sit at `(c, (c + k) mod p)`.
+//! * [`BlockPermDiagMatrix`] — an `m × n` block-permuted-diagonal weight matrix
+//!   (Section III-A, Eqn. 1): a tiling of permuted-diagonal blocks with one permutation
+//!   parameter per block and compression ratio exactly `p`.
+//! * [`matvec`] — forward-propagation kernels (Section III-B), including the column-wise,
+//!   input-zero-skipping schedule the PERMDNN hardware uses (Fig. 5).
+//! * [`grad`] — structure-preserving gradients and weight updates for FC layers
+//!   (Eqns. 2–3), enabling end-to-end training that never leaves the PD manifold.
+//! * [`conv`] — the extension to convolutional layers (Section III-C, Eqns. 4–6):
+//!   permuted-diagonal structure on the (output-channel, input-channel) dimensions of a
+//!   4-D weight tensor.
+//! * [`approx`] — the l2-optimal permuted-diagonal approximation of a pre-trained dense
+//!   matrix/tensor (Section III-F), used to convert dense models before fine-tuning.
+//! * [`storage`] — exact storage and compression-ratio accounting used to reproduce
+//!   Tables II–V and the per-weight storage comparison of Fig. 4.
+//! * [`cost`] — arithmetic-operation counting for PD, dense and circulant formats
+//!   (Section III-H, Table VI).
+//! * [`connect`] — the "connectedness" property underlying the universal-approximation
+//!   argument (Section III-E): with non-identical `k_l`, stacked PD layers do not cut any
+//!   neuron off from the next layer.
+//! * [`sparsity`] — activation-sparsity measurement helpers (Table VII).
+//!
+//! # Quick example
+//!
+//! ```
+//! use permdnn_core::BlockPermDiagMatrix;
+//! use pd_tensor::init::seeded_rng;
+//!
+//! // A 16x32 weight matrix with 4x4 permuted-diagonal blocks: 4x compression.
+//! let w = BlockPermDiagMatrix::random(16, 32, 4, &mut seeded_rng(0));
+//! let x = vec![1.0f32; 32];
+//! let y = w.matvec(&x);
+//! assert_eq!(y.len(), 16);
+//! assert_eq!(w.stored_weights(), 16 * 32 / 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod connect;
+pub mod conv;
+pub mod cost;
+pub mod error;
+pub mod grad;
+pub mod matvec;
+pub mod pd_block;
+pub mod pd_matrix;
+pub mod sparsity;
+pub mod storage;
+
+pub use conv::BlockPermDiagTensor4;
+pub use error::PdError;
+pub use pd_block::PermutedDiagonalBlock;
+pub use pd_matrix::{BlockPermDiagMatrix, PermutationIndexing};

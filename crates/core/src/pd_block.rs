@@ -1,0 +1,231 @@
+//! A single `p × p` permuted-diagonal block.
+
+use pd_tensor::Matrix;
+
+use crate::PdError;
+
+/// A `p × p` permuted-diagonal matrix: exactly one non-zero per row and per column, with
+/// the non-zero of row `c` sitting at column `(c + k) mod p`.
+///
+/// This is the elementary building block of the PermDNN representation (Fig. 1(b) of the
+/// paper). `k = 0` gives an ordinary diagonal matrix; other values give cyclic shifts of
+/// it. Only the `p` values and the single parameter `k` are stored — a `p×` compression
+/// over the dense `p × p` block with zero index overhead.
+///
+/// # Example
+///
+/// ```
+/// use permdnn_core::PermutedDiagonalBlock;
+///
+/// let b = PermutedDiagonalBlock::new(vec![1.0, 2.0, 3.0], 1).unwrap();
+/// // Row 0's non-zero is at column 1, row 2's wraps to column 0.
+/// assert_eq!(b.entry(0, 1), 1.0);
+/// assert_eq!(b.entry(2, 0), 3.0);
+/// assert_eq!(b.entry(0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermutedDiagonalBlock {
+    values: Vec<f32>,
+    k: usize,
+}
+
+impl PermutedDiagonalBlock {
+    /// Creates a block from its `p` stored values and permutation parameter `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::ZeroBlockSize`] if `values` is empty and
+    /// [`PdError::InvalidPermutation`] if `k >= values.len()`.
+    pub fn new(values: Vec<f32>, k: usize) -> Result<Self, PdError> {
+        if values.is_empty() {
+            return Err(PdError::ZeroBlockSize);
+        }
+        if k >= values.len() {
+            return Err(PdError::InvalidPermutation {
+                k,
+                p: values.len(),
+            });
+        }
+        Ok(PermutedDiagonalBlock { values, k })
+    }
+
+    /// Creates an all-zero block of size `p` with permutation `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdError::ZeroBlockSize`] if `p == 0`, [`PdError::InvalidPermutation`] if
+    /// `k >= p`.
+    pub fn zeros(p: usize, k: usize) -> Result<Self, PdError> {
+        Self::new(vec![0.0; p.max(1).min(p)], k).and_then(|b| {
+            if p == 0 {
+                Err(PdError::ZeroBlockSize)
+            } else {
+                Ok(b)
+            }
+        })
+    }
+
+    /// Block size `p`.
+    pub fn p(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The permutation parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The stored non-zero values, indexed by row-within-block.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Column holding the non-zero of row `c`: `(c + k) mod p`.
+    pub fn col_of_row(&self, c: usize) -> usize {
+        (c + self.k) % self.p()
+    }
+
+    /// Row holding the non-zero of column `d`: `(d + p - k) mod p`.
+    pub fn row_of_col(&self, d: usize) -> usize {
+        (d + self.p() - self.k) % self.p()
+    }
+
+    /// Entry `(r, c)` of the dense `p × p` block this represents (Eqn. 1 restricted to one
+    /// block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= p` or `c >= p`.
+    pub fn entry(&self, r: usize, c: usize) -> f32 {
+        let p = self.p();
+        assert!(r < p && c < p, "({r},{c}) out of bounds for block size {p}");
+        if (r + self.k) % p == c {
+            self.values[r]
+        } else {
+            0.0
+        }
+    }
+
+    /// Expands into a dense `p × p` [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let p = self.p();
+        Matrix::from_fn(p, p, |r, c| self.entry(r, c))
+    }
+
+    /// Multiplies this block by a length-`p` vector slice: `y[r] += values[r] * x[(r+k)%p]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != p` or `y.len() != p`.
+    pub fn matvec_accumulate(&self, x: &[f32], y: &mut [f32]) {
+        let p = self.p();
+        assert_eq!(x.len(), p, "input slice length mismatch");
+        assert_eq!(y.len(), p, "output slice length mismatch");
+        for r in 0..p {
+            y[r] += self.values[r] * x[(r + self.k) % p];
+        }
+    }
+
+    /// Number of real multiplications a mat-vec with this block costs (one per row).
+    pub fn matvec_mul_count(&self) -> usize {
+        self.p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_inputs() {
+        assert_eq!(
+            PermutedDiagonalBlock::new(vec![], 0),
+            Err(PdError::ZeroBlockSize)
+        );
+        assert_eq!(
+            PermutedDiagonalBlock::new(vec![1.0, 2.0], 2),
+            Err(PdError::InvalidPermutation { k: 2, p: 2 })
+        );
+        assert!(PermutedDiagonalBlock::new(vec![1.0, 2.0], 1).is_ok());
+    }
+
+    #[test]
+    fn k_zero_is_plain_diagonal() {
+        let b = PermutedDiagonalBlock::new(vec![1.0, 2.0, 3.0], 0).unwrap();
+        let d = b.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                if r == c {
+                    assert_eq!(d[(r, c)], (r + 1) as f32);
+                } else {
+                    assert_eq!(d[(r, c)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_nonzero_per_row_and_col() {
+        for k in 0..5 {
+            let b = PermutedDiagonalBlock::new(vec![1.0; 5], k).unwrap();
+            let d = b.to_dense();
+            for r in 0..5 {
+                let row_nnz = (0..5).filter(|&c| d[(r, c)] != 0.0).count();
+                assert_eq!(row_nnz, 1, "row {r} with k={k}");
+            }
+            for c in 0..5 {
+                let col_nnz = (0..5).filter(|&r| d[(r, c)] != 0.0).count();
+                assert_eq!(col_nnz, 1, "col {c} with k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_col_maps_are_inverse() {
+        let b = PermutedDiagonalBlock::new(vec![0.0; 7], 3).unwrap();
+        for c in 0..7 {
+            assert_eq!(b.row_of_col(b.col_of_row(c)), c);
+            assert_eq!(b.col_of_row(b.row_of_col(c)), c);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let b = PermutedDiagonalBlock::new(vec![1.0, -2.0, 0.5, 4.0], 3).unwrap();
+        let x = vec![0.1, 0.2, 0.3, 0.4];
+        let mut y = vec![0.0; 4];
+        b.matvec_accumulate(&x, &mut y);
+        let expected = b.to_dense().matvec(&x);
+        for (a, e) in y.iter().zip(expected.iter()) {
+            assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_accumulates_on_top() {
+        let b = PermutedDiagonalBlock::new(vec![1.0, 1.0], 0).unwrap();
+        let mut y = vec![10.0, 20.0];
+        b.matvec_accumulate(&[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn mul_count_is_p() {
+        let b = PermutedDiagonalBlock::new(vec![0.0; 6], 2).unwrap();
+        assert_eq!(b.matvec_mul_count(), 6);
+    }
+
+    #[test]
+    fn zeros_constructor() {
+        let b = PermutedDiagonalBlock::zeros(4, 2).unwrap();
+        assert_eq!(b.p(), 4);
+        assert_eq!(b.k(), 2);
+        assert!(b.values().iter().all(|&v| v == 0.0));
+        assert!(PermutedDiagonalBlock::zeros(0, 0).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Activation-sparsity measurement (Table VII) and synthetic sparse-activation workloads.
+//!
+//! The PERMDNN engine's zero-skipping dataflow makes its cycle count proportional to the
+//! number of *non-zero* input activations. Table VII characterises the benchmark layers by
+//! their measured activation sparsity (e.g. Alex-FC6: 35.8 % non-zero); this module
+//! provides the measurement helpers and generators used to reproduce those workloads.
+
+use rand::Rng;
+
+/// Summary of the sparsity of an activation vector (or a batch of them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityProfile {
+    /// Total number of activation values observed.
+    pub total: usize,
+    /// Number of non-zero activations.
+    pub nonzeros: usize,
+}
+
+impl SparsityProfile {
+    /// Measures a single activation vector.
+    pub fn measure(activations: &[f32]) -> Self {
+        SparsityProfile {
+            total: activations.len(),
+            nonzeros: activations.iter().filter(|&&v| v != 0.0).count(),
+        }
+    }
+
+    /// Measures a batch of activation vectors, accumulating counts.
+    pub fn measure_batch<'a>(batches: impl IntoIterator<Item = &'a [f32]>) -> Self {
+        let mut total = 0;
+        let mut nonzeros = 0;
+        for b in batches {
+            total += b.len();
+            nonzeros += b.iter().filter(|&&v| v != 0.0).count();
+        }
+        SparsityProfile { total, nonzeros }
+    }
+
+    /// Fraction of activations that are non-zero ("activation sparsity ratio" in the
+    /// paper's Table VII — note the paper's footnote: lower means more sparsity).
+    pub fn nonzero_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.nonzeros as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of activations that are zero.
+    pub fn zero_fraction(&self) -> f64 {
+        1.0 - self.nonzero_fraction()
+    }
+}
+
+/// Generates an activation vector with an *exact* number of non-zeros equal to
+/// `round(len · nonzero_fraction)`, with the non-zero positions chosen uniformly at
+/// random and values uniform in `[0.1, 1.0]` (post-ReLU activations are non-negative).
+///
+/// Unlike [`pd_tensor::init::sparse_activation_vector`], which is Bernoulli per element,
+/// this generator hits the target sparsity exactly, which keeps the simulator's cycle
+/// counts deterministic for a given workload definition.
+pub fn exact_sparsity_vector(
+    rng: &mut impl Rng,
+    len: usize,
+    nonzero_fraction: f64,
+) -> Vec<f32> {
+    let target = ((len as f64) * nonzero_fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut v = vec![0.0f32; len];
+    // Partial Fisher-Yates: choose `target` distinct positions.
+    let mut positions: Vec<usize> = (0..len).collect();
+    for i in 0..target.min(len) {
+        let j = rng.gen_range(i..len);
+        positions.swap(i, j);
+        v[positions[i]] = rng.gen_range(0.1..=1.0);
+    }
+    v
+}
+
+/// Applies ReLU and reports the resulting sparsity profile — how the dynamic sparsity the
+/// hardware exploits actually arises in a network.
+pub fn relu_sparsity(pre_activations: &[f32]) -> (Vec<f32>, SparsityProfile) {
+    let post: Vec<f32> = pre_activations.iter().map(|&v| v.max(0.0)).collect();
+    let profile = SparsityProfile::measure(&post);
+    (post, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    #[test]
+    fn measure_counts_nonzeros() {
+        let p = SparsityProfile::measure(&[0.0, 1.0, 0.0, 2.0, 0.0]);
+        assert_eq!(p.total, 5);
+        assert_eq!(p.nonzeros, 2);
+        assert!((p.nonzero_fraction() - 0.4).abs() < 1e-12);
+        assert!((p.zero_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_batch_accumulates() {
+        let a = [0.0f32, 1.0];
+        let b = [1.0f32, 1.0, 0.0];
+        let p = SparsityProfile::measure_batch([&a[..], &b[..]]);
+        assert_eq!(p.total, 5);
+        assert_eq!(p.nonzeros, 3);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = SparsityProfile::measure(&[]);
+        assert_eq!(p.nonzero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn exact_sparsity_hits_target() {
+        let mut rng = seeded_rng(10);
+        for &frac in &[0.0, 0.206, 0.358, 0.444, 1.0] {
+            let v = exact_sparsity_vector(&mut rng, 4096, frac);
+            let p = SparsityProfile::measure(&v);
+            let expected = (4096.0 * frac).round() as usize;
+            assert_eq!(p.nonzeros, expected, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn exact_sparsity_values_positive() {
+        let mut rng = seeded_rng(11);
+        let v = exact_sparsity_vector(&mut rng, 100, 0.5);
+        assert!(v.iter().filter(|&&x| x != 0.0).all(|&x| x >= 0.1 && x <= 1.0));
+    }
+
+    #[test]
+    fn relu_sparsity_zeroes_negatives() {
+        let (post, profile) = relu_sparsity(&[-1.0, 2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(post, vec![0.0, 2.0, 0.0, 0.0, 3.0]);
+        assert_eq!(profile.nonzeros, 2);
+    }
+}

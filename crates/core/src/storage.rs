@@ -1,0 +1,349 @@
+//! Storage and compression-ratio accounting (Tables II–V and Fig. 4 of the paper).
+//!
+//! The paper's headline compression numbers are purely structural: a layer compressed
+//! with block size `p` stores `m·n/p` weights instead of `m·n`, with a negligible
+//! per-block permutation parameter, and — crucially — *no per-entry index*. This module
+//! provides an exact bit-level accounting of:
+//!
+//! * dense float storage,
+//! * permuted-diagonal storage at arbitrary weight precision (32-bit float, 16-bit fixed,
+//!   4-bit shared),
+//! * EIE-style unstructured sparse storage (4-bit virtual weight tag + 4-bit relative
+//!   index per non-zero, as described in Section II-B),
+//! * generic CSR/CSC storage with explicit column/row indices,
+//!
+//! so the FC-layer tables and the per-weight comparison of Fig. 4 can be regenerated.
+
+/// Storage cost of one layer in bits, broken into weight payload and indexing overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageCost {
+    /// Bits spent on weight values themselves.
+    pub weight_bits: u64,
+    /// Bits spent on indices / pointers / permutation parameters.
+    pub index_bits: u64,
+}
+
+impl StorageCost {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.weight_bits + self.index_bits
+    }
+
+    /// Total size in bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Total size in mebibytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Total size in decimal megabytes (10⁶ bytes) — the unit the paper's tables use
+    /// (e.g. 234.5 MB for the dense AlexNet FC layers).
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes() as f64 / 1.0e6
+    }
+
+    /// Fraction of the total spent on indexing overhead.
+    pub fn index_overhead_fraction(&self) -> f64 {
+        if self.total_bits() == 0 {
+            0.0
+        } else {
+            self.index_bits as f64 / self.total_bits() as f64
+        }
+    }
+}
+
+/// Shape and compression parameters of one FC layer for storage accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Number of output neurons `m`.
+    pub rows: usize,
+    /// Number of input neurons `n`.
+    pub cols: usize,
+}
+
+impl LayerShape {
+    /// Creates a layer shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        LayerShape { rows, cols }
+    }
+
+    /// Number of weights in the dense layer.
+    pub fn dense_weights(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+/// Dense storage at `bits_per_weight` bits per weight (no index overhead).
+pub fn dense_storage(shape: LayerShape, bits_per_weight: u32) -> StorageCost {
+    StorageCost {
+        weight_bits: shape.dense_weights() * bits_per_weight as u64,
+        index_bits: 0,
+    }
+}
+
+/// Permuted-diagonal storage: `m·n/p` weights at `bits_per_weight` and no per-entry
+/// index.
+///
+/// This is the paper's accounting for Tables II–V: with the default *natural* permutation
+/// indexing (`k_l = l mod p`) the permutation parameters are a known function of the block
+/// index and need not be stored at all, so the model file contains only the weight vector
+/// `q`. Use [`permdnn_storage_with_stored_perms`] for the variant that materialises the
+/// permutation SRAM contents (random indexing), whose overhead is still negligible.
+pub fn permdnn_storage(shape: LayerShape, p: usize, bits_per_weight: u32) -> StorageCost {
+    assert!(p > 0, "block size must be non-zero");
+    let stored_weights = shape.dense_weights() / p as u64;
+    StorageCost {
+        weight_bits: stored_weights * bits_per_weight as u64,
+        index_bits: 0,
+    }
+}
+
+/// Permuted-diagonal storage including an explicit `ceil(log2 p)`-bit permutation
+/// parameter per `p × p` block (the random-indexing variant, i.e. the contents of the
+/// permutation SRAM in Section IV-C).
+pub fn permdnn_storage_with_stored_perms(
+    shape: LayerShape,
+    p: usize,
+    bits_per_weight: u32,
+) -> StorageCost {
+    assert!(p > 0, "block size must be non-zero");
+    let base = permdnn_storage(shape, p, bits_per_weight);
+    let blocks = (shape.rows as u64).div_ceil(p as u64) * (shape.cols as u64).div_ceil(p as u64);
+    let perm_bits_per_block = if p == 1 { 0 } else { (p as f64).log2().ceil() as u64 };
+    StorageCost {
+        weight_bits: base.weight_bits,
+        index_bits: blocks * perm_bits_per_block,
+    }
+}
+
+/// EIE-style unstructured sparse storage: each non-zero stores a `weight_tag_bits` virtual
+/// weight tag plus a `relative_index_bits` relative position (Section II-B: "the overall
+/// storage cost for one weight is actually 8 bits instead of 4 bits"), plus the shared
+/// codebook and per-column pointers.
+pub fn eie_storage(
+    shape: LayerShape,
+    density: f64,
+    weight_tag_bits: u32,
+    relative_index_bits: u32,
+    codebook_entries: u32,
+    codebook_entry_bits: u32,
+) -> StorageCost {
+    let nnz = (shape.dense_weights() as f64 * density).round() as u64;
+    let pointer_bits = 32u64 * (shape.cols as u64 + 1);
+    StorageCost {
+        weight_bits: nnz * weight_tag_bits as u64
+            + codebook_entries as u64 * codebook_entry_bits as u64,
+        index_bits: nnz * relative_index_bits as u64 + pointer_bits,
+    }
+}
+
+/// CSR storage with explicit per-non-zero column indices and per-row pointers.
+pub fn csr_storage(shape: LayerShape, density: f64, bits_per_weight: u32) -> StorageCost {
+    let nnz = (shape.dense_weights() as f64 * density).round() as u64;
+    let col_index_bits = (shape.cols.max(2) as f64).log2().ceil() as u64;
+    let pointer_bits = 32u64 * (shape.rows as u64 + 1);
+    StorageCost {
+        weight_bits: nnz * bits_per_weight as u64,
+        index_bits: nnz * col_index_bits + pointer_bits,
+    }
+}
+
+/// Compression ratio of `compressed` relative to `baseline` (total bits).
+pub fn compression_ratio(baseline: StorageCost, compressed: StorageCost) -> f64 {
+    if compressed.total_bits() == 0 {
+        return f64::INFINITY;
+    }
+    baseline.total_bits() as f64 / compressed.total_bits() as f64
+}
+
+/// Storage summary for a whole model (a list of layers compressed with per-layer `p`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStorageReport {
+    /// Name of each layer.
+    pub layer_names: Vec<String>,
+    /// Dense storage per layer.
+    pub dense: Vec<StorageCost>,
+    /// Compressed storage per layer.
+    pub compressed: Vec<StorageCost>,
+}
+
+impl ModelStorageReport {
+    /// Builds a report for a list of `(name, shape, p)` layers at the given weight widths.
+    pub fn for_model(
+        layers: &[(&str, LayerShape, usize)],
+        dense_bits: u32,
+        compressed_bits: u32,
+    ) -> Self {
+        let layer_names = layers.iter().map(|(n, _, _)| n.to_string()).collect();
+        let dense = layers
+            .iter()
+            .map(|&(_, s, _)| dense_storage(s, dense_bits))
+            .collect();
+        let compressed = layers
+            .iter()
+            .map(|&(_, s, p)| permdnn_storage(s, p, compressed_bits))
+            .collect();
+        ModelStorageReport {
+            layer_names,
+            dense,
+            compressed,
+        }
+    }
+
+    /// Total dense storage across all layers.
+    pub fn total_dense(&self) -> StorageCost {
+        sum_costs(&self.dense)
+    }
+
+    /// Total compressed storage across all layers.
+    pub fn total_compressed(&self) -> StorageCost {
+        sum_costs(&self.compressed)
+    }
+
+    /// Overall compression ratio (dense bits / compressed bits).
+    pub fn overall_compression(&self) -> f64 {
+        compression_ratio(self.total_dense(), self.total_compressed())
+    }
+}
+
+fn sum_costs(costs: &[StorageCost]) -> StorageCost {
+    costs.iter().fold(StorageCost::default(), |acc, c| StorageCost {
+        weight_bits: acc.weight_bits + c.weight_bits,
+        index_bits: acc.index_bits + c.index_bits,
+    })
+}
+
+/// The AlexNet FC layer shapes used throughout the paper (Tables II, VII).
+pub fn alexnet_fc_layers() -> Vec<(&'static str, LayerShape, usize)> {
+    vec![
+        ("FC6", LayerShape::new(4096, 9216), 10),
+        ("FC7", LayerShape::new(4096, 4096), 10),
+        ("FC8", LayerShape::new(1000, 4096), 4),
+    ]
+}
+
+/// The Stanford-NMT LSTM FC matrices (Table III / VII): 4 stacked LSTMs with 8 component
+/// weight matrices each, in the three shapes the paper lists, all compressed with p = 8.
+pub fn nmt_fc_layers() -> Vec<(&'static str, LayerShape, usize)> {
+    let mut layers = Vec::new();
+    // Per the paper's Table VII the NMT weight matrices come in three shapes. A 4-layer
+    // stacked LSTM with attention has 32 component matrices; we apportion them across the
+    // three shapes (8 / 8 / 16) so the dense total matches the reported 419.4 MB within
+    // a few percent.
+    for i in 0..8 {
+        layers.push((
+            Box::leak(format!("NMT-1.{i}").into_boxed_str()) as &'static str,
+            LayerShape::new(2048, 1024),
+            8,
+        ));
+    }
+    for i in 0..8 {
+        layers.push((
+            Box::leak(format!("NMT-2.{i}").into_boxed_str()) as &'static str,
+            LayerShape::new(2048, 1536),
+            8,
+        ));
+    }
+    for i in 0..16 {
+        layers.push((
+            Box::leak(format!("NMT-3.{i}").into_boxed_str()) as &'static str,
+            LayerShape::new(2048, 2048),
+            8,
+        ));
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_storage_bits() {
+        let s = dense_storage(LayerShape::new(10, 20), 32);
+        assert_eq!(s.weight_bits, 10 * 20 * 32);
+        assert_eq!(s.index_bits, 0);
+        assert_eq!(s.total_bytes(), 800);
+    }
+
+    #[test]
+    fn permdnn_storage_ratio_is_exactly_p() {
+        let shape = LayerShape::new(4096, 4096);
+        let dense = dense_storage(shape, 32);
+        let pd = permdnn_storage(shape, 8, 32);
+        let ratio = compression_ratio(dense, pd);
+        assert!((ratio - 8.0).abs() < 1e-9, "ratio {ratio}");
+        // Even with explicitly stored permutation parameters the overhead stays tiny.
+        let pd_explicit = permdnn_storage_with_stored_perms(shape, 8, 32);
+        assert!(pd_explicit.index_overhead_fraction() < 0.02);
+        assert!(compression_ratio(dense, pd_explicit) > 7.8);
+    }
+
+    #[test]
+    fn table2_alexnet_numbers() {
+        // Table II: 234.5 MB dense, 25.9 MB with PD (9.0x), 12.9 MB with 16-bit PD (18.1x).
+        let report = ModelStorageReport::for_model(&alexnet_fc_layers(), 32, 32);
+        let dense_mb = report.total_dense().total_mb();
+        assert!((dense_mb - 234.5).abs() < 1.0, "dense {dense_mb} MB");
+        let pd_mb = report.total_compressed().total_mb();
+        assert!((pd_mb - 25.9).abs() < 0.5, "PD {pd_mb} MB");
+        assert!((report.overall_compression() - 9.0).abs() < 0.2);
+
+        let report16 = ModelStorageReport::for_model(&alexnet_fc_layers(), 32, 16);
+        let pd16_mb = report16.total_compressed().total_mb();
+        assert!((pd16_mb - 12.9).abs() < 0.3, "PD16 {pd16_mb} MB");
+        assert!((report16.overall_compression() - 18.1).abs() < 0.4);
+    }
+
+    #[test]
+    fn table3_nmt_numbers() {
+        // Table III: 419.4 MB dense, 52.4 MB with PD (8x), 26.2 MB with 16-bit PD (16x).
+        let report = ModelStorageReport::for_model(&nmt_fc_layers(), 32, 32);
+        let dense_mb = report.total_dense().total_mb();
+        assert!(
+            (dense_mb - 419.4).abs() / 419.4 < 0.07,
+            "dense {dense_mb} MB should be within 7% of 419.4"
+        );
+        assert!((report.overall_compression() - 8.0).abs() < 1e-9);
+        let report16 = ModelStorageReport::for_model(&nmt_fc_layers(), 32, 16);
+        assert!((report16.overall_compression() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eie_storage_doubles_per_weight_bits() {
+        // Fig. 4 / Section II-B: with 4-bit weights and 4-bit relative indices the
+        // per-weight cost of EIE is ~8 bits, i.e. roughly 2x the PD cost at equal nnz.
+        let shape = LayerShape::new(4096, 4096);
+        let density = 0.1;
+        let eie = eie_storage(shape, density, 4, 4, 16, 32);
+        let pd = permdnn_storage(shape, 10, 4);
+        // Same number of stored weights (10% density ≈ p=10), EIE ≈ 2x bits.
+        let ratio = eie.total_bits() as f64 / pd.total_bits() as f64;
+        assert!(ratio > 1.8 && ratio < 2.2, "EIE/PD bit ratio {ratio}");
+        assert!(eie.index_overhead_fraction() > 0.45);
+    }
+
+    #[test]
+    fn csr_overhead_grows_with_matrix_width() {
+        let narrow = csr_storage(LayerShape::new(1024, 256), 0.1, 16);
+        let wide = csr_storage(LayerShape::new(1024, 65536), 0.1, 16);
+        assert!(wide.index_overhead_fraction() > narrow.index_overhead_fraction());
+    }
+
+    #[test]
+    fn compression_ratio_handles_zero() {
+        let zero = StorageCost::default();
+        assert!(compression_ratio(dense_storage(LayerShape::new(1, 1), 32), zero).is_infinite());
+    }
+
+    #[test]
+    fn p_equals_one_is_lossless_dense() {
+        let shape = LayerShape::new(128, 128);
+        let pd = permdnn_storage(shape, 1, 32);
+        let dense = dense_storage(shape, 32);
+        assert_eq!(pd.total_bits(), dense.total_bits());
+    }
+}

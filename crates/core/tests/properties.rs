@@ -1,0 +1,195 @@
+//! Property-based tests of the permuted-diagonal core invariants.
+//!
+//! These complement the unit tests in each module by checking the structural invariants
+//! over randomly drawn shapes, block sizes, permutations and inputs:
+//!
+//! * Eqn. (1) structure: every non-zero lies on its block's permuted diagonal, exactly one
+//!   per row and column of each (unpadded) block.
+//! * The PD kernels agree with the dense expansion for every shape and input.
+//! * Storage is exactly `⌈m/p⌉·⌈n/p⌉·p` and the compression ratio equals `p` whenever the
+//!   dimensions divide evenly.
+//! * The l2-optimal approximation is idempotent, never worse than natural indexing, and
+//!   exact on matrices that already have the structure.
+//! * The structure-preserving SGD update never creates a non-zero off the permuted
+//!   diagonal.
+
+use pd_tensor::init::seeded_rng;
+use permdnn_core::approx::{pd_approximate, ApproxStrategy};
+use permdnn_core::grad::{input_gradient, sgd_step, weight_gradient};
+use permdnn_core::matvec::matvec_column_wise;
+use permdnn_core::{BlockPermDiagMatrix, PermutationIndexing};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Strategy producing a random PD matrix together with its construction seed.
+fn pd_matrix_strategy() -> impl Strategy<Value = (BlockPermDiagMatrix, u64)> {
+    (2usize..=24, 2usize..=24, 1usize..=6, 0u64..1000, any::<bool>()).prop_map(
+        |(rows, cols, p, seed, random_indexing)| {
+            let indexing = if random_indexing {
+                PermutationIndexing::Random
+            } else {
+                PermutationIndexing::Natural
+            };
+            let m = BlockPermDiagMatrix::random_with_indexing(
+                rows,
+                cols,
+                p.min(rows).min(cols).max(1),
+                indexing,
+                &mut seeded_rng(seed),
+            );
+            (m, seed)
+        },
+    )
+}
+
+fn random_input(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = seeded_rng(seed ^ 0xabcd);
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nonzeros_lie_on_permuted_diagonals((w, _) in pd_matrix_strategy()) {
+        let p = w.p();
+        let dense = w.to_dense();
+        for i in 0..w.rows() {
+            for j in 0..w.cols() {
+                if dense[(i, j)] != 0.0 {
+                    let k = w.perm_at(i, j);
+                    prop_assert_eq!((i % p + k) % p, j % p, "non-zero off the permuted diagonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_block_has_at_most_one_nonzero_per_row_and_column((w, _) in pd_matrix_strategy()) {
+        let p = w.p();
+        for br in 0..w.block_rows() {
+            for bc in 0..w.block_cols() {
+                let block = w.block(br, bc).to_dense();
+                for r in 0..p {
+                    let row_nnz = (0..p).filter(|&c| block[(r, c)] != 0.0).count();
+                    prop_assert!(row_nnz <= 1);
+                }
+                for c in 0..p {
+                    let col_nnz = (0..p).filter(|&r| block[(r, c)] != 0.0).count();
+                    prop_assert!(col_nnz <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense_expansion((w, seed) in pd_matrix_strategy()) {
+        let x = random_input(w.cols(), seed);
+        let expected = w.to_dense().matvec(&x);
+        let got = w.matvec(&x);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-3, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn column_wise_kernel_agrees_and_counts_nonzero_columns((w, seed) in pd_matrix_strategy()) {
+        let mut x = random_input(w.cols(), seed);
+        // Zero out roughly half the activations to exercise the skip path.
+        for (i, v) in x.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let expected = w.matvec(&x);
+        let (got, processed) = matvec_column_wise(&w, &x).unwrap();
+        prop_assert_eq!(processed, x.iter().filter(|&&v| v != 0.0).count());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transposed_kernel_agrees_with_dense_transpose((w, seed) in pd_matrix_strategy()) {
+        let x = random_input(w.rows(), seed);
+        let expected = w.to_dense().transpose().matvec(&x);
+        let got = w.matvec_transposed(&x);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn storage_and_compression_ratio((w, _) in pd_matrix_strategy()) {
+        let p = w.p();
+        prop_assert_eq!(
+            w.stored_weights(),
+            w.rows().div_ceil(p) * w.cols().div_ceil(p) * p
+        );
+        if w.rows() % p == 0 && w.cols() % p == 0 {
+            prop_assert!((w.compression_ratio() - p as f64).abs() < 1e-9);
+        } else {
+            prop_assert!(w.compression_ratio() <= p as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_nonzero_counts_are_balanced_for_divisible_shapes(
+        (block_rows, block_cols, p, seed) in (1usize..=6, 1usize..=6, 1usize..=5, 0u64..500)
+    ) {
+        let rows = block_rows * p;
+        let cols = block_cols * p;
+        let w = BlockPermDiagMatrix::random(rows, cols, p, &mut seeded_rng(seed));
+        let row_counts = w.row_nonzero_counts();
+        let col_counts = w.col_nonzero_counts();
+        prop_assert!(row_counts.iter().all(|&c| c == block_cols));
+        prop_assert!(col_counts.iter().all(|&c| c == block_rows));
+    }
+
+    #[test]
+    fn approximation_is_exact_on_pd_matrices_and_idempotent((w, _) in pd_matrix_strategy()) {
+        let dense = w.to_dense();
+        let approx = pd_approximate(&dense, w.p(), ApproxStrategy::BestPerBlock).unwrap();
+        prop_assert!(approx.relative_error < 1e-5, "error {}", approx.relative_error);
+        let twice = pd_approximate(&approx.matrix.to_dense(), w.p(), ApproxStrategy::BestPerBlock)
+            .unwrap();
+        prop_assert!(twice.relative_error < 1e-5);
+    }
+
+    #[test]
+    fn best_per_block_approximation_never_worse_than_natural(
+        (rows, cols, p, seed) in (2usize..=20, 2usize..=20, 1usize..=5, 0u64..500)
+    ) {
+        let mut rng = seeded_rng(seed);
+        let dense = pd_tensor::Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0));
+        let p = p.min(rows).min(cols).max(1);
+        let best = pd_approximate(&dense, p, ApproxStrategy::BestPerBlock).unwrap();
+        let natural = pd_approximate(&dense, p, ApproxStrategy::Natural).unwrap();
+        prop_assert!(best.relative_error <= natural.relative_error + 1e-9);
+    }
+
+    #[test]
+    fn sgd_update_preserves_structure_and_matches_gradient_layout((w, seed) in pd_matrix_strategy()) {
+        let mut w = w;
+        let x = random_input(w.cols(), seed);
+        let g = random_input(w.rows(), seed.wrapping_add(1));
+        let grad = weight_gradient(&w, &x, &g).unwrap();
+        prop_assert_eq!(grad.len(), w.values().len());
+        let before_perms = w.perms().to_vec();
+        sgd_step(&mut w, &x, &g, 0.1).unwrap();
+        prop_assert_eq!(w.perms(), &before_perms[..]);
+        // No non-zero appears off the permuted diagonal after the update.
+        let p = w.p();
+        let dense = w.to_dense();
+        for i in 0..w.rows() {
+            for j in 0..w.cols() {
+                if dense[(i, j)] != 0.0 {
+                    prop_assert_eq!((i % p + w.perm_at(i, j)) % p, j % p);
+                }
+            }
+        }
+        // The input gradient has the input's length.
+        let dx = input_gradient(&w, &g).unwrap();
+        prop_assert_eq!(dx.len(), w.cols());
+    }
+}

@@ -1,0 +1,506 @@
+//! A LeNet-style convolutional classifier whose convolution layers can be dense or
+//! permuted-diagonal.
+//!
+//! This model is the stand-in for the paper's CONV-layer experiments (ResNet-20 and Wide
+//! ResNet-48 on CIFAR-10, Tables IV–V, and the LeNet-5 conversion of Section III-F): two
+//! convolution layers with ReLU and 2×2 average pooling, followed by a fully-connected
+//! classifier head. The convolution weight tensors use
+//! [`permdnn_core::BlockPermDiagTensor4`] when the permuted-diagonal format is selected,
+//! trained with the structure-preserving updates of Eqns. (5)–(6).
+
+use pd_tensor::tensor4::conv_out_dim;
+use pd_tensor::Tensor4;
+use permdnn_core::approx::{pd_approximate_tensor, ApproxStrategy};
+use permdnn_core::conv::dense_conv2d;
+use permdnn_core::{BlockPermDiagTensor4, PermutationIndexing};
+use rand::Rng;
+use rand_chacha::ChaCha20Rng;
+
+use crate::activations::{relu, relu_grad};
+use crate::data::GlyphImages;
+use crate::layers::{Dense, Layer};
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::{argmax, Accuracy};
+
+/// Weight format of a convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvFormat {
+    /// Dense convolution weights (baseline).
+    Dense,
+    /// Permuted-diagonal channel structure with block size `p`.
+    PermutedDiagonal {
+        /// Block size / compression ratio on the channel dimensions.
+        p: usize,
+    },
+}
+
+/// One convolution layer (stride 1, padding 1) in either weight format.
+enum ConvWeights {
+    Dense(Tensor4),
+    Pd(BlockPermDiagTensor4),
+}
+
+impl ConvWeights {
+    fn forward(&self, input: &Tensor4) -> Tensor4 {
+        match self {
+            ConvWeights::Dense(w) => dense_conv2d(w, input, 1, 1),
+            ConvWeights::Pd(w) => w.forward(input, 1, 1).expect("shapes validated at build time"),
+        }
+    }
+
+    fn stored_weights(&self) -> usize {
+        match self {
+            ConvWeights::Dense(w) => w.len(),
+            ConvWeights::Pd(w) => w.stored_weights(),
+        }
+    }
+}
+
+/// A small CNN classifier: conv → ReLU → pool → conv → ReLU → pool → dense head.
+pub struct ConvClassifier {
+    conv1: ConvWeights,
+    conv2: ConvWeights,
+    head: Dense,
+    channels: [usize; 3],
+    image_size: usize,
+    num_classes: usize,
+    format: ConvFormat,
+    lr_scale_conv: f32,
+}
+
+impl std::fmt::Debug for ConvClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConvClassifier")
+            .field("channels", &self.channels)
+            .field("image_size", &self.image_size)
+            .field("num_classes", &self.num_classes)
+            .field("format", &self.format)
+            .field("conv_params", &self.conv_params())
+            .finish()
+    }
+}
+
+impl ConvClassifier {
+    /// Builds the classifier for `image_size × image_size` inputs with `in_channels`
+    /// channels. `channels` selects the two convolution widths.
+    pub fn new(
+        image_size: usize,
+        in_channels: usize,
+        channels: [usize; 2],
+        num_classes: usize,
+        format: ConvFormat,
+        rng: &mut ChaCha20Rng,
+    ) -> Self {
+        let conv1 = Self::make_conv(channels[0], in_channels, format, rng);
+        let conv2 = Self::make_conv(channels[1], channels[0], format, rng);
+        // Two 2x2 poolings shrink the spatial size by 4 (conv keeps it, padding 1, k=3).
+        let pooled = image_size / 4;
+        let head_inputs = channels[1] * pooled * pooled;
+        let head = Dense::new(head_inputs, num_classes, rng);
+        ConvClassifier {
+            conv1,
+            conv2,
+            head,
+            channels: [in_channels, channels[0], channels[1]],
+            image_size,
+            num_classes,
+            format,
+            lr_scale_conv: 1.0,
+        }
+    }
+
+    fn make_conv(
+        c_out: usize,
+        c_in: usize,
+        format: ConvFormat,
+        rng: &mut ChaCha20Rng,
+    ) -> ConvWeights {
+        match format {
+            ConvFormat::Dense => {
+                let fan = (c_in * 9 + c_out * 9) as f32;
+                let a = (6.0 / fan).sqrt();
+                ConvWeights::Dense(Tensor4::from_fn([c_out, c_in, 3, 3], |_| {
+                    rng.gen_range(-a..=a)
+                }))
+            }
+            ConvFormat::PermutedDiagonal { p } => ConvWeights::Pd(BlockPermDiagTensor4::random(
+                c_out,
+                c_in,
+                3,
+                3,
+                p,
+                PermutationIndexing::Natural,
+                rng,
+            )),
+        }
+    }
+
+    /// Converts the convolution layers of a trained dense model to permuted-diagonal form
+    /// via the l2-optimal projection (Section III-F step 1); the head is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this model's convolutions are not dense.
+    pub fn to_permuted_diagonal(&self, p: usize) -> ConvClassifier {
+        let project = |w: &ConvWeights| -> ConvWeights {
+            match w {
+                ConvWeights::Dense(t) => ConvWeights::Pd(
+                    pd_approximate_tensor(t, p, ApproxStrategy::BestPerBlock)
+                        .expect("p > 0")
+                        .tensor,
+                ),
+                ConvWeights::Pd(_) => panic!("model is already permuted-diagonal"),
+            }
+        };
+        ConvClassifier {
+            conv1: project(&self.conv1),
+            conv2: project(&self.conv2),
+            head: self.head.clone(),
+            channels: self.channels,
+            image_size: self.image_size,
+            num_classes: self.num_classes,
+            format: ConvFormat::PermutedDiagonal { p },
+            lr_scale_conv: self.lr_scale_conv,
+        }
+    }
+
+    /// Number of stored convolution weights (the quantity compressed in Tables IV–V).
+    pub fn conv_params(&self) -> usize {
+        self.conv1.stored_weights() + self.conv2.stored_weights()
+    }
+
+    /// The convolution weight format.
+    pub fn format(&self) -> ConvFormat {
+        self.format
+    }
+
+    /// Class logits for one image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the model configuration.
+    pub fn logits(&self, image: &Tensor4) -> Vec<f32> {
+        let (_, _, _, flat) = self.forward_pass(image);
+        self.head.forward(&flat)
+    }
+
+    /// Predicted class for one image.
+    pub fn predict(&self, image: &Tensor4) -> usize {
+        argmax(&self.logits(image))
+    }
+
+    /// Forward pass returning the intermediate activations needed for backprop:
+    /// `(pre-activation 1, pooled 1, pre-activation 2, flattened pooled 2)`.
+    fn forward_pass(&self, image: &Tensor4) -> (Tensor4, Tensor4, Tensor4, Vec<f32>) {
+        let z1 = self.conv1.forward(image);
+        let a1 = map_tensor(&z1, relu);
+        let p1 = avg_pool2(&a1);
+        let z2 = self.conv2.forward(&p1);
+        let a2 = map_tensor(&z2, relu);
+        let p2 = avg_pool2(&a2);
+        let flat = p2.as_slice().to_vec();
+        (z1, p1, z2, flat)
+    }
+
+    /// Trains on one labelled image with plain SGD; returns the loss.
+    pub fn train_example(&mut self, image: &Tensor4, label: usize, lr: f32) -> f32 {
+        // Forward with caches.
+        let z1 = self.conv1.forward(image);
+        let a1 = map_tensor(&z1, relu);
+        let p1 = avg_pool2(&a1);
+        let z2 = self.conv2.forward(&p1);
+        let a2 = map_tensor(&z2, relu);
+        let p2 = avg_pool2(&a2);
+        let flat = p2.as_slice().to_vec();
+
+        let logits = self.head.forward(&flat);
+        let (loss, grad_logits) = softmax_cross_entropy(&logits, label);
+
+        // Head backward (manual, so we can also get grad wrt flat input).
+        let grad_flat = {
+            let mut head = self.head.clone();
+            let _ = head.forward_train(&flat);
+            let g = head.backward(&grad_logits);
+            head.apply_gradients(lr);
+            self.head = head;
+            g
+        };
+
+        // Un-flatten and un-pool gradient back to conv2 output.
+        let grad_p2 = Tensor4::from_vec(p2.shape(), grad_flat).expect("same length");
+        let grad_a2 = avg_pool2_backward(&grad_p2, a2.shape());
+        let grad_z2 = backprop_relu(&grad_a2, &z2);
+
+        // conv2 backward: weight update + input gradient.
+        let grad_p1 = self.conv_backward(false, &p1, &grad_z2, lr);
+
+        let grad_a1 = avg_pool2_backward(&grad_p1, a1.shape());
+        let grad_z1 = backprop_relu(&grad_a1, &z1);
+        let _ = self.conv_backward(true, image, &grad_z1, lr);
+
+        loss
+    }
+
+    /// Backward through one of the two convolution layers (`first` selects conv1),
+    /// updating its weights and returning the gradient with respect to its input.
+    fn conv_backward(
+        &mut self,
+        first: bool,
+        input: &Tensor4,
+        grad_output: &Tensor4,
+        lr: f32,
+    ) -> Tensor4 {
+        let lr = lr * self.lr_scale_conv;
+        let conv = if first { &mut self.conv1 } else { &mut self.conv2 };
+        match conv {
+            ConvWeights::Pd(w) => {
+                let grad_input = w
+                    .input_gradient(grad_output, input.shape(), 1, 1)
+                    .expect("shapes are consistent");
+                w.sgd_step(input, grad_output, 1, 1, lr)
+                    .expect("shapes are consistent");
+                grad_input
+            }
+            ConvWeights::Dense(w) => {
+                let grad_input = dense_conv_input_gradient(w, grad_output, input.shape());
+                dense_conv_sgd(w, input, grad_output, lr);
+                grad_input
+            }
+        }
+    }
+
+    /// Trains for `epochs` passes over a glyph dataset; returns the mean loss of the final
+    /// epoch.
+    pub fn fit(&mut self, data: &GlyphImages, epochs: usize, lr: f32) -> f32 {
+        let mut last = 0.0f32;
+        for _ in 0..epochs {
+            let mut total = 0.0f32;
+            for (img, &label) in data.images.iter().zip(data.labels.iter()) {
+                total += self.train_example(img, label, lr);
+            }
+            last = total / data.len().max(1) as f32;
+        }
+        last
+    }
+
+    /// Top-1 accuracy on a glyph dataset.
+    pub fn evaluate(&self, data: &GlyphImages) -> f64 {
+        let mut acc = Accuracy::new();
+        for (img, &label) in data.images.iter().zip(data.labels.iter()) {
+            acc.record(self.predict(img) == label);
+        }
+        acc.value()
+    }
+}
+
+fn map_tensor(t: &Tensor4, f: impl Fn(f32) -> f32) -> Tensor4 {
+    Tensor4::from_vec(t.shape(), t.as_slice().iter().map(|&v| f(v)).collect())
+        .expect("same length")
+}
+
+fn backprop_relu(grad: &Tensor4, pre_activation: &Tensor4) -> Tensor4 {
+    Tensor4::from_vec(
+        grad.shape(),
+        grad.as_slice()
+            .iter()
+            .zip(pre_activation.as_slice().iter())
+            .map(|(&g, &z)| g * relu_grad(z))
+            .collect(),
+    )
+    .expect("same length")
+}
+
+/// 2×2 average pooling with stride 2 (truncating odd edges).
+pub fn avg_pool2(input: &Tensor4) -> Tensor4 {
+    let [b, c, h, w] = input.shape();
+    let oh = h / 2;
+    let ow = w / 2;
+    Tensor4::from_fn([b, c, oh, ow], |(bi, ci, y, x)| {
+        let mut sum = 0.0;
+        for dy in 0..2 {
+            for dx in 0..2 {
+                sum += input[[bi, ci, y * 2 + dy, x * 2 + dx]];
+            }
+        }
+        sum / 4.0
+    })
+}
+
+/// Backward of 2×2 average pooling: spreads each output gradient equally over its window.
+pub fn avg_pool2_backward(grad_output: &Tensor4, input_shape: [usize; 4]) -> Tensor4 {
+    let [_, _, oh, ow] = grad_output.shape();
+    let mut grad = Tensor4::zeros(input_shape);
+    for b in 0..input_shape[0] {
+        for c in 0..input_shape[1] {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let g = grad_output[[b, c, y, x]] / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            grad[[b, c, y * 2 + dy, x * 2 + dx]] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad
+}
+
+fn dense_conv_input_gradient(
+    weights: &Tensor4,
+    grad_output: &Tensor4,
+    input_shape: [usize; 4],
+) -> Tensor4 {
+    let [c_out, c_in, kh, kw] = weights.shape();
+    let [_, _, h, w] = input_shape;
+    let [_, _, out_h, out_w] = grad_output.shape();
+    let mut grad = Tensor4::zeros(input_shape);
+    for o in 0..c_out {
+        for i in 0..c_in {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let g = grad_output[[0, o, oy, ox]];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (oy + ky) as isize - 1;
+                            let ix = (ox + kx) as isize - 1;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                grad[[0, i, iy as usize, ix as usize]] +=
+                                    weights[[o, i, ky, kx]] * g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad
+}
+
+fn dense_conv_sgd(weights: &mut Tensor4, input: &Tensor4, grad_output: &Tensor4, lr: f32) {
+    let [c_out, c_in, kh, kw] = weights.shape();
+    let [_, _, h, w] = input.shape();
+    let [_, _, out_h, out_w] = grad_output.shape();
+    debug_assert_eq!(out_h, conv_out_dim(h, kh, 1, 1));
+    debug_assert_eq!(out_w, conv_out_dim(w, kw, 1, 1));
+    for o in 0..c_out {
+        for i in 0..c_in {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let mut acc = 0.0f32;
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            let iy = (oy + ky) as isize - 1;
+                            let ix = (ox + kx) as isize - 1;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                acc += input[[0, i, iy as usize, ix as usize]]
+                                    * grad_output[[0, o, oy, ox]];
+                            }
+                        }
+                    }
+                    weights[[o, i, ky, kx]] -= lr * acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    fn small_glyphs(seed: u64, samples: usize) -> (GlyphImages, GlyphImages) {
+        GlyphImages::generate(&mut seeded_rng(seed), samples, 4, 12, 1, 0.1).split(0.8)
+    }
+
+    #[test]
+    fn avg_pool_and_backward_shapes() {
+        let t = Tensor4::from_fn([1, 2, 4, 4], |(_, c, y, x)| (c * 16 + y * 4 + x) as f32);
+        let p = avg_pool2(&t);
+        assert_eq!(p.shape(), [1, 2, 2, 2]);
+        // First window of channel 0: (0+1+4+5)/4 = 2.5
+        assert!((p[[0, 0, 0, 0]] - 2.5).abs() < 1e-6);
+        let g = avg_pool2_backward(&p, [1, 2, 4, 4]);
+        assert_eq!(g.shape(), [1, 2, 4, 4]);
+        assert!((g[[0, 0, 0, 0]] - 2.5 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let (_, test) = small_glyphs(1, 80);
+        let model = ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(2));
+        let acc = model.evaluate(&test);
+        assert!(acc < 0.7, "untrained accuracy should be near chance, got {acc}");
+    }
+
+    #[test]
+    fn dense_cnn_learns_glyphs() {
+        let (train, test) = small_glyphs(3, 160);
+        let mut model =
+            ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(4));
+        model.fit(&train, 6, 0.05);
+        let acc = model.evaluate(&test);
+        assert!(acc > 0.7, "dense CNN should learn the glyph task, got {acc}");
+    }
+
+    #[test]
+    fn pd_cnn_learns_glyphs_with_fewer_weights() {
+        let (train, test) = small_glyphs(5, 160);
+        let mut dense =
+            ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(6));
+        let mut pd = ConvClassifier::new(
+            12,
+            1,
+            [4, 8],
+            4,
+            ConvFormat::PermutedDiagonal { p: 2 },
+            &mut seeded_rng(6),
+        );
+        assert!(pd.conv_params() < dense.conv_params());
+        dense.fit(&train, 6, 0.05);
+        pd.fit(&train, 6, 0.05);
+        let dense_acc = dense.evaluate(&test);
+        let pd_acc = pd.evaluate(&test);
+        assert!(pd_acc > 0.65, "PD CNN accuracy too low: {pd_acc}");
+        assert!(
+            dense_acc - pd_acc < 0.2,
+            "PD CNN should be close to dense ({dense_acc} vs {pd_acc})"
+        );
+    }
+
+    #[test]
+    fn dense_to_pd_projection_then_finetune() {
+        let (train, test) = small_glyphs(7, 120);
+        let mut dense =
+            ConvClassifier::new(12, 1, [4, 4], 4, ConvFormat::Dense, &mut seeded_rng(8));
+        dense.fit(&train, 5, 0.05);
+        let dense_acc = dense.evaluate(&test);
+        let mut pd = dense.to_permuted_diagonal(2);
+        pd.fit(&train, 3, 0.02);
+        let pd_acc = pd.evaluate(&test);
+        assert!(
+            dense_acc - pd_acc < 0.3,
+            "projected + fine-tuned PD CNN should retain most accuracy ({dense_acc} vs {pd_acc})"
+        );
+        assert!(matches!(pd.format(), ConvFormat::PermutedDiagonal { p: 2 }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_projection_rejected() {
+        let model = ConvClassifier::new(
+            12,
+            1,
+            [4, 4],
+            4,
+            ConvFormat::PermutedDiagonal { p: 2 },
+            &mut seeded_rng(9),
+        );
+        let _ = model.to_permuted_diagonal(2);
+    }
+}

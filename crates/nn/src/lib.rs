@@ -1,0 +1,39 @@
+//! From-scratch neural-network training framework for the PermDNN reproduction.
+//!
+//! The paper's accuracy results (Tables II–V, the LeNet-5 conversion of Section III-F and
+//! the BLEU scores of the NMT experiment) require *training* permuted-diagonal networks —
+//! both from scratch and from dense pre-trained models — and comparing them against dense
+//! baselines of the same architecture. No external deep-learning framework is used; this
+//! crate provides everything needed at laptop scale:
+//!
+//! * [`layers`] — a small layer zoo ([`layers::Dense`], [`layers::PdDense`],
+//!   [`layers::CirculantDense`], ReLU/Tanh) behind a common [`layers::Layer`] trait, each
+//!   with forward, backward and SGD update.
+//! * [`mlp`] — a multi-layer-perceptron classifier assembled from those layers, with a
+//!   trainer, accuracy evaluation, and conversion between dense and PD weight formats
+//!   (the pre-trained-model path of Section III-F).
+//! * [`conv_net`] — a LeNet-style CNN whose convolution layers can be dense or
+//!   permuted-diagonal ([`permdnn_core::BlockPermDiagTensor4`]).
+//! * [`lstm`] — an LSTM cell and a sequence-to-sequence copy/translation task whose four
+//!   gate matrices can be dense or permuted-diagonal, with BLEU scoring.
+//! * [`data`] — deterministic synthetic datasets (Gaussian clusters, procedural glyph
+//!   images, synthetic translation pairs) standing in for ImageNet / CIFAR-10 / IWSLT'15,
+//!   which are not available offline (see DESIGN.md for the substitution argument).
+//! * [`experiments`] — the scaled-down versions of the paper's accuracy experiments,
+//!   returning structured results that the `permdnn-bench` binaries print as tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod conv_net;
+pub mod data;
+pub mod experiments;
+pub mod layers;
+pub mod loss;
+pub mod lstm;
+pub mod metrics;
+pub mod mlp;
+
+pub use layers::{Layer, WeightFormat};
+pub use mlp::MlpClassifier;

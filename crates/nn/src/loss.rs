@@ -1,0 +1,90 @@
+//! Loss functions for the classifier and sequence models.
+
+use crate::activations::softmax;
+
+/// Softmax cross-entropy loss for a single example.
+///
+/// Returns `(loss, gradient_wrt_logits)`. The gradient is the usual `softmax(z) - onehot`.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()` or `logits` is empty.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "logits must not be empty");
+    assert!(target < logits.len(), "target class {target} out of range");
+    let probs = softmax(logits);
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Mean-squared-error loss for a single example: `0.5 * ||pred - target||²`.
+///
+/// Returns `(loss, gradient_wrt_pred)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    let mut loss = 0.0f32;
+    let mut grad = Vec::with_capacity(pred.len());
+    for (&p, &t) in pred.iter().zip(target.iter()) {
+        let d = p - t;
+        loss += 0.5 * d * d;
+        grad.push(d);
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_has_low_loss() {
+        let (loss, _) = softmax_cross_entropy(&[10.0, -10.0, -10.0], 0);
+        assert!(loss < 1e-3);
+        let (loss_bad, _) = softmax_cross_entropy(&[10.0, -10.0, -10.0], 1);
+        assert!(loss_bad > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[0.3, -0.2, 1.4, 0.0], 2);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+        assert!(grad[2] < 0.0, "gradient pushes the target logit up");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = [0.5f32, -1.0, 2.0];
+        let target = 1usize;
+        let (_, grad) = softmax_cross_entropy(&logits, target);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits;
+            lp[i] += eps;
+            let mut lm = logits;
+            lm[i] -= eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, target);
+            let (loss_m, _) = softmax_cross_entropy(&lm, target);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-2, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let (loss, grad) = mse(&[1.0, 2.0], &[0.0, 4.0]);
+        assert!((loss - (0.5 + 2.0)).abs() < 1e-6);
+        assert_eq!(grad, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_entropy_target_out_of_range() {
+        let _ = softmax_cross_entropy(&[0.0, 1.0], 2);
+    }
+}

@@ -1,0 +1,548 @@
+//! LSTM sequence-to-sequence model with dense or permuted-diagonal gate matrices.
+//!
+//! The paper's Table III compresses the Stanford NMT model — a stack of LSTMs whose
+//! component weight matrices ("one FC in LSTM means one component weight matrix") are
+//! made block-permuted-diagonal with p = 8 — and reports unchanged BLEU. This module
+//! provides the ingredients of that experiment at laptop scale: an [`LstmCell`] whose
+//! eight gate matrices (`W_x*` and `W_h*` for the input, forget, cell and output gates)
+//! can each be dense or permuted-diagonal, a [`Seq2Seq`] encoder–decoder built from two
+//! such cells with a dense vocabulary head, full back-propagation through time, and BLEU
+//! evaluation on the synthetic translation task of [`crate::data::TranslationPairs`].
+
+use pd_tensor::init::xavier_uniform;
+use pd_tensor::Matrix;
+use permdnn_core::{grad as pd_grad, BlockPermDiagMatrix};
+use rand_chacha::ChaCha20Rng;
+
+use crate::activations::{sigmoid, sigmoid_grad_from_output, tanh, tanh_grad_from_output};
+use crate::data::{one_hot, TranslationPairs};
+use crate::layers::WeightFormat;
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::{argmax, bleu};
+
+/// One recurrent weight matrix, dense or permuted-diagonal, with its gradient buffer.
+#[derive(Debug, Clone)]
+enum GateWeight {
+    Dense { w: Matrix, grad: Matrix },
+    Pd { w: BlockPermDiagMatrix, grad: Vec<f32> },
+}
+
+impl GateWeight {
+    fn new(rows: usize, cols: usize, format: WeightFormat, rng: &mut ChaCha20Rng) -> Self {
+        match format {
+            WeightFormat::Dense | WeightFormat::Circulant { .. } => GateWeight::Dense {
+                w: xavier_uniform(rng, rows, cols),
+                grad: Matrix::zeros(rows, cols),
+            },
+            WeightFormat::PermutedDiagonal { p } => {
+                let w = BlockPermDiagMatrix::random(rows, cols, p, rng);
+                let n = w.values().len();
+                GateWeight::Pd {
+                    w,
+                    grad: vec![0.0; n],
+                }
+            }
+        }
+    }
+
+    fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            GateWeight::Dense { w, .. } => w.matvec(x),
+            GateWeight::Pd { w, .. } => w.matvec(x),
+        }
+    }
+
+    fn matvec_transposed(&self, g: &[f32]) -> Vec<f32> {
+        match self {
+            GateWeight::Dense { w, .. } => w.matvec_transposed(g),
+            GateWeight::Pd { w, .. } => w.matvec_transposed(g),
+        }
+    }
+
+    fn accumulate_grad(&mut self, x: &[f32], grad_out: &[f32]) {
+        match self {
+            GateWeight::Dense { grad, .. } => grad.rank1_update(1.0, grad_out, x),
+            GateWeight::Pd { w, grad } => {
+                pd_grad::accumulate_weight_gradient(w, x, grad_out, grad)
+                    .expect("gradient buffer sized at construction");
+            }
+        }
+    }
+
+    fn apply(&mut self, lr: f32) {
+        match self {
+            GateWeight::Dense { w, grad } => {
+                w.axpy_in_place(-lr, grad).expect("same shape");
+                *grad = Matrix::zeros(w.rows(), w.cols());
+            }
+            GateWeight::Pd { w, grad } => {
+                for (v, g) in w.values_mut().iter_mut().zip(grad.iter()) {
+                    *v -= lr * g;
+                }
+                grad.iter_mut().for_each(|g| *g = 0.0);
+            }
+        }
+    }
+
+    fn stored_weights(&self) -> usize {
+        match self {
+            GateWeight::Dense { w, .. } => w.len(),
+            GateWeight::Pd { w, .. } => w.values().len(),
+        }
+    }
+}
+
+/// Cached per-timestep state needed by back-propagation through time.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// An LSTM cell whose eight component weight matrices can be dense or permuted-diagonal.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wx: [GateWeight; 4], // input, forget, cell, output — applied to x
+    wh: [GateWeight; 4], // applied to h_prev
+    bias: [Vec<f32>; 4],
+    grad_bias: [Vec<f32>; 4],
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell with the given input and hidden sizes; all eight weight
+    /// matrices use `format`.
+    pub fn new(
+        input_dim: usize,
+        hidden_dim: usize,
+        format: WeightFormat,
+        rng: &mut ChaCha20Rng,
+    ) -> Self {
+        let wx = std::array::from_fn(|_| GateWeight::new(hidden_dim, input_dim, format, rng));
+        let wh = std::array::from_fn(|_| GateWeight::new(hidden_dim, hidden_dim, format, rng));
+        let bias = std::array::from_fn(|gate| {
+            // Initialise the forget-gate bias to 1.0, the usual trick for trainability.
+            if gate == 1 {
+                vec![1.0; hidden_dim]
+            } else {
+                vec![0.0; hidden_dim]
+            }
+        });
+        let grad_bias = std::array::from_fn(|_| vec![0.0; hidden_dim]);
+        LstmCell {
+            wx,
+            wh,
+            bias,
+            grad_bias,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Total stored weights across the eight component matrices (the quantity Table III
+    /// compresses).
+    pub fn stored_weights(&self) -> usize {
+        self.wx.iter().map(|w| w.stored_weights()).sum::<usize>()
+            + self.wh.iter().map(|w| w.stored_weights()).sum::<usize>()
+    }
+
+    /// One forward step; returns `(h, c, cache)`.
+    fn step(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> (Vec<f32>, Vec<f32>, StepCache) {
+        let mut gates = [vec![], vec![], vec![], vec![]];
+        for gate in 0..4 {
+            let mut z = self.wx[gate].matvec(x);
+            let zh = self.wh[gate].matvec(h_prev);
+            for ((zi, &zhi), &b) in z.iter_mut().zip(zh.iter()).zip(self.bias[gate].iter()) {
+                *zi += zhi + b;
+            }
+            gates[gate] = z;
+        }
+        let i: Vec<f32> = gates[0].iter().map(|&v| sigmoid(v)).collect();
+        let f: Vec<f32> = gates[1].iter().map(|&v| sigmoid(v)).collect();
+        let g: Vec<f32> = gates[2].iter().map(|&v| tanh(v)).collect();
+        let o: Vec<f32> = gates[3].iter().map(|&v| sigmoid(v)).collect();
+        let c: Vec<f32> = (0..self.hidden_dim)
+            .map(|k| f[k] * c_prev[k] + i[k] * g[k])
+            .collect();
+        let tanh_c: Vec<f32> = c.iter().map(|&v| tanh(v)).collect();
+        let h: Vec<f32> = (0..self.hidden_dim).map(|k| o[k] * tanh_c[k]).collect();
+        let cache = StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        };
+        (h, c, cache)
+    }
+
+    /// One BPTT step: given gradients w.r.t. this step's `h` and `c`, accumulates weight
+    /// gradients and returns `(grad_x, grad_h_prev, grad_c_prev)`.
+    fn step_backward(
+        &mut self,
+        cache: &StepCache,
+        grad_h: &[f32],
+        grad_c_in: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let n = self.hidden_dim;
+        let mut grad_c = vec![0.0f32; n];
+        for k in 0..n {
+            grad_c[k] =
+                grad_c_in[k] + grad_h[k] * cache.o[k] * tanh_grad_from_output(cache.tanh_c[k]);
+        }
+        // Gate pre-activation gradients.
+        let mut dz = [vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]];
+        for k in 0..n {
+            let di = grad_c[k] * cache.g[k];
+            let df = grad_c[k] * cache.c_prev[k];
+            let dg = grad_c[k] * cache.i[k];
+            let do_ = grad_h[k] * cache.tanh_c[k];
+            dz[0][k] = di * sigmoid_grad_from_output(cache.i[k]);
+            dz[1][k] = df * sigmoid_grad_from_output(cache.f[k]);
+            dz[2][k] = dg * tanh_grad_from_output(cache.g[k]);
+            dz[3][k] = do_ * sigmoid_grad_from_output(cache.o[k]);
+        }
+        let mut grad_x = vec![0.0f32; self.input_dim];
+        let mut grad_h_prev = vec![0.0f32; n];
+        for gate in 0..4 {
+            self.wx[gate].accumulate_grad(&cache.x, &dz[gate]);
+            self.wh[gate].accumulate_grad(&cache.h_prev, &dz[gate]);
+            for (gb, &d) in self.grad_bias[gate].iter_mut().zip(dz[gate].iter()) {
+                *gb += d;
+            }
+            for (gx, &v) in grad_x.iter_mut().zip(self.wx[gate].matvec_transposed(&dz[gate]).iter())
+            {
+                *gx += v;
+            }
+            for (gh, &v) in grad_h_prev
+                .iter_mut()
+                .zip(self.wh[gate].matvec_transposed(&dz[gate]).iter())
+            {
+                *gh += v;
+            }
+        }
+        let grad_c_prev: Vec<f32> = (0..n).map(|k| grad_c[k] * cache.f[k]).collect();
+        (grad_x, grad_h_prev, grad_c_prev)
+    }
+
+    /// Applies and clears accumulated gradients.
+    fn apply_gradients(&mut self, lr: f32) {
+        for gate in 0..4 {
+            self.wx[gate].apply(lr);
+            self.wh[gate].apply(lr);
+            for (b, g) in self.bias[gate].iter_mut().zip(self.grad_bias[gate].iter()) {
+                *b -= lr * g;
+            }
+            self.grad_bias[gate].iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+}
+
+/// Encoder–decoder sequence model: an encoder LSTM reads the one-hot source tokens, a
+/// decoder LSTM (initialised with the encoder's final state) generates the target tokens
+/// with teacher forcing during training and greedy decoding at inference, through a dense
+/// vocabulary head.
+#[derive(Debug, Clone)]
+pub struct Seq2Seq {
+    encoder: LstmCell,
+    decoder: LstmCell,
+    head: Matrix,
+    head_bias: Vec<f32>,
+    head_grad: Matrix,
+    head_bias_grad: Vec<f32>,
+    vocab: usize,
+    hidden: usize,
+    format: WeightFormat,
+}
+
+impl Seq2Seq {
+    /// Builds a seq2seq model over a `vocab`-token vocabulary with `hidden` LSTM units.
+    pub fn new(vocab: usize, hidden: usize, format: WeightFormat, rng: &mut ChaCha20Rng) -> Self {
+        // +1 input slot for the start-of-sequence token fed to the decoder.
+        let encoder = LstmCell::new(vocab, hidden, format, rng);
+        let decoder = LstmCell::new(vocab + 1, hidden, format, rng);
+        Seq2Seq {
+            encoder,
+            decoder,
+            head: xavier_uniform(rng, vocab, hidden),
+            head_bias: vec![0.0; vocab],
+            head_grad: Matrix::zeros(vocab, hidden),
+            head_bias_grad: vec![0.0; vocab],
+            vocab,
+            hidden,
+            format,
+        }
+    }
+
+    /// The weight format of the LSTM gate matrices.
+    pub fn format(&self) -> WeightFormat {
+        self.format
+    }
+
+    /// Total stored LSTM weights (encoder + decoder component matrices).
+    pub fn lstm_stored_weights(&self) -> usize {
+        self.encoder.stored_weights() + self.decoder.stored_weights()
+    }
+
+    fn decoder_input(&self, prev_token: Option<u32>) -> Vec<f32> {
+        // Slot `vocab` is the start-of-sequence marker.
+        let mut v = vec![0.0f32; self.vocab + 1];
+        match prev_token {
+            Some(t) if (t as usize) < self.vocab => v[t as usize] = 1.0,
+            _ => v[self.vocab] = 1.0,
+        }
+        v
+    }
+
+    /// Greedy translation of a source sequence into `target_len` tokens.
+    pub fn translate(&self, source: &[u32], target_len: usize) -> Vec<u32> {
+        let mut h = vec![0.0f32; self.hidden];
+        let mut c = vec![0.0f32; self.hidden];
+        for &tok in source {
+            let x = one_hot(tok, self.vocab);
+            let (nh, nc, _) = self.encoder.step(&x, &h, &c);
+            h = nh;
+            c = nc;
+        }
+        let mut output = Vec::with_capacity(target_len);
+        let mut prev: Option<u32> = None;
+        for _ in 0..target_len {
+            let x = self.decoder_input(prev);
+            let (nh, nc, _) = self.decoder.step(&x, &h, &c);
+            h = nh;
+            c = nc;
+            let mut logits = self.head.matvec(&h);
+            for (l, b) in logits.iter_mut().zip(self.head_bias.iter()) {
+                *l += b;
+            }
+            let tok = argmax(&logits) as u32;
+            output.push(tok);
+            prev = Some(tok);
+        }
+        output
+    }
+
+    /// Trains on one (source, target) pair with teacher forcing and full BPTT; returns the
+    /// mean per-token cross-entropy loss.
+    pub fn train_pair(&mut self, source: &[u32], target: &[u32], lr: f32) -> f32 {
+        let hidden = self.hidden;
+        // ---- Forward ----
+        let mut h = vec![0.0f32; hidden];
+        let mut c = vec![0.0f32; hidden];
+        let mut enc_caches = Vec::with_capacity(source.len());
+        for &tok in source {
+            let x = one_hot(tok, self.vocab);
+            let (nh, nc, cache) = self.encoder.step(&x, &h, &c);
+            enc_caches.push(cache);
+            h = nh;
+            c = nc;
+        }
+        let mut dec_caches = Vec::with_capacity(target.len());
+        let mut dec_hs = Vec::with_capacity(target.len());
+        let mut prev: Option<u32> = None;
+        let mut total_loss = 0.0f32;
+        let mut logit_grads = Vec::with_capacity(target.len());
+        for &tok in target {
+            let x = self.decoder_input(prev);
+            let (nh, nc, cache) = self.decoder.step(&x, &h, &c);
+            dec_caches.push(cache);
+            h = nh.clone();
+            c = nc;
+            let mut logits = self.head.matvec(&h);
+            for (l, b) in logits.iter_mut().zip(self.head_bias.iter()) {
+                *l += b;
+            }
+            let (loss, grad) = softmax_cross_entropy(&logits, tok as usize);
+            total_loss += loss;
+            logit_grads.push(grad);
+            dec_hs.push(nh);
+            prev = Some(tok); // teacher forcing
+        }
+
+        // ---- Backward ----
+        let mut grad_h = vec![0.0f32; hidden];
+        let mut grad_c = vec![0.0f32; hidden];
+        for t in (0..target.len()).rev() {
+            // Head gradient at step t.
+            self.head_grad.rank1_update(1.0, &logit_grads[t], &dec_hs[t]);
+            for (gb, g) in self.head_bias_grad.iter_mut().zip(logit_grads[t].iter()) {
+                *gb += g;
+            }
+            let head_back = self.head.matvec_transposed(&logit_grads[t]);
+            for (gh, &hb) in grad_h.iter_mut().zip(head_back.iter()) {
+                *gh += hb;
+            }
+            let (_, gh_prev, gc_prev) = self.decoder.step_backward(&dec_caches[t], &grad_h, &grad_c);
+            grad_h = gh_prev;
+            grad_c = gc_prev;
+        }
+        for cache in enc_caches.iter().rev() {
+            let (_, gh_prev, gc_prev) = self.encoder.step_backward(cache, &grad_h, &grad_c);
+            grad_h = gh_prev;
+            grad_c = gc_prev;
+        }
+
+        // ---- Update ----
+        let steps = target.len().max(1) as f32;
+        let scaled_lr = lr / steps;
+        self.encoder.apply_gradients(scaled_lr);
+        self.decoder.apply_gradients(scaled_lr);
+        self.head
+            .axpy_in_place(-scaled_lr, &self.head_grad)
+            .expect("same shape");
+        for (b, g) in self.head_bias.iter_mut().zip(self.head_bias_grad.iter()) {
+            *b -= scaled_lr * g;
+        }
+        self.head_grad = Matrix::zeros(self.vocab, hidden);
+        self.head_bias_grad = vec![0.0; self.vocab];
+
+        total_loss / steps
+    }
+
+    /// Trains for `epochs` passes over a translation dataset; returns the mean loss of the
+    /// final epoch.
+    pub fn fit(&mut self, data: &TranslationPairs, epochs: usize, lr: f32) -> f32 {
+        let mut last = 0.0f32;
+        for _ in 0..epochs {
+            let mut total = 0.0f32;
+            for (src, tgt) in data.sources.iter().zip(data.targets.iter()) {
+                total += self.train_pair(src, tgt, lr);
+            }
+            last = total / data.len().max(1) as f32;
+        }
+        last
+    }
+
+    /// Corpus BLEU (4-gram, in `[0, 1]`) of greedy translations against the references.
+    pub fn evaluate_bleu(&self, data: &TranslationPairs) -> f64 {
+        let candidates: Vec<Vec<u32>> = data
+            .sources
+            .iter()
+            .zip(data.targets.iter())
+            .map(|(src, tgt)| self.translate(src, tgt.len()))
+            .collect();
+        bleu(&data.targets, &candidates, 4)
+    }
+
+    /// Per-token accuracy of greedy translations (a more forgiving metric used in tests).
+    pub fn token_accuracy(&self, data: &TranslationPairs) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (src, tgt) in data.sources.iter().zip(data.targets.iter()) {
+            let out = self.translate(src, tgt.len());
+            for (a, b) in out.iter().zip(tgt.iter()) {
+                total += 1;
+                if a == b {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    fn toy_translation(seed: u64, samples: usize) -> (TranslationPairs, TranslationPairs) {
+        TranslationPairs::generate(&mut seeded_rng(seed), samples, 8, 4).split(0.85)
+    }
+
+    #[test]
+    fn lstm_cell_shapes_and_param_counts() {
+        let dense = LstmCell::new(16, 32, WeightFormat::Dense, &mut seeded_rng(1));
+        assert_eq!(dense.hidden_dim(), 32);
+        assert_eq!(dense.input_dim(), 16);
+        assert_eq!(dense.stored_weights(), 4 * (32 * 16) + 4 * (32 * 32));
+        let pd = LstmCell::new(
+            16,
+            32,
+            WeightFormat::PermutedDiagonal { p: 8 },
+            &mut seeded_rng(1),
+        );
+        assert_eq!(pd.stored_weights(), dense.stored_weights() / 8);
+    }
+
+    #[test]
+    fn lstm_step_outputs_bounded() {
+        let cell = LstmCell::new(4, 8, WeightFormat::Dense, &mut seeded_rng(2));
+        let (h, c, _) = cell.step(&[1.0, 0.0, 0.0, 0.0], &vec![0.0; 8], &vec![0.0; 8]);
+        assert_eq!(h.len(), 8);
+        assert_eq!(c.len(), 8);
+        assert!(h.iter().all(|v| v.abs() <= 1.0), "h = o * tanh(c) is bounded");
+    }
+
+    #[test]
+    fn untrained_model_has_low_bleu() {
+        let (_, test) = toy_translation(3, 60);
+        let model = Seq2Seq::new(8, 24, WeightFormat::Dense, &mut seeded_rng(4));
+        assert!(model.evaluate_bleu(&test) < 0.3);
+    }
+
+    #[test]
+    fn dense_seq2seq_learns_the_cipher() {
+        let (train, test) = toy_translation(5, 240);
+        let mut model = Seq2Seq::new(8, 24, WeightFormat::Dense, &mut seeded_rng(6));
+        let first = model.fit(&train, 1, 0.25);
+        let last = model.fit(&train, 14, 0.25);
+        assert!(last < first, "training loss should fall: {first} -> {last}");
+        let acc = model.token_accuracy(&test);
+        assert!(acc > 0.6, "token accuracy after training: {acc}");
+    }
+
+    #[test]
+    fn pd_seq2seq_learns_comparably_with_8x_fewer_weights() {
+        let (train, test) = toy_translation(7, 240);
+        let mut dense = Seq2Seq::new(8, 24, WeightFormat::Dense, &mut seeded_rng(8));
+        let mut pd = Seq2Seq::new(
+            8,
+            24,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            &mut seeded_rng(8),
+        );
+        assert!(pd.lstm_stored_weights() * 3 < dense.lstm_stored_weights());
+        dense.fit(&train, 14, 0.25);
+        pd.fit(&train, 14, 0.25);
+        let dense_acc = dense.token_accuracy(&test);
+        let pd_acc = pd.token_accuracy(&test);
+        assert!(pd_acc > 0.45, "PD token accuracy too low: {pd_acc}");
+        assert!(
+            dense_acc - pd_acc < 0.3,
+            "PD should not collapse relative to dense ({dense_acc} vs {pd_acc})"
+        );
+    }
+
+    #[test]
+    fn translate_output_length_matches_request() {
+        let model = Seq2Seq::new(8, 16, WeightFormat::Dense, &mut seeded_rng(9));
+        let out = model.translate(&[1, 2, 3], 5);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&t| (t as usize) < 8));
+    }
+}

@@ -1,0 +1,178 @@
+//! Evaluation metrics: classification accuracy (top-1 / top-k) and BLEU for the sequence
+//! experiments.
+
+use std::collections::HashMap;
+
+/// Index of the largest logit (argmax prediction).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn argmax(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "cannot take argmax of empty slice");
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Returns `true` if the target class is among the `k` largest logits (top-k accuracy,
+/// used for the paper's AlexNet Top-5 numbers).
+pub fn in_top_k(logits: &[f32], target: usize, k: usize) -> bool {
+    let mut indexed: Vec<(usize, f32)> = logits.iter().cloned().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    indexed.iter().take(k).any(|&(i, _)| i == target)
+}
+
+/// Running accuracy accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accuracy {
+    correct: usize,
+    total: usize,
+}
+
+impl Accuracy {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accuracy::default()
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// Number of examples recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Accuracy as a fraction in `[0, 1]` (0.0 when no examples were recorded).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Corpus-level BLEU score (up to `max_n`-grams, uniform weights) with the standard
+/// brevity penalty, following Papineni et al. — the metric of the NMT experiment
+/// (Table III).
+///
+/// Tokens are plain `u32` IDs. Returns a value in `[0, 1]`; multiply by 100 for the
+/// conventional "BLEU points" scale.
+pub fn bleu(references: &[Vec<u32>], candidates: &[Vec<u32>], max_n: usize) -> f64 {
+    assert_eq!(
+        references.len(),
+        candidates.len(),
+        "need one candidate per reference"
+    );
+    assert!(max_n >= 1, "max_n must be at least 1");
+    if references.is_empty() {
+        return 0.0;
+    }
+    let mut log_precision_sum = 0.0f64;
+    for n in 1..=max_n {
+        let mut matched = 0usize;
+        let mut total = 0usize;
+        for (reference, candidate) in references.iter().zip(candidates.iter()) {
+            let ref_counts = ngram_counts(reference, n);
+            let cand_counts = ngram_counts(candidate, n);
+            for (gram, &count) in &cand_counts {
+                let ref_count = ref_counts.get(gram).copied().unwrap_or(0);
+                matched += count.min(ref_count);
+            }
+            total += candidate.len().saturating_sub(n - 1);
+        }
+        // Add-one smoothing for empty/no-match cases so short toy corpora do not zero out.
+        let precision = (matched as f64 + 1e-9) / (total as f64 + 1e-9);
+        log_precision_sum += precision.max(1e-12).ln();
+    }
+    let ref_len: usize = references.iter().map(|r| r.len()).sum();
+    let cand_len: usize = candidates.iter().map(|c| c.len()).sum();
+    let brevity = if cand_len >= ref_len || cand_len == 0 {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    };
+    brevity * (log_precision_sum / max_n as f64).exp()
+}
+
+fn ngram_counts(tokens: &[u32], n: usize) -> HashMap<&[u32], usize> {
+    let mut counts = HashMap::new();
+    if tokens.len() < n {
+        return counts;
+    }
+    for window in tokens.windows(n) {
+        *counts.entry(window).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_and_topk() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert!(in_top_k(&[0.1, 0.9, 0.5], 2, 2));
+        assert!(!in_top_k(&[0.1, 0.9, 0.5], 0, 2));
+        assert!(in_top_k(&[0.1, 0.9, 0.5], 0, 3));
+    }
+
+    #[test]
+    fn accuracy_accumulator() {
+        let mut acc = Accuracy::new();
+        assert_eq!(acc.value(), 0.0);
+        acc.record(true);
+        acc.record(false);
+        acc.record(true);
+        assert_eq!(acc.total(), 3);
+        assert!((acc.value() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bleu_identical_sequences_is_one() {
+        let refs = vec![vec![1u32, 2, 3, 4, 5], vec![7, 8, 9, 10]];
+        let score = bleu(&refs, &refs, 4);
+        assert!((score - 1.0).abs() < 1e-6, "score {score}");
+    }
+
+    #[test]
+    fn bleu_disjoint_sequences_is_near_zero() {
+        let refs = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let cands = vec![vec![10u32, 11, 12, 13, 14, 15, 16, 17]];
+        let score = bleu(&refs, &cands, 4);
+        assert!(score < 0.01, "score {score}");
+    }
+
+    #[test]
+    fn bleu_partial_overlap_is_intermediate() {
+        let refs = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let cands = vec![vec![1u32, 2, 3, 4, 10, 11, 12, 13]];
+        let score = bleu(&refs, &cands, 4);
+        assert!(score > 0.05 && score < 0.9, "score {score}");
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_applies() {
+        let refs = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let short = vec![vec![1u32, 2, 3]];
+        let full = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        assert!(bleu(&refs, &short, 2) < bleu(&refs, &full, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn argmax_empty_panics() {
+        let _ = argmax(&[]);
+    }
+}

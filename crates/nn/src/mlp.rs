@@ -1,0 +1,319 @@
+//! Multi-layer-perceptron classifier and trainer.
+//!
+//! The MLP is the workhorse of the FC-layer accuracy experiments: the same architecture is
+//! instantiated with dense, permuted-diagonal or block-circulant hidden layers
+//! ([`WeightFormat`]) and trained on identical data with identical seeds, so any accuracy
+//! difference is attributable to the weight structure alone — the comparison Tables II–V
+//! make.
+
+use rand_chacha::ChaCha20Rng;
+
+use crate::data::GaussianClusters;
+use crate::layers::{make_fc_layer, Dense, Layer, PdDense, WeightFormat};
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::{argmax, Accuracy};
+
+/// A feed-forward classifier: `input -> [hidden -> ReLU]* -> logits`.
+pub struct MlpClassifier {
+    layers: Vec<Box<dyn Layer>>,
+    input_dim: usize,
+    num_classes: usize,
+    hidden_format: WeightFormat,
+}
+
+impl std::fmt::Debug for MlpClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlpClassifier")
+            .field("input_dim", &self.input_dim)
+            .field("num_classes", &self.num_classes)
+            .field("hidden_format", &self.hidden_format.label())
+            .field("num_params", &self.num_params())
+            .finish()
+    }
+}
+
+impl MlpClassifier {
+    /// Builds an MLP with the given hidden-layer sizes. Hidden layers use
+    /// `hidden_format`; the small output head is always dense (as in the paper, where the
+    /// final classifier layer of AlexNet uses a smaller `p`, compression is applied to the
+    /// large hidden FC layers).
+    pub fn new(
+        input_dim: usize,
+        hidden_dims: &[usize],
+        num_classes: usize,
+        hidden_format: WeightFormat,
+        rng: &mut ChaCha20Rng,
+    ) -> Self {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut current = input_dim;
+        for &h in hidden_dims {
+            layers.push(make_fc_layer(current, h, hidden_format, rng));
+            layers.push(Box::new(crate::layers::Relu::new(h)));
+            current = h;
+        }
+        layers.push(Box::new(Dense::new(current, num_classes, rng)));
+        MlpClassifier {
+            layers,
+            input_dim,
+            num_classes,
+            hidden_format,
+        }
+    }
+
+    /// The weight format used by the hidden layers.
+    pub fn hidden_format(&self) -> WeightFormat {
+        self.hidden_format
+    }
+
+    /// Number of classes predicted.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Total stored parameters across all layers.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Inference: returns the class logits for one example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn logits(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim, "input dimensionality mismatch");
+        let mut current = x.to_vec();
+        for layer in &self.layers {
+            current = layer.forward(&current);
+        }
+        current
+    }
+
+    /// Predicted class for one example.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.logits(x))
+    }
+
+    /// One training step on a single example; returns the loss.
+    pub fn train_example(&mut self, x: &[f32], label: usize, lr: f32) -> f32 {
+        let (loss, grad) = self.forward_backward(x, label);
+        for layer in &mut self.layers {
+            layer.apply_gradients(lr);
+        }
+        let _ = grad;
+        loss
+    }
+
+    /// Forward + backward for one example without applying gradients (used for
+    /// mini-batch accumulation). Returns the loss and the gradient w.r.t. the input.
+    pub fn forward_backward(&mut self, x: &[f32], label: usize) -> (f32, Vec<f32>) {
+        let mut current = x.to_vec();
+        for layer in &mut self.layers {
+            current = layer.forward_train(&current);
+        }
+        let (loss, mut grad) = softmax_cross_entropy(&current, label);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        (loss, grad)
+    }
+
+    /// Applies accumulated gradients across all layers.
+    pub fn apply_gradients(&mut self, lr: f32) {
+        for layer in &mut self.layers {
+            layer.apply_gradients(lr);
+        }
+    }
+
+    /// Trains for `epochs` passes over the dataset with the given mini-batch size and
+    /// learning rate; returns the mean loss of the final epoch.
+    pub fn fit(
+        &mut self,
+        data: &GaussianClusters,
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+    ) -> f32 {
+        assert!(batch_size >= 1);
+        let mut last_epoch_loss = 0.0f32;
+        for _ in 0..epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut in_batch = 0usize;
+            for (x, &label) in data.features.iter().zip(data.labels.iter()) {
+                let (loss, _) = self.forward_backward(x, label);
+                epoch_loss += loss;
+                in_batch += 1;
+                if in_batch == batch_size {
+                    self.apply_gradients(lr);
+                    in_batch = 0;
+                }
+            }
+            if in_batch > 0 {
+                self.apply_gradients(lr);
+            }
+            last_epoch_loss = epoch_loss / data.len().max(1) as f32;
+        }
+        last_epoch_loss
+    }
+
+    /// Top-1 accuracy on a dataset.
+    pub fn evaluate(&self, data: &GaussianClusters) -> f64 {
+        let mut acc = Accuracy::new();
+        for (x, &label) in data.features.iter().zip(data.labels.iter()) {
+            acc.record(self.predict(x) == label);
+        }
+        acc.value()
+    }
+
+    /// Accesses the permuted-diagonal hidden layers (for quantization experiments).
+    /// Returns mutable references to every [`PdDense`] layer in the network.
+    pub fn pd_layers_mut(&mut self) -> Vec<&mut PdDense> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| l.as_any_mut().downcast_mut::<PdDense>())
+            .collect()
+    }
+}
+
+/// Converts a trained dense MLP into a permuted-diagonal MLP by projecting every hidden
+/// dense layer onto the PD manifold (Section III-F, step 1), ready for fine-tuning
+/// (step 2). The output head stays dense.
+pub fn dense_mlp_to_pd(
+    dense: &MlpClassifier,
+    p: usize,
+    rng: &mut ChaCha20Rng,
+) -> MlpClassifier {
+    let _ = rng;
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let total = dense.layers.len();
+    for (i, layer) in dense.layers.iter().enumerate() {
+        let any = layer.as_any();
+        if let Some(d) = any.downcast_ref::<Dense>() {
+            if i + 1 == total {
+                // Output head stays dense.
+                layers.push(Box::new(d.clone()));
+            } else {
+                layers.push(Box::new(PdDense::from_dense_approximation(d, p)));
+            }
+        } else if let Some(r) = any.downcast_ref::<crate::layers::Relu>() {
+            layers.push(Box::new(r.clone()));
+        } else {
+            panic!("dense_mlp_to_pd expects a dense MLP (Dense + Relu layers only)");
+        }
+    }
+    MlpClassifier {
+        layers,
+        input_dim: dense.input_dim,
+        num_classes: dense.num_classes,
+        hidden_format: WeightFormat::PermutedDiagonal { p },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    fn toy_data(seed: u64) -> (GaussianClusters, GaussianClusters) {
+        GaussianClusters::generate(&mut seeded_rng(seed), 400, 4, 24, 0.45).split(0.8)
+    }
+
+    #[test]
+    fn dense_mlp_learns_clusters() {
+        let (train, test) = toy_data(1);
+        let mut model = MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(2));
+        let before = model.evaluate(&test);
+        model.fit(&train, 10, 8, 0.1);
+        let after = model.evaluate(&test);
+        assert!(after > 0.85, "dense MLP should learn the task: {before} -> {after}");
+    }
+
+    #[test]
+    fn pd_mlp_learns_clusters_comparably() {
+        let (train, test) = toy_data(3);
+        let mut dense =
+            MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(4));
+        let mut pd = MlpClassifier::new(
+            24,
+            &[32],
+            4,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            &mut seeded_rng(4),
+        );
+        dense.fit(&train, 12, 8, 0.1);
+        pd.fit(&train, 12, 8, 0.1);
+        let dense_acc = dense.evaluate(&test);
+        let pd_acc = pd.evaluate(&test);
+        assert!(pd_acc > 0.8, "PD MLP accuracy too low: {pd_acc}");
+        assert!(
+            dense_acc - pd_acc < 0.1,
+            "PD should be within 10 points of dense ({dense_acc} vs {pd_acc})"
+        );
+        assert!(pd.num_params() < dense.num_params());
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (train, _) = toy_data(5);
+        let mut model = MlpClassifier::new(
+            24,
+            &[16],
+            4,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            &mut seeded_rng(6),
+        );
+        let first = model.fit(&train, 1, 8, 0.05);
+        let later = model.fit(&train, 5, 8, 0.05);
+        assert!(later < first, "loss should decrease: {first} -> {later}");
+    }
+
+    #[test]
+    fn logits_length_and_predict_range() {
+        let model = MlpClassifier::new(10, &[8], 3, WeightFormat::Dense, &mut seeded_rng(7));
+        let x = vec![0.1; 10];
+        assert_eq!(model.logits(&x).len(), 3);
+        assert!(model.predict(&x) < 3);
+        assert_eq!(model.num_classes(), 3);
+        assert_eq!(model.input_dim(), 10);
+    }
+
+    #[test]
+    fn parameter_counts_reflect_compression() {
+        let dense = MlpClassifier::new(64, &[64, 64], 4, WeightFormat::Dense, &mut seeded_rng(8));
+        let pd = MlpClassifier::new(
+            64,
+            &[64, 64],
+            4,
+            WeightFormat::PermutedDiagonal { p: 8 },
+            &mut seeded_rng(8),
+        );
+        // Hidden layers dominate: PD should store far fewer parameters.
+        assert!(pd.num_params() * 4 < dense.num_params());
+    }
+
+    #[test]
+    fn dense_to_pd_conversion_and_finetune_recovers_accuracy() {
+        let (train, test) = toy_data(9);
+        let mut dense =
+            MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(10));
+        dense.fit(&train, 12, 8, 0.1);
+        let dense_acc = dense.evaluate(&test);
+        let mut pd = dense_mlp_to_pd(&dense, 4, &mut seeded_rng(11));
+        let projected_acc = pd.evaluate(&test);
+        pd.fit(&train, 8, 8, 0.05);
+        let finetuned_acc = pd.evaluate(&test);
+        assert!(
+            finetuned_acc >= projected_acc,
+            "fine-tuning should not hurt: {projected_acc} -> {finetuned_acc}"
+        );
+        assert!(
+            dense_acc - finetuned_acc < 0.12,
+            "fine-tuned PD should approach dense accuracy ({dense_acc} vs {finetuned_acc})"
+        );
+    }
+}

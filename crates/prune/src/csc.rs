@@ -1,0 +1,213 @@
+//! Compressed-sparse-column storage — the execution format of EIE-style accelerators.
+
+use pd_tensor::Matrix;
+
+/// A compressed-sparse-column matrix: for each column, the row indices and values of its
+/// non-zeros, plus a column-pointer array.
+///
+/// EIE stores the weight matrix in (interleaved) CSC form because its dataflow is
+/// column-wise: one non-zero input activation is broadcast and every PE walks the
+/// non-zeros of the corresponding weight column. The same dataflow drives the EIE
+/// simulator in `permdnn-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[c]..col_ptr[c+1]` indexes the non-zeros of column `c`.
+    col_ptr: Vec<usize>,
+    /// Row index of each non-zero.
+    row_idx: Vec<usize>,
+    /// Value of each non-zero.
+    values: Vec<f32>,
+}
+
+impl CscMatrix {
+    /// Builds the CSC representation of a dense matrix (entries equal to 0.0 are dropped).
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for c in 0..cols {
+            for r in 0..rows {
+                let v = dense[(r, c)];
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density (non-zero fraction).
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// The `(row, value)` pairs of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column(&self, c: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(c < self.cols, "column {c} out of bounds");
+        let start = self.col_ptr[c];
+        let end = self.col_ptr[c + 1];
+        self.row_idx[start..end]
+            .iter()
+            .zip(self.values[start..end].iter())
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Number of non-zeros in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column_nnz(&self, c: usize) -> usize {
+        assert!(c < self.cols, "column {c} out of bounds");
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Sparse matrix-vector product `y = A·x` using the column-wise dataflow with
+    /// zero-skipping on the input (the same traversal order the EIE hardware uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            for (r, v) in self.column(c) {
+                y[r] += v * xc;
+            }
+        }
+        y
+    }
+
+    /// Expands back into a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for (r, v) in self.column(c) {
+                out[(r, c)] = v;
+            }
+        }
+        out
+    }
+
+    /// Total storage in bits with explicit `index_bits`-wide row indices, 32-bit column
+    /// pointers and `weight_bits`-wide values.
+    pub fn storage_bits(&self, weight_bits: u32, index_bits: u32) -> u64 {
+        self.nnz() as u64 * (weight_bits as u64 + index_bits as u64)
+            + 32 * (self.cols as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::{seeded_rng, xavier_uniform};
+    use proptest::prelude::*;
+
+    fn sparse_sample(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+        let dense = xavier_uniform(&mut seeded_rng(seed), rows, cols);
+        crate::prune::magnitude_prune(&dense, density).pruned
+    }
+
+    #[test]
+    fn roundtrip_through_dense() {
+        let m = sparse_sample(16, 24, 0.2, 1);
+        let csc = CscMatrix::from_dense(&m);
+        assert_eq!(csc.to_dense(), m);
+        assert_eq!(csc.nnz(), m.count_nonzeros());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sparse_sample(32, 48, 0.15, 2);
+        let csc = CscMatrix::from_dense(&m);
+        let x: Vec<f32> = (0..48).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
+        let expected = m.matvec(&x);
+        let got = csc.matvec(&x);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[3.0, 0.0]]);
+        let csc = CscMatrix::from_dense(&m);
+        let col0: Vec<(usize, f32)> = csc.column(0).collect();
+        assert_eq!(col0, vec![(0, 1.0), (2, 3.0)]);
+        assert_eq!(csc.column_nnz(1), 1);
+        assert!((csc.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::zeros(4, 4);
+        let csc = CscMatrix::from_dense(&m);
+        assert_eq!(csc.nnz(), 0);
+        assert_eq!(csc.matvec(&[1.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn storage_bits_accounting() {
+        let m = sparse_sample(64, 64, 0.1, 3);
+        let csc = CscMatrix::from_dense(&m);
+        let bits = csc.storage_bits(16, 8);
+        assert_eq!(
+            bits,
+            csc.nnz() as u64 * 24 + 32 * 65,
+            "value + index bits plus pointers"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csc_matvec_matches_dense(seed in 0u64..1000, density in 0.05f64..0.9) {
+            let m = sparse_sample(12, 18, density, seed);
+            let csc = CscMatrix::from_dense(&m);
+            let x: Vec<f32> = (0..18).map(|i| ((seed as f32 + i as f32) * 0.37).sin()).collect();
+            let expected = m.matvec(&x);
+            let got = csc.matvec(&x);
+            for (a, b) in got.iter().zip(expected.iter()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Load-imbalance statistics for unstructured sparse matrices distributed across PEs.
+//!
+//! EIE interleaves matrix rows across PEs (row `i` belongs to PE `i mod N_PE`). Because
+//! unstructured pruning puts different numbers of non-zeros in different rows, the PEs
+//! finish each column at different times and the fastest ones idle — the load-imbalance
+//! problem called out in Sections II-B and V-D. Block-permuted-diagonal matrices have a
+//! *constant* number of non-zeros per row and column, so the same statistics computed on
+//! them show zero imbalance; the `fig12` experiment uses both.
+
+use pd_tensor::Matrix;
+
+/// Per-column load-imbalance summary for a PE array processing a sparse matrix
+/// column-by-column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImbalanceProfile {
+    /// Number of PEs the rows were interleaved across.
+    pub num_pes: usize,
+    /// For each column, the maximum number of non-zeros any single PE had to process.
+    pub per_column_max: Vec<usize>,
+    /// For each column, the mean number of non-zeros per PE.
+    pub per_column_mean: Vec<f64>,
+    /// Total non-zeros in the matrix.
+    pub total_nonzeros: usize,
+}
+
+impl ImbalanceProfile {
+    /// Cycles a lock-step PE array needs to process all columns when every PE must wait
+    /// for the slowest PE in each column (one non-zero per cycle per PE): the sum of the
+    /// per-column maxima.
+    pub fn bottleneck_cycles(&self) -> usize {
+        self.per_column_max.iter().sum()
+    }
+
+    /// Cycles a perfectly balanced distribution of the same non-zeros would need.
+    pub fn balanced_cycles(&self) -> usize {
+        let per_pe = (self.total_nonzeros as f64 / self.num_pes as f64).ceil();
+        per_pe as usize
+    }
+
+    /// Ratio of actual (bottlenecked) to ideal (balanced) cycles; 1.0 means no imbalance.
+    pub fn imbalance_factor(&self) -> f64 {
+        let balanced = self.balanced_cycles();
+        if balanced == 0 {
+            1.0
+        } else {
+            self.bottleneck_cycles() as f64 / balanced as f64
+        }
+    }
+}
+
+/// Measures load imbalance of a sparse matrix whose rows are interleaved across `num_pes`
+/// PEs and which is processed column-by-column (EIE's dataflow). Columns whose input
+/// activation would be skipped are still included — pass a mask via
+/// [`measure_imbalance_with_input`] to account for zero-skipping.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0`.
+pub fn measure_imbalance(matrix: &Matrix, num_pes: usize) -> ImbalanceProfile {
+    let active: Vec<bool> = vec![true; matrix.cols()];
+    measure_imbalance_with_input(matrix, num_pes, &active)
+}
+
+/// Like [`measure_imbalance`], but only the columns with `active_columns[c] == true`
+/// (non-zero input activations) are processed.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0` or `active_columns.len() != matrix.cols()`.
+pub fn measure_imbalance_with_input(
+    matrix: &Matrix,
+    num_pes: usize,
+    active_columns: &[bool],
+) -> ImbalanceProfile {
+    measure_imbalance_with_assignment(matrix, num_pes, active_columns, |r| r % num_pes)
+}
+
+/// Measures load imbalance under PermDNN's PE assignment, where whole block rows of `p`
+/// consecutive matrix rows belong to one PE (Fig. 5). For a block-permuted-diagonal
+/// matrix every block row has exactly one non-zero per column, so this assignment is
+/// perfectly balanced by construction — the property Section V-D relies on.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0`, `p == 0`, or the mask length mismatches.
+pub fn measure_imbalance_block_rows(
+    matrix: &Matrix,
+    num_pes: usize,
+    p: usize,
+    active_columns: &[bool],
+) -> ImbalanceProfile {
+    assert!(p > 0, "block size must be non-zero");
+    measure_imbalance_with_assignment(matrix, num_pes, active_columns, |r| (r / p) % num_pes)
+}
+
+/// Generic imbalance measurement with a caller-supplied row-to-PE assignment.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0` or `active_columns.len() != matrix.cols()`.
+pub fn measure_imbalance_with_assignment(
+    matrix: &Matrix,
+    num_pes: usize,
+    active_columns: &[bool],
+    assign_row_to_pe: impl Fn(usize) -> usize,
+) -> ImbalanceProfile {
+    assert!(num_pes > 0, "at least one PE is required");
+    assert_eq!(
+        active_columns.len(),
+        matrix.cols(),
+        "active-column mask length mismatch"
+    );
+    let mut per_column_max = Vec::new();
+    let mut per_column_mean = Vec::new();
+    let mut total = 0usize;
+    for c in 0..matrix.cols() {
+        if !active_columns[c] {
+            continue;
+        }
+        let mut per_pe = vec![0usize; num_pes];
+        for r in 0..matrix.rows() {
+            if matrix[(r, c)] != 0.0 {
+                per_pe[assign_row_to_pe(r) % num_pes] += 1;
+                total += 1;
+            }
+        }
+        per_column_max.push(per_pe.iter().copied().max().unwrap_or(0));
+        per_column_mean.push(per_pe.iter().sum::<usize>() as f64 / num_pes as f64);
+    }
+    ImbalanceProfile {
+        num_pes,
+        per_column_max,
+        per_column_mean,
+        total_nonzeros: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::magnitude_prune;
+    use pd_tensor::init::{seeded_rng, xavier_uniform};
+
+    #[test]
+    fn balanced_matrix_has_factor_one() {
+        // A matrix with exactly one non-zero per (row, column-group) assigned evenly.
+        let m = Matrix::identity(8);
+        let profile = measure_imbalance(&m, 4);
+        // Each column has one non-zero handled by one PE; max per column = 1; total 8.
+        assert_eq!(profile.bottleneck_cycles(), 8);
+        assert_eq!(profile.balanced_cycles(), 2);
+        assert!(profile.imbalance_factor() >= 1.0);
+    }
+
+    #[test]
+    fn unstructured_sparsity_shows_imbalance() {
+        let dense = xavier_uniform(&mut seeded_rng(1), 256, 256);
+        let pruned = magnitude_prune(&dense, 0.1).pruned;
+        let profile = measure_imbalance(&pruned, 64);
+        assert!(
+            profile.imbalance_factor() > 1.2,
+            "random pruning should show noticeable imbalance, got {}",
+            profile.imbalance_factor()
+        );
+    }
+
+    #[test]
+    fn block_permuted_diagonal_pattern_is_perfectly_balanced() {
+        // Emulate a PD pattern: each p x p block has exactly one non-zero per row and per
+        // column. Under PermDNN's block-row-to-PE assignment every PE handles exactly one
+        // non-zero per column, so the imbalance factor is exactly 1.
+        let p = 4;
+        let n = 64;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            let k = ((i / p) * (n / p) + j / p) % p; // natural indexing k_l = l mod p
+            if (i % p + k) % p == j % p {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let active = vec![true; n];
+        let profile = measure_imbalance_block_rows(&m, 16, p, &active);
+        assert!(
+            (profile.imbalance_factor() - 1.0).abs() < 1e-9,
+            "PD structure must not be imbalanced, got {}",
+            profile.imbalance_factor()
+        );
+        // The same matrix under EIE's row-interleaved assignment can show imbalance,
+        // but PermDNN never uses that assignment.
+        assert_eq!(profile.total_nonzeros, n * n / p);
+    }
+
+    #[test]
+    fn zero_skipping_reduces_work() {
+        let dense = xavier_uniform(&mut seeded_rng(2), 64, 64);
+        let pruned = magnitude_prune(&dense, 0.2).pruned;
+        let all = measure_imbalance(&pruned, 8);
+        let mask: Vec<bool> = (0..64).map(|c| c % 2 == 0).collect();
+        let half = measure_imbalance_with_input(&pruned, 8, &mask);
+        assert!(half.total_nonzeros < all.total_nonzeros);
+        assert!(half.bottleneck_cycles() < all.bottleneck_cycles());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pes_rejected() {
+        let m = Matrix::zeros(4, 4);
+        let _ = measure_imbalance(&m, 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Unstructured network sparsification — the baseline PermDNN's Section II-B criticises
+//! and the model format the EIE accelerator executes.
+//!
+//! This crate implements the pieces of that ecosystem the reproduction needs:
+//!
+//! * [`prune::magnitude_prune`] — heuristic magnitude pruning of a dense matrix to a
+//!   target density (the Han-style "learning both weights and connections" approach).
+//! * [`csc::CscMatrix`] — compressed-sparse-column storage with explicit indices, the
+//!   execution format of EIE's per-PE weight memory.
+//! * [`eie_format`] — EIE's 4-bit virtual-weight-tag + 4-bit relative-row-index encoding
+//!   (with zero-padding every 16 rows), whose per-weight overhead is the comparison point
+//!   of Fig. 4.
+//! * [`imbalance`] — per-PE non-zero distribution statistics; unstructured sparsity gives
+//!   different PEs different amounts of work, the load-imbalance problem PermDNN's even
+//!   non-zero distribution eliminates (Section V-D).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csc;
+pub mod eie_format;
+pub mod imbalance;
+pub mod prune;
+
+pub use csc::CscMatrix;
+pub use prune::{magnitude_prune, PruneOutcome};

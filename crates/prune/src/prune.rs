@@ -1,0 +1,193 @@
+//! Magnitude pruning of dense weight matrices.
+
+use pd_tensor::Matrix;
+
+/// Outcome of a pruning pass: the sparse matrix (as a dense matrix with exact zeros) and
+/// bookkeeping about what was removed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneOutcome {
+    /// The pruned matrix (same shape as the input, pruned entries set to exactly 0.0).
+    pub pruned: Matrix,
+    /// Number of non-zero weights remaining.
+    pub remaining_nonzeros: usize,
+    /// The magnitude threshold below which weights were removed.
+    pub threshold: f32,
+}
+
+impl PruneOutcome {
+    /// Achieved density (non-zero fraction).
+    pub fn density(&self) -> f64 {
+        self.remaining_nonzeros as f64 / self.pruned.len() as f64
+    }
+}
+
+/// Prunes a dense matrix to (at most) the requested non-zero density by removing the
+/// smallest-magnitude weights — the heuristic sparsification step of the unstructured
+/// baseline.
+///
+/// The exact achieved density can differ slightly from the request when many weights tie
+/// at the threshold; ties are broken arbitrarily but deterministically (by index).
+///
+/// # Panics
+///
+/// Panics if `target_density` is not in `(0, 1]`.
+pub fn magnitude_prune(dense: &Matrix, target_density: f64) -> PruneOutcome {
+    assert!(
+        target_density > 0.0 && target_density <= 1.0,
+        "target density must be in (0, 1], got {target_density}"
+    );
+    let total = dense.len();
+    let keep = ((total as f64) * target_density).round().max(1.0) as usize;
+    // Find the magnitude threshold via a sorted copy of |w|.
+    let mut magnitudes: Vec<(f32, usize)> = dense
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v.abs(), i))
+        .collect();
+    magnitudes.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    let kept_indices: std::collections::HashSet<usize> =
+        magnitudes.iter().take(keep).map(|&(_, i)| i).collect();
+    let threshold = magnitudes
+        .get(keep.saturating_sub(1))
+        .map(|&(m, _)| m)
+        .unwrap_or(0.0);
+
+    let mut pruned = dense.clone();
+    let mut remaining = 0usize;
+    for (i, v) in pruned.as_mut_slice().iter_mut().enumerate() {
+        if kept_indices.contains(&i) && *v != 0.0 {
+            remaining += 1;
+        } else {
+            *v = 0.0;
+        }
+    }
+    PruneOutcome {
+        pruned,
+        remaining_nonzeros: remaining,
+        threshold,
+    }
+}
+
+/// Iterative prune-and-adjust schedule: prunes in `steps` stages from full density down to
+/// `final_density`, calling `retrain` between stages (the caller supplies whatever
+/// fine-tuning it wants — the iterative retraining overhead the paper criticises in
+/// Section II-B).
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `final_density` is not in `(0, 1]`.
+pub fn iterative_prune(
+    mut dense: Matrix,
+    final_density: f64,
+    steps: usize,
+    mut retrain: impl FnMut(&Matrix, usize) -> Matrix,
+) -> PruneOutcome {
+    assert!(steps > 0, "at least one pruning step is required");
+    assert!(final_density > 0.0 && final_density <= 1.0);
+    let mut outcome = None;
+    for step in 1..=steps {
+        // Geometric density schedule from 1.0 down to final_density.
+        let density = final_density.powf(step as f64 / steps as f64);
+        let pruned = magnitude_prune(&dense, density);
+        dense = retrain(&pruned.pruned, step);
+        // Re-apply the mask after retraining so pruned weights stay pruned.
+        let masked = mask_like(&dense, &pruned.pruned);
+        dense = masked;
+        outcome = Some(PruneOutcome {
+            pruned: dense.clone(),
+            remaining_nonzeros: dense.count_nonzeros(),
+            threshold: pruned.threshold,
+        });
+    }
+    outcome.expect("steps > 0")
+}
+
+/// Zeroes every entry of `values` whose corresponding entry in `mask_source` is zero.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mask_like(values: &Matrix, mask_source: &Matrix) -> Matrix {
+    assert_eq!(values.shape(), mask_source.shape(), "shape mismatch");
+    Matrix::from_fn(values.rows(), values.cols(), |r, c| {
+        if mask_source[(r, c)] == 0.0 {
+            0.0
+        } else {
+            values[(r, c)]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::{seeded_rng, xavier_uniform};
+
+    #[test]
+    fn prunes_to_target_density() {
+        let dense = xavier_uniform(&mut seeded_rng(1), 64, 64);
+        for &d in &[0.5, 0.25, 0.1] {
+            let out = magnitude_prune(&dense, d);
+            assert!(
+                (out.density() - d).abs() < 0.01,
+                "target {d}, got {}",
+                out.density()
+            );
+        }
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let dense = Matrix::from_rows(&[&[0.1, -5.0], &[0.01, 3.0]]);
+        let out = magnitude_prune(&dense, 0.5);
+        assert_eq!(out.pruned[(0, 1)], -5.0);
+        assert_eq!(out.pruned[(1, 1)], 3.0);
+        assert_eq!(out.pruned[(0, 0)], 0.0);
+        assert_eq!(out.pruned[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn full_density_keeps_everything() {
+        let dense = xavier_uniform(&mut seeded_rng(2), 8, 8);
+        let out = magnitude_prune(&dense, 1.0);
+        assert_eq!(out.remaining_nonzeros, dense.count_nonzeros());
+        assert_eq!(out.pruned, dense);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_density_rejected() {
+        let dense = Matrix::zeros(4, 4);
+        let _ = magnitude_prune(&dense, 0.0);
+    }
+
+    #[test]
+    fn mask_like_zeroes_matching_positions() {
+        let values = Matrix::filled(2, 2, 3.0);
+        let mask = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let masked = mask_like(&values, &mask);
+        assert_eq!(masked, Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 3.0]]));
+    }
+
+    #[test]
+    fn iterative_prune_reaches_final_density_and_calls_retrain() {
+        let dense = xavier_uniform(&mut seeded_rng(3), 32, 32);
+        let mut calls = 0usize;
+        let out = iterative_prune(dense, 0.1, 4, |m, _step| {
+            calls += 1;
+            // "Retraining" here slightly perturbs the surviving weights.
+            m.map(|v| if v == 0.0 { 0.0 } else { v * 1.01 })
+        });
+        assert_eq!(calls, 4);
+        assert!((out.density() - 0.1).abs() < 0.02, "density {}", out.density());
+    }
+
+    #[test]
+    fn pruned_zeros_stay_zero_after_retraining_mask() {
+        let dense = xavier_uniform(&mut seeded_rng(4), 16, 16);
+        let out = iterative_prune(dense, 0.2, 3, |m, _| m.map(|v| v + 0.5));
+        // Every zero of the final matrix was masked even though retraining added 0.5.
+        assert!(out.pruned.count_zeros() >= (16 * 16) - (16 * 16) / 4);
+    }
+}

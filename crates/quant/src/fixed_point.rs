@@ -1,0 +1,151 @@
+//! 16-bit fixed-point quantization of weights and activations.
+//!
+//! The "16-bit fixed with PD" rows of Tables II–V halve the storage again (relative to
+//! 32-bit float PD) at the cost of quantization error; the experiments measure the effect
+//! on task accuracy. The fractional width is chosen automatically from the dynamic range
+//! of the data being quantized, which is how fixed-point DNN deployments typically pick
+//! their Q-format per layer.
+
+use pd_tensor::fixed::Q16;
+use permdnn_core::BlockPermDiagMatrix;
+
+/// Statistics describing how well a quantization round-trip preserved a tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedTensorStats {
+    /// Number of fractional bits used.
+    pub frac_bits: u32,
+    /// Largest absolute quantization error observed.
+    pub max_abs_error: f32,
+    /// Root-mean-square quantization error.
+    pub rms_error: f32,
+}
+
+/// Chooses the largest fractional width (up to 14 bits) whose integer range still covers
+/// `max_abs`, so precision is maximised without saturation.
+pub fn choose_frac_bits(max_abs: f32) -> u32 {
+    for frac in (1..=14u32).rev() {
+        let max_representable = (i16::MAX as f32) / (1u32 << frac) as f32;
+        if max_abs <= max_representable {
+            return frac;
+        }
+    }
+    1
+}
+
+/// Quantizes a slice to 16-bit fixed point (round-trip through the chosen Q-format),
+/// returning the dequantized values and the error statistics.
+pub fn quantize_slice_q16(values: &[f32]) -> (Vec<f32>, QuantizedTensorStats) {
+    let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let frac = choose_frac_bits(max_abs);
+    let quantized: Vec<f32> = values
+        .iter()
+        .map(|&v| dispatch_roundtrip(v, frac))
+        .collect();
+    let mut max_err = 0.0f32;
+    let mut sq_sum = 0.0f64;
+    for (&orig, &q) in values.iter().zip(quantized.iter()) {
+        let e = (orig - q).abs();
+        max_err = max_err.max(e);
+        sq_sum += (e as f64) * (e as f64);
+    }
+    let rms = if values.is_empty() {
+        0.0
+    } else {
+        (sq_sum / values.len() as f64).sqrt() as f32
+    };
+    (
+        quantized,
+        QuantizedTensorStats {
+            frac_bits: frac,
+            max_abs_error: max_err,
+            rms_error: rms,
+        },
+    )
+}
+
+/// Quantizes the stored weights of a block-permuted-diagonal matrix in place, returning
+/// the error statistics. The permuted-diagonal *structure* is untouched — quantization
+/// only changes stored values, never positions.
+pub fn quantize_matrix_q16(w: &mut BlockPermDiagMatrix) -> QuantizedTensorStats {
+    let (quantized, stats) = quantize_slice_q16(w.values());
+    w.values_mut().copy_from_slice(&quantized);
+    stats
+}
+
+/// Round-trips a single value through `Q16<FRAC>` for a runtime fractional width.
+fn dispatch_roundtrip(v: f32, frac: u32) -> f32 {
+    macro_rules! case {
+        ($($n:literal),*) => {
+            match frac {
+                $( $n => Q16::<$n>::from_f32(v).to_f32(), )*
+                _ => Q16::<12>::from_f32(v).to_f32(),
+            }
+        };
+    }
+    case!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    #[test]
+    fn frac_bits_cover_dynamic_range() {
+        assert_eq!(choose_frac_bits(0.5), 14);
+        assert_eq!(choose_frac_bits(1.9), 14);
+        assert!(choose_frac_bits(3.0) <= 13);
+        assert!(choose_frac_bits(100.0) <= 8);
+        // The chosen format always covers the value.
+        for &m in &[0.1f32, 1.0, 7.3, 99.0, 2000.0] {
+            let frac = choose_frac_bits(m);
+            let max_representable = (i16::MAX as f32) / (1u32 << frac) as f32;
+            assert!(max_representable >= m, "max_abs {m} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_small_error() {
+        let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.013).sin() * 0.8).collect();
+        let (q, stats) = quantize_slice_q16(&values);
+        assert_eq!(q.len(), values.len());
+        assert!(stats.max_abs_error < 1e-3);
+        assert!(stats.rms_error <= stats.max_abs_error);
+    }
+
+    #[test]
+    fn quantize_empty_slice() {
+        let (q, stats) = quantize_slice_q16(&[]);
+        assert!(q.is_empty());
+        assert_eq!(stats.rms_error, 0.0);
+    }
+
+    #[test]
+    fn quantize_matrix_preserves_structure_and_bounds_error() {
+        let mut w = BlockPermDiagMatrix::random(32, 32, 4, &mut seeded_rng(1));
+        let before = w.to_dense();
+        let perms = w.perms().to_vec();
+        let stats = quantize_matrix_q16(&mut w);
+        assert_eq!(w.perms(), &perms[..]);
+        let after = w.to_dense();
+        // Zero pattern identical; values within quantization error.
+        for i in 0..32 {
+            for j in 0..32 {
+                assert_eq!(before[(i, j)] == 0.0, after[(i, j)] == 0.0);
+                assert!((before[(i, j)] - after[(i, j)]).abs() <= stats.max_abs_error + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_error_after_quantization_is_small() {
+        let mut w = BlockPermDiagMatrix::random(64, 64, 8, &mut seeded_rng(2));
+        let x: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.1).cos()).collect();
+        let y_ref = w.matvec(&x);
+        quantize_matrix_q16(&mut w);
+        let y_q = w.matvec(&x);
+        for (a, b) in y_ref.iter().zip(y_q.iter()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Quantization substrate for the PermDNN reproduction.
+//!
+//! The paper's hardware uses a 16-bit quantization scheme together with EIE's 4-bit
+//! weight-sharing strategy (Table VIII; "Our experiments show 4-bit weight sharing does
+//! not cause accuracy drop", footnote 11). The accuracy rows of Tables II–V also include a
+//! "16-bit fixed with PD" configuration. This crate provides both mechanisms:
+//!
+//! * [`fixed_point`] — 16-bit fixed-point quantization of weight vectors and whole
+//!   permuted-diagonal matrices, with automatic choice of the fractional width.
+//! * [`weight_sharing`] — k-means clustering of the stored weights into `2^b` shared
+//!   values plus per-weight tags, exactly the LUT-decoded representation the PE's weight
+//!   SRAM holds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed_point;
+pub mod weight_sharing;
+
+pub use fixed_point::{quantize_matrix_q16, quantize_slice_q16, QuantizedTensorStats};
+pub use weight_sharing::{kmeans_codebook, SharedWeightTable};

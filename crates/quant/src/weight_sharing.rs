@@ -1,0 +1,253 @@
+//! 4-bit weight sharing: k-means clustering of stored weights into a small codebook.
+//!
+//! Both EIE and the PERMDNN engine store 4-bit "virtual weight tags" in their weight SRAM
+//! and decode them through a per-PE lookup table of 16-bit actual weights (the weight LUT
+//! in Fig. 7). This module builds the codebook (k-means over the stored weights, the
+//! standard deep-compression recipe) and the tagged representation, and measures the
+//! quantization error the sharing introduces.
+
+use permdnn_core::BlockPermDiagMatrix;
+use rand::Rng;
+
+/// A weight matrix whose stored values have been replaced by indices into a shared
+/// codebook, as held in the PE weight SRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedWeightTable {
+    /// The shared codebook ("weight LUT") of actual weight values.
+    pub codebook: Vec<f32>,
+    /// One tag per stored weight, in the same order as
+    /// [`BlockPermDiagMatrix::values`].
+    pub tags: Vec<u8>,
+    /// Number of tag bits (`ceil(log2(codebook.len()))`, typically 4).
+    pub tag_bits: u32,
+}
+
+impl SharedWeightTable {
+    /// Decodes tag `i` back to its shared weight value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag is out of range for the codebook.
+    pub fn decode(&self, tag: u8) -> f32 {
+        self.codebook[tag as usize]
+    }
+
+    /// Reconstructs the stored-weight vector (each weight replaced by its centroid).
+    pub fn dequantized_values(&self) -> Vec<f32> {
+        self.tags.iter().map(|&t| self.codebook[t as usize]).collect()
+    }
+
+    /// Storage of the tags in bits (the codebook itself is `codebook.len() × 16` bits and
+    /// shared across the whole layer).
+    pub fn tag_storage_bits(&self) -> u64 {
+        self.tags.len() as u64 * self.tag_bits as u64
+    }
+
+    /// Applies the sharing to a matrix in place: every stored weight is replaced by its
+    /// centroid. Returns the RMS error introduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has a different number of stored weights than this table.
+    pub fn apply(&self, w: &mut BlockPermDiagMatrix) -> f32 {
+        assert_eq!(
+            w.values().len(),
+            self.tags.len(),
+            "weight count mismatch between matrix and shared-weight table"
+        );
+        let deq = self.dequantized_values();
+        let mut sq = 0.0f64;
+        for (v, &d) in w.values_mut().iter_mut().zip(deq.iter()) {
+            sq += ((*v - d) as f64).powi(2);
+            *v = d;
+        }
+        (sq / deq.len().max(1) as f64).sqrt() as f32
+    }
+}
+
+/// Runs 1-D k-means (Lloyd's algorithm) on `values` to build a codebook of `2^tag_bits`
+/// centroids, then tags every value with its nearest centroid.
+///
+/// Initialisation is linear (uniformly spaced over the value range), which is the
+/// initialisation deep-compression found to work best for weight sharing; `iterations`
+/// Lloyd steps follow.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `tag_bits` is 0 or greater than 8.
+pub fn kmeans_codebook(
+    values: &[f32],
+    tag_bits: u32,
+    iterations: usize,
+    _rng: &mut impl Rng,
+) -> SharedWeightTable {
+    assert!(!values.is_empty(), "cannot build a codebook from no weights");
+    assert!(tag_bits >= 1 && tag_bits <= 8, "tag bits must be in 1..=8");
+    let k = 1usize << tag_bits;
+    let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    // Linear initialisation across [min, max].
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|i| {
+            if k == 1 {
+                (min + max) / 2.0
+            } else {
+                min + (max - min) * i as f32 / (k - 1) as f32
+            }
+        })
+        .collect();
+
+    let mut assignment = vec![0u8; values.len()];
+    for _ in 0..iterations {
+        // Assignment step.
+        for (a, &v) in assignment.iter_mut().zip(values.iter()) {
+            *a = nearest(&centroids, v);
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (&a, &v) in assignment.iter().zip(values.iter()) {
+            sums[a as usize] += v as f64;
+            counts[a as usize] += 1;
+        }
+        for i in 0..k {
+            if counts[i] > 0 {
+                centroids[i] = (sums[i] / counts[i] as f64) as f32;
+            }
+        }
+    }
+    // Final assignment with the converged centroids.
+    for (a, &v) in assignment.iter_mut().zip(values.iter()) {
+        *a = nearest(&centroids, v);
+    }
+    SharedWeightTable {
+        codebook: centroids,
+        tags: assignment,
+        tag_bits,
+    }
+}
+
+fn nearest(centroids: &[f32], v: f32) -> u8 {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, &c) in centroids.iter().enumerate() {
+        let d = (c - v).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best as u8
+}
+
+/// Convenience wrapper: builds a 4-bit shared-weight table for a permuted-diagonal matrix
+/// and applies it, returning the table and the RMS error.
+pub fn share_weights_4bit(
+    w: &mut BlockPermDiagMatrix,
+    rng: &mut impl Rng,
+) -> (SharedWeightTable, f32) {
+    let table = kmeans_codebook(w.values(), 4, 25, rng);
+    let err = table.apply(w);
+    (table, err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    #[test]
+    fn codebook_size_matches_tag_bits() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 * 0.07).sin()).collect();
+        let table = kmeans_codebook(&values, 4, 10, &mut seeded_rng(1));
+        assert_eq!(table.codebook.len(), 16);
+        assert_eq!(table.tags.len(), 100);
+        assert!(table.tags.iter().all(|&t| (t as usize) < 16));
+        assert_eq!(table.tag_storage_bits(), 400);
+    }
+
+    #[test]
+    fn few_distinct_values_are_reproduced_exactly() {
+        // If there are at most 2^b distinct values, k-means recovers them exactly.
+        let values = vec![0.5f32, -0.25, 0.5, 0.75, -0.25, 0.75, 0.5];
+        let table = kmeans_codebook(&values, 2, 30, &mut seeded_rng(2));
+        let deq = table.dequantized_values();
+        for (o, d) in values.iter().zip(deq.iter()) {
+            assert!((o - d).abs() < 1e-5, "{o} vs {d}");
+        }
+    }
+
+    #[test]
+    fn rms_error_decreases_with_more_bits() {
+        let values: Vec<f32> = (0..512).map(|i| ((i as f32) * 0.031).sin()).collect();
+        let mut errors = Vec::new();
+        for bits in [2u32, 3, 4, 6] {
+            let table = kmeans_codebook(&values, bits, 25, &mut seeded_rng(3));
+            let deq = table.dequantized_values();
+            let rms = (values
+                .iter()
+                .zip(deq.iter())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                / values.len() as f64)
+                .sqrt();
+            errors.push(rms);
+        }
+        for pair in errors.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9, "error should not increase with bits: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn apply_preserves_structure_and_reports_error() {
+        let mut w = BlockPermDiagMatrix::random(32, 32, 4, &mut seeded_rng(4));
+        let dense_before = w.to_dense();
+        let (table, err) = share_weights_4bit(&mut w, &mut seeded_rng(5));
+        assert_eq!(table.codebook.len(), 16);
+        assert!(err >= 0.0 && err < 0.2, "4-bit sharing error should be small: {err}");
+        let dense_after = w.to_dense();
+        for i in 0..32 {
+            for j in 0..32 {
+                assert_eq!(dense_before[(i, j)] == 0.0, dense_after[(i, j)] == 0.0);
+            }
+        }
+        // Every surviving value is exactly one of the 16 codewords.
+        for &v in w.values() {
+            assert!(table.codebook.iter().any(|&c| (c - v).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn matvec_error_after_sharing_is_moderate() {
+        let mut w = BlockPermDiagMatrix::random(64, 64, 8, &mut seeded_rng(6));
+        let x: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.17).sin()).collect();
+        let y_ref = w.matvec(&x);
+        share_weights_4bit(&mut w, &mut seeded_rng(7));
+        let y_q = w.matvec(&x);
+        let rel_err: f64 = {
+            let num: f64 = y_ref
+                .iter()
+                .zip(y_q.iter())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum();
+            let den: f64 = y_ref.iter().map(|&a| (a as f64).powi(2)).sum();
+            (num / den.max(1e-12)).sqrt()
+        };
+        assert!(rel_err < 0.15, "relative output error {rel_err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_values_rejected() {
+        let _ = kmeans_codebook(&[], 4, 5, &mut seeded_rng(8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_apply_rejected() {
+        let values = vec![1.0f32; 8];
+        let table = kmeans_codebook(&values, 2, 5, &mut seeded_rng(9));
+        let mut w = BlockPermDiagMatrix::random(8, 8, 4, &mut seeded_rng(10));
+        let _ = table.apply(&mut w);
+    }
+}

@@ -1,0 +1,258 @@
+//! Comparison generators for Tables X–XI and Figs. 12–13.
+//!
+//! These functions run the PERMDNN engine model and the EIE model on the same benchmark
+//! layers and package the results the way the paper presents them: speedup, area
+//! efficiency and energy efficiency relative to EIE (Fig. 12), design-parameter tables
+//! (Table X), the CIRCNN throughput/energy table (Table XI) and the PE-count scalability
+//! sweep (Fig. 13).
+
+use pd_tensor::init::seeded_rng;
+
+use crate::config::EngineConfig;
+use crate::eie::{self, EieConfig};
+use crate::engine;
+use crate::metrics::PerformancePoint;
+use crate::power::engine_cost;
+use crate::project::eie_reported_45nm;
+use crate::workload::{alexnet_workloads, FcWorkload, TABLE7_WORKLOADS};
+
+/// One bar group of Fig. 12: the three ratios of PERMDNN over EIE for one benchmark layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Benchmark layer name.
+    pub workload: String,
+    /// Speedup (throughput ratio).
+    pub speedup: f64,
+    /// Area-efficiency ratio.
+    pub area_efficiency: f64,
+    /// Energy-efficiency ratio.
+    pub energy_efficiency: f64,
+    /// The underlying PERMDNN performance point.
+    pub permdnn: PerformancePoint,
+    /// The underlying EIE performance point.
+    pub eie: PerformancePoint,
+}
+
+/// Runs the Fig. 12 comparison (PERMDNN 32-PE vs EIE 64-PE projected to 28 nm) on the
+/// AlexNet benchmark layers — the layers both papers evaluate.
+pub fn fig12_comparison(seed: u64) -> Vec<Fig12Row> {
+    compare_on(&alexnet_workloads(), seed)
+}
+
+/// Runs the same comparison on all six Table VII layers (the NMT layers have dense
+/// activations, so they isolate the weight-side advantages).
+pub fn full_comparison(seed: u64) -> Vec<Fig12Row> {
+    compare_on(&TABLE7_WORKLOADS, seed)
+}
+
+fn compare_on(workloads: &[FcWorkload], seed: u64) -> Vec<Fig12Row> {
+    let permdnn_cfg = EngineConfig::paper_32pe();
+    let permdnn_cost = engine_cost(&permdnn_cfg);
+    let eie_cfg = EieConfig::projected_28nm();
+    let eie_point_45 = eie_reported_45nm();
+    let eie_projected = eie_point_45.project_to(28.0);
+    let mut rng = seeded_rng(seed);
+
+    workloads
+        .iter()
+        .map(|w| {
+            let pd = engine::simulate_layer(&permdnn_cfg, w);
+            let eie_result = eie::simulate_layer(&eie_cfg, w, &mut rng);
+            let permdnn_point = PerformancePoint::from_latency(
+                "PERMDNN 32-PE (28nm)",
+                w.name,
+                pd.latency_us,
+                permdnn_cost.area_mm2,
+                permdnn_cost.power_w,
+            );
+            let eie_point = PerformancePoint::from_latency(
+                "EIE 64-PE (28nm projected)",
+                w.name,
+                eie_result.latency_us,
+                eie_projected.area_mm2.unwrap_or(15.7),
+                eie_projected.power_w,
+            );
+            Fig12Row {
+                workload: w.name.to_string(),
+                speedup: permdnn_point.speedup_over(&eie_point),
+                area_efficiency: permdnn_point.area_efficiency_over(&eie_point),
+                energy_efficiency: permdnn_point.energy_efficiency_over(&eie_point),
+                permdnn: permdnn_point,
+                eie: eie_point,
+            }
+        })
+        .collect()
+}
+
+/// One line of the Fig. 13 scalability study: speedup of an `n_pe`-PE engine over the
+/// 8-PE configuration for every benchmark layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Number of PEs.
+    pub n_pe: usize,
+    /// Per-workload speedups over the smallest configuration, in Table VII order.
+    pub speedups: Vec<(String, f64)>,
+}
+
+/// Runs the Fig. 13 scalability sweep over the given PE counts (the paper sweeps up to
+/// 256 PEs; the first entry is the baseline).
+pub fn fig13_scalability(pe_counts: &[usize]) -> Vec<ScalabilityPoint> {
+    assert!(!pe_counts.is_empty(), "at least one PE count is required");
+    let base_cfg = EngineConfig::with_pes(pe_counts[0]);
+    let base: Vec<u64> = TABLE7_WORKLOADS
+        .iter()
+        .map(|w| engine::simulate_layer(&base_cfg, w).cycles)
+        .collect();
+    pe_counts
+        .iter()
+        .map(|&n_pe| {
+            let cfg = EngineConfig::with_pes(n_pe);
+            let speedups = TABLE7_WORKLOADS
+                .iter()
+                .zip(base.iter())
+                .map(|(w, &base_cycles)| {
+                    let cycles = engine::simulate_layer(&cfg, w).cycles;
+                    (w.name.to_string(), base_cycles as f64 / cycles as f64)
+                })
+                .collect();
+            ScalabilityPoint { n_pe, speedups }
+        })
+        .collect()
+}
+
+/// One row of Table X: the design parameters of EIE (reported and projected) and PERMDNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table10Row {
+    /// Design label.
+    pub design: String,
+    /// Number of PEs.
+    pub n_pe: usize,
+    /// Technology node in nm.
+    pub node_nm: f64,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in W.
+    pub power_w: f64,
+}
+
+/// Generates the three rows of Table X.
+pub fn table10_rows() -> Vec<Table10Row> {
+    let eie45 = eie_reported_45nm();
+    let eie28 = eie45.project_to(28.0);
+    let permdnn_cfg = EngineConfig::paper_32pe();
+    let permdnn_cost = engine_cost(&permdnn_cfg);
+    vec![
+        Table10Row {
+            design: "EIE (reported)".into(),
+            n_pe: 64,
+            node_nm: 45.0,
+            clock_mhz: eie45.clock_mhz,
+            area_mm2: eie45.area_mm2.unwrap(),
+            power_w: eie45.power_w,
+        },
+        Table10Row {
+            design: "EIE (projected)".into(),
+            n_pe: 64,
+            node_nm: 28.0,
+            clock_mhz: eie28.clock_mhz,
+            area_mm2: eie28.area_mm2.unwrap(),
+            power_w: eie28.power_w,
+        },
+        Table10Row {
+            design: "PERMDNN".into(),
+            n_pe: permdnn_cfg.n_pe,
+            node_nm: 28.0,
+            clock_mhz: permdnn_cfg.clock_ghz * 1000.0,
+            area_mm2: permdnn_cost.area_mm2,
+            power_w: permdnn_cost.power_w,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::stats::geometric_mean;
+
+    #[test]
+    fn fig12_bands_match_paper_shape() {
+        // Paper: 3.3x–4.8x speedup, 5.9x–8.5x area efficiency, 2.8x–4.0x energy
+        // efficiency over projected EIE on the AlexNet layers. Our EIE model is a
+        // statistical reconstruction, so allow a widened band but require the ordering
+        // and rough magnitudes to hold.
+        let rows = fig12_comparison(42);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.speedup > 2.0 && row.speedup < 7.5,
+                "{}: speedup {} far outside the paper's band",
+                row.workload,
+                row.speedup
+            );
+            // Area efficiency = speedup x (EIE area / PERMDNN area) = speedup x ~1.77.
+            assert!(
+                (row.area_efficiency / row.speedup - 15.7 / 8.85).abs() < 0.05,
+                "area-efficiency ratio should follow the area ratio"
+            );
+            // Energy efficiency = speedup x (EIE power / PERMDNN power) = speedup x ~0.84.
+            assert!(
+                (row.energy_efficiency / row.speedup - 0.59 / 0.7034).abs() < 0.05,
+                "energy-efficiency ratio should follow the power ratio"
+            );
+            assert!(row.area_efficiency > row.speedup, "area ratio favours PERMDNN");
+            assert!(row.energy_efficiency < row.area_efficiency);
+        }
+        let gmean = geometric_mean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+        assert!(gmean > 2.5 && gmean < 6.5, "geometric-mean speedup {gmean}");
+    }
+
+    #[test]
+    fn full_comparison_covers_all_layers() {
+        let rows = full_comparison(7);
+        assert_eq!(rows.len(), 6);
+        // NMT layers (dense activations) still favour PERMDNN thanks to no indexing /
+        // imbalance overheads and higher clock per PE count.
+        for row in rows.iter().filter(|r| r.workload.starts_with("NMT")) {
+            assert!(row.speedup > 1.0, "{}: {}", row.workload, row.speedup);
+        }
+    }
+
+    #[test]
+    fn fig13_scalability_is_monotone_and_near_linear() {
+        let points = fig13_scalability(&[8, 16, 32, 64, 128, 256]);
+        assert_eq!(points.len(), 6);
+        // Speedups grow with PE count for every workload.
+        for w_idx in 0..TABLE7_WORKLOADS.len() {
+            let mut prev = 0.0;
+            for point in &points {
+                let s = point.speedups[w_idx].1;
+                assert!(s >= prev, "speedup must not decrease with more PEs");
+                prev = s;
+            }
+        }
+        // At 256 PEs (32x more than the 8-PE baseline) the speedup is large for the big
+        // layers; the paper's Fig. 13 shows near-linear scaling.
+        let last = &points[5];
+        let fc6 = last
+            .speedups
+            .iter()
+            .find(|(n, _)| n == "Alex-FC6")
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert!(fc6 > 12.0, "Alex-FC6 speedup at 256 PEs: {fc6}");
+    }
+
+    #[test]
+    fn table10_matches_paper() {
+        let rows = table10_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].clock_mhz, 800.0);
+        assert!((rows[1].clock_mhz - 1285.0).abs() < 2.0);
+        assert!((rows[1].area_mm2 - 15.7).abs() < 0.2);
+        assert_eq!(rows[2].n_pe, 32);
+        assert!((rows[2].area_mm2 - 8.85).abs() < 0.03);
+        assert!((rows[2].power_w - 0.7034).abs() < 0.002);
+    }
+}

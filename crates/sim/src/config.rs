@@ -1,0 +1,164 @@
+//! Design-configuration parameters (Table VIII of the paper).
+
+/// Per-PE configuration parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeConfig {
+    /// Number of 16-bit multipliers per PE (`N_MUL`, 8 in the paper's design).
+    pub n_mul: usize,
+    /// Number of 24-bit accumulators per PE (`N_ACC`, 128 in the paper's design).
+    pub n_acc: usize,
+    /// Multiplier operand width in bits.
+    pub mul_width_bits: u32,
+    /// Accumulator width in bits.
+    pub acc_width_bits: u32,
+    /// Number of weight-SRAM sub-banks per PE (16 in the paper's design).
+    pub weight_sram_subbanks: usize,
+    /// Width of each weight-SRAM sub-bank in bits (32 in the paper's design).
+    pub weight_sram_width_bits: u32,
+    /// Depth (rows) of each weight-SRAM sub-bank (2048 in the paper's design).
+    pub weight_sram_depth: usize,
+    /// Width of the permutation SRAM in bits (48 in the paper's design).
+    pub perm_sram_width_bits: u32,
+    /// Depth of the permutation SRAM (2048 in the paper's design).
+    pub perm_sram_depth: usize,
+}
+
+impl Default for PeConfig {
+    fn default() -> Self {
+        PeConfig {
+            n_mul: 8,
+            n_acc: 128,
+            mul_width_bits: 16,
+            acc_width_bits: 24,
+            weight_sram_subbanks: 16,
+            weight_sram_width_bits: 32,
+            weight_sram_depth: 2048,
+            perm_sram_width_bits: 48,
+            perm_sram_depth: 2048,
+        }
+    }
+}
+
+impl PeConfig {
+    /// Total weight-SRAM capacity per PE in bytes (128 KB in the paper's design).
+    pub fn weight_sram_bytes(&self) -> usize {
+        self.weight_sram_subbanks * self.weight_sram_width_bits as usize / 8 * self.weight_sram_depth
+    }
+
+    /// Total permutation-SRAM capacity per PE in bytes (12 KB in the paper's design).
+    pub fn perm_sram_bytes(&self) -> usize {
+        self.perm_sram_width_bits as usize / 8 * self.perm_sram_depth
+    }
+
+    /// Number of 4-bit weight tags one PE can hold with the weight-sharing strategy.
+    pub fn weight_capacity_4bit(&self) -> usize {
+        self.weight_sram_bytes() * 2
+    }
+}
+
+/// Whole-engine configuration parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Per-PE parameters.
+    pub pe: PeConfig,
+    /// Number of PEs (`N_PE`, 32 in the paper's design).
+    pub n_pe: usize,
+    /// Clock frequency in GHz (1.2 in the paper's design).
+    pub clock_ghz: f64,
+    /// Quantization width in bits (16).
+    pub quant_bits: u32,
+    /// Weight-sharing tag width in bits (4).
+    pub weight_sharing_bits: u32,
+    /// Number of pipeline stages (5).
+    pub pipeline_stages: usize,
+    /// Number of activation SRAM banks (`N_ACTMB`, 8).
+    pub act_sram_banks: usize,
+    /// Activation SRAM bank width in bits (`W_ACTM`, 64).
+    pub act_sram_width_bits: u32,
+    /// Activation SRAM bank depth (2048).
+    pub act_sram_depth: usize,
+    /// Activation FIFO depth (32 entries of 32 bits).
+    pub act_fifo_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pe: PeConfig::default(),
+            n_pe: 32,
+            clock_ghz: 1.2,
+            quant_bits: 16,
+            weight_sharing_bits: 4,
+            pipeline_stages: 5,
+            act_sram_banks: 8,
+            act_sram_width_bits: 64,
+            act_sram_depth: 2048,
+            act_fifo_depth: 32,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's 32-PE reference design (Table VIII).
+    pub fn paper_32pe() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Same PE micro-architecture with a different PE count (the scalability study of
+    /// Fig. 13).
+    pub fn with_pes(n_pe: usize) -> Self {
+        EngineConfig {
+            n_pe,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Total multipliers in the engine.
+    pub fn total_multipliers(&self) -> usize {
+        self.n_pe * self.pe.n_mul
+    }
+
+    /// Peak throughput in GOPS on the *compressed* model: every multiplier performs one
+    /// multiply and one accumulate per cycle (614.4 GOPS for the paper's design).
+    pub fn peak_gops_compressed(&self) -> f64 {
+        2.0 * self.total_multipliers() as f64 * self.clock_ghz
+    }
+
+    /// Activation SRAM capacity in bytes (128 KB in the paper's design).
+    pub fn act_sram_bytes(&self) -> usize {
+        self.act_sram_banks * self.act_sram_width_bits as usize / 8 * self.act_sram_depth
+    }
+
+    /// Largest compressed layer (number of stored weights) the engine can hold with
+    /// 4-bit weight sharing across all PEs (8M for the paper's design).
+    pub fn max_compressed_weights_4bit(&self) -> usize {
+        self.n_pe * self.pe.weight_capacity_4bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_derived_quantities() {
+        let cfg = EngineConfig::paper_32pe();
+        // 128 KB weight SRAM and 12 KB permutation SRAM per PE.
+        assert_eq!(cfg.pe.weight_sram_bytes(), 128 * 1024);
+        assert_eq!(cfg.pe.perm_sram_bytes(), 12 * 1024);
+        // 128 KB activation SRAM for the engine (16-bit 64K-entry vector).
+        assert_eq!(cfg.act_sram_bytes(), 128 * 1024);
+        // 614.4 GOPS peak on the compressed model (Section V-B).
+        assert!((cfg.peak_gops_compressed() - 614.4).abs() < 1e-9);
+        // 8M-parameter compressed capacity with 4-bit weight sharing (Section V-B).
+        assert_eq!(cfg.max_compressed_weights_4bit(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn with_pes_scales_only_pe_count() {
+        let cfg = EngineConfig::with_pes(64);
+        assert_eq!(cfg.n_pe, 64);
+        assert_eq!(cfg.pe, PeConfig::default());
+        assert!((cfg.peak_gops_compressed() - 2.0 * 64.0 * 8.0 * 1.2).abs() < 1e-9);
+    }
+}

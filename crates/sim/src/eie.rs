@@ -1,0 +1,236 @@
+//! Cycle-level model of EIE, the unstructured-sparse FC accelerator PermDNN compares
+//! against (Han et al., ISCA 2016; Section V-C of the PermDNN paper).
+//!
+//! EIE stores the pruned weight matrix in an interleaved CSC format (4-bit shared weight
+//! + 4-bit relative row index per entry) and processes it column-wise: every non-zero
+//! input activation is broadcast, and each PE walks the non-zeros of its rows of that
+//! column at one entry per cycle. Two overheads distinguish it from PERMDNN:
+//!
+//! 1. **Load imbalance** — unstructured pruning gives different PEs different numbers of
+//!    non-zeros per column. Per-PE activation queues smooth this over a window of
+//!    columns, but the slowest PE still gates progress at window boundaries.
+//! 2. **Padding entries** — the 4-bit relative index can only skip 15 zero rows, so long
+//!    zero runs cost explicit padding entries that occupy storage and multiply cycles.
+//!
+//! Both effects are reproduced here by a seeded statistical simulation of the pruned
+//! matrix (the paper's AlexNet matrices themselves are not available); the weight
+//! *density* and activation sparsity come from Table VII so the workload is identical to
+//! the PERMDNN engine's.
+
+use rand::Rng;
+use rand_chacha::ChaCha20Rng;
+
+use crate::workload::FcWorkload;
+
+/// EIE design parameters (the reference 64-PE design, Table X).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EieConfig {
+    /// Number of PEs (64 in the reference design).
+    pub n_pe: usize,
+    /// Clock frequency in GHz *after technology projection* (1.285 GHz at 28 nm).
+    pub clock_ghz: f64,
+    /// Relative-index width in bits (4): zero runs longer than `2^bits − 1` need padding.
+    pub relative_index_bits: u32,
+    /// Depth of the per-PE activation queue, in columns, used to smooth load imbalance.
+    pub queue_window_columns: usize,
+}
+
+impl Default for EieConfig {
+    fn default() -> Self {
+        EieConfig {
+            n_pe: 64,
+            clock_ghz: 1.285,
+            relative_index_bits: 4,
+            queue_window_columns: 6,
+        }
+    }
+}
+
+impl EieConfig {
+    /// The 64-PE EIE design projected to 28 nm (Table X).
+    pub fn projected_28nm() -> Self {
+        EieConfig::default()
+    }
+
+    /// The original 45 nm design point (800 MHz).
+    pub fn reported_45nm() -> Self {
+        EieConfig {
+            clock_ghz: 0.8,
+            ..EieConfig::default()
+        }
+    }
+}
+
+/// Result of simulating one FC layer on EIE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EieResult {
+    /// Total cycles to produce the layer's output.
+    pub cycles: u64,
+    /// Useful multiply-accumulates (real non-zero weight × non-zero activation).
+    pub useful_macs: u64,
+    /// Padding entries processed (wasted cycles and storage).
+    pub padding_entries: u64,
+    /// Columns processed (non-zero activations).
+    pub processed_columns: u64,
+    /// Ratio of bottlenecked to perfectly balanced cycles (1.0 = no imbalance).
+    pub imbalance_factor: f64,
+    /// Wall-clock latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// Simulates one FC layer on EIE with a seeded random sparsity pattern whose density
+/// matches the workload's weight density (`1/p`).
+pub fn simulate_layer(config: &EieConfig, workload: &FcWorkload, rng: &mut ChaCha20Rng) -> EieResult {
+    let density = workload.weight_density();
+    let nonzero_cols =
+        (workload.cols as f64 * workload.activation_nonzero_fraction).round() as usize;
+    let rows_per_pe = workload.rows.div_ceil(config.n_pe);
+    let max_skip = (1usize << config.relative_index_bits) - 1;
+
+    let mut total_cycles = 0u64;
+    let mut useful_macs = 0u64;
+    let mut padding_total = 0u64;
+    let mut balanced_cycles_accum = 0f64;
+
+    // Process active columns in queue-sized windows; within a window each PE's work
+    // accumulates, and the window completes when the slowest PE finishes.
+    let window = config.queue_window_columns.max(1);
+    let mut col = 0usize;
+    while col < nonzero_cols {
+        let cols_here = window.min(nonzero_cols - col);
+        let mut per_pe = vec![0u64; config.n_pe];
+        for _ in 0..cols_here {
+            for pe_work in per_pe.iter_mut() {
+                // Sample this PE's segment of the column: `rows_per_pe` Bernoulli rows.
+                let mut zero_run = 0usize;
+                let mut entries = 0u64;
+                let mut padding = 0u64;
+                for _ in 0..rows_per_pe {
+                    if rng.gen_bool(density) {
+                        // Long zero runs force padding entries first.
+                        padding += (zero_run / (max_skip + 1)) as u64;
+                        zero_run = 0;
+                        entries += 1;
+                    } else {
+                        zero_run += 1;
+                    }
+                }
+                useful_macs += entries;
+                padding_total += padding;
+                *pe_work += entries + padding;
+            }
+        }
+        let slowest = per_pe.iter().copied().max().unwrap_or(0);
+        let mean = per_pe.iter().sum::<u64>() as f64 / config.n_pe as f64;
+        total_cycles += slowest;
+        balanced_cycles_accum += mean;
+        col += cols_here;
+    }
+
+    let imbalance_factor = if balanced_cycles_accum > 0.0 {
+        total_cycles as f64 / balanced_cycles_accum
+    } else {
+        1.0
+    };
+    let latency_us = total_cycles as f64 / (config.clock_ghz * 1e3);
+    EieResult {
+        cycles: total_cycles,
+        useful_macs,
+        padding_entries: padding_total,
+        processed_columns: nonzero_cols as u64,
+        imbalance_factor,
+        latency_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::workload_by_name;
+    use pd_tensor::init::seeded_rng;
+
+    fn small_workload(act: f64, p: usize) -> FcWorkload {
+        FcWorkload {
+            name: "small",
+            rows: 512,
+            cols: 512,
+            p,
+            activation_nonzero_fraction: act,
+            description: "test",
+        }
+    }
+
+    #[test]
+    fn useful_macs_track_density() {
+        let cfg = EieConfig::default();
+        let w = small_workload(1.0, 10);
+        let r = simulate_layer(&cfg, &w, &mut seeded_rng(1));
+        let expected = (512.0 * 512.0 * 0.1) as f64;
+        let got = r.useful_macs as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "expected ~{expected} useful MACs, got {got}"
+        );
+    }
+
+    #[test]
+    fn imbalance_factor_exceeds_one() {
+        let cfg = EieConfig::default();
+        let w = workload_by_name("Alex-FC7").unwrap();
+        let r = simulate_layer(&cfg, &w, &mut seeded_rng(2));
+        assert!(
+            r.imbalance_factor > 1.1,
+            "unstructured sparsity should show imbalance, got {}",
+            r.imbalance_factor
+        );
+        assert!(r.padding_entries > 0, "4-bit indices should force some padding");
+    }
+
+    #[test]
+    fn deeper_queues_reduce_imbalance() {
+        let w = workload_by_name("Alex-FC7").unwrap();
+        let shallow = simulate_layer(
+            &EieConfig {
+                queue_window_columns: 1,
+                ..EieConfig::default()
+            },
+            &w,
+            &mut seeded_rng(3),
+        );
+        let deep = simulate_layer(
+            &EieConfig {
+                queue_window_columns: 16,
+                ..EieConfig::default()
+            },
+            &w,
+            &mut seeded_rng(3),
+        );
+        assert!(deep.imbalance_factor < shallow.imbalance_factor);
+    }
+
+    #[test]
+    fn zero_skipping_scales_cycles() {
+        let cfg = EieConfig::default();
+        let dense_in = simulate_layer(&cfg, &small_workload(1.0, 10), &mut seeded_rng(4));
+        let sparse_in = simulate_layer(&cfg, &small_workload(0.5, 10), &mut seeded_rng(4));
+        let ratio = dense_in.cycles as f64 / sparse_in.cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "cycle ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = EieConfig::default();
+        let w = small_workload(0.5, 8);
+        let a = simulate_layer(&cfg, &w, &mut seeded_rng(7));
+        let b = simulate_layer(&cfg, &w, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_follows_clock() {
+        let w = small_workload(1.0, 8);
+        let proj = simulate_layer(&EieConfig::projected_28nm(), &w, &mut seeded_rng(8));
+        let orig = simulate_layer(&EieConfig::reported_45nm(), &w, &mut seeded_rng(8));
+        assert!(orig.latency_us > proj.latency_us);
+    }
+}

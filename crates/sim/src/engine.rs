@@ -1,0 +1,271 @@
+//! Cycle-level model of the PERMDNN computing engine (Section IV).
+//!
+//! The engine processes an FC layer column by column: every *non-zero* input activation
+//! is broadcast to all PEs (zero activations are dropped by the zero-detector before they
+//! reach the FIFO), and each PE multiplies it with the non-zero weights of the
+//! corresponding weight-matrix column that fall in the PE's block rows. Because each
+//! `p × p` permuted-diagonal block contributes exactly one non-zero per column, every PE
+//! handles exactly `⌈N_ROWPE / p⌉` weights per column — there is no load imbalance and no
+//! index decoding. With `N_MUL` multipliers a PE needs `⌈N_ROWPE / (p·N_MUL)⌉` cycles per
+//! column (Case 1), more when the accumulator file is too small to hold all its outputs
+//! (Case 2), and it can process several columns per cycle when a column's work does not
+//! fill the multipliers (Case 3).
+
+use crate::config::EngineConfig;
+use crate::workload::FcWorkload;
+
+/// Which of the Section IV-D scheduling cases applies to a (config, workload) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingCase {
+    /// `N_ROWPE ≥ p·N_MUL` and `N_ACC ≥ N_ROWPE`: continuous column-wise processing.
+    Case1,
+    /// `N_ROWPE ≥ p·N_MUL` but `N_ACC < N_ROWPE`: columns must be processed in several
+    /// passes, releasing accumulators between passes.
+    Case2,
+    /// `N_ROWPE < p·N_MUL`: a PE can process multiple columns simultaneously.
+    Case3,
+}
+
+/// Result of simulating one FC layer on the PERMDNN engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineResult {
+    /// Total cycles to produce the layer's output vector.
+    pub cycles: u64,
+    /// Useful multiply-accumulate operations performed (non-zero weight × non-zero
+    /// activation).
+    pub useful_macs: u64,
+    /// Multiplier issue slots left idle (cycles × total multipliers − useful MACs).
+    pub wasted_mul_slots: u64,
+    /// Columns actually processed (non-zero input activations).
+    pub processed_columns: u64,
+    /// Columns skipped by the zero-detector.
+    pub skipped_columns: u64,
+    /// Weight-SRAM row reads across all PEs.
+    pub weight_sram_reads: u64,
+    /// Activation-SRAM reads (one per processed activation).
+    pub act_sram_reads: u64,
+    /// The scheduling case the engine operated in.
+    pub scheduling_case: SchedulingCase,
+    /// Wall-clock latency in microseconds at the configured clock.
+    pub latency_us: f64,
+}
+
+impl EngineResult {
+    /// Effective throughput on the compressed model in GOPS (2 ops per MAC).
+    pub fn effective_gops(&self, config: &EngineConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        2.0 * self.useful_macs as f64 / (self.cycles as f64 / (config.clock_ghz * 1e9)) / 1e9
+    }
+
+    /// Multiplier utilisation in `[0, 1]`.
+    pub fn multiplier_utilisation(&self, config: &EngineConfig) -> f64 {
+        let slots = self.cycles * config.total_multipliers() as u64;
+        if slots == 0 {
+            0.0
+        } else {
+            self.useful_macs as f64 / slots as f64
+        }
+    }
+}
+
+/// Classifies the scheduling case for a (config, workload) pair (Section IV-D).
+pub fn scheduling_case(config: &EngineConfig, workload: &FcWorkload) -> SchedulingCase {
+    let n_rowpe = workload.rows.div_ceil(config.n_pe);
+    let p_nmul = workload.p * config.pe.n_mul;
+    if n_rowpe < p_nmul {
+        SchedulingCase::Case3
+    } else if config.pe.n_acc >= n_rowpe {
+        SchedulingCase::Case1
+    } else {
+        SchedulingCase::Case2
+    }
+}
+
+/// Simulates one FC layer with the workload's nominal activation sparsity.
+pub fn simulate_layer(config: &EngineConfig, workload: &FcWorkload) -> EngineResult {
+    let nonzero_cols =
+        (workload.cols as f64 * workload.activation_nonzero_fraction).round() as u64;
+    simulate_layer_with_columns(config, workload, nonzero_cols)
+}
+
+/// Simulates one FC layer with an explicit number of non-zero input activations (used by
+/// the input-sparsity sweep and by the functional cross-check tests).
+pub fn simulate_layer_with_columns(
+    config: &EngineConfig,
+    workload: &FcWorkload,
+    nonzero_cols: u64,
+) -> EngineResult {
+    let case = scheduling_case(config, workload);
+    let n_rowpe = workload.rows.div_ceil(config.n_pe);
+
+    // Case 2: the accumulator file holds N_ACC running outputs; if a PE is responsible
+    // for more rows than that, the activation stream must be replayed in passes.
+    let passes = n_rowpe.div_ceil(config.pe.n_acc).max(1) as u64;
+    let rows_per_pass = n_rowpe.div_ceil(passes as usize);
+    let weights_per_col_per_pass = rows_per_pass.div_ceil(workload.p).max(1);
+
+    let n_mul = config.pe.n_mul;
+    let cycles_columns = if weights_per_col_per_pass >= n_mul {
+        // Cases 1 and 2: one or more cycles per column, `passes` sweeps over the columns.
+        let cycles_per_col = weights_per_col_per_pass.div_ceil(n_mul) as u64;
+        passes * nonzero_cols * cycles_per_col
+    } else {
+        // Case 3: several columns fit into the multipliers each cycle.
+        let cols_per_cycle = (n_mul / weights_per_col_per_pass).max(1) as u64;
+        passes * nonzero_cols.div_ceil(cols_per_cycle)
+    };
+    let cycles = cycles_columns + config.pipeline_stages as u64;
+
+    // Useful MACs: every processed column touches one stored weight per block row that
+    // falls inside the logical matrix.
+    let useful_macs = nonzero_cols * (workload.rows as f64 / workload.p as f64).ceil() as u64;
+    let total_mul_slots = cycles * config.total_multipliers() as u64;
+    let wasted = total_mul_slots.saturating_sub(useful_macs);
+
+    // Weight SRAM: each PE reads one sub-bank row per cycle it is actively multiplying
+    // (the transpose-like layout of Fig. 8 packs N_MUL weights per row).
+    let weight_sram_reads = cycles_columns * config.n_pe as u64;
+    let act_sram_reads = nonzero_cols;
+
+    let latency_us = cycles as f64 / (config.clock_ghz * 1e3);
+    EngineResult {
+        cycles,
+        useful_macs,
+        wasted_mul_slots: wasted,
+        processed_columns: nonzero_cols,
+        skipped_columns: workload.cols as u64 - nonzero_cols,
+        weight_sram_reads,
+        act_sram_reads,
+        scheduling_case: case,
+        latency_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{workload_by_name, TABLE7_WORKLOADS};
+    use pd_tensor::init::seeded_rng;
+    use permdnn_core::matvec::matvec_column_wise;
+    use permdnn_core::sparsity::exact_sparsity_vector;
+    use permdnn_core::BlockPermDiagMatrix;
+
+    #[test]
+    fn paper_design_runs_case1_on_benchmarks() {
+        let cfg = EngineConfig::paper_32pe();
+        for w in &TABLE7_WORKLOADS {
+            let case = scheduling_case(&cfg, w);
+            assert_eq!(
+                case,
+                SchedulingCase::Case1,
+                "{} should run in Case 1 on the 32-PE design",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn small_accumulator_file_triggers_case2() {
+        let mut cfg = EngineConfig::paper_32pe();
+        cfg.pe.n_acc = 16; // N_ROWPE for Alex-FC6 is 128 > 16
+        let w = workload_by_name("Alex-FC6").unwrap();
+        assert_eq!(scheduling_case(&cfg, &w), SchedulingCase::Case2);
+        // Case 2 costs more cycles than Case 1 for the same workload.
+        let case2 = simulate_layer(&cfg, &w);
+        let case1 = simulate_layer(&EngineConfig::paper_32pe(), &w);
+        assert!(case2.cycles > case1.cycles);
+    }
+
+    #[test]
+    fn very_sparse_model_triggers_case3() {
+        let cfg = EngineConfig::paper_32pe();
+        let w = FcWorkload {
+            name: "tiny",
+            rows: 512,
+            cols: 512,
+            p: 64,
+            activation_nonzero_fraction: 1.0,
+            description: "synthetic very sparse layer",
+        };
+        // N_ROWPE = 16 < p * N_MUL = 512.
+        assert_eq!(scheduling_case(&cfg, &w), SchedulingCase::Case3);
+        let r = simulate_layer(&cfg, &w);
+        // Case 3 processes multiple columns per cycle: fewer cycles than columns.
+        assert!(r.cycles < 512 + cfg.pipeline_stages as u64 + 1);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_nonzero_activations() {
+        let cfg = EngineConfig::paper_32pe();
+        let w = workload_by_name("Alex-FC6").unwrap();
+        let full = simulate_layer_with_columns(&cfg, &w, 9216);
+        let half = simulate_layer_with_columns(&cfg, &w, 4608);
+        let ratio = (full.cycles - cfg.pipeline_stages as u64) as f64
+            / (half.cycles - cfg.pipeline_stages as u64) as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "zero skipping is linear: {ratio}");
+        assert_eq!(full.skipped_columns, 0);
+        assert_eq!(half.skipped_columns, 4608);
+    }
+
+    #[test]
+    fn doubling_pes_roughly_halves_cycles() {
+        let w = workload_by_name("Alex-FC6").unwrap();
+        let c32 = simulate_layer(&EngineConfig::with_pes(32), &w);
+        let c64 = simulate_layer(&EngineConfig::with_pes(64), &w);
+        let speedup = c32.cycles as f64 / c64.cycles as f64;
+        assert!(speedup > 1.8 && speedup <= 2.05, "scalability speedup {speedup}");
+    }
+
+    #[test]
+    fn useful_macs_match_functional_kernel() {
+        // Cross-check the analytical MAC count against the functional column-wise kernel
+        // on a small layer.
+        let cfg = EngineConfig {
+            n_pe: 4,
+            ..EngineConfig::paper_32pe()
+        };
+        let w = FcWorkload {
+            name: "small",
+            rows: 64,
+            cols: 96,
+            p: 4,
+            activation_nonzero_fraction: 0.5,
+            description: "functional cross-check",
+        };
+        let matrix = BlockPermDiagMatrix::random(64, 96, 4, &mut seeded_rng(1));
+        let x = exact_sparsity_vector(&mut seeded_rng(2), 96, 0.5);
+        let (_, processed) = matvec_column_wise(&matrix, &x).unwrap();
+        let result = simulate_layer_with_columns(&cfg, &w, processed as u64);
+        assert_eq!(result.processed_columns, processed as u64);
+        // Each processed column touches rows/p = 16 stored weights.
+        assert_eq!(result.useful_macs, processed as u64 * 16);
+    }
+
+    #[test]
+    fn throughput_and_utilisation_are_bounded() {
+        let cfg = EngineConfig::paper_32pe();
+        for w in &TABLE7_WORKLOADS {
+            let r = simulate_layer(&cfg, w);
+            let gops = r.effective_gops(&cfg);
+            assert!(gops > 0.0 && gops <= cfg.peak_gops_compressed() + 1e-9,
+                "{}: {gops} GOPS exceeds peak", w.name);
+            let util = r.multiplier_utilisation(&cfg);
+            assert!(util > 0.0 && util <= 1.0);
+        }
+    }
+
+    #[test]
+    fn latency_uses_clock_frequency() {
+        let w = workload_by_name("NMT-1").unwrap();
+        let fast = simulate_layer(&EngineConfig::paper_32pe(), &w);
+        let slow_cfg = EngineConfig {
+            clock_ghz: 0.6,
+            ..EngineConfig::paper_32pe()
+        };
+        let slow = simulate_layer(&slow_cfg, &w);
+        assert_eq!(fast.cycles, slow.cycles);
+        assert!((slow.latency_us / fast.latency_us - 2.0).abs() < 1e-9);
+    }
+}

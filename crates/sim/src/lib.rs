@@ -1,0 +1,44 @@
+//! Hardware-architecture simulation for the PermDNN reproduction.
+//!
+//! The paper's evaluation (Section V) implements a 32-PE PERMDNN engine in 28 nm CMOS and
+//! compares it against EIE (the state-of-the-art unstructured-sparse FC accelerator) and
+//! CIRCNN (the block-circulant/FFT accelerator). Synthesis tools and silicon are not
+//! available here, so this crate substitutes:
+//!
+//! * a **cycle-level model of the PERMDNN engine** ([`engine`]) driven by the actual
+//!   dataflow — column-wise processing with input zero-skipping, `N_MUL` multipliers and
+//!   `N_ACC` accumulators per PE, the three scheduling cases of Section IV-D, and
+//!   banked-SRAM access counting ([`sram`], [`schedule`]);
+//! * a **cycle-level model of EIE** ([`eie`]) executing the same layers from their
+//!   unstructured-sparse form (CSC with 4+4-bit entries, per-column load imbalance,
+//!   padding entries for long zero runs);
+//! * an **analytical CIRCNN model** ([`circnn`]) using the paper's own published
+//!   throughput/energy numbers plus a first-principles complex-arithmetic estimate;
+//! * an **area/power model** ([`power`]) with per-component constants calibrated to the
+//!   paper's Table IX breakdown, and the standard **technology projection** rules
+//!   ([`project`]) used to bring 45 nm designs to 28 nm (Table X footnote);
+//! * the **benchmark workloads** of Table VII ([`workload`]) and the comparison
+//!   generators behind Tables X–XI and Figs. 12–13 ([`comparison`]).
+//!
+//! The absolute numbers are model outputs, not silicon measurements; EXPERIMENTS.md
+//! records how the *shape* of every comparison (who wins, by roughly what factor) lines
+//! up with the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circnn;
+pub mod comparison;
+pub mod config;
+pub mod eie;
+pub mod engine;
+pub mod metrics;
+pub mod power;
+pub mod project;
+pub mod schedule;
+pub mod sram;
+pub mod workload;
+
+pub use config::{EngineConfig, PeConfig};
+pub use engine::{simulate_layer, EngineResult};
+pub use workload::{FcWorkload, TABLE7_WORKLOADS};

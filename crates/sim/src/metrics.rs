@@ -1,0 +1,135 @@
+//! Throughput, area-efficiency and energy-efficiency metrics (the axes of Fig. 12 and
+//! Tables X–XI).
+
+/// The "equivalent dense" conversion factors the paper uses when quoting TOPS on the
+/// uncompressed network: PERMDNN conservatively assumes 8× weight sparsity and 3×
+/// activation sparsity (Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalenceFactors {
+    /// Assumed weight-compression factor.
+    pub weight: f64,
+    /// Assumed dynamic activation-sparsity factor.
+    pub activation: f64,
+}
+
+impl EquivalenceFactors {
+    /// PERMDNN's conservative conversion (8× weight, 3× activation).
+    pub fn permdnn_conservative() -> Self {
+        EquivalenceFactors {
+            weight: 8.0,
+            activation: 3.0,
+        }
+    }
+
+    /// EIE's more optimistic conversion (10× weight, 3× activation), for reference.
+    pub fn eie_optimistic() -> Self {
+        EquivalenceFactors {
+            weight: 10.0,
+            activation: 3.0,
+        }
+    }
+
+    /// Converts compressed-model GOPS to equivalent dense-model TOPS.
+    pub fn equivalent_tops(&self, compressed_gops: f64) -> f64 {
+        compressed_gops * self.weight * self.activation / 1000.0
+    }
+}
+
+/// A labelled performance summary for one design on one workload, used to build the
+/// comparison tables and figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformancePoint {
+    /// Design label ("PERMDNN 32-PE", "EIE 64-PE (28nm)", ...).
+    pub design: String,
+    /// Workload (layer) name.
+    pub workload: String,
+    /// Layer latency in microseconds.
+    pub latency_us: f64,
+    /// Frames (layer evaluations) per second.
+    pub throughput_per_s: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl PerformancePoint {
+    /// Builds a point from a latency measurement plus the design's area and power.
+    pub fn from_latency(
+        design: impl Into<String>,
+        workload: impl Into<String>,
+        latency_us: f64,
+        area_mm2: f64,
+        power_w: f64,
+    ) -> Self {
+        PerformancePoint {
+            design: design.into(),
+            workload: workload.into(),
+            latency_us,
+            throughput_per_s: if latency_us > 0.0 { 1e6 / latency_us } else { 0.0 },
+            area_mm2,
+            power_w,
+        }
+    }
+
+    /// Area efficiency: layer evaluations per second per mm².
+    pub fn area_efficiency(&self) -> f64 {
+        self.throughput_per_s / self.area_mm2
+    }
+
+    /// Energy efficiency: layer evaluations per second per watt (equivalently, layers per
+    /// joule).
+    pub fn energy_efficiency(&self) -> f64 {
+        self.throughput_per_s / self.power_w
+    }
+
+    /// Speedup of `self` over `baseline` (throughput ratio).
+    pub fn speedup_over(&self, baseline: &PerformancePoint) -> f64 {
+        self.throughput_per_s / baseline.throughput_per_s
+    }
+
+    /// Area-efficiency ratio over a baseline.
+    pub fn area_efficiency_over(&self, baseline: &PerformancePoint) -> f64 {
+        self.area_efficiency() / baseline.area_efficiency()
+    }
+
+    /// Energy-efficiency ratio over a baseline.
+    pub fn energy_efficiency_over(&self, baseline: &PerformancePoint) -> f64 {
+        self.energy_efficiency() / baseline.energy_efficiency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_equivalent_tops() {
+        // 614.4 GOPS compressed × 8 × 3 = 14.74 TOPS (Section V-B).
+        let eq = EquivalenceFactors::permdnn_conservative();
+        let tops = eq.equivalent_tops(614.4);
+        assert!((tops - 14.74).abs() < 0.01, "{tops}");
+        // EIE's own conversion is more optimistic.
+        assert!(EquivalenceFactors::eie_optimistic().equivalent_tops(614.4) > tops);
+    }
+
+    #[test]
+    fn ratios_are_consistent() {
+        let a = PerformancePoint::from_latency("A", "L", 10.0, 8.85, 0.7);
+        let b = PerformancePoint::from_latency("B", "L", 40.0, 15.7, 0.59);
+        let speedup = a.speedup_over(&b);
+        assert!((speedup - 4.0).abs() < 1e-9);
+        let area_eff = a.area_efficiency_over(&b);
+        assert!((area_eff - 4.0 * 15.7 / 8.85).abs() < 1e-9);
+        let energy_eff = a.energy_efficiency_over(&b);
+        assert!((energy_eff - 4.0 * 0.59 / 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_from_latency() {
+        let p = PerformancePoint::from_latency("A", "L", 100.0, 1.0, 1.0);
+        assert!((p.throughput_per_s - 10_000.0).abs() < 1e-6);
+        let zero = PerformancePoint::from_latency("A", "L", 0.0, 1.0, 1.0);
+        assert_eq!(zero.throughput_per_s, 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Technology-node projection (footnote 10 of the paper).
+//!
+//! To compare designs reported at different process nodes, the paper follows EIE's own
+//! projection rule: clock frequency scales linearly with feature size, area scales
+//! quadratically, and power is kept constant. These helpers implement exactly that rule
+//! and reproduce the projected EIE and CIRCNN rows of Tables X and XI.
+
+/// A design point at a particular technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Feature size in nanometres.
+    pub node_nm: f64,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Die area in mm² (`None` when the source paper does not report it).
+    pub area_mm2: Option<f64>,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl DesignPoint {
+    /// Projects this design point to a new technology node: linear frequency scaling,
+    /// quadratic area scaling, constant power.
+    pub fn project_to(&self, node_nm: f64) -> DesignPoint {
+        let scale = self.node_nm / node_nm;
+        DesignPoint {
+            node_nm,
+            clock_mhz: self.clock_mhz * scale,
+            area_mm2: self.area_mm2.map(|a| a / (scale * scale)),
+            power_w: self.power_w,
+        }
+    }
+}
+
+/// EIE as reported at 45 nm (Table X "reported" column).
+pub fn eie_reported_45nm() -> DesignPoint {
+    DesignPoint {
+        node_nm: 45.0,
+        clock_mhz: 800.0,
+        area_mm2: Some(40.8),
+        power_w: 0.59,
+    }
+}
+
+/// CIRCNN as reported at 45 nm (Table XI "reported" column).
+pub fn circnn_reported_45nm() -> DesignPoint {
+    DesignPoint {
+        node_nm: 45.0,
+        clock_mhz: 200.0,
+        area_mm2: None,
+        power_w: 0.08,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eie_projection_matches_table10() {
+        let projected = eie_reported_45nm().project_to(28.0);
+        // Paper: 1285 MHz, 15.7 mm², 0.59 W at 28 nm.
+        assert!((projected.clock_mhz - 1285.0).abs() < 2.0, "{}", projected.clock_mhz);
+        assert!((projected.area_mm2.unwrap() - 15.7).abs() < 0.2);
+        assert_eq!(projected.power_w, 0.59);
+    }
+
+    #[test]
+    fn circnn_projection_matches_table11() {
+        let projected = circnn_reported_45nm().project_to(28.0);
+        // Paper: 320 MHz at 28 nm, power unchanged at 0.08 W.
+        assert!((projected.clock_mhz - 320.0).abs() < 2.0);
+        assert_eq!(projected.power_w, 0.08);
+        assert!(projected.area_mm2.is_none());
+    }
+
+    #[test]
+    fn projection_to_same_node_is_identity() {
+        let p = eie_reported_45nm();
+        let same = p.project_to(45.0);
+        assert_eq!(p, same);
+    }
+}

@@ -1,0 +1,222 @@
+//! Cycle-by-cycle PE scheduling for small configurations (Fig. 10 of the paper).
+//!
+//! Fig. 10 walks through a 2-PE engine with `N_MUL = 1` and `N_ACC = 4` processing an
+//! 8×8 block-permuted-diagonal matrix, once with `p = 2` (Case 1: each column is processed
+//! continuously in two cycles) and once with `p = 3` (Case 2: the accumulator file cannot
+//! hold a whole column's outputs, so columns are partially processed and revisited). This
+//! module generates those schedules explicitly so they can be printed, inspected and
+//! asserted on.
+
+use permdnn_core::BlockPermDiagMatrix;
+
+/// One multiplier issue in the schedule: which PE, in which cycle, multiplied which
+/// matrix entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledMac {
+    /// Cycle index (0-based).
+    pub cycle: usize,
+    /// PE index.
+    pub pe: usize,
+    /// Weight-matrix row of the non-zero being processed.
+    pub row: usize,
+    /// Weight-matrix column of the non-zero being processed.
+    pub col: usize,
+    /// Pass number (0 for Case 1; ≥ 1 passes occur in Case 2).
+    pub pass: usize,
+}
+
+/// A complete schedule for processing one layer on a small engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// All multiplier issues, ordered by cycle.
+    pub macs: Vec<ScheduledMac>,
+    /// Total cycles used.
+    pub total_cycles: usize,
+    /// Number of passes over the activation vector (1 = Case 1, >1 = Case 2).
+    pub passes: usize,
+}
+
+impl Schedule {
+    /// The multiplier issues of a given cycle.
+    pub fn cycle(&self, cycle: usize) -> Vec<ScheduledMac> {
+        self.macs.iter().copied().filter(|m| m.cycle == cycle).collect()
+    }
+
+    /// Renders the schedule as a per-cycle text listing (the textual analogue of Fig. 10).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} cycles, {} pass(es)\n",
+            self.total_cycles, self.passes
+        ));
+        for c in 0..self.total_cycles {
+            let entries = self.cycle(c);
+            if entries.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("cycle {c:>3}: "));
+            for m in entries {
+                out.push_str(&format!("PE{} w[{},{}] ", m.pe, m.row, m.col));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Generates the column-wise schedule for a small engine processing `matrix` with
+/// `n_pe` PEs, `n_mul` multipliers and `n_acc` accumulators per PE, assuming a dense
+/// input vector (every column processed, as in Fig. 10).
+///
+/// PE `i` owns the block rows `i, i + n_pe, i + 2·n_pe, …` of the matrix (whole block
+/// rows, never split), matching Fig. 5's mapping.
+///
+/// # Panics
+///
+/// Panics if `n_pe`, `n_mul` or `n_acc` is zero.
+pub fn schedule_dense_input(
+    matrix: &BlockPermDiagMatrix,
+    n_pe: usize,
+    n_mul: usize,
+    n_acc: usize,
+) -> Schedule {
+    assert!(n_pe > 0 && n_mul > 0 && n_acc > 0, "engine parameters must be non-zero");
+    let p = matrix.p();
+    // Rows owned by each PE, in block-row interleaved order.
+    let rows_of_pe = |pe: usize| -> Vec<usize> {
+        (0..matrix.block_rows())
+            .filter(|br| br % n_pe == pe)
+            .flat_map(|br| (br * p..((br + 1) * p).min(matrix.rows())).collect::<Vec<_>>())
+            .collect()
+    };
+    let max_rows_per_pe = (0..n_pe).map(|pe| rows_of_pe(pe).len()).max().unwrap_or(0);
+    // Case 2: if a PE owns more rows than accumulators, split its rows into passes.
+    let passes = max_rows_per_pe.div_ceil(n_acc).max(1);
+
+    let mut macs = Vec::new();
+    let mut cycle = 0usize;
+    for pass in 0..passes {
+        for col in 0..matrix.cols() {
+            // Work for this column in this pass, per PE.
+            let mut per_pe_work: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_pe];
+            for (row, _) in matrix.column_nonzeros(col) {
+                let br = row / p;
+                let pe = br % n_pe;
+                let owned = rows_of_pe(pe);
+                let idx_in_pe = owned.iter().position(|&r| r == row).unwrap_or(0);
+                if idx_in_pe / n_acc == pass {
+                    per_pe_work[pe].push((row, col));
+                }
+            }
+            // Issue the work n_mul entries per PE per cycle; all PEs advance in lock step
+            // (they always have the same amount of work: one entry per owned block row).
+            let col_cycles = per_pe_work
+                .iter()
+                .map(|w| w.len().div_ceil(n_mul))
+                .max()
+                .unwrap_or(0);
+            for c in 0..col_cycles {
+                for (pe, work) in per_pe_work.iter().enumerate() {
+                    for &(row, col) in work.iter().skip(c * n_mul).take(n_mul) {
+                        macs.push(ScheduledMac {
+                            cycle: cycle + c,
+                            pe,
+                            row,
+                            col,
+                            pass,
+                        });
+                    }
+                }
+            }
+            cycle += col_cycles;
+        }
+    }
+    Schedule {
+        macs,
+        total_cycles: cycle,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+
+    fn fig10_matrix(p: usize) -> BlockPermDiagMatrix {
+        BlockPermDiagMatrix::random(8, 8, p, &mut seeded_rng(1))
+    }
+
+    #[test]
+    fn fig10a_case1_two_cycles_per_column() {
+        // 2 PEs, N_MUL = 1, N_ACC = 4, p = 2: each PE owns 2 block rows (4 rows ≤ N_ACC),
+        // so processing is continuous (Case 1) and each column takes 2 cycles.
+        let m = fig10_matrix(2);
+        let s = schedule_dense_input(&m, 2, 1, 4);
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.total_cycles, 8 * 2, "two cycles per column");
+        // Every MAC is a structural non-zero of the matrix.
+        for mac in &s.macs {
+            assert_ne!(m.entry(mac.row, mac.col), f32::NAN);
+            let on_diag = (mac.row % 2 + m.perm_at(mac.row, mac.col)) % 2 == mac.col % 2;
+            assert!(on_diag, "scheduled entry must be structural");
+        }
+        // All 32 stored non-zeros are processed exactly once.
+        assert_eq!(s.macs.len(), 8 * 8 / 2);
+    }
+
+    #[test]
+    fn fig10b_case2_requires_multiple_passes() {
+        // p = 3 on an 8x8: block rows of 3 rows; PE0 owns block rows 0 and 2 -> up to 6
+        // rows > N_ACC = 4, so a second pass is required (Case 2).
+        let m = fig10_matrix(3);
+        let s = schedule_dense_input(&m, 2, 1, 4);
+        assert!(s.passes >= 2, "p=3 with N_ACC=4 must trigger Case 2");
+        // Case 2 still processes every structural non-zero exactly once.
+        assert_eq!(s.macs.len(), m.structural_nonzeros());
+        // With enough accumulators the same matrix runs in a single pass (Case 1) and
+        // needs no more cycles than the Case-2 schedule.
+        let case1 = schedule_dense_input(&m, 2, 1, 8);
+        assert_eq!(case1.passes, 1);
+        assert_eq!(case1.macs.len(), s.macs.len());
+        assert!(s.total_cycles >= case1.total_cycles);
+    }
+
+    #[test]
+    fn schedule_covers_each_nonzero_once() {
+        let m = BlockPermDiagMatrix::random(12, 16, 4, &mut seeded_rng(2));
+        let s = schedule_dense_input(&m, 3, 2, 8);
+        let mut seen = std::collections::HashSet::new();
+        for mac in &s.macs {
+            assert!(seen.insert((mac.row, mac.col)), "duplicate MAC at {:?}", (mac.row, mac.col));
+        }
+        assert_eq!(seen.len(), m.structural_nonzeros());
+    }
+
+    #[test]
+    fn more_multipliers_reduce_cycles() {
+        let m = BlockPermDiagMatrix::random(32, 32, 4, &mut seeded_rng(3));
+        let slow = schedule_dense_input(&m, 2, 1, 32);
+        let fast = schedule_dense_input(&m, 2, 4, 32);
+        assert!(fast.total_cycles < slow.total_cycles);
+        assert_eq!(fast.macs.len(), slow.macs.len());
+    }
+
+    #[test]
+    fn text_rendering_mentions_pes_and_cycles() {
+        let m = fig10_matrix(2);
+        let s = schedule_dense_input(&m, 2, 1, 4);
+        let text = s.to_text();
+        assert!(text.contains("cycle"));
+        assert!(text.contains("PE0"));
+        assert!(text.contains("PE1"));
+        assert!(!s.cycle(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parameters_rejected() {
+        let m = fig10_matrix(2);
+        let _ = schedule_dense_input(&m, 0, 1, 4);
+    }
+}

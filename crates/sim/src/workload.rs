@@ -1,0 +1,138 @@
+//! The benchmark FC layers of Table VII and synthetic workload generation.
+
+/// One benchmark FC layer: dimensions, weight compression and activation sparsity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcWorkload {
+    /// Layer name as used in the paper ("Alex-FC6", "NMT-1", ...).
+    pub name: &'static str,
+    /// Number of output neurons (matrix rows `m`).
+    pub rows: usize,
+    /// Number of input neurons (matrix columns `n`).
+    pub cols: usize,
+    /// Permuted-diagonal block size `p` (the weight density is `1/p`).
+    pub p: usize,
+    /// Fraction of input activations that are non-zero (Table VII's "activation" column;
+    /// the paper's footnote: lower means more sparsity).
+    pub activation_nonzero_fraction: f64,
+    /// Short description of the source model.
+    pub description: &'static str,
+}
+
+impl FcWorkload {
+    /// Weight density of the compressed layer (`1 / p`).
+    pub fn weight_density(&self) -> f64 {
+        1.0 / self.p as f64
+    }
+
+    /// Number of stored (non-zero) weights, `m·n/p`.
+    pub fn stored_weights(&self) -> usize {
+        self.rows * self.cols / self.p
+    }
+
+    /// Number of useful multiply-accumulate operations for one inference pass with the
+    /// layer's nominal activation sparsity: `(m/p) · n · activation_density`.
+    pub fn useful_macs(&self) -> f64 {
+        (self.rows as f64 / self.p as f64) * self.cols as f64 * self.activation_nonzero_fraction
+    }
+
+    /// Operations (multiply + add counted separately) the equivalent *dense* layer would
+    /// need: `2·m·n`, the basis of "equivalent TOPS on the uncompressed network".
+    pub fn dense_ops(&self) -> f64 {
+        2.0 * self.rows as f64 * self.cols as f64
+    }
+}
+
+/// The six benchmark layers of Table VII.
+pub const TABLE7_WORKLOADS: [FcWorkload; 6] = [
+    FcWorkload {
+        name: "Alex-FC6",
+        rows: 4096,
+        cols: 9216,
+        p: 10,
+        activation_nonzero_fraction: 0.358,
+        description: "CNN model for image classification",
+    },
+    FcWorkload {
+        name: "Alex-FC7",
+        rows: 4096,
+        cols: 4096,
+        p: 10,
+        activation_nonzero_fraction: 0.206,
+        description: "CNN model for image classification",
+    },
+    FcWorkload {
+        name: "Alex-FC8",
+        rows: 1000,
+        cols: 4096,
+        p: 4,
+        activation_nonzero_fraction: 0.444,
+        description: "CNN model for image classification",
+    },
+    FcWorkload {
+        name: "NMT-1",
+        rows: 2048,
+        cols: 1024,
+        p: 8,
+        activation_nonzero_fraction: 1.0,
+        description: "RNN model for language translation",
+    },
+    FcWorkload {
+        name: "NMT-2",
+        rows: 2048,
+        cols: 1536,
+        p: 8,
+        activation_nonzero_fraction: 1.0,
+        description: "RNN model for language translation",
+    },
+    FcWorkload {
+        name: "NMT-3",
+        rows: 2048,
+        cols: 2048,
+        p: 8,
+        activation_nonzero_fraction: 1.0,
+        description: "RNN model for language translation",
+    },
+];
+
+/// The three AlexNet layers — the subset both EIE and PERMDNN evaluate (Fig. 12).
+pub fn alexnet_workloads() -> Vec<FcWorkload> {
+    TABLE7_WORKLOADS
+        .iter()
+        .filter(|w| w.name.starts_with("Alex"))
+        .copied()
+        .collect()
+}
+
+/// Looks a workload up by name.
+pub fn workload_by_name(name: &str) -> Option<FcWorkload> {
+    TABLE7_WORKLOADS.iter().find(|w| w.name == name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_matches_paper_parameters() {
+        assert_eq!(TABLE7_WORKLOADS.len(), 6);
+        let fc6 = workload_by_name("Alex-FC6").unwrap();
+        assert_eq!((fc6.rows, fc6.cols, fc6.p), (4096, 9216, 10));
+        assert!((fc6.weight_density() - 0.10).abs() < 1e-12);
+        assert!((fc6.activation_nonzero_fraction - 0.358).abs() < 1e-12);
+        let fc8 = workload_by_name("Alex-FC8").unwrap();
+        assert!((fc8.weight_density() - 0.25).abs() < 1e-12);
+        let nmt = workload_by_name("NMT-2").unwrap();
+        assert_eq!(nmt.activation_nonzero_fraction, 1.0);
+        assert!((nmt.weight_density() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_op_counts() {
+        let fc7 = workload_by_name("Alex-FC7").unwrap();
+        assert_eq!(fc7.stored_weights(), 4096 * 4096 / 10);
+        assert!((fc7.dense_ops() - 2.0 * 4096.0 * 4096.0).abs() < 1.0);
+        assert!(fc7.useful_macs() < fc7.stored_weights() as f64);
+        assert_eq!(alexnet_workloads().len(), 3);
+        assert!(workload_by_name("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the architecture models' invariants.
+//!
+//! The cycle models are analytical, so their key properties can be checked over randomly
+//! drawn design points and workloads:
+//!
+//! * more PEs, more multipliers or fewer non-zero activations never *increase* the
+//!   PERMDNN engine's cycle count;
+//! * the engine never exceeds its peak throughput and never reports negative utilisation;
+//! * the functional scheduler and the SRAM layout agree with the matrix's structural
+//!   non-zero count for arbitrary shapes;
+//! * the EIE model's useful MACs track the workload's weight density and its imbalance
+//!   factor is always ≥ 1.
+
+use pd_tensor::init::seeded_rng;
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_sim::eie::{self, EieConfig};
+use permdnn_sim::schedule::schedule_dense_input;
+use permdnn_sim::sram::layout_weight_sram;
+use permdnn_sim::workload::FcWorkload;
+use permdnn_sim::{engine, EngineConfig};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = FcWorkload> {
+    (64usize..=2048, 64usize..=2048, 2usize..=16, 1usize..=10).prop_map(
+        |(rows, cols, p, act_tenths)| FcWorkload {
+            name: "prop",
+            rows,
+            cols,
+            p,
+            activation_nonzero_fraction: act_tenths as f64 / 10.0,
+            description: "property-test workload",
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn more_pes_never_slow_the_engine_down(w in workload_strategy(), n_pe_exp in 3u32..=7) {
+        let small = EngineConfig::with_pes(1 << n_pe_exp);
+        let large = EngineConfig::with_pes(1 << (n_pe_exp + 1));
+        let r_small = engine::simulate_layer(&small, &w);
+        let r_large = engine::simulate_layer(&large, &w);
+        prop_assert!(r_large.cycles <= r_small.cycles);
+    }
+
+    #[test]
+    fn fewer_nonzero_activations_never_cost_more_cycles(w in workload_strategy()) {
+        let cfg = EngineConfig::paper_32pe();
+        let full = engine::simulate_layer_with_columns(&cfg, &w, w.cols as u64);
+        let half = engine::simulate_layer_with_columns(&cfg, &w, (w.cols / 2) as u64);
+        prop_assert!(half.cycles <= full.cycles);
+        prop_assert!(half.useful_macs <= full.useful_macs);
+    }
+
+    #[test]
+    fn throughput_and_utilisation_bounds(w in workload_strategy()) {
+        let cfg = EngineConfig::paper_32pe();
+        let r = engine::simulate_layer(&cfg, &w);
+        let gops = r.effective_gops(&cfg);
+        prop_assert!(gops >= 0.0);
+        prop_assert!(gops <= cfg.peak_gops_compressed() + 1e-6);
+        let util = r.multiplier_utilisation(&cfg);
+        prop_assert!((0.0..=1.0).contains(&util));
+        prop_assert_eq!(r.processed_columns + r.skipped_columns, w.cols as u64);
+    }
+
+    #[test]
+    fn scheduler_and_sram_agree_with_structural_nonzeros(
+        (rows, cols, p, n_pe, seed) in (8usize..=48, 8usize..=48, 2usize..=6, 1usize..=6, 0u64..200)
+    ) {
+        let p = p.min(rows).min(cols);
+        let matrix = BlockPermDiagMatrix::random(rows, cols, p, &mut seeded_rng(seed));
+        let schedule = schedule_dense_input(&matrix, n_pe, 2, 64);
+        prop_assert_eq!(schedule.macs.len(), matrix.structural_nonzeros());
+        let images = layout_weight_sram(&matrix, n_pe);
+        let stored: usize = images.iter().map(|i| i.stored_weights()).sum();
+        prop_assert_eq!(stored, matrix.structural_nonzeros());
+    }
+
+    #[test]
+    fn eie_model_invariants(w in workload_strategy(), seed in 0u64..500) {
+        // Keep the statistical simulation small enough for property testing.
+        let w = FcWorkload { rows: w.rows.min(512), cols: w.cols.min(512), ..w };
+        let r = eie::simulate_layer(&EieConfig::projected_28nm(), &w, &mut seeded_rng(seed));
+        prop_assert!(r.imbalance_factor >= 1.0 - 1e-9);
+        prop_assert!(r.cycles >= r.useful_macs / EieConfig::projected_28nm().n_pe as u64);
+        let expected_macs = w.rows as f64 * w.cols as f64 * w.weight_density()
+            * w.activation_nonzero_fraction;
+        prop_assert!(
+            (r.useful_macs as f64 - expected_macs).abs() < 0.25 * expected_macs + 50.0,
+            "useful MACs {} vs expected ~{}", r.useful_macs, expected_macs
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! 16-bit fixed-point arithmetic used by the paper's quantized models and hardware model.
+//!
+//! The PermDNN hardware (Table VIII) uses a 16-bit quantization scheme with 24-bit
+//! accumulators. [`Q16`] models a signed 16-bit fixed-point value with a configurable
+//! number of fractional bits; [`Accumulator24`] models the PE accumulator width so the
+//! simulator can reason about saturation exactly as the hardware would.
+
+/// A signed 16-bit fixed-point number with `FRAC` fractional bits (Q(15-FRAC).FRAC format).
+///
+/// The default used across the workspace is `Q16<12>` (Q3.12): 1 sign bit, 3 integer bits
+/// and 12 fractional bits, which comfortably covers post-batch-norm activations and
+/// weights of the models we train.
+///
+/// # Example
+///
+/// ```
+/// use pd_tensor::fixed::Q16;
+/// let a: Q16<12> = Q16::from_f32(0.5);
+/// let b: Q16<12> = Q16::from_f32(0.25);
+/// assert!((a.mul(b).to_f32() - 0.125).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q16<const FRAC: u32>(i16);
+
+impl<const FRAC: u32> Q16<FRAC> {
+    /// The smallest representable increment.
+    pub const EPSILON: f32 = 1.0 / (1u32 << FRAC) as f32;
+
+    /// Largest representable value.
+    pub const MAX: f32 = i16::MAX as f32 / (1u32 << FRAC) as f32;
+
+    /// Smallest (most negative) representable value.
+    pub const MIN: f32 = i16::MIN as f32 / (1u32 << FRAC) as f32;
+
+    /// Quantizes an `f32`, rounding to nearest and saturating at the representable range.
+    pub fn from_f32(v: f32) -> Self {
+        let scaled = (v * (1u32 << FRAC) as f32).round();
+        let clamped = scaled.clamp(i16::MIN as f32, i16::MAX as f32);
+        Q16(clamped as i16)
+    }
+
+    /// Builds a value directly from its raw 16-bit representation.
+    pub fn from_raw(raw: i16) -> Self {
+        Q16(raw)
+    }
+
+    /// The raw 16-bit representation.
+    pub fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1u32 << FRAC) as f32
+    }
+
+    /// Saturating fixed-point addition.
+    pub fn add(self, other: Self) -> Self {
+        Q16(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating fixed-point subtraction.
+    pub fn sub(self, other: Self) -> Self {
+        Q16(self.0.saturating_sub(other.0))
+    }
+
+    /// Fixed-point multiplication with rounding, saturating at the representable range.
+    pub fn mul(self, other: Self) -> Self {
+        let wide = self.0 as i32 * other.0 as i32;
+        // Round to nearest by adding half an ulp before the shift.
+        let rounded = (wide + (1 << (FRAC - 1))) >> FRAC;
+        Q16(rounded.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+
+    /// The quantization error committed when representing `v`.
+    pub fn quantization_error(v: f32) -> f32 {
+        (Self::from_f32(v).to_f32() - v).abs()
+    }
+}
+
+/// Quantizes a whole slice to `Q16<FRAC>` and back, returning the dequantized values.
+///
+/// This is the "16-bit fixed with PD" path of Tables II–V: weights are stored in 16-bit
+/// fixed point, and inference error is whatever the round-trip introduces.
+pub fn quantize_dequantize_f32<const FRAC: u32>(values: &[f32]) -> Vec<f32> {
+    values
+        .iter()
+        .map(|&v| Q16::<FRAC>::from_f32(v).to_f32())
+        .collect()
+}
+
+/// A 24-bit saturating accumulator, matching the PE accumulator width in Table VIII.
+///
+/// Products of two 16-bit fixed-point values are accumulated at full precision in a wider
+/// register; this type reproduces the 24-bit width so overflow behaviour can be studied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accumulator24 {
+    value: i32,
+}
+
+impl Accumulator24 {
+    const MAX: i32 = (1 << 23) - 1;
+    const MIN: i32 = -(1 << 23);
+
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Accumulator24 { value: 0 }
+    }
+
+    /// Current raw value (within the signed 24-bit range).
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// Accumulates a raw product, saturating at the 24-bit signed range.
+    pub fn accumulate(&mut self, product: i32) {
+        self.value = (self.value.saturating_add(product)).clamp(Self::MIN, Self::MAX);
+    }
+
+    /// Returns `true` if the accumulator is pinned at either saturation bound.
+    pub fn saturated(&self) -> bool {
+        self.value == Self::MAX || self.value == Self::MIN
+    }
+
+    /// Clears the accumulator (end of a column-processing pass).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q = Q16<12>;
+
+    #[test]
+    fn round_trip_small_values() {
+        for &v in &[0.0f32, 0.5, -0.5, 1.25, -3.75, 0.000_244_140_625] {
+            let q = Q::from_f32(v);
+            assert!((q.to_f32() - v).abs() <= Q::EPSILON / 2.0 + 1e-9, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        let big = Q::from_f32(100.0);
+        assert!((big.to_f32() - Q::MAX).abs() < 1e-6);
+        let small = Q::from_f32(-100.0);
+        assert!((small.to_f32() - Q::MIN).abs() < 1e-6);
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Q::from_f32(1.5);
+        let b = Q::from_f32(0.25);
+        assert!((a.add(b).to_f32() - 1.75).abs() < 1e-3);
+        assert!((a.sub(b).to_f32() - 1.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multiplication_rounds() {
+        let a = Q::from_f32(0.5);
+        let b = Q::from_f32(0.5);
+        assert!((a.mul(b).to_f32() - 0.25).abs() < 1e-3);
+        let c = Q::from_f32(-2.0);
+        assert!((a.mul(c).to_f32() + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn add_saturates_instead_of_wrapping() {
+        let a = Q::from_f32(Q::MAX);
+        let sum = a.add(a);
+        assert!((sum.to_f32() - Q::MAX).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_ulp() {
+        for i in 0..1000 {
+            let v = (i as f32 / 1000.0) * 7.0 - 3.5;
+            assert!(Q::quantization_error(v) <= Q::EPSILON / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_slice() {
+        let vals = vec![0.1, -0.2, 0.33, 3.9];
+        let out = quantize_dequantize_f32::<12>(&vals);
+        assert_eq!(out.len(), vals.len());
+        for (o, v) in out.iter().zip(vals.iter()) {
+            assert!((o - v).abs() <= Q::EPSILON);
+        }
+    }
+
+    #[test]
+    fn accumulator_saturates_at_24_bits() {
+        let mut acc = Accumulator24::new();
+        for _ in 0..10 {
+            acc.accumulate(1 << 22);
+        }
+        assert!(acc.saturated());
+        assert_eq!(acc.value(), (1 << 23) - 1);
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+        for _ in 0..10 {
+            acc.accumulate(-(1 << 22));
+        }
+        assert_eq!(acc.value(), -(1 << 23));
+    }
+}

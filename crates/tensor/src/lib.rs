@@ -1,0 +1,72 @@
+//! Dense linear-algebra substrate for the PermDNN reproduction.
+//!
+//! The PermDNN paper (MICRO 2018) builds structured-sparse layers on top of ordinary dense
+//! matrix and tensor arithmetic. The Rust deep-learning ecosystem is thin, so this crate
+//! provides the minimal — but complete and well-tested — substrate the rest of the
+//! workspace needs:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with the usual arithmetic, matrix-vector and
+//!   matrix-matrix products, transposition, slicing and reductions.
+//! * [`Tensor4`] — a 4-D tensor (used as `[out_channels, in_channels, kh, kw]` convolution
+//!   weights and `[batch, channels, h, w]` activations) with [`im2col`](Tensor4::im2col)
+//!   support.
+//! * [`fixed::Q16`] — the 16-bit fixed-point number format used by the paper's quantized
+//!   models and by the hardware simulator.
+//! * [`init`] — reproducible weight initialisers (Xavier/He/uniform) built on a seeded
+//!   ChaCha RNG so every experiment in the workspace is deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use pd_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let x = vec![1.0, 1.0];
+//! let y = a.matvec(&x);
+//! assert_eq!(y, vec![3.0, 7.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod init;
+pub mod matrix;
+pub mod stats;
+pub mod tensor4;
+
+pub use fixed::Q16;
+pub use matrix::Matrix;
+pub use tensor4::Tensor4;
+
+/// Errors produced by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Two operands had incompatible dimensions.
+    Mismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand (flattened to a list of dims).
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A dimension that must be non-zero was zero.
+    ZeroDim {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::Mismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            ShapeError::ZeroDim { op } => write!(f, "zero dimension in {op}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}

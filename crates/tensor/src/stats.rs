@@ -1,0 +1,99 @@
+//! Small statistics helpers shared by the experiments and the simulator reports.
+
+/// Arithmetic mean of a slice (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice (0.0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Geometric mean of a slice of positive values (0.0 for an empty slice).
+///
+/// Used to summarise speedups across benchmark layers, the standard practice for
+/// architecture evaluations.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Fraction of entries equal to zero.
+pub fn zero_fraction(values: &[f32]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v == 0.0).count() as f64 / values.len() as f64
+}
+
+/// Relative l2 error `||a - b|| / ||a||` between two equally-sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_l2_error(reference: &[f32], approx: &[f32]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let num: f64 = reference
+        .iter()
+        .zip(approx.iter())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum();
+    let den: f64 = reference.iter().map(|&a| (a as f64).powi(2)).sum();
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_speedups() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_fraction_counts() {
+        assert_eq!(zero_fraction(&[]), 0.0);
+        assert_eq!(zero_fraction(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(relative_l2_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 0.0];
+        assert!((relative_l2_error(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,301 @@
+//! 4-D tensors for convolution weights and activation maps, plus im2col lowering.
+
+use crate::{Matrix, ShapeError};
+
+/// A dense 4-D tensor stored in row-major (last index fastest) order.
+///
+/// Two conventions are used throughout the workspace:
+///
+/// * **Convolution weights**: `[c_out, c_in, kh, kw]` — matching the paper's
+///   `F ∈ R^{c0 × c2 × w1 × h1}` weight tensor (Section III-C), on whose first two
+///   (channel) dimensions the permuted-diagonal structure is imposed.
+/// * **Activations**: `[batch, channels, height, width]`.
+///
+/// # Example
+///
+/// ```
+/// use pd_tensor::Tensor4;
+/// let t = Tensor4::from_fn([1, 2, 2, 2], |i| i.1 as f32);
+/// assert_eq!(t[[0, 1, 1, 1]], 1.0);
+/// assert_eq!(t.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    shape: [usize; 4],
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a zero tensor with the given shape.
+    pub fn zeros(shape: [usize; 4]) -> Self {
+        Tensor4 {
+            shape,
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every index `(d0, d1, d2, d3)`.
+    pub fn from_fn(
+        shape: [usize; 4],
+        mut f: impl FnMut((usize, usize, usize, usize)) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(shape.iter().product());
+        for a in 0..shape[0] {
+            for b in 0..shape[1] {
+                for c in 0..shape[2] {
+                    for d in 0..shape[3] {
+                        data.push(f((a, b, c, d)));
+                    }
+                }
+            }
+        }
+        Tensor4 { shape, data }
+    }
+
+    /// Creates a tensor from a flat vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Mismatch`] if `data.len()` does not equal the product of the
+    /// shape dimensions.
+    pub fn from_vec(shape: [usize; 4], data: Vec<f32>) -> Result<Self, ShapeError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(ShapeError::Mismatch {
+                op: "Tensor4::from_vec",
+                lhs: shape.to_vec(),
+                rhs: vec![data.len()],
+            });
+        }
+        Ok(Tensor4 { shape, data })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> [usize; 4] {
+        self.shape
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat view of the entries.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the entries.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of entries equal to zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// Number of non-zero entries.
+    pub fn count_nonzeros(&self) -> usize {
+        self.len() - self.count_zeros()
+    }
+
+    fn offset(&self, idx: [usize; 4]) -> usize {
+        debug_assert!(
+            idx.iter().zip(self.shape.iter()).all(|(i, s)| i < s),
+            "index {idx:?} out of bounds for shape {:?}",
+            self.shape
+        );
+        ((idx[0] * self.shape[1] + idx[1]) * self.shape[2] + idx[2]) * self.shape[3] + idx[3]
+    }
+
+    /// Returns the entry at `idx`, or `None` when out of bounds.
+    pub fn get(&self, idx: [usize; 4]) -> Option<f32> {
+        if idx.iter().zip(self.shape.iter()).all(|(i, s)| i < s) {
+            Some(self.data[self.offset(idx)])
+        } else {
+            None
+        }
+    }
+
+    /// Views the tensor as a matrix by flattening the trailing three dimensions into
+    /// columns: a `[c_out, c_in, kh, kw]` weight tensor becomes `c_out × (c_in·kh·kw)`.
+    pub fn to_matrix_2d(&self) -> Matrix {
+        let rows = self.shape[0];
+        let cols = self.shape[1] * self.shape[2] * self.shape[3];
+        Matrix::from_vec(rows, cols, self.data.clone())
+            .expect("shape product is consistent by construction")
+    }
+
+    /// Rebuilds a tensor from the 2-D flattening produced by [`to_matrix_2d`](Self::to_matrix_2d).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Mismatch`] if the matrix size does not match `shape`.
+    pub fn from_matrix_2d(m: &Matrix, shape: [usize; 4]) -> Result<Self, ShapeError> {
+        Tensor4::from_vec(shape, m.as_slice().to_vec())
+    }
+
+    /// im2col lowering of a single image (this tensor must have `batch == 1`).
+    ///
+    /// For an input of shape `[1, c_in, h, w]` and a kernel of `kh × kw` with the given
+    /// stride and zero padding, the result is a matrix of shape
+    /// `(c_in·kh·kw) × (out_h·out_w)` such that a convolution becomes a single
+    /// matrix-matrix product with the flattened weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch dimension is not 1 or the kernel is larger than the padded
+    /// input.
+    pub fn im2col(&self, kh: usize, kw: usize, stride: usize, padding: usize) -> Matrix {
+        assert_eq!(self.shape[0], 1, "im2col expects a single image (batch==1)");
+        let (c_in, h, w) = (self.shape[1], self.shape[2], self.shape[3]);
+        let out_h = conv_out_dim(h, kh, stride, padding);
+        let out_w = conv_out_dim(w, kw, stride, padding);
+        let mut out = Matrix::zeros(c_in * kh * kw, out_h * out_w);
+        for c in 0..c_in {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let row = (c * kh + ky) * kw + kx;
+                    for oy in 0..out_h {
+                        for ox in 0..out_w {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            let v = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
+                            {
+                                self.data[self.offset([0, c, iy as usize, ix as usize])]
+                            } else {
+                                0.0
+                            };
+                            out[(row, oy * out_w + ox)] = v;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Output spatial dimension of a convolution: `(in + 2·padding - kernel) / stride + 1`.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit in the padded input.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = input + 2 * padding;
+    assert!(
+        padded >= kernel && stride > 0,
+        "invalid convolution geometry: input {input}, kernel {kernel}, stride {stride}, padding {padding}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+impl std::ops::Index<[usize; 4]> for Tensor4 {
+    type Output = f32;
+
+    fn index(&self, idx: [usize; 4]) -> &f32 {
+        &self.data[self.offset(idx)]
+    }
+}
+
+impl std::ops::IndexMut<[usize; 4]> for Tensor4 {
+    fn index_mut(&mut self, idx: [usize; 4]) -> &mut f32 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_len() {
+        let t = Tensor4::zeros([2, 3, 4, 5]);
+        assert_eq!(t.shape(), [2, 3, 4, 5]);
+        assert_eq!(t.len(), 120);
+        assert_eq!(t.count_zeros(), 120);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut t = Tensor4::zeros([2, 2, 2, 2]);
+        t[[1, 0, 1, 0]] = 7.0;
+        assert_eq!(t[[1, 0, 1, 0]], 7.0);
+        assert_eq!(t.get([1, 0, 1, 0]), Some(7.0));
+        assert_eq!(t.get([2, 0, 0, 0]), None);
+        assert_eq!(t.count_nonzeros(), 1);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor4::from_vec([1, 1, 2, 2], vec![0.0; 3]).is_err());
+        assert!(Tensor4::from_vec([1, 1, 2, 2], vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let t = Tensor4::from_fn([3, 2, 2, 2], |(a, b, c, d)| (a * 8 + b * 4 + c * 2 + d) as f32);
+        let m = t.to_matrix_2d();
+        assert_eq!(m.shape(), (3, 8));
+        let back = Tensor4::from_matrix_2d(&m, [3, 2, 2, 2]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn conv_out_dim_standard_cases() {
+        assert_eq!(conv_out_dim(32, 3, 1, 1), 32);
+        assert_eq!(conv_out_dim(32, 3, 2, 1), 16);
+        assert_eq!(conv_out_dim(28, 5, 1, 0), 24);
+        assert_eq!(conv_out_dim(4, 1, 1, 0), 4);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 and no padding should just flatten the image.
+        let img = Tensor4::from_fn([1, 1, 2, 2], |(_, _, r, c)| (r * 2 + c) as f32);
+        let cols = img.im2col(1, 1, 1, 0);
+        assert_eq!(cols.shape(), (1, 4));
+        assert_eq!(cols.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn im2col_matches_direct_convolution() {
+        // Convolve a 1x1x3x3 image with a 1x1x2x2 kernel and compare against direct sums.
+        let img = Tensor4::from_fn([1, 1, 3, 3], |(_, _, r, c)| (r * 3 + c) as f32);
+        let kernel = [1.0f32, 2.0, 3.0, 4.0];
+        let cols = img.im2col(2, 2, 1, 0);
+        assert_eq!(cols.shape(), (4, 4));
+        // Direct convolution at output (0,0): 0*1 + 1*2 + 3*3 + 4*4 = 27
+        let w = Matrix::from_vec(1, 4, kernel.to_vec()).unwrap();
+        let out = w.matmul(&cols).unwrap();
+        assert_eq!(out[(0, 0)], 27.0);
+        // Output (1,1): pixels 4,5,7,8 -> 4*1+5*2+7*3+8*4 = 67
+        assert_eq!(out[(0, 3)], 67.0);
+    }
+
+    #[test]
+    fn im2col_with_padding_zero_borders() {
+        let img = Tensor4::from_fn([1, 1, 2, 2], |_| 1.0);
+        let cols = img.im2col(3, 3, 1, 1);
+        // Output is 2x2; first column corresponds to the top-left position where the
+        // 3x3 window hangs over the zero padding on top and left.
+        assert_eq!(cols.shape(), (9, 4));
+        let first_col: Vec<f32> = (0..9).map(|r| cols[(r, 0)]).collect();
+        assert_eq!(first_col.iter().filter(|&&v| v == 0.0).count(), 5);
+        assert_eq!(first_col.iter().filter(|&&v| v == 1.0).count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn im2col_requires_single_batch() {
+        let img = Tensor4::zeros([2, 1, 4, 4]);
+        let _ = img.im2col(3, 3, 1, 1);
+    }
+}

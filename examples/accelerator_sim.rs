@@ -1,0 +1,50 @@
+//! Driving the PERMDNN architecture model: simulate the benchmark FC layers on the 32-PE
+//! engine, compare against EIE, and sweep the PE count (the machinery behind Tables
+//! VIII-X and Figs. 12-13).
+//!
+//! Run with `cargo run --release -p permdnn-bench --example accelerator_sim`.
+
+use pd_tensor::init::seeded_rng;
+use permdnn_sim::comparison::{fig12_comparison, fig13_scalability};
+use permdnn_sim::eie::{self, EieConfig};
+use permdnn_sim::power::engine_cost;
+use permdnn_sim::{engine, EngineConfig, TABLE7_WORKLOADS};
+
+fn main() {
+    let cfg = EngineConfig::paper_32pe();
+    let cost = engine_cost(&cfg);
+    println!(
+        "PERMDNN engine: {} PEs @ {:.1} GHz, {:.2} mm2, {:.3} W, peak {:.1} GOPS (compressed)",
+        cfg.n_pe, cfg.clock_ghz, cost.area_mm2, cost.power_w, cfg.peak_gops_compressed()
+    );
+    println!();
+
+    println!("Per-layer simulation (32-PE PERMDNN vs 64-PE EIE projected to 28 nm):");
+    let eie_cfg = EieConfig::projected_28nm();
+    let mut rng = seeded_rng(11);
+    for w in &TABLE7_WORKLOADS {
+        let pd = engine::simulate_layer(&cfg, w);
+        let eie_r = eie::simulate_layer(&eie_cfg, w, &mut rng);
+        println!(
+            "  {:<9} PERMDNN {:>8} cycles ({:>7.2} us, {:?})   EIE {:>9} cycles ({:>7.2} us, imbalance {:.2})",
+            w.name, pd.cycles, pd.latency_us, pd.scheduling_case, eie_r.cycles, eie_r.latency_us,
+            eie_r.imbalance_factor
+        );
+    }
+    println!();
+
+    println!("Fig. 12 ratios on the AlexNet layers:");
+    for row in fig12_comparison(42) {
+        println!(
+            "  {:<9} speedup {:>5.2}x, area efficiency {:>5.2}x, energy efficiency {:>5.2}x",
+            row.workload, row.speedup, row.area_efficiency, row.energy_efficiency
+        );
+    }
+    println!();
+
+    println!("Fig. 13 scalability (speedup over 8 PEs, Alex-FC6):");
+    for point in fig13_scalability(&[8, 16, 32, 64, 128, 256]) {
+        let fc6 = point.speedups.iter().find(|(n, _)| n == "Alex-FC6").unwrap().1;
+        println!("  {:>4} PEs: {:>6.2}x", point.n_pe, fc6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Converting a pre-trained dense model to PermDNN form (Section III-F / Fig. 3):
+//! train dense -> l2-optimal permuted-diagonal approximation -> fine-tune -> quantize.
+//!
+//! Run with `cargo run --release -p permdnn-bench --example compress_pretrained`.
+
+use pd_tensor::init::seeded_rng;
+use permdnn_nn::data::GaussianClusters;
+use permdnn_nn::layers::WeightFormat;
+use permdnn_nn::mlp::{dense_mlp_to_pd, MlpClassifier};
+use permdnn_quant::fixed_point::quantize_slice_q16;
+
+fn main() {
+    let data = GaussianClusters::generate(&mut seeded_rng(1), 800, 5, 40, 0.5);
+    let (train, test) = data.split(0.8);
+
+    // Step 0: a "pre-trained" dense model.
+    let mut dense = MlpClassifier::new(40, &[40, 40], 5, WeightFormat::Dense, &mut seeded_rng(2));
+    dense.fit(&train, 12, 8, 0.1);
+    println!("dense model:            accuracy {:.3}, {} parameters", dense.evaluate(&test), dense.num_params());
+
+    // Step 1: l2-optimal permuted-diagonal approximation of every hidden layer (p = 10).
+    let mut pd = dense_mlp_to_pd(&dense, 10, &mut seeded_rng(3));
+    println!("after PD projection:    accuracy {:.3}, {} parameters", pd.evaluate(&test), pd.num_params());
+
+    // Step 2: structure-preserving fine-tuning (Eqns. 2-3).
+    pd.fit(&train, 8, 8, 0.05);
+    println!("after fine-tuning:      accuracy {:.3}", pd.evaluate(&test));
+
+    // Step 3: 16-bit fixed-point quantization of the stored weights.
+    for layer in pd.pd_layers_mut() {
+        let (q, stats) = quantize_slice_q16(layer.weights().values());
+        layer.weights_mut().values_mut().copy_from_slice(&q);
+        println!(
+            "quantized a hidden layer to Q{}.{} fixed point (max error {:.5})",
+            15 - stats.frac_bits, stats.frac_bits, stats.max_abs_error
+        );
+    }
+    println!("after 16-bit quantization: accuracy {:.3}", pd.evaluate(&test));
+}

@@ -1,0 +1,69 @@
+//! Integration tests comparing the three weight representations (permuted-diagonal,
+//! block-circulant, unstructured sparse) on identical dense matrices: approximation
+//! quality, storage and kernel agreement.
+
+use pd_tensor::init::{seeded_rng, xavier_uniform};
+use permdnn_circulant::approx::circulant_approximate;
+use permdnn_core::approx::{pd_approximate, ApproxStrategy};
+use permdnn_core::storage::{eie_storage, permdnn_storage, LayerShape};
+use permdnn_prune::{magnitude_prune, CscMatrix};
+
+#[test]
+fn structured_approximations_have_comparable_error_at_equal_compression() {
+    let dense = xavier_uniform(&mut seeded_rng(1), 64, 64);
+    let pd = pd_approximate(&dense, 8, ApproxStrategy::BestPerBlock).unwrap();
+    let circ = circulant_approximate(&dense, 8).unwrap();
+    // Both keep 1/8 of the degrees of freedom of the dense matrix; for an i.i.d. random
+    // matrix both projections lose most of the energy, and neither collapses to zero.
+    assert!(pd.relative_error > 0.5 && pd.relative_error < 1.0);
+    assert!(circ.relative_error > 0.5 && circ.relative_error < 1.0);
+    assert_eq!(pd.matrix.stored_weights(), circ.matrix.stored_weights());
+}
+
+#[test]
+fn pruned_matrix_keeps_more_energy_but_needs_indices() {
+    let dense = xavier_uniform(&mut seeded_rng(2), 64, 64);
+    let pruned = magnitude_prune(&dense, 1.0 / 8.0);
+    let kept_energy = pruned.pruned.frobenius_norm() / dense.frobenius_norm();
+    let pd = pd_approximate(&dense, 8, ApproxStrategy::BestPerBlock).unwrap();
+    let pd_energy = (1.0 - pd.relative_error * pd.relative_error).max(0.0).sqrt();
+    // Magnitude pruning selects the largest entries, so it keeps more energy than any
+    // position-constrained projection at the same non-zero budget...
+    assert!(kept_energy as f64 >= pd_energy - 1e-6);
+    // ...but it pays for that freedom with per-entry indices (Fig. 4's point).
+    let shape = LayerShape::new(64, 64);
+    let eie_bits = eie_storage(shape, 1.0 / 8.0, 4, 4, 16, 32).total_bits();
+    let pd_bits = permdnn_storage(shape, 8, 4).total_bits();
+    assert!(eie_bits as f64 > 1.5 * pd_bits as f64);
+}
+
+#[test]
+fn all_formats_compute_the_same_linear_map_they_store() {
+    let dense = xavier_uniform(&mut seeded_rng(3), 48, 48);
+    let x: Vec<f32> = (0..48).map(|i| ((i as f32) * 0.13).sin()).collect();
+
+    // PD: projection then matvec equals dense matvec of the projected matrix.
+    let pd = pd_approximate(&dense, 4, ApproxStrategy::BestPerBlock).unwrap();
+    let y_pd = pd.matrix.matvec(&x);
+    let y_pd_dense = pd.matrix.to_dense().matvec(&x);
+    for (a, b) in y_pd.iter().zip(y_pd_dense.iter()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+
+    // Circulant: FFT kernel equals the dense expansion.
+    let circ = circulant_approximate(&dense, 4).unwrap();
+    let y_fft = circ.matrix.matvec_fft(&x).unwrap();
+    let y_circ_dense = circ.matrix.to_dense().matvec(&x);
+    for (a, b) in y_fft.iter().zip(y_circ_dense.iter()) {
+        assert!((a - b).abs() < 1e-3);
+    }
+
+    // CSC: sparse matvec equals the pruned dense matvec.
+    let pruned = magnitude_prune(&dense, 0.25).pruned;
+    let csc = CscMatrix::from_dense(&pruned);
+    let y_csc = csc.matvec(&x);
+    let y_pruned = pruned.matvec(&x);
+    for (a, b) in y_csc.iter().zip(y_pruned.iter()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration tests spanning the permuted-diagonal core and the architecture simulator:
+//! the functional kernels, the SRAM layout, the scheduler and the cycle model must tell a
+//! consistent story about the same matrices.
+
+use pd_tensor::init::seeded_rng;
+use permdnn_core::matvec::matvec_column_wise;
+use permdnn_core::sparsity::exact_sparsity_vector;
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_sim::schedule::schedule_dense_input;
+use permdnn_sim::sram::layout_weight_sram;
+use permdnn_sim::workload::FcWorkload;
+use permdnn_sim::{engine, EngineConfig};
+
+#[test]
+fn scheduler_sram_and_cycle_model_agree_on_work() {
+    let rows = 64;
+    let cols = 96;
+    let p = 4;
+    let n_pe = 4;
+    let matrix = BlockPermDiagMatrix::random(rows, cols, p, &mut seeded_rng(1));
+
+    // The functional scheduler issues exactly one MAC per structural non-zero.
+    let schedule = schedule_dense_input(&matrix, n_pe, 2, 64);
+    assert_eq!(schedule.macs.len(), matrix.structural_nonzeros());
+
+    // The SRAM layout stores exactly the same set of weights, evenly across PEs.
+    let images = layout_weight_sram(&matrix, n_pe);
+    let stored: usize = images.iter().map(|i| i.stored_weights()).sum();
+    assert_eq!(stored, matrix.structural_nonzeros());
+
+    // The analytical cycle model's useful-MAC count matches the functional kernel run on
+    // a dense input (every column processed).
+    let cfg = EngineConfig {
+        n_pe,
+        ..EngineConfig::paper_32pe()
+    };
+    let w = FcWorkload {
+        name: "integration",
+        rows,
+        cols,
+        p,
+        activation_nonzero_fraction: 1.0,
+        description: "integration test layer",
+    };
+    let x = vec![1.0f32; cols];
+    let (_, processed) = matvec_column_wise(&matrix, &x).unwrap();
+    let result = engine::simulate_layer(&cfg, &w);
+    assert_eq!(result.processed_columns, processed as u64);
+    assert_eq!(result.useful_macs, (rows / p * cols) as u64);
+}
+
+#[test]
+fn zero_skipping_is_consistent_between_kernel_and_cycle_model() {
+    let rows = 128;
+    let cols = 128;
+    let p = 8;
+    let matrix = BlockPermDiagMatrix::random(rows, cols, p, &mut seeded_rng(2));
+    let cfg = EngineConfig::paper_32pe();
+    for frac in [1.0, 0.5, 0.25] {
+        let x = exact_sparsity_vector(&mut seeded_rng(3), cols, frac);
+        let (_, processed) = matvec_column_wise(&matrix, &x).unwrap();
+        let w = FcWorkload {
+            name: "sweep",
+            rows,
+            cols,
+            p,
+            activation_nonzero_fraction: frac,
+            description: "sparsity sweep",
+        };
+        let result = engine::simulate_layer(&cfg, &w);
+        assert_eq!(result.processed_columns, processed as u64, "fraction {frac}");
+    }
+}
+
+#[test]
+fn table7_layers_fit_the_paper_design() {
+    // Every Table VII benchmark layer fits the 32-PE engine's weight SRAM with 4-bit
+    // weight sharing (the over-design argument of Section V-B).
+    let cfg = EngineConfig::paper_32pe();
+    for w in &permdnn_sim::TABLE7_WORKLOADS {
+        let per_pe_weights = w.stored_weights().div_ceil(cfg.n_pe);
+        let per_pe_bits = per_pe_weights as u64 * cfg.weight_sharing_bits as u64;
+        assert!(
+            per_pe_bits <= cfg.pe.weight_sram_bytes() as u64 * 8,
+            "{} does not fit: {} bits per PE",
+            w.name,
+            per_pe_bits
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end integration tests spanning the training framework, the permuted-diagonal
+//! core, the quantization substrate and the storage model — the full software pipeline a
+//! user of the library would run (train -> compress -> quantize -> deploy-size check).
+
+use pd_tensor::init::seeded_rng;
+use permdnn_core::storage::{dense_storage, permdnn_storage, LayerShape};
+use permdnn_nn::data::GaussianClusters;
+use permdnn_nn::layers::WeightFormat;
+use permdnn_nn::mlp::{dense_mlp_to_pd, MlpClassifier};
+use permdnn_quant::weight_sharing::share_weights_4bit;
+use permdnn_sim::config::PeConfig;
+use permdnn_sim::sram::fits_in_weight_sram;
+
+#[test]
+fn train_from_scratch_compress_quantize_and_check_deployability() {
+    let data = GaussianClusters::generate(&mut seeded_rng(100), 500, 4, 32, 0.5);
+    let (train, test) = data.split(0.8);
+
+    // Train a PD model from scratch (end-to-end training, Section III-B).
+    let mut model = MlpClassifier::new(
+        32,
+        &[32, 32],
+        4,
+        WeightFormat::PermutedDiagonal { p: 8 },
+        &mut seeded_rng(101),
+    );
+    model.fit(&train, 10, 8, 0.1);
+    let acc = model.evaluate(&test);
+    assert!(acc > 0.8, "PD model should learn the task, got {acc}");
+
+    // Apply 4-bit weight sharing (the hardware's weight LUT) to every PD layer and check
+    // the accuracy survives.
+    let mut rng = seeded_rng(102);
+    for layer in model.pd_layers_mut() {
+        let (_table, rms) = share_weights_4bit(layer.weights_mut(), &mut rng);
+        assert!(rms < 0.2, "4-bit sharing error too large: {rms}");
+    }
+    let acc_shared = model.evaluate(&test);
+    assert!(acc - acc_shared < 0.1, "weight sharing should not collapse accuracy");
+
+    // The compressed layer fits comfortably in one PE's weight SRAM.
+    let pe = PeConfig::default();
+    for layer in model.pd_layers_mut() {
+        assert!(fits_in_weight_sram(layer.weights(), 32, &pe, 4));
+    }
+
+    // Storage accounting is consistent with the structural compression ratio.
+    let shape = LayerShape::new(32, 32);
+    let ratio = dense_storage(shape, 32).total_bits() as f64
+        / permdnn_storage(shape, 8, 32).total_bits() as f64;
+    assert!((ratio - 8.0).abs() < 1e-9);
+}
+
+#[test]
+fn pretrained_conversion_pipeline_recovers_accuracy() {
+    let data = GaussianClusters::generate(&mut seeded_rng(110), 500, 4, 32, 0.5);
+    let (train, test) = data.split(0.8);
+    let mut dense = MlpClassifier::new(32, &[32], 4, WeightFormat::Dense, &mut seeded_rng(111));
+    dense.fit(&train, 10, 8, 0.1);
+    let dense_acc = dense.evaluate(&test);
+
+    let mut pd = dense_mlp_to_pd(&dense, 4, &mut seeded_rng(112));
+    let projected = pd.evaluate(&test);
+    pd.fit(&train, 6, 8, 0.05);
+    let finetuned = pd.evaluate(&test);
+
+    assert!(finetuned >= projected, "fine-tuning must not hurt ({projected} -> {finetuned})");
+    assert!(dense_acc - finetuned < 0.12, "PD should approach dense ({dense_acc} vs {finetuned})");
+}
+
+#[test]
+fn circulant_and_pd_formats_compared_on_equal_footing() {
+    // Both structured formats at the same compression ratio learn the task; this is the
+    // software side of the CIRCNN comparison (the hardware side is permdnn-sim).
+    let data = GaussianClusters::generate(&mut seeded_rng(120), 400, 4, 32, 0.5);
+    let (train, test) = data.split(0.8);
+    let mut accs = Vec::new();
+    for format in [
+        WeightFormat::PermutedDiagonal { p: 4 },
+        WeightFormat::Circulant { k: 4 },
+    ] {
+        let mut model = MlpClassifier::new(32, &[32], 4, format, &mut seeded_rng(121));
+        model.fit(&train, 10, 8, 0.1);
+        accs.push(model.evaluate(&test));
+    }
+    assert!(accs[0] > 0.75, "PD accuracy {}", accs[0]);
+    assert!(accs[1] > 0.7, "circulant accuracy {}", accs[1]);
+}
