@@ -1,22 +1,41 @@
 //! Benchmarks the CIRCNN-style block-circulant mat-vec (direct and FFT) against the
 //! permuted-diagonal mat-vec at equal compression ratio (Table VI's arithmetic claim).
+//!
+//! The format comparison itself runs through the `CompressedLinear` registry:
+//! one loop, every format, no per-format code at the measurement site.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pd_tensor::init::seeded_rng;
 use permdnn_circulant::BlockCirculantMatrix;
-use permdnn_core::BlockPermDiagMatrix;
+use permdnn_nn::layers::WeightFormat;
 
-fn bench_circulant_vs_pd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("circulant_vs_pd_512x512_k8");
+fn bench_formats_through_trait(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compressed_linear_512x512_p8");
     let n = 512;
-    let k = 8;
-    let pd = BlockPermDiagMatrix::random(n, n, k, &mut seeded_rng(1));
-    let circ = BlockCirculantMatrix::random(n, n, k, &mut seeded_rng(2));
+    let mut rng = seeded_rng(1);
     let x: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.21).cos()).collect();
+    let mut y = vec![0.0f32; n];
 
-    group.bench_function("permuted_diagonal_matvec", |b| {
-        b.iter(|| pd.matvec(std::hint::black_box(&x)))
-    });
+    for format in [
+        WeightFormat::Dense,
+        WeightFormat::PermutedDiagonal { p: 8 },
+        WeightFormat::Circulant { k: 8 },
+        WeightFormat::UnstructuredSparse { p: 8 },
+        WeightFormat::SharedPermutedDiagonal { p: 8, tag_bits: 4 },
+    ] {
+        let w = format.build(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(w.label()), &w, |b, w| {
+            b.iter(|| w.matvec_into(std::hint::black_box(&x), &mut y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_circulant_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circulant_kernels_512x512_k8");
+    let circ = BlockCirculantMatrix::random(512, 512, 8, &mut seeded_rng(2));
+    let x: Vec<f32> = (0..512).map(|i| ((i as f32) * 0.21).cos()).collect();
+
     group.bench_function("circulant_matvec_fft", |b| {
         b.iter(|| circ.matvec_fft(std::hint::black_box(&x)).unwrap())
     });
@@ -26,5 +45,9 @@ fn bench_circulant_vs_pd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_circulant_vs_pd);
+criterion_group!(
+    benches,
+    bench_formats_through_trait,
+    bench_circulant_kernels
+);
 criterion_main!(benches);

@@ -20,7 +20,9 @@ fn bench_pd_kernels(c: &mut Criterion) {
     let csc = CscMatrix::from_dense(&pruned);
     let x: Vec<f32> = (0..cols).map(|i| ((i as f32) * 0.37).sin()).collect();
 
-    group.bench_function("dense_matvec", |b| b.iter(|| dense.matvec(std::hint::black_box(&x))));
+    group.bench_function("dense_matvec", |b| {
+        b.iter(|| dense.matvec(std::hint::black_box(&x)))
+    });
     group.bench_function(BenchmarkId::new("pd_matvec_row_wise", p), |b| {
         b.iter(|| pd.matvec(std::hint::black_box(&x)))
     });

@@ -10,9 +10,11 @@ use permdnn_sim::schedule::schedule_dense_input;
 fn bench_scalability(c: &mut Criterion) {
     let mut group = c.benchmark_group("scalability");
     for n_pe in [8usize, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("fig13_sweep_up_to", n_pe), &n_pe, |b, &n| {
-            b.iter(|| fig13_scalability(std::hint::black_box(&[8, n])))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fig13_sweep_up_to", n_pe),
+            &n_pe,
+            |b, &n| b.iter(|| fig13_scalability(std::hint::black_box(&[8, n]))),
+        );
     }
     let matrix = BlockPermDiagMatrix::random(128, 128, 4, &mut seeded_rng(1));
     group.bench_function("functional_schedule_128x128_4pe", |b| {

@@ -6,13 +6,20 @@ use permdnn_core::BlockPermDiagMatrix;
 use permdnn_sim::schedule::schedule_dense_input;
 
 fn main() {
-    permdnn_bench::print_header("Fig. 10 — example computation schedules (2 PEs, N_MUL=1, N_ACC=4)");
+    permdnn_bench::print_header(
+        "Fig. 10 — example computation schedules (2 PEs, N_MUL=1, N_ACC=4)",
+    );
     for p in [2usize, 3] {
         let matrix = BlockPermDiagMatrix::random(8, 8, p, &mut seeded_rng(10 + p as u64));
         let schedule = schedule_dense_input(&matrix, 2, 1, 4);
-        println!("--- p = {p} ({}) ---",
-            if schedule.passes == 1 { "Case 1: continuous column-wise processing" }
-            else { "Case 2: column revisits after accumulator release" });
+        println!(
+            "--- p = {p} ({}) ---",
+            if schedule.passes == 1 {
+                "Case 1: continuous column-wise processing"
+            } else {
+                "Case 2: column revisits after accumulator release"
+            }
+        );
         print!("{}", schedule.to_text());
         println!();
     }

@@ -7,7 +7,9 @@
 use permdnn_sim::comparison::{fig12_comparison, full_comparison};
 
 fn main() {
-    permdnn_bench::print_header("Fig. 12 — PERMDNN vs EIE (28 nm projected) on benchmark FC layers");
+    permdnn_bench::print_header(
+        "Fig. 12 — PERMDNN vs EIE (28 nm projected) on benchmark FC layers",
+    );
     let rows = if std::env::args().any(|a| a == "--all") {
         full_comparison(42)
     } else {
@@ -29,5 +31,7 @@ fn main() {
         );
     }
     println!();
-    println!("Paper reference bands: speedup 3.3x-4.8x, area efficiency 5.9x-8.5x, energy 2.8x-4.0x.");
+    println!(
+        "Paper reference bands: speedup 3.3x-4.8x, area efficiency 5.9x-8.5x, energy 2.8x-4.0x."
+    );
 }

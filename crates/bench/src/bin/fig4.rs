@@ -1,7 +1,7 @@
 //! Regenerates Fig. 4 — per-weight storage requirement comparison between unstructured
 //! sparse formats (EIE 4-bit weight + 4-bit index, CSR) and the permuted-diagonal format.
 
-use permdnn_core::storage::{dense_storage, eie_storage, csr_storage, permdnn_storage, LayerShape};
+use permdnn_core::storage::{csr_storage, dense_storage, eie_storage, permdnn_storage, LayerShape};
 
 fn main() {
     permdnn_bench::print_header("Fig. 4 — storage requirement comparison");

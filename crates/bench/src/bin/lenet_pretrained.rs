@@ -10,5 +10,7 @@ fn main() {
     let report = permdnn_nn::experiments::lenet_pretrained::run(46, quick);
     print!("{}", report.to_table());
     println!();
-    println!("Paper reference: LeNet-5 99.06% accuracy and 40x compression after the same pipeline.");
+    println!(
+        "Paper reference: LeNet-5 99.06% accuracy and 40x compression after the same pipeline."
+    );
 }

@@ -9,5 +9,7 @@ fn main() {
     let report = permdnn_nn::experiments::nmt::run(43, quick);
     print!("{}", report.to_table());
     println!();
-    println!("Paper reference: 419.4 MB -> 52.4 MB (8x) -> 26.2 MB (16x); BLEU 23.3 / 23.3 / 23.2.");
+    println!(
+        "Paper reference: 419.4 MB -> 52.4 MB (8x) -> 26.2 MB (16x); BLEU 23.3 / 23.3 / 23.2."
+    );
 }

@@ -1,17 +1,29 @@
 //! Regenerates Table VI — qualitative and quantitative comparison of PermDNN vs CIRCNN
 //! (arithmetic type, compression-ratio flexibility, input-sparsity utilisation).
 
-use permdnn_core::cost::{circnn_matvec_ops, permdnn_matvec_ops, circnn_to_permdnn_mul_ratio};
+use permdnn_core::cost::{circnn_matvec_ops, circnn_to_permdnn_mul_ratio, permdnn_matvec_ops};
 
 fn main() {
     permdnn_bench::print_header("Table VI — advantages of PermDNN over CIRCNN");
     println!("{:<28} {:<26} {:<26}", "property", "CIRCNN", "PermDNN");
-    println!("{:<28} {:<26} {:<26}", "Arithmetic operation", "Complex number-based", "Real number-based");
-    println!("{:<28} {:<26} {:<26}", "Flexible compression", "No (2^t block sizes only)", "Yes (any p)");
-    println!("{:<28} {:<26} {:<26}", "Utilize input sparsity", "No (frequency domain)", "Yes (time domain)");
+    println!(
+        "{:<28} {:<26} {:<26}",
+        "Arithmetic operation", "Complex number-based", "Real number-based"
+    );
+    println!(
+        "{:<28} {:<26} {:<26}",
+        "Flexible compression", "No (2^t block sizes only)", "Yes (any p)"
+    );
+    println!(
+        "{:<28} {:<26} {:<26}",
+        "Utilize input sparsity", "No (frequency domain)", "Yes (time domain)"
+    );
     println!();
     println!("Quantitative arithmetic-cost comparison on a 2048x2048 layer (dense input):");
-    println!("{:>6} {:>22} {:>22} {:>12}", "p=k", "CIRCNN real muls", "PermDNN real muls", "ratio");
+    println!(
+        "{:>6} {:>22} {:>22} {:>12}",
+        "p=k", "CIRCNN real muls", "PermDNN real muls", "ratio"
+    );
     for p in [4usize, 8, 16, 64] {
         let c = circnn_matvec_ops(2048, 2048, p, true);
         let d = permdnn_matvec_ops(2048, 2048, p, 1.0);

@@ -8,8 +8,8 @@ use permdnn_sim::TABLE7_WORKLOADS;
 fn main() {
     permdnn_bench::print_header("Table VII — information of evaluated FC layers");
     println!(
-        "{:<10} {:>14} {:>16} {:>20} {:>20}  {}",
-        "layer", "size", "weight (1/p)", "activation (paper)", "activation (meas.)", "description"
+        "{:<10} {:>14} {:>16} {:>20} {:>20}  description",
+        "layer", "size", "weight (1/p)", "activation (paper)", "activation (meas.)"
     );
     let mut rng = seeded_rng(7);
     for w in &TABLE7_WORKLOADS {

@@ -6,23 +6,48 @@ fn main() {
     permdnn_bench::print_header("Table VIII — design configuration parameters");
     let cfg = EngineConfig::paper_32pe();
     println!("PE parameters:");
-    println!("  multipliers (N_MUL):            {} x {} bits", cfg.pe.n_mul, cfg.pe.mul_width_bits);
-    println!("  accumulators (N_ACC):           {} x {} bits", cfg.pe.n_acc, cfg.pe.acc_width_bits);
-    println!("  weight SRAM sub-banks:          {} x {} bits x {} deep = {} KB",
-        cfg.pe.weight_sram_subbanks, cfg.pe.weight_sram_width_bits, cfg.pe.weight_sram_depth,
-        cfg.pe.weight_sram_bytes() / 1024);
-    println!("  permutation SRAM:               {} bits x {} deep = {} KB",
-        cfg.pe.perm_sram_width_bits, cfg.pe.perm_sram_depth, cfg.pe.perm_sram_bytes() / 1024);
+    println!(
+        "  multipliers (N_MUL):            {} x {} bits",
+        cfg.pe.n_mul, cfg.pe.mul_width_bits
+    );
+    println!(
+        "  accumulators (N_ACC):           {} x {} bits",
+        cfg.pe.n_acc, cfg.pe.acc_width_bits
+    );
+    println!(
+        "  weight SRAM sub-banks:          {} x {} bits x {} deep = {} KB",
+        cfg.pe.weight_sram_subbanks,
+        cfg.pe.weight_sram_width_bits,
+        cfg.pe.weight_sram_depth,
+        cfg.pe.weight_sram_bytes() / 1024
+    );
+    println!(
+        "  permutation SRAM:               {} bits x {} deep = {} KB",
+        cfg.pe.perm_sram_width_bits,
+        cfg.pe.perm_sram_depth,
+        cfg.pe.perm_sram_bytes() / 1024
+    );
     println!("Engine parameters:");
     println!("  PEs (N_PE):                     {}", cfg.n_pe);
     println!("  clock frequency:                {:.1} GHz", cfg.clock_ghz);
-    println!("  quantization / weight sharing:  {} bits / {} bits", cfg.quant_bits, cfg.weight_sharing_bits);
+    println!(
+        "  quantization / weight sharing:  {} bits / {} bits",
+        cfg.quant_bits, cfg.weight_sharing_bits
+    );
     println!("  pipeline stages:                {}", cfg.pipeline_stages);
-    println!("  activation SRAM:                {} banks x {} bits x {} deep = {} KB",
-        cfg.act_sram_banks, cfg.act_sram_width_bits, cfg.act_sram_depth, cfg.act_sram_bytes() / 1024);
+    println!(
+        "  activation SRAM:                {} banks x {} bits x {} deep = {} KB",
+        cfg.act_sram_banks,
+        cfg.act_sram_width_bits,
+        cfg.act_sram_depth,
+        cfg.act_sram_bytes() / 1024
+    );
     println!("  activation FIFO depth:          {}", cfg.act_fifo_depth);
     println!();
-    println!("Derived: peak {} GOPS on the compressed model; capacity for {}M compressed weights",
-        cfg.peak_gops_compressed(), cfg.max_compressed_weights_4bit() / (1024 * 1024));
+    println!(
+        "Derived: peak {} GOPS on the compressed model; capacity for {}M compressed weights",
+        cfg.peak_gops_compressed(),
+        cfg.max_compressed_weights_4bit() / (1024 * 1024)
+    );
     println!("with 4-bit weight sharing (2x the compressed VGG FC6, as noted in Section V-B).");
 }

@@ -7,7 +7,10 @@ fn main() {
     permdnn_bench::print_header("Table IX — power and area breakdowns (28 nm, 1.2 GHz)");
     let (pe_power, pe_area) = pe_totals();
     println!("PE breakdown:");
-    println!("{:<16} {:>12} {:>10} {:>12} {:>10}", "component", "power (mW)", "%", "area (mm2)", "%");
+    println!(
+        "{:<16} {:>12} {:>10} {:>12} {:>10}",
+        "component", "power (mW)", "%", "area (mm2)", "%"
+    );
     for c in pe_breakdown() {
         println!(
             "{:<16} {:>12.3} {:>9.1}% {:>12.4} {:>9.1}%",
@@ -18,16 +21,35 @@ fn main() {
             100.0 * c.area_mm2 / pe_area
         );
     }
-    println!("{:<16} {:>12.3} {:>10} {:>12.3}", "Total (one PE)", pe_power, "", pe_area);
+    println!(
+        "{:<16} {:>12.3} {:>10} {:>12.3}",
+        "Total (one PE)", pe_power, "", pe_area
+    );
     println!();
     let cfg = EngineConfig::paper_32pe();
     let total = engine_cost(&cfg);
     let others = others_cost();
     println!("PERMDNN computing engine breakdown:");
-    println!("{:<16} {:>12} {:>12}", "component", "power (mW)", "area (mm2)");
-    println!("{:<16} {:>12.1} {:>12.2}", "32 PEs", pe_power * 32.0, pe_area * 32.0);
-    println!("{:<16} {:>12.1} {:>12.2}", "Others", others.power_mw, others.area_mm2);
-    println!("{:<16} {:>12.1} {:>12.2}", "Total", total.power_w * 1000.0, total.area_mm2);
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "component", "power (mW)", "area (mm2)"
+    );
+    println!(
+        "{:<16} {:>12.1} {:>12.2}",
+        "32 PEs",
+        pe_power * 32.0,
+        pe_area * 32.0
+    );
+    println!(
+        "{:<16} {:>12.1} {:>12.2}",
+        "Others", others.power_mw, others.area_mm2
+    );
+    println!(
+        "{:<16} {:>12.1} {:>12.2}",
+        "Total",
+        total.power_w * 1000.0,
+        total.area_mm2
+    );
     println!();
     println!("Paper reference: 21.874 mW / 0.271 mm2 per PE; 703.4 mW / 8.85 mm2 for the engine.");
 }

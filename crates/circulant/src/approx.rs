@@ -74,7 +74,11 @@ fn project_block(dense: &Matrix, br: usize, bc: usize, k: usize) -> CirculantBlo
                 count += 1;
             }
         }
-        *slot = if count == 0 { 0.0 } else { (sum / count as f64) as f32 };
+        *slot = if count == 0 {
+            0.0
+        } else {
+            (sum / count as f64) as f32
+        };
     }
     CirculantBlock::new(first_row).expect("k > 0")
 }

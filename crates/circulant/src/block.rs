@@ -38,7 +38,10 @@ impl std::fmt::Display for CirculantError {
         match self {
             CirculantError::ZeroBlockSize => write!(f, "block size must be non-zero"),
             CirculantError::NonPowerOfTwo { k } => {
-                write!(f, "block size {k} is not a power of two (required by the FFT kernel)")
+                write!(
+                    f,
+                    "block size {k} is not a power of two (required by the FFT kernel)"
+                )
             }
             CirculantError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
@@ -108,12 +111,12 @@ impl CirculantBlock {
         let k = self.k();
         assert_eq!(x.len(), k);
         assert_eq!(y.len(), k);
-        for i in 0..k {
+        for (i, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
-            for j in 0..k {
-                acc += self.entry(i, j) * x[j];
+            for (j, xj) in x.iter().enumerate() {
+                acc += self.entry(i, j) * xj;
             }
-            y[i] += acc;
+            *out += acc;
         }
     }
 }
@@ -198,7 +201,22 @@ impl BlockCirculantMatrix {
     ///
     /// Panics if `k` is zero or not a power of two.
     pub fn random(rows: usize, cols: usize, k: usize, rng: &mut impl Rng) -> Self {
-        assert!(k.is_power_of_two() && k > 0, "block size must be a power of two");
+        assert!(
+            k.is_power_of_two() && k > 0,
+            "block size must be a power of two"
+        );
+        Self::random_any_size(rows, cols, k, rng)
+    }
+
+    /// Creates a randomly initialised block-circulant matrix without the
+    /// power-of-two restriction (the flexibility ablation of Section II-C;
+    /// non-2ᵗ blocks can only use the direct kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn random_any_size(rows: usize, cols: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k > 0, "block size must be non-zero");
         let block_rows = rows.div_ceil(k);
         let block_cols = cols.div_ceil(k);
         let bound = (6.0f32 / (rows + cols) as f32).sqrt() * (k as f32).sqrt();
@@ -208,7 +226,7 @@ impl BlockCirculantMatrix {
                     .expect("k > 0")
             })
             .collect();
-        Self::new(rows, cols, k, blocks).expect("dimensions are consistent")
+        Self::new_any_size(rows, cols, k, blocks).expect("dimensions are consistent")
     }
 
     /// Logical number of rows.
@@ -253,7 +271,8 @@ impl BlockCirculantMatrix {
     /// Panics if out of bounds.
     pub fn entry(&self, i: usize, j: usize) -> f32 {
         assert!(i < self.rows && j < self.cols, "index out of bounds");
-        self.block(i / self.k, j / self.k).entry(i % self.k, j % self.k)
+        self.block(i / self.k, j / self.k)
+            .entry(i % self.k, j % self.k)
     }
 
     /// Expands into a dense matrix.
@@ -323,12 +342,12 @@ impl BlockCirculantMatrix {
         let mut y = Vec::with_capacity(self.block_rows * k);
         for br in 0..self.block_rows {
             let mut acc = vec![Complex::ZERO; k];
-            for bc in 0..self.block_cols {
+            for (bc, x_spectrum) in x_spectra.iter().enumerate() {
                 let block = &self.blocks[br * self.block_cols + bc];
                 // The circulant matvec is a circular correlation of the first row with x:
                 // y = IFFT(conj(FFT(w)) ∘ FFT(x)) for our row-definition w[(j-i) mod k].
                 let mut w_spec = fft_real(block.first_row());
-                for (ws, xs) in w_spec.iter_mut().zip(x_spectra[bc].iter()) {
+                for (ws, xs) in w_spec.iter_mut().zip(x_spectrum.iter()) {
                     *ws = ws.conj() * *xs;
                 }
                 for (a, v) in acc.iter_mut().zip(w_spec.iter()) {

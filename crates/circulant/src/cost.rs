@@ -30,7 +30,10 @@ impl MeasuredCost {
 /// FFT plus element-wise complex product per block, frequency-domain accumulation, and one
 /// IFFT per block row.
 pub fn fft_matvec_cost(rows: usize, cols: usize, k: usize) -> MeasuredCost {
-    assert!(k.is_power_of_two() && k > 0, "block size must be a power of two");
+    assert!(
+        k.is_power_of_two() && k > 0,
+        "block size must be a power of two"
+    );
     let block_rows = rows.div_ceil(k) as u64;
     let block_cols = cols.div_ceil(k) as u64;
     let blocks = block_rows * block_cols;
@@ -63,7 +66,10 @@ pub fn fft_matvec_cost(rows: usize, cols: usize, k: usize) -> MeasuredCost {
 /// stored first rows are computed once offline (the deployment configuration of CIRCNN):
 /// only the input FFTs, element-wise products, accumulation and output IFFTs remain.
 pub fn fft_matvec_cost_precomputed_weights(rows: usize, cols: usize, k: usize) -> MeasuredCost {
-    assert!(k.is_power_of_two() && k > 0, "block size must be a power of two");
+    assert!(
+        k.is_power_of_two() && k > 0,
+        "block size must be a power of two"
+    );
     let block_rows = rows.div_ceil(k) as u64;
     let block_cols = cols.div_ceil(k) as u64;
     let blocks = block_rows * block_cols;

@@ -43,13 +43,19 @@ pub fn fft_real(real: &[f32]) -> Vec<Complex> {
 /// Number of complex butterflies executed by a radix-2 FFT of length `n`
 /// (`n/2 · log2 n`); each butterfly is 1 complex multiplication + 2 complex additions.
 pub fn butterfly_count(n: usize) -> u64 {
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two"
+    );
     (n as u64 / 2) * n.trailing_zeros() as u64
 }
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT length must be a power of two, got {n}"
+    );
     if n == 1 {
         return;
     }
@@ -126,7 +132,9 @@ mod tests {
         let mut data = vec![Complex::ZERO; 8];
         data[0] = Complex::ONE;
         fft_in_place(&mut data);
-        assert!(data.iter().all(|c| (c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12));
+        assert!(data
+            .iter()
+            .all(|c| (c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12));
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! [`CompressedLinear`] implementation for block-circulant matrices.
+//!
+//! The trait's matvec uses the FFT kernel (`IFFT(FFT(w) ∘ FFT(x))`, the CIRCNN
+//! inference path) whenever the block size is a power of two, and falls back to
+//! the direct time-domain kernel otherwise — non-2ᵗ blocks exist only as the
+//! flexibility ablation of Section II-C, which no FFT hardware could execute.
+
+use permdnn_core::cost::circnn_matvec_ops;
+use permdnn_core::format::{check_dim, CompressedLinear, FormatError};
+
+use crate::block::{BlockCirculantMatrix, CirculantError};
+
+impl From<CirculantError> for FormatError {
+    fn from(e: CirculantError) -> Self {
+        match e {
+            CirculantError::DimensionMismatch { expected, got } => FormatError::DimensionMismatch {
+                op: "matvec",
+                expected,
+                got,
+            },
+            other => FormatError::Format {
+                format: "block-circulant",
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+impl CompressedLinear for BlockCirculantMatrix {
+    fn out_dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn in_dim(&self) -> usize {
+        self.cols()
+    }
+
+    fn label(&self) -> String {
+        if self.k().is_power_of_two() {
+            format!("block-circulant (k={}, FFT)", self.k())
+        } else {
+            format!("block-circulant (k={}, direct)", self.k())
+        }
+    }
+
+    fn stored_weights(&self) -> usize {
+        self.stored_weights()
+    }
+
+    fn mul_count(&self) -> u64 {
+        if self.k().is_power_of_two() {
+            // The CIRCNN dataflow: shared input FFTs, element-wise complex
+            // products, one IFFT per block row (Section III-H accounting).
+            circnn_matvec_ops(self.rows(), self.cols(), self.k(), true).real_muls
+        } else {
+            // Direct kernel: every block is a full k × k time-domain product.
+            let blocks = (self.rows().div_ceil(self.k()) * self.cols().div_ceil(self.k())) as u64;
+            blocks * (self.k() * self.k()) as u64
+        }
+    }
+
+    fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        check_dim("matvec_into", self.cols(), x.len())?;
+        check_dim("matvec_into", self.rows(), y.len())?;
+        let out = if self.k().is_power_of_two() {
+            self.matvec_fft(x)?
+        } else {
+            self.matvec_direct(x)?
+        };
+        y.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn to_dense(&self) -> pd_tensor::Matrix {
+        self.to_dense()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::CirculantBlock;
+    use pd_tensor::init::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn trait_matvec_matches_dense_expansion_fft_path() {
+        let m = BlockCirculantMatrix::random(16, 24, 8, &mut seeded_rng(1));
+        let mut rng = seeded_rng(2);
+        let x: Vec<f32> = (0..24).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let op: &dyn CompressedLinear = &m;
+        let got = op.matvec(&x).unwrap();
+        let expected = op.to_dense().matvec(&x);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        assert!(op.label().contains("FFT"));
+    }
+
+    #[test]
+    fn trait_matvec_falls_back_to_direct_for_non_power_of_two() {
+        let blocks: Vec<CirculantBlock> = (0..4)
+            .map(|i| CirculantBlock::new(vec![i as f32 * 0.5 + 0.25; 3]).unwrap())
+            .collect();
+        let m = BlockCirculantMatrix::new_any_size(6, 6, 3, blocks).unwrap();
+        let x = vec![1.0f32; 6];
+        let op: &dyn CompressedLinear = &m;
+        let got = op.matvec(&x).unwrap();
+        let expected = op.to_dense().matvec(&x);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert!(op.label().contains("direct"));
+    }
+
+    #[test]
+    fn trait_rejects_mis_sized_slices() {
+        let m = BlockCirculantMatrix::random(8, 8, 4, &mut seeded_rng(3));
+        let op: &dyn CompressedLinear = &m;
+        assert!(matches!(
+            op.matvec(&[0.0; 5]),
+            Err(FormatError::DimensionMismatch {
+                expected: 8,
+                got: 5,
+                ..
+            })
+        ));
+        let mut y = [0.0; 6];
+        assert!(op.matvec_into(&[0.0; 8], &mut y).is_err());
+    }
+
+    #[test]
+    fn circulant_error_converts_into_format_error() {
+        let e = CirculantError::DimensionMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(matches!(
+            FormatError::from(e),
+            FormatError::DimensionMismatch {
+                expected: 4,
+                got: 2,
+                ..
+            }
+        ));
+        let e = CirculantError::NonPowerOfTwo { k: 6 };
+        match FormatError::from(e) {
+            FormatError::Format { format, reason } => {
+                assert_eq!(format, "block-circulant");
+                assert!(reason.contains('6'));
+            }
+            other => panic!("unexpected conversion: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stored_weights_and_mul_count_reflect_fft_arithmetic() {
+        let m = BlockCirculantMatrix::random(64, 64, 8, &mut seeded_rng(4));
+        let op: &dyn CompressedLinear = &m;
+        assert_eq!(op.stored_weights(), 64 * 64 / 8);
+        // CIRCNN's complex arithmetic costs more real multiplications than the
+        // permuted-diagonal format at equal compression (Section V-C).
+        assert!(op.mul_count() >= 4 * (64 * 64 / 8) as u64);
+    }
+}

@@ -26,6 +26,7 @@ pub mod block;
 pub mod complex;
 pub mod cost;
 pub mod fft;
+pub mod format;
 
 pub use block::{BlockCirculantMatrix, CirculantBlock, CirculantError};
 pub use complex::Complex;

@@ -66,7 +66,11 @@ pub fn pd_approximate(
             for c in 0..p {
                 let i = br * p + c;
                 let j = bc * p + (c + k) % p;
-                values[l * p + c] = if i < rows && j < cols { dense[(i, j)] } else { 0.0 };
+                values[l * p + c] = if i < rows && j < cols {
+                    dense[(i, j)]
+                } else {
+                    0.0
+                };
             }
         }
     }

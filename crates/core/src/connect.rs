@@ -115,7 +115,9 @@ pub fn depth_to_full_connectivity(
     let mut layers: Vec<BlockPermDiagMatrix> = Vec::new();
     for depth in 1..=max_layers {
         let blocks = n.div_ceil(p) * n.div_ceil(p);
-        let perms: Vec<usize> = (0..blocks).map(|l| perm_for_layer(depth - 1, l) % p).collect();
+        let perms: Vec<usize> = (0..blocks)
+            .map(|l| perm_for_layer(depth - 1, l) % p)
+            .collect();
         let values = vec![1.0; blocks * p];
         let w = BlockPermDiagMatrix::new(n, n, p, perms, values)
             .expect("constructed dimensions are consistent");

@@ -170,7 +170,10 @@ impl BlockPermDiagTensor4 {
     ///
     /// Panics if `o >= c_out` or `i >= c_in`.
     pub fn is_structural(&self, o: usize, i: usize) -> bool {
-        assert!(o < self.c_out && i < self.c_in, "channel index out of range");
+        assert!(
+            o < self.c_out && i < self.c_in,
+            "channel index out of range"
+        );
         let l = (o / self.p) * self.block_cols + (i / self.p);
         (o % self.p + self.perms[l]) % self.p == i % self.p
     }
@@ -262,9 +265,10 @@ impl BlockPermDiagTensor4 {
 
     /// Expands into a dense [`Tensor4`] of shape `[c_out, c_in, kh, kw]`.
     pub fn to_dense(&self) -> Tensor4 {
-        Tensor4::from_fn([self.c_out, self.c_in, self.kh, self.kw], |(o, i, ky, kx)| {
-            self.entry(o, i, ky, kx)
-        })
+        Tensor4::from_fn(
+            [self.c_out, self.c_in, self.kh, self.kw],
+            |(o, i, ky, kx)| self.entry(o, i, ky, kx),
+        )
     }
 
     /// Forward convolution of a single image (Eqn. 4): input `[1, c_in, h, w]`, output
@@ -623,9 +627,7 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        let analytic = f
-            .input_gradient(&grad_out, input.shape(), 1, 1)
-            .unwrap();
+        let analytic = f.input_gradient(&grad_out, input.shape(), 1, 1).unwrap();
         let loss = |inp: &Tensor4| -> f64 {
             let out = f.forward(inp, 1, 1).unwrap();
             out.as_slice()
@@ -656,7 +658,9 @@ mod tests {
             BlockPermDiagTensor4::random(4, 4, 3, 3, 2, PermutationIndexing::Natural, &mut rng);
         let input = random_input(4, 5, 5, 62);
         let out0 = f.forward(&input, 1, 1).unwrap();
-        let target = Tensor4::from_fn(out0.shape(), |(_, o, y, x)| ((o * 3 + y + x) as f32 * 0.05).cos());
+        let target = Tensor4::from_fn(out0.shape(), |(_, o, y, x)| {
+            ((o * 3 + y + x) as f32 * 0.05).cos()
+        });
         let loss = |f: &BlockPermDiagTensor4| -> f64 {
             let out = f.forward(&input, 1, 1).unwrap();
             out.as_slice()
@@ -680,7 +684,10 @@ mod tests {
             f.sgd_step(&input, &grad_out, 1, 1, 0.01).unwrap();
         }
         let after = loss(&f);
-        assert!(after < before, "conv training should reduce loss: {before} -> {after}");
+        assert!(
+            after < before,
+            "conv training should reduce loss: {before} -> {after}"
+        );
         // Structure preserved: off-diagonal filters remain exactly zero in the dense view.
         let dense = f.to_dense();
         for o in 0..4 {

@@ -88,7 +88,10 @@ pub fn permdnn_matvec_ops(m: usize, n: usize, p: usize, input_density: f64) -> O
 /// `share_transforms` selects that optimistic accounting (the paper's own comparison is
 /// even simpler, so both options are provided for the ablation bench).
 pub fn circnn_matvec_ops(m: usize, n: usize, p: usize, share_transforms: bool) -> OpCount {
-    assert!(p > 0 && p.is_power_of_two(), "CIRCNN requires power-of-two block size");
+    assert!(
+        p > 0 && p.is_power_of_two(),
+        "CIRCNN requires power-of-two block size"
+    );
     let block_rows = (m as u64).div_ceil(p as u64);
     let block_cols = (n as u64).div_ceil(p as u64);
     let blocks = block_rows * block_cols;

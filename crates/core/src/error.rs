@@ -59,7 +59,10 @@ impl std::fmt::Display for PdError {
                 write!(f, "expected {expected} stored values, got {got}")
             }
             PdError::DimensionMismatch { op, expected, got } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, got {got}"
+                )
             }
             PdError::NotPermutedDiagonal { row, col } => write!(
                 f,

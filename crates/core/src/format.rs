@@ -1,0 +1,457 @@
+//! The format-agnostic compressed linear-operator API.
+//!
+//! PermDNN is at heart a *comparison of weight-matrix formats* — permuted
+//! diagonal versus dense, block-circulant (CIRCNN) and unstructured sparse
+//! (EIE). Historically each format exposed its own ad-hoc kernel entry point;
+//! this module defines the one polymorphic surface the rest of the workspace
+//! programs against:
+//!
+//! * [`CompressedLinear`] — any compressed (or dense) weight matrix acting as a
+//!   linear operator `y = W·x`, with storage, arithmetic-cost and dense-expansion
+//!   accounting.
+//! * [`FormatError`] — the shared error type; per-format errors
+//!   ([`PdError`], `permdnn_circulant::CirculantError`) convert into it.
+//! * [`BatchView`] — a borrowed batch of input vectors for the batched
+//!   [`CompressedLinear::matmul`] entry point.
+//!
+//! Implementations provided across the workspace:
+//!
+//! | format                      | type                                      | crate               |
+//! |-----------------------------|-------------------------------------------|---------------------|
+//! | dense                       | `pd_tensor::Matrix`                       | `permdnn-core` (here) |
+//! | permuted diagonal           | [`BlockPermDiagMatrix`]                   | `permdnn-core` (here) |
+//! | block circulant (FFT)       | `permdnn_circulant::BlockCirculantMatrix` | `permdnn-circulant` |
+//! | unstructured sparse (CSC)   | `permdnn_prune::CscMatrix`                | `permdnn-prune`     |
+//! | EIE tag + index encoding    | `permdnn_prune::eie_format::EieEncodedMatrix` | `permdnn-prune` |
+//! | PD + shared-weight codebook | `permdnn_quant::SharedWeightPdMatrix`     | `permdnn-quant`     |
+//!
+//! Adding a new format means implementing this trait for its matrix type; all
+//! call sites (`nn` layers, the `sim` workload bridge, the `bench` sweeps, the
+//! integration tests) pick it up without modification.
+//!
+//! # Example
+//!
+//! ```
+//! use permdnn_core::format::CompressedLinear;
+//! use permdnn_core::BlockPermDiagMatrix;
+//! use pd_tensor::init::seeded_rng;
+//!
+//! let w = BlockPermDiagMatrix::random(16, 32, 4, &mut seeded_rng(0));
+//! let op: &dyn CompressedLinear = &w;
+//! let y = op.matvec(&vec![1.0; 32]).unwrap();
+//! assert_eq!(y.len(), op.out_dim());
+//! assert_eq!(op.stored_weights(), 16 * 32 / 4);
+//! assert!(op.label().contains("permuted-diagonal"));
+//! ```
+
+use pd_tensor::Matrix;
+
+use crate::{BlockPermDiagMatrix, PdError};
+
+/// Error type shared by every [`CompressedLinear`] implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// An input or output slice had the wrong length for the operator.
+    DimensionMismatch {
+        /// The operation that failed (e.g. `"matvec_into"`).
+        op: &'static str,
+        /// Expected slice length.
+        expected: usize,
+        /// Supplied slice length.
+        got: usize,
+    },
+    /// A format-specific invariant was violated during construction or execution.
+    Format {
+        /// The format's label.
+        format: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::DimensionMismatch { op, expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected length {expected}, got {got}"
+                )
+            }
+            FormatError::Format { format, reason } => {
+                write!(f, "{format} format error: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<PdError> for FormatError {
+    fn from(e: PdError) -> Self {
+        match e {
+            PdError::DimensionMismatch { op, expected, got } => {
+                FormatError::DimensionMismatch { op, expected, got }
+            }
+            other => FormatError::Format {
+                format: "permuted-diagonal",
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Checks an input/output slice length, mapping mismatches to
+/// [`FormatError::DimensionMismatch`].
+pub fn check_dim(op: &'static str, expected: usize, got: usize) -> Result<(), FormatError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(FormatError::DimensionMismatch { op, expected, got })
+    }
+}
+
+/// A borrowed batch of `batch` input vectors of length `dim`, stored
+/// contiguously row-major (one vector per row).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchView<'a> {
+    data: &'a [f32],
+    batch: usize,
+    dim: usize,
+}
+
+impl<'a> BatchView<'a> {
+    /// Wraps a contiguous row-major buffer as a batch of `batch` vectors of
+    /// length `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `data.len() != batch * dim`.
+    pub fn new(data: &'a [f32], batch: usize, dim: usize) -> Result<Self, FormatError> {
+        check_dim("BatchView::new", batch * dim, data.len())?;
+        Ok(BatchView { data, batch, dim })
+    }
+
+    /// Views a matrix as a batch: each matrix row is one input vector.
+    pub fn from_matrix(m: &'a Matrix) -> Self {
+        BatchView {
+            data: m.as_slice(),
+            batch: m.rows(),
+            dim: m.cols(),
+        }
+    }
+
+    /// Number of vectors in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Length of each vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.batch()`.
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        assert!(
+            i < self.batch,
+            "batch row {i} out of bounds ({})",
+            self.batch
+        );
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// A compressed (or dense) weight matrix acting as the linear operator
+/// `y = W·x`.
+///
+/// The trait is object safe: call sites hold `Box<dyn CompressedLinear>` (see
+/// `permdnn_nn::layers::WeightFormat::build`) and new formats drop in without
+/// touching them. Concrete types keep their richer inherent APIs (training
+/// updates, structure accessors); inherent methods shadow same-named trait
+/// methods at method-call syntax, so implementing this trait is non-breaking.
+pub trait CompressedLinear {
+    /// Output dimension `m` (rows of the logical matrix).
+    fn out_dim(&self) -> usize;
+
+    /// Input dimension `n` (columns of the logical matrix).
+    fn in_dim(&self) -> usize;
+
+    /// Human-readable format label used in reports and error messages,
+    /// e.g. `"permuted-diagonal (p=8)"`.
+    fn label(&self) -> String;
+
+    /// Number of weight values actually stored by the representation.
+    fn stored_weights(&self) -> usize;
+
+    /// Real multiplications one matvec costs on a fully dense input — the
+    /// arithmetic-cost axis of the paper's format comparison (Table VI).
+    /// Formats that skip zero *inputs* (PD, CSC) cost proportionally less on
+    /// sparse activations; this counter reports the dense-input worst case.
+    fn mul_count(&self) -> u64;
+
+    /// Whether the format's kernel can skip zero *input* activations.
+    ///
+    /// This is the dynamic-sparsity axis of the paper's comparison: the
+    /// time-domain formats (permuted diagonal, CSC/EIE) process only non-zero
+    /// activations, while the frequency-domain circulant format transforms the
+    /// whole input (its time-domain zeros are lost, Section II-C) and a dense
+    /// mat-vec reads every column regardless. Consumers such as the cycle
+    /// model use this to decide whether activation sparsity buys latency.
+    fn exploits_input_sparsity(&self) -> bool {
+        false
+    }
+
+    /// Computes `y = W·x` into a caller-provided output slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] unless `x.len() == in_dim()`
+    /// and `y.len() == out_dim()`.
+    fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError>;
+
+    /// Expands the operator into a dense matrix — the correctness reference
+    /// every implementation is property-tested against.
+    fn to_dense(&self) -> Matrix;
+
+    /// Computes `y = W·x` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `x.len() != in_dim()`.
+    fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, FormatError> {
+        let mut y = vec![0.0f32; self.out_dim()];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Batched product: applies the operator to every vector of `xs`, returning
+    /// a `(batch × out_dim)` matrix with one output per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim() != in_dim()`.
+    fn matmul(&self, xs: &BatchView<'_>) -> Result<Matrix, FormatError> {
+        check_dim("matmul", self.in_dim(), xs.dim())?;
+        let mut out = Matrix::zeros(xs.batch(), self.out_dim());
+        for i in 0..xs.batch() {
+            self.matvec_into(xs.row(i), out.row_mut(i))?;
+        }
+        Ok(out)
+    }
+
+    /// Compression ratio versus the dense `m × n` matrix.
+    fn compression_ratio(&self) -> f64 {
+        let stored = self.stored_weights();
+        if stored == 0 {
+            0.0
+        } else {
+            (self.out_dim() * self.in_dim()) as f64 / stored as f64
+        }
+    }
+}
+
+impl CompressedLinear for BlockPermDiagMatrix {
+    fn out_dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn in_dim(&self) -> usize {
+        self.cols()
+    }
+
+    fn label(&self) -> String {
+        format!("permuted-diagonal (p={})", self.p())
+    }
+
+    fn stored_weights(&self) -> usize {
+        self.stored_weights()
+    }
+
+    fn mul_count(&self) -> u64 {
+        // One multiplication per structural non-zero: the column-wise kernel
+        // touches each stored (unpadded) weight exactly once on a dense input.
+        self.structural_nonzeros() as u64
+    }
+
+    fn exploits_input_sparsity(&self) -> bool {
+        true
+    }
+
+    /// Delegates to the column-wise, input-zero-skipping kernel the PERMDNN
+    /// hardware uses (Fig. 5): zero activations are skipped entirely.
+    fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        check_dim("matvec_into", self.cols(), x.len())?;
+        check_dim("matvec_into", self.rows(), y.len())?;
+        y.fill(0.0);
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for (i, value_idx) in self.column_nonzeros(j) {
+                y[i] += self.values()[value_idx] * xj;
+            }
+        }
+        Ok(())
+    }
+
+    fn to_dense(&self) -> Matrix {
+        self.to_dense()
+    }
+}
+
+impl CompressedLinear for Matrix {
+    fn out_dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn in_dim(&self) -> usize {
+        self.cols()
+    }
+
+    fn label(&self) -> String {
+        "dense".to_string()
+    }
+
+    fn stored_weights(&self) -> usize {
+        self.len()
+    }
+
+    fn mul_count(&self) -> u64 {
+        (self.rows() * self.cols()) as u64
+    }
+
+    fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        check_dim("matvec_into", self.cols(), x.len())?;
+        check_dim("matvec_into", self.rows(), y.len())?;
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (w, xv) in self.row(r).iter().zip(x.iter()) {
+                acc += w * xv;
+            }
+            *out = acc;
+        }
+        Ok(())
+    }
+
+    fn to_dense(&self) -> Matrix {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::{seeded_rng, sparse_activation_vector, xavier_uniform};
+
+    #[test]
+    fn pd_trait_matvec_matches_dense_expansion() {
+        let w = BlockPermDiagMatrix::random(24, 36, 4, &mut seeded_rng(1));
+        let x = sparse_activation_vector(&mut seeded_rng(2), 36, 0.4);
+        let op: &dyn CompressedLinear = &w;
+        let got = op.matvec(&x).unwrap();
+        let expected = op.to_dense().matvec(&x);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dense_trait_matvec_matches_inherent() {
+        let m = xavier_uniform(&mut seeded_rng(3), 8, 12);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 * 0.3).sin()).collect();
+        let via_trait = CompressedLinear::matvec(&m, &x).unwrap();
+        assert_eq!(via_trait, m.matvec(&x));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported() {
+        let w = BlockPermDiagMatrix::random(8, 8, 4, &mut seeded_rng(4));
+        let op: &dyn CompressedLinear = &w;
+        assert!(matches!(
+            op.matvec(&[0.0; 7]),
+            Err(FormatError::DimensionMismatch {
+                expected: 8,
+                got: 7,
+                ..
+            })
+        ));
+        let mut y_short = [0.0; 7];
+        assert!(matches!(
+            op.matvec_into(&[0.0; 8], &mut y_short),
+            Err(FormatError::DimensionMismatch {
+                expected: 8,
+                got: 7,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn matmul_applies_operator_per_row() {
+        let w = BlockPermDiagMatrix::random(6, 9, 3, &mut seeded_rng(5));
+        let xs_mat = xavier_uniform(&mut seeded_rng(6), 4, 9);
+        let xs = BatchView::from_matrix(&xs_mat);
+        let out = CompressedLinear::matmul(&w, &xs).unwrap();
+        assert_eq!(out.shape(), (4, 6));
+        for i in 0..4 {
+            let single = CompressedLinear::matvec(&w, xs.row(i)).unwrap();
+            assert_eq!(out.row(i), &single[..]);
+        }
+    }
+
+    #[test]
+    fn batch_view_validates_shape() {
+        let data = vec![0.0f32; 10];
+        assert!(BatchView::new(&data, 2, 5).is_ok());
+        assert!(matches!(
+            BatchView::new(&data, 3, 5),
+            Err(FormatError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_count_reflects_compression() {
+        let dense = xavier_uniform(&mut seeded_rng(7), 32, 32);
+        let pd = BlockPermDiagMatrix::random(32, 32, 4, &mut seeded_rng(8));
+        assert_eq!(CompressedLinear::mul_count(&dense), 32 * 32);
+        assert_eq!(CompressedLinear::mul_count(&pd), 32 * 32 / 4);
+        assert!((CompressedLinear::compression_ratio(&pd) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pd_error_converts_into_format_error() {
+        let pd_err = PdError::DimensionMismatch {
+            op: "matvec",
+            expected: 4,
+            got: 3,
+        };
+        assert_eq!(
+            FormatError::from(pd_err),
+            FormatError::DimensionMismatch {
+                op: "matvec",
+                expected: 4,
+                got: 3
+            }
+        );
+        let other = FormatError::from(PdError::ZeroBlockSize);
+        assert!(matches!(
+            other,
+            FormatError::Format {
+                format: "permuted-diagonal",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn labels_identify_formats() {
+        let pd = BlockPermDiagMatrix::random(8, 8, 2, &mut seeded_rng(9));
+        assert_eq!(CompressedLinear::label(&pd), "permuted-diagonal (p=2)");
+        assert_eq!(CompressedLinear::label(&Matrix::zeros(2, 2)), "dense");
+    }
+}

@@ -94,10 +94,7 @@ pub fn accumulate_weight_gradient(
 /// # Errors
 ///
 /// Returns [`PdError::DimensionMismatch`] if `grad_output.len() != w.rows()`.
-pub fn input_gradient(
-    w: &BlockPermDiagMatrix,
-    grad_output: &[f32],
-) -> Result<Vec<f32>, PdError> {
+pub fn input_gradient(w: &BlockPermDiagMatrix, grad_output: &[f32]) -> Result<Vec<f32>, PdError> {
     crate::matvec::matvec_transposed(w, grad_output)
 }
 
@@ -216,7 +213,11 @@ mod tests {
         let before = loss(&w);
         for _ in 0..20 {
             let a = w.matvec(&x);
-            let grad_out: Vec<f32> = a.iter().zip(target.iter()).map(|(ai, ti)| ai - ti).collect();
+            let grad_out: Vec<f32> = a
+                .iter()
+                .zip(target.iter())
+                .map(|(ai, ti)| ai - ti)
+                .collect();
             sgd_step(&mut w, &x, &grad_out, 0.05).unwrap();
         }
         let after = loss(&w);
@@ -239,9 +240,14 @@ mod tests {
                 .sum()
         };
         let a = w.matvec(&x);
-        let grad_out: Vec<f32> = a.iter().zip(target.iter()).map(|(ai, ti)| ai - ti).collect();
+        let grad_out: Vec<f32> = a
+            .iter()
+            .zip(target.iter())
+            .map(|(ai, ti)| ai - ti)
+            .collect();
         let analytic = weight_gradient(&w, &x, &grad_out).unwrap();
         let eps = 1e-3f32;
+        #[allow(clippy::needless_range_loop)] // idx perturbs two clones and labels failures
         for idx in 0..w.values().len() {
             let mut wp = w.clone();
             wp.values_mut()[idx] += eps;

@@ -10,6 +10,9 @@
 //!   parameter per block and compression ratio exactly `p`.
 //! * [`matvec`] — forward-propagation kernels (Section III-B), including the column-wise,
 //!   input-zero-skipping schedule the PERMDNN hardware uses (Fig. 5).
+//! * [`format`] — the format-agnostic [`CompressedLinear`] operator API that every weight
+//!   format in the workspace (dense, PD, circulant, CSC/EIE, weight-shared) implements,
+//!   with the shared [`FormatError`] and the batched [`BatchView`] entry point.
 //! * [`grad`] — structure-preserving gradients and weight updates for FC layers
 //!   (Eqns. 2–3), enabling end-to-end training that never leaves the PD manifold.
 //! * [`conv`] — the extension to convolutional layers (Section III-C, Eqns. 4–6):
@@ -48,6 +51,7 @@ pub mod connect;
 pub mod conv;
 pub mod cost;
 pub mod error;
+pub mod format;
 pub mod grad;
 pub mod matvec;
 pub mod pd_block;
@@ -57,5 +61,6 @@ pub mod storage;
 
 pub use conv::BlockPermDiagTensor4;
 pub use error::PdError;
+pub use format::{BatchView, CompressedLinear, FormatError};
 pub use pd_block::PermutedDiagonalBlock;
 pub use pd_matrix::{BlockPermDiagMatrix, PermutationIndexing};

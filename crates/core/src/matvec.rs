@@ -31,6 +31,7 @@ pub fn matvec(w: &BlockPermDiagMatrix, x: &[f32]) -> Result<Vec<f32>, PdError> {
     let p = w.p();
     let block_cols = w.block_cols();
     let mut a = vec![0.0f32; w.rows()];
+    #[allow(clippy::needless_range_loop)] // direct rendering of the Section III-B index math
     for i in 0..w.rows() {
         let c = i % p;
         let br = i / p;
@@ -101,6 +102,7 @@ pub fn matvec_transposed(w: &BlockPermDiagMatrix, x: &[f32]) -> Result<Vec<f32>,
     let block_cols = w.block_cols();
     let block_rows = w.block_rows();
     let mut y = vec![0.0f32; w.cols()];
+    #[allow(clippy::needless_range_loop)] // direct rendering of the Eqn. (3) index math
     for j in 0..w.cols() {
         let d = j % p;
         let bc = j / p;
@@ -153,7 +155,12 @@ mod tests {
 
     #[test]
     fn matvec_matches_dense_reference() {
-        for &(rows, cols, p) in &[(8usize, 8usize, 4usize), (16, 32, 4), (12, 20, 5), (6, 9, 3)] {
+        for &(rows, cols, p) in &[
+            (8usize, 8usize, 4usize),
+            (16, 32, 4),
+            (12, 20, 5),
+            (6, 9, 3),
+        ] {
             let w = random_pd(rows, cols, p, 1);
             let mut rng = seeded_rng(2);
             let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -41,10 +41,7 @@ impl PermutedDiagonalBlock {
             return Err(PdError::ZeroBlockSize);
         }
         if k >= values.len() {
-            return Err(PdError::InvalidPermutation {
-                k,
-                p: values.len(),
-            });
+            return Err(PdError::InvalidPermutation { k, p: values.len() });
         }
         Ok(PermutedDiagonalBlock { values, k })
     }

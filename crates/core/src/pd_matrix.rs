@@ -326,11 +326,7 @@ impl BlockPermDiagMatrix {
     ///
     /// Returns [`PdError::NotPermutedDiagonal`] if a non-zero lies off the permuted
     /// diagonal, plus the usual construction errors.
-    pub fn from_dense_exact(
-        dense: &Matrix,
-        p: usize,
-        perms: Vec<usize>,
-    ) -> Result<Self, PdError> {
+    pub fn from_dense_exact(dense: &Matrix, p: usize, perms: Vec<usize>) -> Result<Self, PdError> {
         let (rows, cols) = dense.shape();
         let mut out = Self::new(
             rows,
@@ -508,8 +504,7 @@ mod tests {
     fn dense_roundtrip_exact() {
         let w = sample(12, 20, 4);
         let dense = w.to_dense();
-        let back =
-            BlockPermDiagMatrix::from_dense_exact(&dense, 4, w.perms().to_vec()).unwrap();
+        let back = BlockPermDiagMatrix::from_dense_exact(&dense, 4, w.perms().to_vec()).unwrap();
         assert_eq!(back.to_dense(), dense);
     }
 
@@ -597,7 +592,7 @@ mod tests {
         let mut w = sample(8, 8, 2);
         w.map_values_in_place(|_| 1.5);
         assert!(w.values().iter().all(|&v| v == 1.5));
-        assert_eq!(w.entry(0, 0 + w.perm_at(0, 0)), 1.5);
+        assert_eq!(w.entry(0, w.perm_at(0, 0)), 1.5);
     }
 
     #[test]

@@ -59,11 +59,7 @@ impl SparsityProfile {
 /// Unlike [`pd_tensor::init::sparse_activation_vector`], which is Bernoulli per element,
 /// this generator hits the target sparsity exactly, which keeps the simulator's cycle
 /// counts deterministic for a given workload definition.
-pub fn exact_sparsity_vector(
-    rng: &mut impl Rng,
-    len: usize,
-    nonzero_fraction: f64,
-) -> Vec<f32> {
+pub fn exact_sparsity_vector(rng: &mut impl Rng, len: usize, nonzero_fraction: f64) -> Vec<f32> {
     let target = ((len as f64) * nonzero_fraction.clamp(0.0, 1.0)).round() as usize;
     let mut v = vec![0.0f32; len];
     // Partial Fisher-Yates: choose `target` distinct positions.
@@ -128,7 +124,10 @@ mod tests {
     fn exact_sparsity_values_positive() {
         let mut rng = seeded_rng(11);
         let v = exact_sparsity_vector(&mut rng, 100, 0.5);
-        assert!(v.iter().filter(|&&x| x != 0.0).all(|&x| x >= 0.1 && x <= 1.0));
+        assert!(v
+            .iter()
+            .filter(|&&x| x != 0.0)
+            .all(|&x| (0.1..=1.0).contains(&x)));
     }
 
     #[test]

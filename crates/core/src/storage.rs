@@ -112,7 +112,11 @@ pub fn permdnn_storage_with_stored_perms(
     assert!(p > 0, "block size must be non-zero");
     let base = permdnn_storage(shape, p, bits_per_weight);
     let blocks = (shape.rows as u64).div_ceil(p as u64) * (shape.cols as u64).div_ceil(p as u64);
-    let perm_bits_per_block = if p == 1 { 0 } else { (p as f64).log2().ceil() as u64 };
+    let perm_bits_per_block = if p == 1 {
+        0
+    } else {
+        (p as f64).log2().ceil() as u64
+    };
     StorageCost {
         weight_bits: base.weight_bits,
         index_bits: blocks * perm_bits_per_block,
@@ -210,10 +214,12 @@ impl ModelStorageReport {
 }
 
 fn sum_costs(costs: &[StorageCost]) -> StorageCost {
-    costs.iter().fold(StorageCost::default(), |acc, c| StorageCost {
-        weight_bits: acc.weight_bits + c.weight_bits,
-        index_bits: acc.index_bits + c.index_bits,
-    })
+    costs
+        .iter()
+        .fold(StorageCost::default(), |acc, c| StorageCost {
+            weight_bits: acc.weight_bits + c.weight_bits,
+            index_bits: acc.index_bits + c.index_bits,
+        })
 }
 
 /// The AlexNet FC layer shapes used throughout the paper (Tables II, VII).

@@ -23,8 +23,14 @@ use rand::Rng;
 
 /// Strategy producing a random PD matrix together with its construction seed.
 fn pd_matrix_strategy() -> impl Strategy<Value = (BlockPermDiagMatrix, u64)> {
-    (2usize..=24, 2usize..=24, 1usize..=6, 0u64..1000, any::<bool>()).prop_map(
-        |(rows, cols, p, seed, random_indexing)| {
+    (
+        2usize..=24,
+        2usize..=24,
+        1usize..=6,
+        0u64..1000,
+        any::<bool>(),
+    )
+        .prop_map(|(rows, cols, p, seed, random_indexing)| {
             let indexing = if random_indexing {
                 PermutationIndexing::Random
             } else {
@@ -38,8 +44,7 @@ fn pd_matrix_strategy() -> impl Strategy<Value = (BlockPermDiagMatrix, u64)> {
                 &mut seeded_rng(seed),
             );
             (m, seed)
-        },
-    )
+        })
 }
 
 fn random_input(len: usize, seed: u64) -> Vec<f32> {

@@ -44,7 +44,9 @@ impl ConvWeights {
     fn forward(&self, input: &Tensor4) -> Tensor4 {
         match self {
             ConvWeights::Dense(w) => dense_conv2d(w, input, 1, 1),
-            ConvWeights::Pd(w) => w.forward(input, 1, 1).expect("shapes validated at build time"),
+            ConvWeights::Pd(w) => w
+                .forward(input, 1, 1)
+                .expect("shapes validated at build time"),
         }
     }
 
@@ -251,7 +253,11 @@ impl ConvClassifier {
         lr: f32,
     ) -> Tensor4 {
         let lr = lr * self.lr_scale_conv;
-        let conv = if first { &mut self.conv1 } else { &mut self.conv2 };
+        let conv = if first {
+            &mut self.conv1
+        } else {
+            &mut self.conv2
+        };
         match conv {
             ConvWeights::Pd(w) => {
                 let grad_input = w
@@ -294,8 +300,7 @@ impl ConvClassifier {
 }
 
 fn map_tensor(t: &Tensor4, f: impl Fn(f32) -> f32) -> Tensor4 {
-    Tensor4::from_vec(t.shape(), t.as_slice().iter().map(|&v| f(v)).collect())
-        .expect("same length")
+    Tensor4::from_vec(t.shape(), t.as_slice().iter().map(|&v| f(v)).collect()).expect("same length")
 }
 
 fn backprop_relu(grad: &Tensor4, pre_activation: &Tensor4) -> Tensor4 {
@@ -435,7 +440,10 @@ mod tests {
         let (_, test) = small_glyphs(1, 80);
         let model = ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(2));
         let acc = model.evaluate(&test);
-        assert!(acc < 0.7, "untrained accuracy should be near chance, got {acc}");
+        assert!(
+            acc < 0.7,
+            "untrained accuracy should be near chance, got {acc}"
+        );
     }
 
     #[test]
@@ -445,7 +453,10 @@ mod tests {
             ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(4));
         model.fit(&train, 6, 0.05);
         let acc = model.evaluate(&test);
-        assert!(acc > 0.7, "dense CNN should learn the glyph task, got {acc}");
+        assert!(
+            acc > 0.7,
+            "dense CNN should learn the glyph task, got {acc}"
+        );
     }
 
     #[test]

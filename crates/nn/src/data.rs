@@ -53,10 +53,7 @@ impl GaussianClusters {
         for i in 0..samples {
             let class = i % num_classes;
             let proto = &prototypes[class];
-            let x: Vec<f32> = proto
-                .iter()
-                .map(|&p| p + noise * gaussian(rng))
-                .collect();
+            let x: Vec<f32> = proto.iter().map(|&p| p + noise * gaussian(rng)).collect();
             features.push(x);
             labels.push(class);
         }
@@ -190,14 +187,14 @@ impl GlyphImages {
 fn glyph_pixel(class: usize, y: usize, x: usize, size: usize) -> f32 {
     let mid = size / 2;
     let on = match class {
-        0 => y == mid || y == mid - 1,                        // horizontal bar
-        1 => x == mid || x == mid - 1,                        // vertical bar
-        2 => y == mid || x == mid,                            // cross
+        0 => y == mid || y == mid - 1, // horizontal bar
+        1 => x == mid || x == mid - 1, // vertical bar
+        2 => y == mid || x == mid,     // cross
         3 => y == 1 || y == size - 2 || x == 1 || x == size - 2, // box outline
-        4 => y == x || y + 1 == x,                            // main diagonal
-        5 => y + x == size - 1 || y + x == size - 2,          // anti-diagonal
-        6 => (y / 2 + x / 2) % 2 == 0,                        // checkerboard
-        _ => (y >= mid) == (x >= mid),                        // two solid quadrants
+        4 => y == x || y + 1 == x,     // main diagonal
+        5 => y + x == size - 1 || y + x == size - 2, // anti-diagonal
+        6 => (y / 2 + x / 2).is_multiple_of(2), // checkerboard
+        _ => (y >= mid) == (x >= mid), // two solid quadrants
     };
     if on {
         1.0
@@ -237,7 +234,9 @@ impl TranslationPairs {
         let mut sources = Vec::with_capacity(samples);
         let mut targets = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let src: Vec<u32> = (0..seq_len).map(|_| rng.gen_range(0..vocab as u32)).collect();
+            let src: Vec<u32> = (0..seq_len)
+                .map(|_| rng.gen_range(0..vocab as u32))
+                .collect();
             let tgt: Vec<u32> = src.iter().rev().map(|&t| table[t as usize]).collect();
             sources.push(src);
             targets.push(tgt);

@@ -66,7 +66,9 @@ impl ExperimentReport {
 }
 
 fn storage_rows(layers: &[(&str, LayerShape, usize)]) -> (f64, f64, f64) {
-    let dense = ModelStorageReport::for_model(layers, 32, 32).total_dense().total_mb();
+    let dense = ModelStorageReport::for_model(layers, 32, 32)
+        .total_dense()
+        .total_mb();
     let pd32 = ModelStorageReport::for_model(layers, 32, 32)
         .total_compressed()
         .total_mb();
@@ -88,8 +90,13 @@ pub mod alexnet_fc {
         let data = GaussianClusters::generate(&mut seeded_rng(seed), samples, 5, 40, 0.5);
         let (train, test) = data.split(0.8);
 
-        let mut dense =
-            MlpClassifier::new(40, &[40, 40], 5, WeightFormat::Dense, &mut seeded_rng(seed + 1));
+        let mut dense = MlpClassifier::new(
+            40,
+            &[40, 40],
+            5,
+            WeightFormat::Dense,
+            &mut seeded_rng(seed + 1),
+        );
         dense.fit(&train, epochs, 8, 0.1);
         let dense_acc = dense.evaluate(&test);
 
@@ -362,8 +369,7 @@ pub mod lenet_pretrained {
         let finetuned_acc = projected.evaluate(&test);
 
         ExperimentReport {
-            name: "Section III-F — pre-trained dense model → PD approximation → fine-tune"
-                .into(),
+            name: "Section III-F — pre-trained dense model → PD approximation → fine-tune".into(),
             metric_name: "top-1 accuracy".into(),
             rows: vec![
                 AccuracyRow {
@@ -407,8 +413,7 @@ pub mod p_sweep {
             } else {
                 WeightFormat::PermutedDiagonal { p }
             };
-            let mut model =
-                MlpClassifier::new(40, &[40, 40], 5, format, &mut seeded_rng(seed + 1));
+            let mut model = MlpClassifier::new(40, &[40, 40], 5, format, &mut seeded_rng(seed + 1));
             if idx == 0 {
                 dense_params = model.num_params();
             }
@@ -442,7 +447,10 @@ pub mod perm_indexing {
 
         let mut rows = Vec::new();
         for (label, indexing) in [
-            ("natural indexing (k_l = l mod p)", PermutationIndexing::Natural),
+            (
+                "natural indexing (k_l = l mod p)",
+                PermutationIndexing::Natural,
+            ),
             ("random indexing", PermutationIndexing::Random),
         ] {
             // Build the MLP manually so the hidden layers use the requested indexing.
@@ -491,7 +499,11 @@ mod tests {
         let pd = &report.rows[1];
         let pd16 = &report.rows[2];
         // Storage matches the paper exactly (structural quantity).
-        assert!((dense.storage_mb - 234.5).abs() < 1.0, "{}", dense.storage_mb);
+        assert!(
+            (dense.storage_mb - 234.5).abs() < 1.0,
+            "{}",
+            dense.storage_mb
+        );
         assert!((pd.compression - 9.0).abs() < 0.3);
         assert!((pd16.compression - 18.1).abs() < 0.6);
         // Accuracy: all models learn, PD close to dense.

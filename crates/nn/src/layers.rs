@@ -1,24 +1,45 @@
-//! Vector-to-vector layers behind a common [`Layer`] trait.
+//! Vector-to-vector layers behind a common [`Layer`] trait, plus the
+//! [`WeightFormat`] registry over the
+//! [`CompressedLinear`] operator API.
 //!
-//! Three fully-connected weight formats are provided, matching the comparison the paper
-//! draws: a dense baseline ([`Dense`]), the permuted-diagonal layer ([`PdDense`], the
-//! paper's contribution, trained with the structure-preserving updates of
-//! [`permdnn_core::grad`]) and a block-circulant layer ([`CirculantDense`], the CIRCNN
-//! baseline, trained through its dense expansion and re-projected after every update).
-//! Activation layers ([`Relu`], [`Tanh`]) complete the zoo used by the MLP and LSTM
-//! models.
+//! Every fully-connected layer consumes its weights through
+//! [`CompressedLinear`] (one `affine_forward` path serves all formats); what
+//! differs per format is only training:
+//!
+//! * [`Dense`] — the uncompressed baseline of Tables II–V, ordinary SGD.
+//! * [`PdDense`] — the permuted-diagonal layer (the paper's contribution),
+//!   trained with the structure-preserving updates of [`permdnn_core::grad`].
+//! * [`CirculantDense`] — the CIRCNN baseline, trained through its dense
+//!   expansion and re-projected after every update.
+//! * [`CompressedFc`] — any registry format with frozen weights (the
+//!   post-training deployment formats: CSC-pruned, weight-shared PD), training
+//!   only its bias.
+//!
+//! Activation layers ([`Relu`], [`Tanh`]) complete the zoo used by the MLP and
+//! LSTM models.
 
 use pd_tensor::init::xavier_uniform;
 use pd_tensor::Matrix;
 use permdnn_circulant::approx::circulant_approximate;
 use permdnn_circulant::BlockCirculantMatrix;
 use permdnn_core::approx::{pd_approximate, ApproxStrategy};
+use permdnn_core::format::CompressedLinear;
 use permdnn_core::{grad as pd_grad, BlockPermDiagMatrix};
+use permdnn_prune::{magnitude_prune, CscMatrix};
+use permdnn_quant::SharedWeightPdMatrix;
 use rand::Rng;
 
 use crate::activations::{relu, relu_grad, tanh, tanh_grad_from_output};
 
-/// Which weight format a fully-connected layer uses.
+/// The weight-format registry: every compressed-matrix representation the
+/// workspace knows how to construct, behind one constructor
+/// ([`WeightFormat::build`]) returning a boxed
+/// [`CompressedLinear`] operator.
+///
+/// The first three variants also have trainable [`Layer`] counterparts (see
+/// [`make_fc_layer`]); the last two are the paper's *post-training* deployment
+/// formats (magnitude pruning and weight sharing are applied to trained
+/// weights), so their layers freeze the weight matrix and train only the bias.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WeightFormat {
     /// Ordinary dense weights (the uncompressed baseline of Tables II–V).
@@ -33,6 +54,20 @@ pub enum WeightFormat {
         /// Block size / compression ratio (power of two).
         k: usize,
     },
+    /// Unstructured magnitude-pruned weights in CSC form (the EIE baseline),
+    /// keeping one weight in `p`.
+    UnstructuredSparse {
+        /// Inverse density: the pruned matrix keeps a `1/p` fraction of weights.
+        p: usize,
+    },
+    /// Permuted-diagonal weights with a shared `2^tag_bits`-entry codebook
+    /// (the PE weight-LUT representation, Fig. 7).
+    SharedPermutedDiagonal {
+        /// Block size / compression ratio of the PD structure.
+        p: usize,
+        /// Codebook tag width in bits (4 in the paper).
+        tag_bits: u32,
+    },
 }
 
 impl WeightFormat {
@@ -42,8 +77,58 @@ impl WeightFormat {
             WeightFormat::Dense => "dense".to_string(),
             WeightFormat::PermutedDiagonal { p } => format!("permuted-diagonal (p={p})"),
             WeightFormat::Circulant { k } => format!("block-circulant (k={k})"),
+            WeightFormat::UnstructuredSparse { p } => {
+                format!("unstructured-sparse (1/{p} kept)")
+            }
+            WeightFormat::SharedPermutedDiagonal { p, tag_bits } => {
+                format!("permuted-diagonal (p={p}) + {tag_bits}-bit shared")
+            }
         }
     }
+
+    /// Constructs a randomly initialised `rows × cols` weight matrix of this
+    /// format as a boxed [`CompressedLinear`] operator — the single entry point
+    /// `nn`, `sim` and `bench` use, so new formats drop in here without
+    /// touching any call site.
+    pub fn build(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Box<dyn CompressedLinear> {
+        match self {
+            WeightFormat::Dense => Box::new(xavier_uniform(rng, rows, cols)),
+            WeightFormat::PermutedDiagonal { p } => {
+                Box::new(BlockPermDiagMatrix::random(rows, cols, p, rng))
+            }
+            WeightFormat::Circulant { k } if k.is_power_of_two() => {
+                Box::new(BlockCirculantMatrix::random(rows, cols, k, rng))
+            }
+            WeightFormat::Circulant { k } => {
+                // Non-power-of-two blocks: the flexibility ablation of
+                // Section II-C; only the direct kernel can execute them.
+                Box::new(BlockCirculantMatrix::random_any_size(rows, cols, k, rng))
+            }
+            WeightFormat::UnstructuredSparse { p } => {
+                assert!(p > 0, "inverse density must be non-zero");
+                let dense = xavier_uniform(rng, rows, cols);
+                let pruned = magnitude_prune(&dense, 1.0 / p as f64).pruned;
+                Box::new(CscMatrix::from_dense(&pruned))
+            }
+            WeightFormat::SharedPermutedDiagonal { p, tag_bits } => {
+                let w = BlockPermDiagMatrix::random(rows, cols, p, rng);
+                Box::new(SharedWeightPdMatrix::quantize(&w, tag_bits, 25, rng))
+            }
+        }
+    }
+}
+
+/// Applies `y = W·x + b` through the [`CompressedLinear`] surface — the one
+/// forward path every fully-connected layer shares, regardless of format.
+fn affine_forward(weights: &dyn CompressedLinear, bias: &[f32], x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0.0f32; weights.out_dim()];
+    weights
+        .matvec_into(x, &mut y)
+        .expect("input length matches the layer width");
+    for (yi, b) in y.iter_mut().zip(bias.iter()) {
+        *yi += b;
+    }
+    y
 }
 
 /// A trainable vector-to-vector layer.
@@ -134,11 +219,7 @@ impl Layer for Dense {
     }
 
     fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = self.weights.matvec(x);
-        for (yi, b) in y.iter_mut().zip(self.bias.iter()) {
-            *yi += b;
-        }
-        y
+        affine_forward(&self.weights, &self.bias, x)
     }
 
     fn forward_train(&mut self, x: &[f32]) -> Vec<f32> {
@@ -148,7 +229,8 @@ impl Layer for Dense {
 
     fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
         assert_eq!(grad_output.len(), self.output_dim());
-        self.grad_w.rank1_update(1.0, grad_output, &self.cached_input);
+        self.grad_w
+            .rank1_update(1.0, grad_output, &self.cached_input);
         for (gb, g) in self.grad_b.iter_mut().zip(grad_output.iter()) {
             *gb += g;
         }
@@ -251,11 +333,7 @@ impl Layer for PdDense {
     }
 
     fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = self.weights.matvec(x);
-        for (yi, b) in y.iter_mut().zip(self.bias.iter()) {
-            *yi += b;
-        }
-        y
+        affine_forward(&self.weights, &self.bias, x)
     }
 
     fn forward_train(&mut self, x: &[f32]) -> Vec<f32> {
@@ -363,14 +441,7 @@ impl Layer for CirculantDense {
     }
 
     fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = self
-            .weights
-            .matvec_direct(x)
-            .expect("input length matches layer width");
-        for (yi, b) in y.iter_mut().zip(self.bias.iter()) {
-            *yi += b;
-        }
-        y
+        affine_forward(&self.weights, &self.bias, x)
     }
 
     fn forward_train(&mut self, x: &[f32]) -> Vec<f32> {
@@ -380,7 +451,8 @@ impl Layer for CirculantDense {
 
     fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
         assert_eq!(grad_output.len(), self.output_dim());
-        self.grad_w.rank1_update(1.0, grad_output, &self.cached_input);
+        self.grad_w
+            .rank1_update(1.0, grad_output, &self.cached_input);
         for (gb, g) in self.grad_b.iter_mut().zip(grad_output.iter()) {
             *gb += g;
         }
@@ -397,8 +469,8 @@ impl Layer for CirculantDense {
             .axpy_in_place(scale, &self.grad_w)
             .expect("gradient shape matches weights");
         // Project back onto the block-circulant manifold.
-        let approx = circulant_approximate(&self.dense_cache, self.k)
-            .expect("k validated at construction");
+        let approx =
+            circulant_approximate(&self.dense_cache, self.k).expect("k validated at construction");
         self.weights = approx.matrix;
         self.dense_cache = self.weights.to_dense();
         for (b, g) in self.bias.iter_mut().zip(self.grad_b.iter()) {
@@ -539,7 +611,111 @@ impl Layer for Tanh {
     }
 }
 
+/// Fully-connected layer over *any* [`CompressedLinear`] weight operator.
+///
+/// This is the generic deployment-format layer: the weight matrix is frozen
+/// (pruned / weight-shared representations have no structure-preserving update
+/// rule) and only the bias trains. Input gradients flow through the cached
+/// dense expansion so the layer still composes inside a trained network.
+pub struct CompressedFc {
+    weights: Box<dyn CompressedLinear>,
+    /// Dense expansion for the input-gradient path, materialised on the first
+    /// `backward` call only — inference-only use keeps the compressed memory
+    /// footprint the formats exist to provide.
+    dense_cache: Option<Matrix>,
+    bias: Vec<f32>,
+    grad_b: Vec<f32>,
+    examples: usize,
+}
+
+impl CompressedFc {
+    /// Wraps a compressed operator as a frozen-weight FC layer (bias zero).
+    pub fn new(weights: Box<dyn CompressedLinear>) -> Self {
+        let out = weights.out_dim();
+        CompressedFc {
+            weights,
+            dense_cache: None,
+            bias: vec![0.0; out],
+            grad_b: vec![0.0; out],
+            examples: 0,
+        }
+    }
+
+    /// Builds a randomly initialised frozen layer of the requested format.
+    pub fn build(
+        input_dim: usize,
+        output_dim: usize,
+        format: WeightFormat,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::new(format.build(output_dim, input_dim, rng))
+    }
+
+    /// The underlying compressed operator.
+    pub fn weights(&self) -> &dyn CompressedLinear {
+        self.weights.as_ref()
+    }
+}
+
+impl Layer for CompressedFc {
+    fn input_dim(&self) -> usize {
+        self.weights.in_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.weights.out_dim()
+    }
+
+    fn forward(&self, x: &[f32]) -> Vec<f32> {
+        affine_forward(self.weights.as_ref(), &self.bias, x)
+    }
+
+    fn forward_train(&mut self, x: &[f32]) -> Vec<f32> {
+        self.forward(x)
+    }
+
+    fn backward(&mut self, grad_output: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_output.len(), self.output_dim());
+        for (gb, g) in self.grad_b.iter_mut().zip(grad_output.iter()) {
+            *gb += g;
+        }
+        self.examples += 1;
+        let dense = self
+            .dense_cache
+            .get_or_insert_with(|| self.weights.to_dense());
+        dense.matvec_transposed(grad_output)
+    }
+
+    fn apply_gradients(&mut self, lr: f32) {
+        if self.examples == 0 {
+            return;
+        }
+        let scale = -lr / self.examples as f32;
+        for (b, g) in self.bias.iter_mut().zip(self.grad_b.iter()) {
+            *b += scale * g;
+        }
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+        self.examples = 0;
+    }
+
+    fn num_params(&self) -> usize {
+        self.weights.stored_weights() + self.bias.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 /// Builds a fully-connected layer of the requested [`WeightFormat`].
+///
+/// The three trainable formats get their format-specific training layers; the
+/// post-training deployment formats ([`WeightFormat::UnstructuredSparse`],
+/// [`WeightFormat::SharedPermutedDiagonal`]) get a frozen [`CompressedFc`].
 pub fn make_fc_layer(
     input_dim: usize,
     output_dim: usize,
@@ -548,8 +724,15 @@ pub fn make_fc_layer(
 ) -> Box<dyn Layer> {
     match format {
         WeightFormat::Dense => Box::new(Dense::new(input_dim, output_dim, rng)),
-        WeightFormat::PermutedDiagonal { p } => Box::new(PdDense::new(input_dim, output_dim, p, rng)),
-        WeightFormat::Circulant { k } => Box::new(CirculantDense::new(input_dim, output_dim, k, rng)),
+        WeightFormat::PermutedDiagonal { p } => {
+            Box::new(PdDense::new(input_dim, output_dim, p, rng))
+        }
+        WeightFormat::Circulant { k } => {
+            Box::new(CirculantDense::new(input_dim, output_dim, k, rng))
+        }
+        WeightFormat::UnstructuredSparse { .. } | WeightFormat::SharedPermutedDiagonal { .. } => {
+            Box::new(CompressedFc::build(input_dim, output_dim, format, rng))
+        }
     }
 }
 
@@ -615,7 +798,10 @@ mod tests {
         let x = vec![0.3, -0.2, 0.5, 0.1];
         let y = layer.forward(&x);
         for (a, b) in y.iter().zip(x.iter()) {
-            assert!((a - b).abs() < 0.1, "dense layer should learn identity: {y:?}");
+            assert!(
+                (a - b).abs() < 0.1,
+                "dense layer should learn identity: {y:?}"
+            );
         }
     }
 
@@ -709,6 +895,77 @@ mod tests {
         assert_eq!(
             WeightFormat::PermutedDiagonal { p: 4 }.label(),
             "permuted-diagonal (p=4)"
+        );
+    }
+
+    #[test]
+    fn registry_builds_every_format_through_the_trait() {
+        let mut rng = seeded_rng(20);
+        let formats = [
+            WeightFormat::Dense,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            WeightFormat::Circulant { k: 4 },
+            WeightFormat::Circulant { k: 3 }, // non-2ᵗ: direct-kernel fallback
+            WeightFormat::UnstructuredSparse { p: 4 },
+            WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+        ];
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.29).sin()).collect();
+        for format in formats {
+            let w = format.build(16, 24, &mut rng);
+            assert_eq!((w.out_dim(), w.in_dim()), (16, 24), "{}", format.label());
+            let y = w.matvec(&x).unwrap();
+            let reference = w.to_dense().matvec(&x);
+            for (a, b) in y.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 1e-3, "{}: {a} vs {b}", format.label());
+            }
+            // Compressed formats store fewer weights than dense (ragged blocks
+            // pad, so the bound is the dense count, not rows·cols/p).
+            if format != WeightFormat::Dense {
+                assert!(w.stored_weights() < 16 * 24, "{}", format.label());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_fc_freezes_weights_and_trains_bias() {
+        let mut rng = seeded_rng(21);
+        let mut layer =
+            CompressedFc::build(8, 8, WeightFormat::UnstructuredSparse { p: 2 }, &mut rng);
+        let frozen_before = layer.weights().to_dense();
+        let mut data_rng = seeded_rng(22);
+        for _ in 0..30 {
+            let x: Vec<f32> = (0..8).map(|_| data_rng.gen_range(-1.0f32..1.0)).collect();
+            let y = layer.forward_train(&x);
+            layer.backward(&y);
+            layer.apply_gradients(0.1);
+        }
+        assert!(frozen_before.approx_eq(&layer.weights().to_dense(), 0.0));
+        assert!(
+            layer.bias.iter().any(|&b| b != 0.0),
+            "bias should have trained"
+        );
+    }
+
+    #[test]
+    fn compressed_fc_input_gradient_is_correct() {
+        let mut layer = CompressedFc::build(
+            8,
+            8,
+            WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+            &mut seeded_rng(23),
+        );
+        finite_diff_check(&mut layer, 8);
+    }
+
+    #[test]
+    fn new_format_labels() {
+        assert_eq!(
+            WeightFormat::UnstructuredSparse { p: 8 }.label(),
+            "unstructured-sparse (1/8 kept)"
+        );
+        assert_eq!(
+            WeightFormat::SharedPermutedDiagonal { p: 8, tag_bits: 4 }.label(),
+            "permuted-diagonal (p=8) + 4-bit shared"
         );
     }
 

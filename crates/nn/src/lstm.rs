@@ -23,18 +23,27 @@ use crate::metrics::{argmax, bleu};
 /// One recurrent weight matrix, dense or permuted-diagonal, with its gradient buffer.
 #[derive(Debug, Clone)]
 enum GateWeight {
-    Dense { w: Matrix, grad: Matrix },
-    Pd { w: BlockPermDiagMatrix, grad: Vec<f32> },
+    Dense {
+        w: Matrix,
+        grad: Matrix,
+    },
+    Pd {
+        w: BlockPermDiagMatrix,
+        grad: Vec<f32>,
+    },
 }
 
 impl GateWeight {
     fn new(rows: usize, cols: usize, format: WeightFormat, rng: &mut ChaCha20Rng) -> Self {
         match format {
-            WeightFormat::Dense | WeightFormat::Circulant { .. } => GateWeight::Dense {
+            WeightFormat::Dense
+            | WeightFormat::Circulant { .. }
+            | WeightFormat::UnstructuredSparse { .. } => GateWeight::Dense {
                 w: xavier_uniform(rng, rows, cols),
                 grad: Matrix::zeros(rows, cols),
             },
-            WeightFormat::PermutedDiagonal { p } => {
+            WeightFormat::PermutedDiagonal { p }
+            | WeightFormat::SharedPermutedDiagonal { p, .. } => {
                 let w = BlockPermDiagMatrix::random(rows, cols, p, rng);
                 let n = w.values().len();
                 GateWeight::Pd {
@@ -119,6 +128,16 @@ pub struct LstmCell {
 impl LstmCell {
     /// Creates an LSTM cell with the given input and hidden sizes; all eight weight
     /// matrices use `format`.
+    ///
+    /// Only [`WeightFormat::Dense`] and [`WeightFormat::PermutedDiagonal`] have
+    /// faithful LSTM training rules. The remaining formats fall back to their
+    /// training-time proxies: [`WeightFormat::Circulant`] and
+    /// [`WeightFormat::UnstructuredSparse`] train dense gates (pruning is a
+    /// post-training step in the Han pipeline), and
+    /// [`WeightFormat::SharedPermutedDiagonal`] trains unquantized PD gates
+    /// (weight sharing is applied after training, footnote 11). Reported
+    /// stored-weight counts reflect the proxy actually trained, not the
+    /// eventual deployment format.
     pub fn new(
         input_dim: usize,
         hidden_dim: usize,
@@ -166,6 +185,7 @@ impl LstmCell {
     /// One forward step; returns `(h, c, cache)`.
     fn step(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> (Vec<f32>, Vec<f32>, StepCache) {
         let mut gates = [vec![], vec![], vec![], vec![]];
+        #[allow(clippy::needless_range_loop)] // `gate` indexes four parallel weight arrays
         for gate in 0..4 {
             let mut z = self.wx[gate].matvec(x);
             let zh = self.wh[gate].matvec(h_prev);
@@ -211,7 +231,12 @@ impl LstmCell {
                 grad_c_in[k] + grad_h[k] * cache.o[k] * tanh_grad_from_output(cache.tanh_c[k]);
         }
         // Gate pre-activation gradients.
-        let mut dz = [vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]];
+        let mut dz = [
+            vec![0.0f32; n],
+            vec![0.0f32; n],
+            vec![0.0f32; n],
+            vec![0.0f32; n],
+        ];
         for k in 0..n {
             let di = grad_c[k] * cache.g[k];
             let df = grad_c[k] * cache.c_prev[k];
@@ -224,13 +249,16 @@ impl LstmCell {
         }
         let mut grad_x = vec![0.0f32; self.input_dim];
         let mut grad_h_prev = vec![0.0f32; n];
+        #[allow(clippy::needless_range_loop)] // `gate` indexes four parallel weight arrays
         for gate in 0..4 {
             self.wx[gate].accumulate_grad(&cache.x, &dz[gate]);
             self.wh[gate].accumulate_grad(&cache.h_prev, &dz[gate]);
             for (gb, &d) in self.grad_bias[gate].iter_mut().zip(dz[gate].iter()) {
                 *gb += d;
             }
-            for (gx, &v) in grad_x.iter_mut().zip(self.wx[gate].matvec_transposed(&dz[gate]).iter())
+            for (gx, &v) in grad_x
+                .iter_mut()
+                .zip(self.wx[gate].matvec_transposed(&dz[gate]).iter())
             {
                 *gx += v;
             }
@@ -384,7 +412,8 @@ impl Seq2Seq {
         let mut grad_c = vec![0.0f32; hidden];
         for t in (0..target.len()).rev() {
             // Head gradient at step t.
-            self.head_grad.rank1_update(1.0, &logit_grads[t], &dec_hs[t]);
+            self.head_grad
+                .rank1_update(1.0, &logit_grads[t], &dec_hs[t]);
             for (gb, g) in self.head_bias_grad.iter_mut().zip(logit_grads[t].iter()) {
                 *gb += g;
             }
@@ -392,7 +421,8 @@ impl Seq2Seq {
             for (gh, &hb) in grad_h.iter_mut().zip(head_back.iter()) {
                 *gh += hb;
             }
-            let (_, gh_prev, gc_prev) = self.decoder.step_backward(&dec_caches[t], &grad_h, &grad_c);
+            let (_, gh_prev, gc_prev) =
+                self.decoder.step_backward(&dec_caches[t], &grad_h, &grad_c);
             grad_h = gh_prev;
             grad_c = gc_prev;
         }
@@ -492,10 +522,13 @@ mod tests {
     #[test]
     fn lstm_step_outputs_bounded() {
         let cell = LstmCell::new(4, 8, WeightFormat::Dense, &mut seeded_rng(2));
-        let (h, c, _) = cell.step(&[1.0, 0.0, 0.0, 0.0], &vec![0.0; 8], &vec![0.0; 8]);
+        let (h, c, _) = cell.step(&[1.0, 0.0, 0.0, 0.0], &[0.0; 8], &[0.0; 8]);
         assert_eq!(h.len(), 8);
         assert_eq!(c.len(), 8);
-        assert!(h.iter().all(|v| v.abs() <= 1.0), "h = o * tanh(c) is bounded");
+        assert!(
+            h.iter().all(|v| v.abs() <= 1.0),
+            "h = o * tanh(c) is bounded"
+        );
     }
 
     #[test]

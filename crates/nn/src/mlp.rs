@@ -183,11 +183,7 @@ impl MlpClassifier {
 /// Converts a trained dense MLP into a permuted-diagonal MLP by projecting every hidden
 /// dense layer onto the PD manifold (Section III-F, step 1), ready for fine-tuning
 /// (step 2). The output head stays dense.
-pub fn dense_mlp_to_pd(
-    dense: &MlpClassifier,
-    p: usize,
-    rng: &mut ChaCha20Rng,
-) -> MlpClassifier {
+pub fn dense_mlp_to_pd(dense: &MlpClassifier, p: usize, rng: &mut ChaCha20Rng) -> MlpClassifier {
     let _ = rng;
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     let total = dense.layers.len();
@@ -230,14 +226,16 @@ mod tests {
         let before = model.evaluate(&test);
         model.fit(&train, 10, 8, 0.1);
         let after = model.evaluate(&test);
-        assert!(after > 0.85, "dense MLP should learn the task: {before} -> {after}");
+        assert!(
+            after > 0.85,
+            "dense MLP should learn the task: {before} -> {after}"
+        );
     }
 
     #[test]
     fn pd_mlp_learns_clusters_comparably() {
         let (train, test) = toy_data(3);
-        let mut dense =
-            MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(4));
+        let mut dense = MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(4));
         let mut pd = MlpClassifier::new(
             24,
             &[32],
@@ -299,8 +297,7 @@ mod tests {
     #[test]
     fn dense_to_pd_conversion_and_finetune_recovers_accuracy() {
         let (train, test) = toy_data(9);
-        let mut dense =
-            MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(10));
+        let mut dense = MlpClassifier::new(24, &[32], 4, WeightFormat::Dense, &mut seeded_rng(10));
         dense.fit(&train, 12, 8, 0.1);
         let dense_acc = dense.evaluate(&test);
         let mut pd = dense_mlp_to_pd(&dense, 4, &mut seeded_rng(11));

@@ -131,8 +131,7 @@ impl CscMatrix {
     /// Total storage in bits with explicit `index_bits`-wide row indices, 32-bit column
     /// pointers and `weight_bits`-wide values.
     pub fn storage_bits(&self, weight_bits: u32, index_bits: u32) -> u64 {
-        self.nnz() as u64 * (weight_bits as u64 + index_bits as u64)
-            + 32 * (self.cols as u64 + 1)
+        self.nnz() as u64 * (weight_bits as u64 + index_bits as u64) + 32 * (self.cols as u64 + 1)
     }
 }
 

@@ -52,7 +52,10 @@ impl EieEncodedMatrix {
     /// `2^weight_bits`.
     pub fn encode(dense: &Matrix, codebook: &[f32], weight_bits: u32, index_bits: u32) -> Self {
         assert!(!codebook.is_empty(), "codebook must not be empty");
-        assert_eq!(codebook[0], 0.0, "codebook entry 0 is reserved for zero/padding");
+        assert_eq!(
+            codebook[0], 0.0,
+            "codebook entry 0 is reserved for zero/padding"
+        );
         assert!(
             codebook.len() <= (1usize << weight_bits),
             "codebook does not fit in {weight_bits} bits"

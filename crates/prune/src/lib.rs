@@ -19,6 +19,7 @@
 
 pub mod csc;
 pub mod eie_format;
+pub mod format;
 pub mod imbalance;
 pub mod prune;
 

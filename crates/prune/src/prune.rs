@@ -45,7 +45,11 @@ pub fn magnitude_prune(dense: &Matrix, target_density: f64) -> PruneOutcome {
         .enumerate()
         .map(|(i, &v)| (v.abs(), i))
         .collect();
-    magnitudes.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    magnitudes.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
     let kept_indices: std::collections::HashSet<usize> =
         magnitudes.iter().take(keep).map(|&(_, i)| i).collect();
     let threshold = magnitudes
@@ -180,7 +184,11 @@ mod tests {
             m.map(|v| if v == 0.0 { 0.0 } else { v * 1.01 })
         });
         assert_eq!(calls, 4);
-        assert!((out.density() - 0.1).abs() < 0.02, "density {}", out.density());
+        assert!(
+            (out.density() - 0.1).abs() < 0.02,
+            "density {}",
+            out.density()
+        );
     }
 
     #[test]

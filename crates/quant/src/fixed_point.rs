@@ -106,7 +106,9 @@ mod tests {
 
     #[test]
     fn quantize_slice_small_error() {
-        let values: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.013).sin() * 0.8).collect();
+        let values: Vec<f32> = (0..1000)
+            .map(|i| ((i as f32) * 0.013).sin() * 0.8)
+            .collect();
         let (q, stats) = quantize_slice_q16(&values);
         assert_eq!(q.len(), values.len());
         assert!(stats.max_abs_error < 1e-3);

@@ -15,7 +15,9 @@
 #![warn(missing_docs)]
 
 pub mod fixed_point;
+pub mod shared_pd;
 pub mod weight_sharing;
 
 pub use fixed_point::{quantize_matrix_q16, quantize_slice_q16, QuantizedTensorStats};
+pub use shared_pd::SharedWeightPdMatrix;
 pub use weight_sharing::{kmeans_codebook, SharedWeightTable};

@@ -1,0 +1,182 @@
+//! The weight-shared permuted-diagonal format: a [`BlockPermDiagMatrix`] whose
+//! stored values live in a small shared codebook ("weight LUT"), exactly the
+//! representation the PERMDNN PE's weight SRAM holds (4-bit tags decoded
+//! through a 16-entry LUT, Fig. 7).
+//!
+//! [`SharedWeightPdMatrix`] implements
+//! [`permdnn_core::format::CompressedLinear`], so quantized layers flow through
+//! the same polymorphic surface as every other weight format.
+
+use permdnn_core::format::{CompressedLinear, FormatError};
+use permdnn_core::BlockPermDiagMatrix;
+use rand::Rng;
+
+use crate::weight_sharing::{kmeans_codebook, SharedWeightTable};
+
+/// A permuted-diagonal matrix whose stored weights have been clustered into a
+/// `2^tag_bits`-entry shared codebook.
+///
+/// The dequantized matrix (every stored weight replaced by its centroid) is
+/// kept materialised so the zero-skipping kernel runs at full speed; the
+/// [`SharedWeightTable`] records the tags and codebook for storage accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedWeightPdMatrix {
+    matrix: BlockPermDiagMatrix,
+    table: SharedWeightTable,
+    rms_error: f32,
+}
+
+impl SharedWeightPdMatrix {
+    /// Quantizes `w` with a k-means codebook of `2^tag_bits` entries
+    /// (`iterations` Lloyd steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` stores no weights or `tag_bits` is outside `1..=8`
+    /// (the preconditions of [`kmeans_codebook`]).
+    pub fn quantize(
+        w: &BlockPermDiagMatrix,
+        tag_bits: u32,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = kmeans_codebook(w.values(), tag_bits, iterations, rng);
+        let mut matrix = w.clone();
+        let rms_error = table.apply(&mut matrix);
+        SharedWeightPdMatrix {
+            matrix,
+            table,
+            rms_error,
+        }
+    }
+
+    /// The paper's configuration: 4-bit weight sharing (footnote 11).
+    pub fn quantize_4bit(w: &BlockPermDiagMatrix, rng: &mut impl Rng) -> Self {
+        Self::quantize(w, 4, 25, rng)
+    }
+
+    /// The dequantized permuted-diagonal matrix (centroid-valued weights).
+    pub fn matrix(&self) -> &BlockPermDiagMatrix {
+        &self.matrix
+    }
+
+    /// The shared codebook and per-weight tags.
+    pub fn table(&self) -> &SharedWeightTable {
+        &self.table
+    }
+
+    /// RMS error the sharing introduced over the stored weights.
+    pub fn rms_error(&self) -> f32 {
+        self.rms_error
+    }
+
+    /// Weight-SRAM storage in bits: per-weight tags plus the 16-bit codebook.
+    pub fn storage_bits(&self) -> u64 {
+        self.table.tag_storage_bits() + self.table.codebook.len() as u64 * 16
+    }
+}
+
+impl CompressedLinear for SharedWeightPdMatrix {
+    fn out_dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn in_dim(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "permuted-diagonal (p={}) + {}-bit shared weights",
+            self.matrix.p(),
+            self.table.tag_bits
+        )
+    }
+
+    fn stored_weights(&self) -> usize {
+        // One tag per stored weight slot; the codebook is shared per layer.
+        self.table.tags.len()
+    }
+
+    fn mul_count(&self) -> u64 {
+        CompressedLinear::mul_count(&self.matrix)
+    }
+
+    fn exploits_input_sparsity(&self) -> bool {
+        CompressedLinear::exploits_input_sparsity(&self.matrix)
+    }
+
+    fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        // Same zero-skipping kernel as the unquantized PD format: the LUT decode
+        // is free in the software model (values are pre-dequantized).
+        self.matrix.matvec_into(x, y)
+    }
+
+    fn to_dense(&self) -> pd_tensor::Matrix {
+        self.matrix.to_dense()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::{seeded_rng, sparse_activation_vector};
+
+    #[test]
+    fn trait_matvec_matches_dense_expansion() {
+        let w = BlockPermDiagMatrix::random(32, 48, 4, &mut seeded_rng(1));
+        let q = SharedWeightPdMatrix::quantize_4bit(&w, &mut seeded_rng(2));
+        let x = sparse_activation_vector(&mut seeded_rng(3), 48, 0.5);
+        let op: &dyn CompressedLinear = &q;
+        let got = op.matvec(&x).unwrap();
+        let expected = op.to_dense().matvec(&x);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_small_and_reported() {
+        let w = BlockPermDiagMatrix::random(64, 64, 8, &mut seeded_rng(4));
+        let q = SharedWeightPdMatrix::quantize_4bit(&w, &mut seeded_rng(5));
+        assert!(
+            q.rms_error() >= 0.0 && q.rms_error() < 0.2,
+            "rms {}",
+            q.rms_error()
+        );
+        // Every stored value is one of at most 16 codewords.
+        for &v in q.matrix().values() {
+            assert!(q.table().codebook.iter().any(|&c| (c - v).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn storage_counts_tags_not_full_weights() {
+        let w = BlockPermDiagMatrix::random(64, 64, 8, &mut seeded_rng(6));
+        let q = SharedWeightPdMatrix::quantize_4bit(&w, &mut seeded_rng(7));
+        let op: &dyn CompressedLinear = &q;
+        assert_eq!(op.stored_weights(), 64 * 64 / 8);
+        // 4 bits per tag + 16 codewords × 16 bits.
+        assert_eq!(q.storage_bits(), (64 * 64 / 8) as u64 * 4 + 16 * 16);
+        assert_eq!(op.mul_count(), (64 * 64 / 8) as u64);
+    }
+
+    #[test]
+    fn trait_rejects_mis_sized_slices() {
+        let w = BlockPermDiagMatrix::random(8, 8, 4, &mut seeded_rng(8));
+        let q = SharedWeightPdMatrix::quantize_4bit(&w, &mut seeded_rng(9));
+        let op: &dyn CompressedLinear = &q;
+        assert!(matches!(
+            op.matvec(&[0.0; 6]),
+            Err(FormatError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn label_names_both_mechanisms() {
+        let w = BlockPermDiagMatrix::random(8, 8, 2, &mut seeded_rng(10));
+        let q = SharedWeightPdMatrix::quantize(&w, 3, 10, &mut seeded_rng(11));
+        let label = CompressedLinear::label(&q);
+        assert!(label.contains("p=2") && label.contains("3-bit"), "{label}");
+    }
+}

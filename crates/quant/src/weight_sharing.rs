@@ -34,7 +34,10 @@ impl SharedWeightTable {
 
     /// Reconstructs the stored-weight vector (each weight replaced by its centroid).
     pub fn dequantized_values(&self) -> Vec<f32> {
-        self.tags.iter().map(|&t| self.codebook[t as usize]).collect()
+        self.tags
+            .iter()
+            .map(|&t| self.codebook[t as usize])
+            .collect()
     }
 
     /// Storage of the tags in bits (the codebook itself is `codebook.len() × 16` bits and
@@ -81,8 +84,11 @@ pub fn kmeans_codebook(
     iterations: usize,
     _rng: &mut impl Rng,
 ) -> SharedWeightTable {
-    assert!(!values.is_empty(), "cannot build a codebook from no weights");
-    assert!(tag_bits >= 1 && tag_bits <= 8, "tag bits must be in 1..=8");
+    assert!(
+        !values.is_empty(),
+        "cannot build a codebook from no weights"
+    );
+    assert!((1..=8).contains(&tag_bits), "tag bits must be in 1..=8");
     let k = 1usize << tag_bits;
     let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
     let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -194,7 +200,10 @@ mod tests {
             errors.push(rms);
         }
         for pair in errors.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-9, "error should not increase with bits: {errors:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-9,
+                "error should not increase with bits: {errors:?}"
+            );
         }
     }
 
@@ -204,7 +213,10 @@ mod tests {
         let dense_before = w.to_dense();
         let (table, err) = share_weights_4bit(&mut w, &mut seeded_rng(5));
         assert_eq!(table.codebook.len(), 16);
-        assert!(err >= 0.0 && err < 0.2, "4-bit sharing error should be small: {err}");
+        assert!(
+            (0.0..0.2).contains(&err),
+            "4-bit sharing error should be small: {err}"
+        );
         let dense_after = w.to_dense();
         for i in 0..32 {
             for j in 0..32 {

@@ -1,0 +1,245 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset this workspace's benches use:
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`] and [`BenchmarkId`].
+//!
+//! Timing is a simple calibrated wall-clock measurement (median of several
+//! batches) printed as text. It exists so `cargo bench` works offline, not to
+//! produce publication-grade statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure of `bench_function`.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count that fills the
+    /// measurement window, then reporting the median of several batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count taking at least ~2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        // Measure: median of 5 batches.
+        let mut samples: Vec<Duration> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed() / (iters as u32).max(1)
+            })
+            .collect();
+        samples.sort();
+        self.measured = Some(samples[samples.len() / 2]);
+        self.iters_done = iters * 5;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            measured: None,
+            iters_done: 0,
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some(t) => println!(
+                "{:<60} {:>14} ({} iterations)",
+                format!("{}/{}", self.name, id),
+                format_duration(t),
+                bencher.iters_done
+            ),
+            None => println!("{}/{}: no measurement recorded", self.name, id),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (prints a trailing blank line, as upstream does).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            criterion: self,
+        };
+        let id = id.into();
+        group.run(&id.id, f);
+        self
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group_name();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("kernel", 8).id, "kernel/8");
+        assert_eq!(BenchmarkId::from_parameter("35pct").id, "35pct");
+    }
+
+    #[test]
+    fn groups_and_benchers_run_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0, "routine should have been invoked");
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds without network access, so the subset of the `rand`
+//! 0.8 API it actually uses is reimplemented here under the same paths:
+//!
+//! * [`RngCore`] / [`Rng`] with [`Rng::gen_range`] and [`Rng::gen_bool`];
+//! * [`SeedableRng`] with the default [`SeedableRng::seed_from_u64`];
+//! * [`distributions::Distribution`] and [`distributions::Uniform`].
+//!
+//! Integer sampling uses the widening-multiply range reduction and float
+//! sampling the standard 24/53-bit mantissa construction, so the statistical
+//! quality matches what the workspace's tests assume (uniformity at the few
+//! percent level over thousands of draws).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random bits, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a seed, mirroring
+/// `rand_core::SeedableRng` (only the `seed_from_u64` entry point is needed
+/// here).
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a deterministic function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience extension over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: probability {p} not in [0, 1]"
+        );
+        sample_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` using the 53-bit mantissa construction.
+fn sample_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f32` in `[0, 1)` using the 24-bit mantissa construction.
+fn sample_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Unbiased-enough integer in `[0, span)` via widening multiply.
+fn sample_index<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// Types that [`Rng::gen_range`] and [`distributions::Uniform`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let span = (high as i128 - low as i128) as u64;
+                (low as i128 + sample_index(rng, span) as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                // span can be at most 2^64 here, which the widening multiply handles.
+                let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty, $unit:ident) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                low + (high - low) * $unit(rng)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                // The closed-interval correction is below float resolution for the
+                // ranges used in practice; sampling the half-open interval keeps the
+                // bounds honoured exactly.
+                low + (high - low) * $unit(rng)
+            }
+        }
+    };
+}
+
+impl_sample_uniform_float!(f32, sample_f32);
+impl_sample_uniform_float!(f64, sample_f64);
+
+/// Range argument accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+pub mod distributions {
+    //! The `rand::distributions` subset: [`Distribution`] and [`Uniform`].
+
+    use super::{RngCore, SampleUniform};
+
+    /// A distribution that can generate values of type `T`, mirroring
+    /// `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng` as the source of randomness.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over a fixed interval, mirroring
+    /// `rand::distributions::Uniform`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T: SampleUniform> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open interval `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over the closed interval `[low, high]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low > high`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(low <= high, "Uniform::new_inclusive: empty range");
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            if self.inclusive {
+                T::sample_inclusive(rng, self.low, self.high)
+            } else {
+                T::sample_half_open(rng, self.low, self.high)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    /// SplitMix64: a tiny deterministic generator for testing the traits.
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SplitMix(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_inclusive_range_hits_both_endpoints() {
+        let mut rng = SplitMix(2);
+        let draws: Vec<u8> = (0..2_000).map(|_| rng.gen_range(0u8..=3)).collect();
+        for target in 0..=3u8 {
+            assert!(draws.contains(&target), "endpoint {target} never drawn");
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SplitMix(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let w = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix(4);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "observed {frac}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn uniform_distribution_matches_range_sampling() {
+        let mut rng = SplitMix(5);
+        let dist = Uniform::new_inclusive(-2.0f32, 2.0);
+        for _ in 0..1_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&v));
+        }
+        let mean: f32 = (0..10_000).map(|_| dist.sample(&mut rng)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = SplitMix(6);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        fn draw(rng: &mut impl Rng) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = SplitMix(7);
+        let _ = draw(&mut rng);
+        let r = &mut rng;
+        let _ = draw(r);
+    }
+}

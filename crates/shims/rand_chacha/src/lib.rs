@@ -1,0 +1,194 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, providing [`ChaCha20Rng`] — a genuine ChaCha20 (20-round)
+//! keystream generator — behind the upstream module paths.
+//!
+//! The `seed_from_u64` key-expansion differs from upstream (it uses SplitMix64
+//! rather than upstream's construction), so seeded streams are deterministic
+//! but not bit-identical to the real crate. Nothing in this workspace depends
+//! on the exact stream, only on determinism and statistical quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rand_core {
+    //! Re-export of the core RNG traits, mirroring `rand_chacha::rand_core`.
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha20 quarter round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A deterministic RNG driven by the ChaCha20 block function (RFC 8439).
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng {
+    /// 256-bit key as eight little-endian words.
+    key: [u32; 8],
+    /// 96-bit nonce as three words (fixed per seed).
+    nonce: [u32; 3],
+    /// Block counter.
+    counter: u32,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word within `block` (16 means "exhausted").
+    cursor: usize,
+}
+
+impl ChaCha20Rng {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let input = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha20Rng {
+    /// Expands `state` into a 256-bit key with SplitMix64 and starts the
+    /// keystream at block zero.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = next();
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        ChaCha20Rng {
+            key,
+            nonce: [0, 0, 0],
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha20Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2 test vector: key 00 01 .. 1f, nonce 00:00:00:09:00:00:00:4a:00:00:00:00,
+        // block counter 1.
+        let mut rng = ChaCha20Rng {
+            key: [
+                0x0302_0100,
+                0x0706_0504,
+                0x0b0a_0908,
+                0x0f0e_0d0c,
+                0x1312_1110,
+                0x1716_1514,
+                0x1b1a_1918,
+                0x1f1e_1d1c,
+            ],
+            nonce: [0x0900_0000, 0x4a00_0000, 0x0000_0000],
+            counter: 1,
+            block: [0; 16],
+            cursor: 16,
+        };
+        let expected: [u32; 16] = [
+            0xe4e7_f110,
+            0x1559_3bd1,
+            0x1fdd_0f50,
+            0xc471_20a3,
+            0xc7f4_d1c7,
+            0x0368_c033,
+            0x9aaa_2204,
+            0x4e6c_d4c3,
+            0x4664_82d2,
+            0x09aa_9f07,
+            0x05d7_c214,
+            0xa202_8bd9,
+            0xd19c_12b5,
+            0xb94e_16de,
+            0xe883_d0cb,
+            0x4e3c_50a2,
+        ];
+        let got: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_dependent() {
+        let mut a = ChaCha20Rng::seed_from_u64(42);
+        let mut b = ChaCha20Rng::seed_from_u64(42);
+        let mut c = ChaCha20Rng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn stream_crosses_block_boundaries() {
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        // 40 u32 draws span three 16-word blocks.
+        let draws: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert!(distinct.len() > 30, "keystream should not repeat");
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut rng = ChaCha20Rng::seed_from_u64(11);
+        let ones: u32 = (0..1_000).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = ones as f64 / (1_000.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "one-bit fraction {frac}");
+    }
+}

@@ -120,7 +120,10 @@ mod tests {
             (throughput_ratio - 11.51).abs() < 0.1,
             "throughput ratio {throughput_ratio}"
         );
-        assert!((energy_ratio - 3.89).abs() < 0.1, "energy ratio {energy_ratio}");
+        assert!(
+            (energy_ratio - 3.89).abs() < 0.1,
+            "energy ratio {energy_ratio}"
+        );
     }
 
     #[test]
@@ -135,7 +138,11 @@ mod tests {
     fn permdnn_row_matches_section5b() {
         let row = permdnn_row(&EngineConfig::paper_32pe());
         assert!((row.equivalent_tops - 14.74).abs() < 0.01);
-        assert!((row.tops_per_watt - 62.28).abs() < 0.5, "{}", row.tops_per_watt);
+        assert!(
+            (row.tops_per_watt - 62.28).abs() < 0.5,
+            "{}",
+            row.tops_per_watt
+        );
     }
 
     #[test]

@@ -201,7 +201,10 @@ mod tests {
                 (row.energy_efficiency / row.speedup - 0.59 / 0.7034).abs() < 0.05,
                 "energy-efficiency ratio should follow the power ratio"
             );
-            assert!(row.area_efficiency > row.speedup, "area ratio favours PERMDNN");
+            assert!(
+                row.area_efficiency > row.speedup,
+                "area ratio favours PERMDNN"
+            );
             assert!(row.energy_efficiency < row.area_efficiency);
         }
         let gmean = geometric_mean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());

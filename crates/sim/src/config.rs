@@ -42,7 +42,8 @@ impl Default for PeConfig {
 impl PeConfig {
     /// Total weight-SRAM capacity per PE in bytes (128 KB in the paper's design).
     pub fn weight_sram_bytes(&self) -> usize {
-        self.weight_sram_subbanks * self.weight_sram_width_bits as usize / 8 * self.weight_sram_depth
+        self.weight_sram_subbanks * self.weight_sram_width_bits as usize / 8
+            * self.weight_sram_depth
     }
 
     /// Total permutation-SRAM capacity per PE in bytes (12 KB in the paper's design).

@@ -1,9 +1,9 @@
 //! Cycle-level model of EIE, the unstructured-sparse FC accelerator PermDNN compares
 //! against (Han et al., ISCA 2016; Section V-C of the PermDNN paper).
 //!
-//! EIE stores the pruned weight matrix in an interleaved CSC format (4-bit shared weight
-//! + 4-bit relative row index per entry) and processes it column-wise: every non-zero
-//! input activation is broadcast, and each PE walks the non-zeros of its rows of that
+//! EIE stores the pruned weight matrix in an interleaved CSC format (4-bit shared
+//! weight plus 4-bit relative row index per entry) and processes it column-wise:
+//! every non-zero input activation is broadcast, and each PE walks the non-zeros of its rows of that
 //! column at one entry per cycle. Two overheads distinguish it from PERMDNN:
 //!
 //! 1. **Load imbalance** — unstructured pruning gives different PEs different numbers of
@@ -80,11 +80,18 @@ pub struct EieResult {
 
 /// Simulates one FC layer on EIE with a seeded random sparsity pattern whose density
 /// matches the workload's weight density (`1/p`).
-pub fn simulate_layer(config: &EieConfig, workload: &FcWorkload, rng: &mut ChaCha20Rng) -> EieResult {
+pub fn simulate_layer(
+    config: &EieConfig,
+    workload: &FcWorkload,
+    rng: &mut ChaCha20Rng,
+) -> EieResult {
     let density = workload.weight_density();
     let nonzero_cols =
         (workload.cols as f64 * workload.activation_nonzero_fraction).round() as usize;
-    let rows_per_pe = workload.rows.div_ceil(config.n_pe);
+    // Interleaved row distribution: PE `i` owns rows `i, i + n_pe, i + 2·n_pe, …`,
+    // so the first `rows % n_pe` PEs hold one extra row when the division is ragged.
+    let base_rows = workload.rows / config.n_pe;
+    let extra_row_pes = workload.rows % config.n_pe;
     let max_skip = (1usize << config.relative_index_bits) - 1;
 
     let mut total_cycles = 0u64;
@@ -100,12 +107,13 @@ pub fn simulate_layer(config: &EieConfig, workload: &FcWorkload, rng: &mut ChaCh
         let cols_here = window.min(nonzero_cols - col);
         let mut per_pe = vec![0u64; config.n_pe];
         for _ in 0..cols_here {
-            for pe_work in per_pe.iter_mut() {
-                // Sample this PE's segment of the column: `rows_per_pe` Bernoulli rows.
+            for (pe, pe_work) in per_pe.iter_mut().enumerate() {
+                // Sample this PE's segment of the column as Bernoulli rows.
+                let rows_here = base_rows + usize::from(pe < extra_row_pes);
                 let mut zero_run = 0usize;
                 let mut entries = 0u64;
                 let mut padding = 0u64;
-                for _ in 0..rows_per_pe {
+                for _ in 0..rows_here {
                     if rng.gen_bool(density) {
                         // Long zero runs force padding entries first.
                         padding += (zero_run / (max_skip + 1)) as u64;
@@ -165,7 +173,7 @@ mod tests {
         let cfg = EieConfig::default();
         let w = small_workload(1.0, 10);
         let r = simulate_layer(&cfg, &w, &mut seeded_rng(1));
-        let expected = (512.0 * 512.0 * 0.1) as f64;
+        let expected = 512.0 * 512.0 * 0.1;
         let got = r.useful_macs as f64;
         assert!(
             (got - expected).abs() / expected < 0.05,
@@ -183,7 +191,10 @@ mod tests {
             "unstructured sparsity should show imbalance, got {}",
             r.imbalance_factor
         );
-        assert!(r.padding_entries > 0, "4-bit indices should force some padding");
+        assert!(
+            r.padding_entries > 0,
+            "4-bit indices should force some padding"
+        );
     }
 
     #[test]

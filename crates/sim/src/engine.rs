@@ -83,10 +83,37 @@ pub fn scheduling_case(config: &EngineConfig, workload: &FcWorkload) -> Scheduli
     }
 }
 
+/// Simulates any [`CompressedLinear`](permdnn_core::format::CompressedLinear)
+/// weight operator on the engine: the workload parameters are derived from the
+/// operator itself (see [`FcWorkload::from_format`]), so call sites need no
+/// per-format knowledge.
+///
+/// Formats whose kernels cannot skip zero input activations (dense, the
+/// frequency-domain circulant format — see
+/// [`CompressedLinear::exploits_input_sparsity`](permdnn_core::format::CompressedLinear::exploits_input_sparsity))
+/// are charged for every column: their effective activation fraction is 1.0
+/// regardless of `activation_nonzero_fraction`. The model otherwise assumes
+/// the engine's perfectly balanced PE load, which is exact for
+/// permuted-diagonal weights and *optimistic* for unstructured-sparse ones —
+/// use [`crate::eie`] and [`crate::circnn`] for the faithful per-accelerator
+/// models of those baselines.
+pub fn simulate_compressed(
+    config: &EngineConfig,
+    weights: &dyn permdnn_core::format::CompressedLinear,
+    activation_nonzero_fraction: f64,
+) -> EngineResult {
+    let effective_fraction = if weights.exploits_input_sparsity() {
+        activation_nonzero_fraction
+    } else {
+        1.0
+    };
+    let workload = FcWorkload::from_format("compressed", weights, effective_fraction);
+    simulate_layer(config, &workload)
+}
+
 /// Simulates one FC layer with the workload's nominal activation sparsity.
 pub fn simulate_layer(config: &EngineConfig, workload: &FcWorkload) -> EngineResult {
-    let nonzero_cols =
-        (workload.cols as f64 * workload.activation_nonzero_fraction).round() as u64;
+    let nonzero_cols = (workload.cols as f64 * workload.activation_nonzero_fraction).round() as u64;
     simulate_layer_with_columns(config, workload, nonzero_cols)
 }
 
@@ -204,7 +231,10 @@ mod tests {
         let half = simulate_layer_with_columns(&cfg, &w, 4608);
         let ratio = (full.cycles - cfg.pipeline_stages as u64) as f64
             / (half.cycles - cfg.pipeline_stages as u64) as f64;
-        assert!((ratio - 2.0).abs() < 0.01, "zero skipping is linear: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 0.01,
+            "zero skipping is linear: {ratio}"
+        );
         assert_eq!(full.skipped_columns, 0);
         assert_eq!(half.skipped_columns, 4608);
     }
@@ -215,7 +245,10 @@ mod tests {
         let c32 = simulate_layer(&EngineConfig::with_pes(32), &w);
         let c64 = simulate_layer(&EngineConfig::with_pes(64), &w);
         let speedup = c32.cycles as f64 / c64.cycles as f64;
-        assert!(speedup > 1.8 && speedup <= 2.05, "scalability speedup {speedup}");
+        assert!(
+            speedup > 1.8 && speedup <= 2.05,
+            "scalability speedup {speedup}"
+        );
     }
 
     #[test]
@@ -244,13 +277,34 @@ mod tests {
     }
 
     #[test]
+    fn simulate_compressed_matches_explicit_workload() {
+        let cfg = EngineConfig::paper_32pe();
+        let matrix = BlockPermDiagMatrix::random(256, 256, 8, &mut seeded_rng(3));
+        let via_format = simulate_compressed(&cfg, &matrix, 0.5);
+        let explicit = FcWorkload {
+            name: "compressed",
+            rows: 256,
+            cols: 256,
+            p: 8,
+            activation_nonzero_fraction: 0.5,
+            description: "explicit",
+        };
+        let via_workload = simulate_layer(&cfg, &explicit);
+        assert_eq!(via_format.cycles, via_workload.cycles);
+        assert_eq!(via_format.useful_macs, via_workload.useful_macs);
+    }
+
+    #[test]
     fn throughput_and_utilisation_are_bounded() {
         let cfg = EngineConfig::paper_32pe();
         for w in &TABLE7_WORKLOADS {
             let r = simulate_layer(&cfg, w);
             let gops = r.effective_gops(&cfg);
-            assert!(gops > 0.0 && gops <= cfg.peak_gops_compressed() + 1e-9,
-                "{}: {gops} GOPS exceeds peak", w.name);
+            assert!(
+                gops > 0.0 && gops <= cfg.peak_gops_compressed() + 1e-9,
+                "{}: {gops} GOPS exceeds peak",
+                w.name
+            );
             let util = r.multiplier_utilisation(&cfg);
             assert!(util > 0.0 && util <= 1.0);
         }

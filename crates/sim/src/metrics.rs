@@ -66,7 +66,11 @@ impl PerformancePoint {
             design: design.into(),
             workload: workload.into(),
             latency_us,
-            throughput_per_s: if latency_us > 0.0 { 1e6 / latency_us } else { 0.0 },
+            throughput_per_s: if latency_us > 0.0 {
+                1e6 / latency_us
+            } else {
+                0.0
+            },
             area_mm2,
             power_w,
         }

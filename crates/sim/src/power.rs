@@ -126,8 +126,16 @@ mod tests {
     #[test]
     fn engine_totals_match_table9() {
         let cost = engine_cost(&EngineConfig::paper_32pe());
-        assert!((cost.power_w - 0.7034).abs() < 0.0015, "power {} W", cost.power_w);
-        assert!((cost.area_mm2 - 8.85).abs() < 0.03, "area {} mm2", cost.area_mm2);
+        assert!(
+            (cost.power_w - 0.7034).abs() < 0.0015,
+            "power {} W",
+            cost.power_w
+        );
+        assert!(
+            (cost.area_mm2 - 8.85).abs() < 0.03,
+            "area {} mm2",
+            cost.area_mm2
+        );
     }
 
     #[test]

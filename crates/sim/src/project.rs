@@ -60,7 +60,11 @@ mod tests {
     fn eie_projection_matches_table10() {
         let projected = eie_reported_45nm().project_to(28.0);
         // Paper: 1285 MHz, 15.7 mm², 0.59 W at 28 nm.
-        assert!((projected.clock_mhz - 1285.0).abs() < 2.0, "{}", projected.clock_mhz);
+        assert!(
+            (projected.clock_mhz - 1285.0).abs() < 2.0,
+            "{}",
+            projected.clock_mhz
+        );
         assert!((projected.area_mm2.unwrap() - 15.7).abs() < 0.2);
         assert_eq!(projected.power_w, 0.59);
     }

@@ -39,7 +39,11 @@ pub struct Schedule {
 impl Schedule {
     /// The multiplier issues of a given cycle.
     pub fn cycle(&self, cycle: usize) -> Vec<ScheduledMac> {
-        self.macs.iter().copied().filter(|m| m.cycle == cycle).collect()
+        self.macs
+            .iter()
+            .copied()
+            .filter(|m| m.cycle == cycle)
+            .collect()
     }
 
     /// Renders the schedule as a per-cycle text listing (the textual analogue of Fig. 10).
@@ -80,7 +84,10 @@ pub fn schedule_dense_input(
     n_mul: usize,
     n_acc: usize,
 ) -> Schedule {
-    assert!(n_pe > 0 && n_mul > 0 && n_acc > 0, "engine parameters must be non-zero");
+    assert!(
+        n_pe > 0 && n_mul > 0 && n_acc > 0,
+        "engine parameters must be non-zero"
+    );
     let p = matrix.p();
     // Rows owned by each PE, in block-row interleaved order.
     let rows_of_pe = |pe: usize| -> Vec<usize> {
@@ -188,7 +195,11 @@ mod tests {
         let s = schedule_dense_input(&m, 3, 2, 8);
         let mut seen = std::collections::HashSet::new();
         for mac in &s.macs {
-            assert!(seen.insert((mac.row, mac.col)), "duplicate MAC at {:?}", (mac.row, mac.col));
+            assert!(
+                seen.insert((mac.row, mac.col)),
+                "duplicate MAC at {:?}",
+                (mac.row, mac.col)
+            );
         }
         assert_eq!(seen.len(), m.structural_nonzeros());
     }

@@ -46,8 +46,9 @@ pub fn layout_weight_sram(matrix: &BlockPermDiagMatrix, n_pe: usize) -> Vec<Weig
     let p = matrix.p();
     let mut images = Vec::with_capacity(n_pe);
     for pe in 0..n_pe {
-        let owned_block_rows: Vec<usize> =
-            (0..matrix.block_rows()).filter(|br| br % n_pe == pe).collect();
+        let owned_block_rows: Vec<usize> = (0..matrix.block_rows())
+            .filter(|br| br % n_pe == pe)
+            .collect();
         let mut rows = Vec::with_capacity(matrix.cols());
         for col in 0..matrix.cols() {
             let mut entries = Vec::with_capacity(owned_block_rows.len());

@@ -1,5 +1,7 @@
 //! The benchmark FC layers of Table VII and synthetic workload generation.
 
+use permdnn_core::format::CompressedLinear;
+
 /// One benchmark FC layer: dimensions, weight compression and activation sparsity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FcWorkload {
@@ -19,6 +21,26 @@ pub struct FcWorkload {
 }
 
 impl FcWorkload {
+    /// Derives a workload from any [`CompressedLinear`] weight operator: the
+    /// dimensions come from the operator, the effective block size from its
+    /// compression ratio (rounded; 1 for dense weights). This is the bridge
+    /// that lets the cycle models simulate a layer that exists only as a
+    /// format-agnostic operator.
+    pub fn from_format(
+        name: &'static str,
+        weights: &dyn CompressedLinear,
+        activation_nonzero_fraction: f64,
+    ) -> FcWorkload {
+        FcWorkload {
+            name,
+            rows: weights.out_dim(),
+            cols: weights.in_dim(),
+            p: weights.compression_ratio().round().max(1.0) as usize,
+            activation_nonzero_fraction,
+            description: "derived from a CompressedLinear operator",
+        }
+    }
+
     /// Weight density of the compressed layer (`1 / p`).
     pub fn weight_density(&self) -> f64 {
         1.0 / self.p as f64

@@ -55,16 +55,19 @@ impl<const FRAC: u32> Q16<FRAC> {
     }
 
     /// Saturating fixed-point addition.
+    #[allow(clippy::should_implement_trait)] // saturating semantics, deliberately not `ops::Add`
     pub fn add(self, other: Self) -> Self {
         Q16(self.0.saturating_add(other.0))
     }
 
     /// Saturating fixed-point subtraction.
+    #[allow(clippy::should_implement_trait)] // saturating semantics, deliberately not `ops::Sub`
     pub fn sub(self, other: Self) -> Self {
         Q16(self.0.saturating_sub(other.0))
     }
 
     /// Fixed-point multiplication with rounding, saturating at the representable range.
+    #[allow(clippy::should_implement_trait)] // rounding/saturating semantics, deliberately not `ops::Mul`
     pub fn mul(self, other: Self) -> Self {
         let wide = self.0 as i32 * other.0 as i32;
         // Round to nearest by adding half an ulp before the shift.
@@ -136,9 +139,12 @@ mod tests {
 
     #[test]
     fn round_trip_small_values() {
-        for &v in &[0.0f32, 0.5, -0.5, 1.25, -3.75, 0.000_244_140_625] {
+        for &v in &[0.0f32, 0.5, -0.5, 1.25, -3.75, 0.000_244_140_63] {
             let q = Q::from_f32(v);
-            assert!((q.to_f32() - v).abs() <= Q::EPSILON / 2.0 + 1e-9, "value {v}");
+            assert!(
+                (q.to_f32() - v).abs() <= Q::EPSILON / 2.0 + 1e-9,
+                "value {v}"
+            );
         }
     }
 

@@ -201,13 +201,12 @@ impl Matrix {
             self.cols
         );
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        for (row, out) in self.data.chunks_exact(self.cols.max(1)).zip(y.iter_mut()) {
             let mut acc = 0.0f32;
             for (w, xv) in row.iter().zip(x.iter()) {
                 acc += w * xv;
             }
-            y[r] = acc;
+            *out = acc;
         }
         y
     }
@@ -226,14 +225,12 @@ impl Matrix {
             self.rows
         );
         let mut y = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            let xv = x[r];
+        for (row, &xv) in self.data.chunks_exact(self.cols.max(1)).zip(x.iter()) {
             if xv == 0.0 {
                 continue;
             }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (c, w) in row.iter().enumerate() {
-                y[c] += w * xv;
+            for (out, w) in y.iter_mut().zip(row.iter()) {
+                *out += w * xv;
             }
         }
         y
@@ -388,12 +385,11 @@ impl Matrix {
     pub fn rank1_update(&mut self, alpha: f32, col: &[f32], row: &[f32]) {
         assert_eq!(col.len(), self.rows, "rank1_update: col length mismatch");
         assert_eq!(row.len(), self.cols, "rank1_update: row length mismatch");
-        for r in 0..self.rows {
-            let a = alpha * col[r];
+        for (out_row, &cv) in self.data.chunks_exact_mut(self.cols.max(1)).zip(col.iter()) {
+            let a = alpha * cv;
             if a == 0.0 {
                 continue;
             }
-            let out_row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (o, &x) in out_row.iter_mut().zip(row.iter()) {
                 *o += a * x;
             }

@@ -241,7 +241,9 @@ mod tests {
 
     #[test]
     fn matrix_roundtrip() {
-        let t = Tensor4::from_fn([3, 2, 2, 2], |(a, b, c, d)| (a * 8 + b * 4 + c * 2 + d) as f32);
+        let t = Tensor4::from_fn([3, 2, 2, 2], |(a, b, c, d)| {
+            (a * 8 + b * 4 + c * 2 + d) as f32
+        });
         let m = t.to_matrix_2d();
         assert_eq!(m.shape(), (3, 8));
         let back = Tensor4::from_matrix_2d(&m, [3, 2, 2, 2]).unwrap();

@@ -2,7 +2,7 @@
 //! engine, compare against EIE, and sweep the PE count (the machinery behind Tables
 //! VIII-X and Figs. 12-13).
 //!
-//! Run with `cargo run --release -p permdnn-bench --example accelerator_sim`.
+//! Run with `cargo run --release --example accelerator_sim`.
 
 use pd_tensor::init::seeded_rng;
 use permdnn_sim::comparison::{fig12_comparison, fig13_scalability};
@@ -15,7 +15,11 @@ fn main() {
     let cost = engine_cost(&cfg);
     println!(
         "PERMDNN engine: {} PEs @ {:.1} GHz, {:.2} mm2, {:.3} W, peak {:.1} GOPS (compressed)",
-        cfg.n_pe, cfg.clock_ghz, cost.area_mm2, cost.power_w, cfg.peak_gops_compressed()
+        cfg.n_pe,
+        cfg.clock_ghz,
+        cost.area_mm2,
+        cost.power_w,
+        cfg.peak_gops_compressed()
     );
     println!();
 
@@ -44,7 +48,12 @@ fn main() {
 
     println!("Fig. 13 scalability (speedup over 8 PEs, Alex-FC6):");
     for point in fig13_scalability(&[8, 16, 32, 64, 128, 256]) {
-        let fc6 = point.speedups.iter().find(|(n, _)| n == "Alex-FC6").unwrap().1;
+        let fc6 = point
+            .speedups
+            .iter()
+            .find(|(n, _)| n == "Alex-FC6")
+            .unwrap()
+            .1;
         println!("  {:>4} PEs: {:>6.2}x", point.n_pe, fc6);
     }
 }

@@ -1,7 +1,7 @@
 //! Converting a pre-trained dense model to PermDNN form (Section III-F / Fig. 3):
 //! train dense -> l2-optimal permuted-diagonal approximation -> fine-tune -> quantize.
 //!
-//! Run with `cargo run --release -p permdnn-bench --example compress_pretrained`.
+//! Run with `cargo run --release --example compress_pretrained`.
 
 use pd_tensor::init::seeded_rng;
 use permdnn_nn::data::GaussianClusters;
@@ -16,11 +16,19 @@ fn main() {
     // Step 0: a "pre-trained" dense model.
     let mut dense = MlpClassifier::new(40, &[40, 40], 5, WeightFormat::Dense, &mut seeded_rng(2));
     dense.fit(&train, 12, 8, 0.1);
-    println!("dense model:            accuracy {:.3}, {} parameters", dense.evaluate(&test), dense.num_params());
+    println!(
+        "dense model:            accuracy {:.3}, {} parameters",
+        dense.evaluate(&test),
+        dense.num_params()
+    );
 
     // Step 1: l2-optimal permuted-diagonal approximation of every hidden layer (p = 10).
     let mut pd = dense_mlp_to_pd(&dense, 10, &mut seeded_rng(3));
-    println!("after PD projection:    accuracy {:.3}, {} parameters", pd.evaluate(&test), pd.num_params());
+    println!(
+        "after PD projection:    accuracy {:.3}, {} parameters",
+        pd.evaluate(&test),
+        pd.num_params()
+    );
 
     // Step 2: structure-preserving fine-tuning (Eqns. 2-3).
     pd.fit(&train, 8, 8, 0.05);
@@ -32,8 +40,13 @@ fn main() {
         layer.weights_mut().values_mut().copy_from_slice(&q);
         println!(
             "quantized a hidden layer to Q{}.{} fixed point (max error {:.5})",
-            15 - stats.frac_bits, stats.frac_bits, stats.max_abs_error
+            15 - stats.frac_bits,
+            stats.frac_bits,
+            stats.max_abs_error
         );
     }
-    println!("after 16-bit quantization: accuracy {:.3}", pd.evaluate(&test));
+    println!(
+        "after 16-bit quantization: accuracy {:.3}",
+        pd.evaluate(&test)
+    );
 }

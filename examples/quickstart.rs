@@ -1,48 +1,78 @@
-//! Quickstart: build a permuted-diagonal FC layer, run inference, inspect compression.
+//! Quickstart: build weight formats through the `CompressedLinear` registry,
+//! run inference, and inspect compression — without naming a single concrete
+//! matrix type.
 //!
-//! Run with `cargo run --release -p permdnn-bench --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
 use pd_tensor::init::{seeded_rng, sparse_activation_vector};
-use permdnn_core::approx::{pd_approximate, ApproxStrategy};
-use permdnn_core::matvec::matvec_column_wise;
+use permdnn_core::format::{BatchView, CompressedLinear};
 use permdnn_core::storage::{dense_storage, permdnn_storage, LayerShape};
-use permdnn_core::BlockPermDiagMatrix;
+use permdnn_nn::layers::WeightFormat;
 
 fn main() {
     let mut rng = seeded_rng(7);
 
     // 1. Create a 512x1024 FC layer compressed 8x with permuted-diagonal blocks.
-    let w = BlockPermDiagMatrix::random(512, 1024, 8, &mut rng);
-    println!("layer: {}x{}, p = {}", w.rows(), w.cols(), w.p());
-    println!("stored weights: {} (dense would store {})", w.stored_weights(), 512 * 1024);
+    //    `WeightFormat::build` is the format registry: swap the variant and the
+    //    rest of this program is unchanged.
+    let w: Box<dyn CompressedLinear> =
+        WeightFormat::PermutedDiagonal { p: 8 }.build(512, 1024, &mut rng);
+    println!("layer: {} ({}x{})", w.label(), w.out_dim(), w.in_dim());
+    println!(
+        "stored weights: {} (dense would store {})",
+        w.stored_weights(),
+        w.out_dim() * w.in_dim()
+    );
     println!("compression ratio: {:.1}x", w.compression_ratio());
 
-    // 2. Run forward propagation with a 65%-zero activation vector; the column-wise
-    //    kernel skips the zero activations exactly as the PERMDNN hardware does.
+    // 2. Run forward propagation with a 65%-zero activation vector; the PD
+    //    implementation behind the trait skips the zero activations exactly as
+    //    the PERMDNN hardware does.
     let x = sparse_activation_vector(&mut rng, 1024, 0.65);
-    let (y, processed) = matvec_column_wise(&w, &x).expect("input length matches");
+    let y = w.matvec(&x).expect("input length matches");
     println!(
-        "processed {processed} of 1024 input activations (zero-skipping), output dim {}",
-        y.len()
+        "output dim {}, worst-case multiplications per inference: {}",
+        y.len(),
+        w.mul_count()
     );
 
-    // 3. Storage accounting for a real layer shape (AlexNet FC6 with p = 10).
+    // 3. Batched inference: four activation vectors in one call.
+    let batch_data: Vec<f32> = (0..4 * 1024).map(|i| (i as f32 * 0.01).sin()).collect();
+    let batch = BatchView::new(&batch_data, 4, 1024).expect("batch shape is consistent");
+    let outputs = w.matmul(&batch).expect("batch dims match");
+    println!(
+        "batched inference: {} outputs of dim {}",
+        outputs.rows(),
+        outputs.cols()
+    );
+
+    // 4. Compare formats at equal compression, still with no per-format code.
+    println!();
+    for format in [
+        WeightFormat::Dense,
+        WeightFormat::PermutedDiagonal { p: 8 },
+        WeightFormat::Circulant { k: 8 },
+        WeightFormat::UnstructuredSparse { p: 8 },
+        WeightFormat::SharedPermutedDiagonal { p: 8, tag_bits: 4 },
+    ] {
+        let candidate = format.build(128, 256, &mut rng);
+        println!(
+            "{:<46} stored {:>6}, dense-input muls {:>7}",
+            candidate.label(),
+            candidate.stored_weights(),
+            candidate.mul_count()
+        );
+    }
+
+    // 5. Storage accounting for a real layer shape (AlexNet FC6 with p = 10).
     let shape = LayerShape::new(4096, 9216);
     let dense = dense_storage(shape, 32);
     let pd = permdnn_storage(shape, 10, 32);
+    println!();
     println!(
         "AlexNet FC6: dense {:.1} MB -> permuted-diagonal {:.1} MB ({:.1}x)",
         dense.total_mb(),
         pd.total_mb(),
         dense.total_bits() as f64 / pd.total_bits() as f64
-    );
-
-    // 4. Project an arbitrary dense matrix onto the PD manifold (the pre-trained-model
-    //    conversion path of Section III-F).
-    let dense_w = pd_tensor::init::xavier_uniform(&mut rng, 64, 64);
-    let approx = pd_approximate(&dense_w, 4, ApproxStrategy::BestPerBlock).unwrap();
-    println!(
-        "l2-optimal PD approximation of a random 64x64 matrix: relative error {:.3}",
-        approx.relative_error
     );
 }

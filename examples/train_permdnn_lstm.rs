@@ -1,7 +1,7 @@
 //! Training a permuted-diagonal LSTM seq2seq model from scratch (the Table III workload
 //! at laptop scale) and comparing it against the dense baseline.
 //!
-//! Run with `cargo run --release -p permdnn-bench --example train_permdnn_lstm`.
+//! Run with `cargo run --release --example train_permdnn_lstm`.
 
 use pd_tensor::init::seeded_rng;
 use permdnn_nn::data::TranslationPairs;

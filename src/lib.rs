@@ -1,0 +1,30 @@
+//! Umbrella crate for the PermDNN (Deng et al., MICRO 2018) reproduction.
+//!
+//! Each sub-crate reproduces one slice of the paper; this crate re-exports them
+//! all so downstream users (and the workspace's own integration tests and
+//! examples) can reach everything through one dependency:
+//!
+//! * [`core`] — permuted-diagonal matrices, kernels, gradients, and the
+//!   format-agnostic [`core::format::CompressedLinear`] operator API.
+//! * [`tensor`] — the dense linear-algebra substrate.
+//! * [`circulant`] — the block-circulant (CIRCNN) baseline format.
+//! * [`prune`] — unstructured magnitude pruning, CSC and the EIE encoding.
+//! * [`quant`] — fixed-point quantization and 4-bit weight sharing.
+//! * [`nn`] — the from-scratch training framework (MLP / CNN / LSTM).
+//! * [`sim`] — cycle-level models of the PERMDNN engine, EIE and CIRCNN.
+//! * [`bench`] — shared helpers for the table/figure regeneration binaries.
+//!
+//! See the repository `README.md` for the crate map against paper sections and
+//! a quickstart built on the [`core::format::CompressedLinear`] trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pd_tensor as tensor;
+pub use permdnn_bench as bench;
+pub use permdnn_circulant as circulant;
+pub use permdnn_core as core;
+pub use permdnn_nn as nn;
+pub use permdnn_prune as prune;
+pub use permdnn_quant as quant;
+pub use permdnn_sim as sim;

@@ -1,0 +1,147 @@
+//! Property tests of the `CompressedLinear` contract across every weight
+//! format in the workspace: each implementation must agree with its own
+//! `to_dense()` expansion on random inputs (dense ≡ PD ≡ circulant-direct ≡
+//! circulant-FFT ≡ CSC ≡ weight-shared within 1e-4 per unit of input energy),
+//! and every implementation must reject mis-sized slices with
+//! `FormatError::DimensionMismatch`.
+
+use pd_tensor::init::{seeded_rng, sparse_activation_vector, xavier_uniform};
+use permdnn_circulant::BlockCirculantMatrix;
+use permdnn_core::format::{BatchView, CompressedLinear, FormatError};
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_prune::eie_format::{uniform_codebook, EieEncodedMatrix};
+use permdnn_prune::{magnitude_prune, CscMatrix};
+use permdnn_quant::SharedWeightPdMatrix;
+use proptest::prelude::*;
+
+/// Builds one instance of every CompressedLinear implementation at the given
+/// shape, from the same seed.
+fn all_formats(rows: usize, cols: usize, p: usize, seed: u64) -> Vec<Box<dyn CompressedLinear>> {
+    let mut rng = seeded_rng(seed);
+    let dense = xavier_uniform(&mut rng, rows, cols);
+    let pd = BlockPermDiagMatrix::random(rows, cols, p, &mut rng);
+    let shared = SharedWeightPdMatrix::quantize_4bit(&pd, &mut rng);
+    let pruned = magnitude_prune(&dense, 1.0 / p as f64).pruned;
+    let csc = CscMatrix::from_dense(&pruned);
+    let codebook = uniform_codebook(4, pruned.max_abs().max(1e-6));
+    let eie = EieEncodedMatrix::encode(&pruned, &codebook, 4, 4);
+
+    let mut ops: Vec<Box<dyn CompressedLinear>> = vec![
+        Box::new(dense),
+        Box::new(pd),
+        Box::new(shared),
+        Box::new(csc),
+        Box::new(eie),
+    ];
+    // FFT path needs a power-of-two block; the direct path takes any size.
+    if p.is_power_of_two() {
+        ops.push(Box::new(BlockCirculantMatrix::random(
+            rows, cols, p, &mut rng,
+        )));
+    }
+    let k = p.max(2);
+    ops.push(Box::new(BlockCirculantMatrix::random_any_size(
+        rows, cols, k, &mut rng,
+    )));
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_format_agrees_with_its_dense_expansion(
+        (rows, cols, p, seed, zero_prob) in (4usize..=48, 4usize..=48, 2usize..=8, 0u64..500, 0usize..=9)
+    ) {
+        let p = p.min(rows).min(cols);
+        let mut input_rng = seeded_rng(seed ^ 0x5eed);
+        let x = sparse_activation_vector(&mut input_rng, cols, zero_prob as f64 / 10.0);
+        let scale = x.iter().map(|v| v.abs()).fold(1.0f32, f32::max);
+        for op in all_formats(rows, cols, p, seed) {
+            prop_assert_eq!(op.out_dim(), rows);
+            prop_assert_eq!(op.in_dim(), cols);
+            let got = op.matvec(&x).unwrap();
+            let reference = op.to_dense().matvec(&x);
+            for (a, b) in got.iter().zip(reference.iter()) {
+                prop_assert!(
+                    (a - b).abs() < 1e-4 * scale * cols as f32,
+                    "{}: {} vs {}", op.label(), a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_equals_per_row_matvec(
+        (rows, cols, p, batch, seed) in (4usize..=32, 4usize..=32, 2usize..=6, 1usize..=5, 0u64..200)
+    ) {
+        let p = p.min(rows).min(cols);
+        let xs_mat = xavier_uniform(&mut seeded_rng(seed ^ 0xbbaa), batch, cols);
+        let xs = BatchView::from_matrix(&xs_mat);
+        for op in all_formats(rows, cols, p, seed) {
+            let out = op.matmul(&xs).unwrap();
+            prop_assert_eq!(out.shape(), (batch, rows));
+            for i in 0..batch {
+                let single = op.matvec(xs.row(i)).unwrap();
+                for (a, b) in out.row(i).iter().zip(single.iter()) {
+                    prop_assert!((a - b).abs() < 1e-6, "{}", op.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stored_weights_and_mul_count_are_consistent(
+        (rows, cols, p, seed) in (4usize..=40, 4usize..=40, 2usize..=8, 0u64..200)
+    ) {
+        let p = p.min(rows).min(cols);
+        for op in all_formats(rows, cols, p, seed) {
+            prop_assert!(op.stored_weights() > 0, "{}", op.label());
+            prop_assert!(op.mul_count() > 0, "{}", op.label());
+            prop_assert!(op.compression_ratio() > 0.0);
+            // The label is non-empty and stable enough to identify the format.
+            prop_assert!(!op.label().is_empty());
+        }
+    }
+}
+
+#[test]
+fn every_format_rejects_mis_sized_slices() {
+    for op in all_formats(16, 24, 4, 42) {
+        // Wrong input length.
+        match op.matvec(&[0.0; 23]) {
+            Err(FormatError::DimensionMismatch { expected, got, .. }) => {
+                assert_eq!((expected, got), (24, 23), "{}", op.label());
+            }
+            other => panic!("{}: expected DimensionMismatch, got {other:?}", op.label()),
+        }
+        // Wrong output length.
+        let mut y = vec![0.0; 15];
+        match op.matvec_into(&[0.0; 24], &mut y) {
+            Err(FormatError::DimensionMismatch { expected, got, .. }) => {
+                assert_eq!((expected, got), (16, 15), "{}", op.label());
+            }
+            other => panic!("{}: expected DimensionMismatch, got {other:?}", op.label()),
+        }
+        // Wrong batch width.
+        let data = vec![0.0; 2 * 23];
+        let xs = BatchView::new(&data, 2, 23).unwrap();
+        assert!(
+            matches!(op.matmul(&xs), Err(FormatError::DimensionMismatch { .. })),
+            "{}",
+            op.label()
+        );
+    }
+}
+
+#[test]
+fn structured_formats_store_a_p_fraction_of_dense() {
+    let (rows, cols, p) = (64usize, 64usize, 8usize);
+    for op in all_formats(rows, cols, p, 7) {
+        let label = op.label();
+        if label.starts_with("permuted-diagonal") || label.starts_with("block-circulant (k=8") {
+            assert_eq!(op.stored_weights(), rows * cols / p, "{label}");
+            assert!((op.compression_ratio() - p as f64).abs() < 1e-9, "{label}");
+        }
+    }
+}

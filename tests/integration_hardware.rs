@@ -6,6 +6,7 @@ use pd_tensor::init::seeded_rng;
 use permdnn_core::matvec::matvec_column_wise;
 use permdnn_core::sparsity::exact_sparsity_vector;
 use permdnn_core::BlockPermDiagMatrix;
+use permdnn_nn::layers::WeightFormat;
 use permdnn_sim::schedule::schedule_dense_input;
 use permdnn_sim::sram::layout_weight_sram;
 use permdnn_sim::workload::FcWorkload;
@@ -68,8 +69,31 @@ fn zero_skipping_is_consistent_between_kernel_and_cycle_model() {
             description: "sparsity sweep",
         };
         let result = engine::simulate_layer(&cfg, &w);
-        assert_eq!(result.processed_columns, processed as u64, "fraction {frac}");
+        assert_eq!(
+            result.processed_columns, processed as u64,
+            "fraction {frac}"
+        );
     }
+}
+
+#[test]
+fn cycle_model_consumes_weights_through_the_trait() {
+    // The engine model can be driven by any CompressedLinear operator from the
+    // registry; for a PD matrix the derived workload must agree with the
+    // functional kernel's zero-skipping behaviour, exactly as with an
+    // explicitly-specified workload.
+    let cfg = EngineConfig::paper_32pe();
+    let w = WeightFormat::PermutedDiagonal { p: 8 }.build(128, 128, &mut seeded_rng(4));
+    let x = exact_sparsity_vector(&mut seeded_rng(5), 128, 0.5);
+    let nonzero = x.iter().filter(|&&v| v != 0.0).count();
+
+    let result = engine::simulate_compressed(&cfg, w.as_ref(), 0.5);
+    assert_eq!(result.processed_columns + result.skipped_columns, 128);
+    assert_eq!(result.processed_columns, nonzero as u64);
+    // The model's useful MACs match the trait's dense-input multiplication
+    // count scaled by the activation density.
+    assert_eq!(result.useful_macs, nonzero as u64 * (128 / 8));
+    assert_eq!(w.mul_count(), 128 * 128 / 8);
 }
 
 #[test]

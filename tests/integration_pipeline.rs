@@ -36,7 +36,10 @@ fn train_from_scratch_compress_quantize_and_check_deployability() {
         assert!(rms < 0.2, "4-bit sharing error too large: {rms}");
     }
     let acc_shared = model.evaluate(&test);
-    assert!(acc - acc_shared < 0.1, "weight sharing should not collapse accuracy");
+    assert!(
+        acc - acc_shared < 0.1,
+        "weight sharing should not collapse accuracy"
+    );
 
     // The compressed layer fits comfortably in one PE's weight SRAM.
     let pe = PeConfig::default();
@@ -64,8 +67,38 @@ fn pretrained_conversion_pipeline_recovers_accuracy() {
     pd.fit(&train, 6, 8, 0.05);
     let finetuned = pd.evaluate(&test);
 
-    assert!(finetuned >= projected, "fine-tuning must not hurt ({projected} -> {finetuned})");
-    assert!(dense_acc - finetuned < 0.12, "PD should approach dense ({dense_acc} vs {finetuned})");
+    assert!(
+        finetuned >= projected,
+        "fine-tuning must not hurt ({projected} -> {finetuned})"
+    );
+    assert!(
+        dense_acc - finetuned < 0.12,
+        "PD should approach dense ({dense_acc} vs {finetuned})"
+    );
+}
+
+#[test]
+fn deployment_formats_flow_through_the_same_model_api() {
+    // The post-training formats (CSC-pruned, weight-shared PD) plug into the
+    // MLP through the same WeightFormat registry as the trainable ones: the
+    // hidden weights stay frozen (random features) while the dense output head
+    // learns on top of them.
+    let data = GaussianClusters::generate(&mut seeded_rng(130), 400, 4, 32, 0.5);
+    let (train, test) = data.split(0.8);
+    for format in [
+        WeightFormat::UnstructuredSparse { p: 4 },
+        WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+    ] {
+        let mut model = MlpClassifier::new(32, &[48], 4, format, &mut seeded_rng(131));
+        let before = model.evaluate(&test);
+        model.fit(&train, 10, 8, 0.1);
+        let after = model.evaluate(&test);
+        assert!(
+            after > before && after > 0.5,
+            "{}: random-feature classifier should beat chance ({before} -> {after})",
+            format.label()
+        );
+    }
 }
 
 #[test]
