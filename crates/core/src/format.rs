@@ -166,6 +166,41 @@ impl<'a> BatchView<'a> {
     }
 }
 
+/// Partitions the row indices `0..n_rows` into at most `n_shards` contiguous,
+/// non-empty, near-equal ranges (the first `n_rows % n_shards` ranges are one
+/// row longer). The ranges concatenate back to `0..n_rows` in order, which is
+/// what makes sharded execution bit-for-bit identical to sequential execution:
+/// each row is processed exactly once, by exactly the same kernel.
+///
+/// Used by `permdnn_runtime::ParallelExecutor` to split batched matmuls across
+/// workers and by the multi-host engine model to split output rows across
+/// hosts.
+///
+/// # Example
+///
+/// ```
+/// use permdnn_core::format::par_row_ranges;
+/// assert_eq!(par_row_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+/// assert_eq!(par_row_ranges(2, 8).len(), 2); // never more shards than rows
+/// assert!(par_row_ranges(0, 4).is_empty());
+/// ```
+pub fn par_row_ranges(n_rows: usize, n_shards: usize) -> Vec<std::ops::Range<usize>> {
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let shards = n_shards.max(1).min(n_rows);
+    let base = n_rows / shards;
+    let extra = n_rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 /// A compressed (or dense) weight matrix acting as the linear operator
 /// `y = W·x`.
 ///
@@ -174,7 +209,12 @@ impl<'a> BatchView<'a> {
 /// touching them. Concrete types keep their richer inherent APIs (training
 /// updates, structure accessors); inherent methods shadow same-named trait
 /// methods at method-call syntax, so implementing this trait is non-breaking.
-pub trait CompressedLinear {
+///
+/// `Send + Sync` are supertraits: an operator is immutable weight data at
+/// inference time, and the parallel runtime (`permdnn_runtime`) shares one
+/// operator across worker threads. Every format in the workspace is plain
+/// owned data (`Vec`-backed), so the bounds cost implementations nothing.
+pub trait CompressedLinear: Send + Sync {
     /// Output dimension `m` (rows of the logical matrix).
     fn out_dim(&self) -> usize;
 
@@ -446,6 +486,40 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn par_row_ranges_partition_exactly() {
+        for n_rows in [0usize, 1, 2, 7, 16, 37, 100] {
+            for n_shards in [1usize, 2, 3, 7, 8, 64] {
+                let ranges = par_row_ranges(n_rows, n_shards);
+                assert!(ranges.len() <= n_shards);
+                assert_eq!(ranges.len(), n_shards.min(n_rows));
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous in order");
+                    assert!(!r.is_empty(), "no empty shards");
+                    next = r.end;
+                }
+                assert_eq!(next, n_rows, "ranges must cover all rows");
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1, "near-equal split");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_ranges_zero_shards_is_one_shard() {
+        assert_eq!(par_row_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn compressed_linear_objects_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn CompressedLinear>();
+        assert_send_sync::<Box<dyn CompressedLinear>>();
+        assert_send_sync::<std::sync::Arc<dyn CompressedLinear>>();
     }
 
     #[test]

@@ -18,15 +18,18 @@
 //! Activation layers ([`Relu`], [`Tanh`]) complete the zoo used by the MLP and
 //! LSTM models.
 
+use std::sync::Arc;
+
 use pd_tensor::init::xavier_uniform;
 use pd_tensor::Matrix;
 use permdnn_circulant::approx::circulant_approximate;
 use permdnn_circulant::BlockCirculantMatrix;
 use permdnn_core::approx::{pd_approximate, ApproxStrategy};
-use permdnn_core::format::CompressedLinear;
+use permdnn_core::format::{BatchView, CompressedLinear, FormatError};
 use permdnn_core::{grad as pd_grad, BlockPermDiagMatrix};
 use permdnn_prune::{magnitude_prune, CscMatrix};
 use permdnn_quant::SharedWeightPdMatrix;
+use permdnn_runtime::ParallelExecutor;
 use rand::Rng;
 
 use crate::activations::{relu, relu_grad, tanh, tanh_grad_from_output};
@@ -138,7 +141,12 @@ fn affine_forward(weights: &dyn CompressedLinear, bias: &[f32], x: &[f32]) -> Ve
 /// returns the gradient with respect to the layer input, and `apply_gradients` performs
 /// one SGD step with the accumulated gradients (divided by the number of accumulated
 /// examples) and clears them.
-pub trait Layer {
+///
+/// `Send + Sync` are supertraits so whole networks (`Vec<Box<dyn Layer>>`) can be
+/// shared across the inference worker threads of `permdnn_runtime`; every layer in
+/// the workspace is plain owned data. (Mutating entry points still take `&mut self`,
+/// so training stays exclusive as before.)
+pub trait Layer: Send + Sync {
     /// Length of the input vector this layer accepts.
     fn input_dim(&self) -> usize;
     /// Length of the output vector this layer produces.
@@ -154,6 +162,12 @@ pub trait Layer {
     fn apply_gradients(&mut self, lr: f32);
     /// Number of trainable parameters actually stored by the layer.
     fn num_params(&self) -> usize;
+    /// Real multiplications one forward pass costs on a dense input (0 for
+    /// parameter-free activation layers) — the per-example cost the serving
+    /// runtime's `ServiceModel` converts into ticks.
+    fn mul_count(&self) -> u64 {
+        0
+    }
     /// Upcast to `Any` for downcasting to a concrete layer type (e.g. to quantize the
     /// permuted-diagonal layers of a trained model).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -256,6 +270,10 @@ impl Layer for Dense {
 
     fn num_params(&self) -> usize {
         self.weights.len() + self.bias.len()
+    }
+
+    fn mul_count(&self) -> u64 {
+        CompressedLinear::mul_count(&self.weights)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -376,6 +394,10 @@ impl Layer for PdDense {
         self.weights.values().len() + self.bias.len()
     }
 
+    fn mul_count(&self) -> u64 {
+        CompressedLinear::mul_count(&self.weights)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -483,6 +505,10 @@ impl Layer for CirculantDense {
 
     fn num_params(&self) -> usize {
         self.weights.stored_weights() + self.bias.len()
+    }
+
+    fn mul_count(&self) -> u64 {
+        CompressedLinear::mul_count(&self.weights)
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -617,11 +643,16 @@ impl Layer for Tanh {
 /// (pruned / weight-shared representations have no structure-preserving update
 /// rule) and only the bias trains. Input gradients flow through the cached
 /// dense expansion so the layer still composes inside a trained network.
+///
+/// Weights are held behind an [`Arc`], so several layers (or a layer and the
+/// serving runtime) can share one operator without duplicating it — see
+/// [`CompressedFc::from_shared`].
 pub struct CompressedFc {
-    weights: Box<dyn CompressedLinear>,
+    weights: Arc<dyn CompressedLinear>,
     /// Dense expansion for the input-gradient path, materialised on the first
     /// `backward` call only — inference-only use keeps the compressed memory
-    /// footprint the formats exist to provide.
+    /// footprint the formats exist to provide. Private to each layer: priming
+    /// one layer's cache never affects another layer sharing the operator.
     dense_cache: Option<Matrix>,
     bias: Vec<f32>,
     grad_b: Vec<f32>,
@@ -631,6 +662,13 @@ pub struct CompressedFc {
 impl CompressedFc {
     /// Wraps a compressed operator as a frozen-weight FC layer (bias zero).
     pub fn new(weights: Box<dyn CompressedLinear>) -> Self {
+        Self::from_shared(Arc::from(weights))
+    }
+
+    /// Wraps an operator already shared behind an [`Arc`] — several layers
+    /// can serve the same weights concurrently (each keeps its own bias and
+    /// its own lazy dense cache).
+    pub fn from_shared(weights: Arc<dyn CompressedLinear>) -> Self {
         let out = weights.out_dim();
         CompressedFc {
             weights,
@@ -654,6 +692,57 @@ impl CompressedFc {
     /// The underlying compressed operator.
     pub fn weights(&self) -> &dyn CompressedLinear {
         self.weights.as_ref()
+    }
+
+    /// A shared handle to the operator (the form the parallel executor and
+    /// other layers consume).
+    pub fn shared_weights(&self) -> Arc<dyn CompressedLinear> {
+        Arc::clone(&self.weights)
+    }
+
+    /// Whether the input-gradient dense expansion has been materialised.
+    pub fn dense_cache_primed(&self) -> bool {
+        self.dense_cache.is_some()
+    }
+
+    /// Batched forward `Y = X·Wᵀ + b`, one input per row of `xs` — the same
+    /// per-row arithmetic as [`Layer::forward`], so outputs are bit-for-bit
+    /// identical to calling `forward` row by row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim()` differs from
+    /// the layer input width.
+    pub fn forward_batch(&self, xs: &BatchView<'_>) -> Result<Matrix, FormatError> {
+        let mut out = self.weights.matmul(xs)?;
+        self.add_bias_rows(&mut out);
+        Ok(out)
+    }
+
+    /// Batched forward sharded across the executor's worker pool. Bit-for-bit
+    /// identical to [`CompressedFc::forward_batch`] for any worker count
+    /// (row-granular sharding re-orders no floating-point operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim()` differs from
+    /// the layer input width.
+    pub fn forward_batch_parallel(
+        &self,
+        xs: &BatchView<'_>,
+        exec: &ParallelExecutor,
+    ) -> Result<Matrix, FormatError> {
+        let mut out = exec.matmul(&self.weights, xs)?;
+        self.add_bias_rows(&mut out);
+        Ok(out)
+    }
+
+    fn add_bias_rows(&self, out: &mut Matrix) {
+        for i in 0..out.rows() {
+            for (y, b) in out.row_mut(i).iter_mut().zip(self.bias.iter()) {
+                *y += b;
+            }
+        }
     }
 }
 
@@ -700,6 +789,10 @@ impl Layer for CompressedFc {
 
     fn num_params(&self) -> usize {
         self.weights.stored_weights() + self.bias.len()
+    }
+
+    fn mul_count(&self) -> u64 {
+        self.weights.mul_count()
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -955,6 +1048,65 @@ mod tests {
             &mut seeded_rng(23),
         );
         finite_diff_check(&mut layer, 8);
+    }
+
+    #[test]
+    fn compressed_fc_batch_paths_match_rowwise_forward() {
+        let mut rng = seeded_rng(30);
+        let mut layer =
+            CompressedFc::build(12, 8, WeightFormat::UnstructuredSparse { p: 2 }, &mut rng);
+        // A non-zero bias so the batch paths must add it exactly like forward.
+        layer.bias = (0..8).map(|i| 0.1 * i as f32 - 0.3).collect();
+        let xs_mat = xavier_uniform(&mut seeded_rng(31), 5, 12);
+        let xs = BatchView::from_matrix(&xs_mat);
+        let batch = layer.forward_batch(&xs).unwrap();
+        let exec = ParallelExecutor::new(3);
+        let parallel = layer.forward_batch_parallel(&xs, &exec).unwrap();
+        assert_eq!(batch, parallel, "sharded result must be bit-for-bit equal");
+        for i in 0..5 {
+            assert_eq!(batch.row(i), &layer.forward(xs.row(i))[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn shared_operator_layers_gradients_match_and_caches_are_private() {
+        // Two call sites sharing one operator: the first backward through each
+        // primes that layer's own dense cache, and both see identical
+        // gradients — the lazy cache is an invisible optimisation.
+        let mut rng = seeded_rng(32);
+        let op: Arc<dyn CompressedLinear> = Arc::from(
+            WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 }.build(8, 8, &mut rng),
+        );
+        let dense_before = op.to_dense();
+        let mut a = CompressedFc::from_shared(Arc::clone(&op));
+        let mut b = CompressedFc::from_shared(Arc::clone(&op));
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.37).sin()).collect();
+        let g: Vec<f32> = (0..8).map(|i| (i as f32 * 0.53).cos()).collect();
+        let _ = a.forward_train(&x);
+        let _ = b.forward_train(&x);
+        assert!(!a.dense_cache_primed() && !b.dense_cache_primed());
+        let grad_a = a.backward(&g);
+        assert!(
+            a.dense_cache_primed() && !b.dense_cache_primed(),
+            "each layer's cache is private"
+        );
+        let grad_b = b.backward(&g);
+        assert_eq!(grad_a, grad_b, "first use from either call site agrees");
+        // to_dense round-trips identically after the cache is primed.
+        assert!(dense_before.approx_eq(&a.weights().to_dense(), 0.0));
+        assert!(dense_before.approx_eq(&op.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn layer_mul_counts_reflect_format_cost() {
+        let mut rng = seeded_rng(33);
+        let dense = Dense::new(16, 8, &mut rng);
+        assert_eq!(dense.mul_count(), 16 * 8);
+        let pd = PdDense::new(16, 8, 4, &mut rng);
+        assert_eq!(pd.mul_count(), 16 * 8 / 4);
+        assert_eq!(Relu::new(8).mul_count(), 0);
+        let fc = CompressedFc::build(16, 8, WeightFormat::PermutedDiagonal { p: 4 }, &mut rng);
+        assert_eq!(fc.mul_count(), 16 * 8 / 4);
     }
 
     #[test]

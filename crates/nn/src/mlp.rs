@@ -6,10 +6,13 @@
 //! difference is attributable to the weight structure alone — the comparison Tables II–V
 //! make.
 
+use pd_tensor::Matrix;
+use permdnn_core::format::{BatchView, FormatError};
+use permdnn_runtime::{BatchModel, ParallelExecutor};
 use rand_chacha::ChaCha20Rng;
 
 use crate::data::GaussianClusters;
-use crate::layers::{make_fc_layer, Dense, Layer, PdDense, WeightFormat};
+use crate::layers::{make_fc_layer, CompressedFc, Dense, Layer, PdDense, Relu, WeightFormat};
 use crate::loss::softmax_cross_entropy;
 use crate::metrics::{argmax, Accuracy};
 
@@ -60,6 +63,43 @@ impl MlpClassifier {
         }
     }
 
+    /// Builds a frozen serving MLP: every layer (hidden *and* head) is a
+    /// [`CompressedFc`] over the requested format (the head is always dense —
+    /// it is small), so the whole network is immutable weight data ready to be
+    /// shared across the serving runtime's worker threads.
+    pub fn new_frozen(
+        input_dim: usize,
+        hidden_dims: &[usize],
+        num_classes: usize,
+        hidden_format: WeightFormat,
+        rng: &mut ChaCha20Rng,
+    ) -> Self {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut current = input_dim;
+        for &h in hidden_dims {
+            layers.push(Box::new(CompressedFc::build(
+                current,
+                h,
+                hidden_format,
+                rng,
+            )));
+            layers.push(Box::new(Relu::new(h)));
+            current = h;
+        }
+        layers.push(Box::new(CompressedFc::build(
+            current,
+            num_classes,
+            WeightFormat::Dense,
+            rng,
+        )));
+        MlpClassifier {
+            layers,
+            input_dim,
+            num_classes,
+            hidden_format,
+        }
+    }
+
     /// The weight format used by the hidden layers.
     pub fn hidden_format(&self) -> WeightFormat {
         self.hidden_format
@@ -97,6 +137,72 @@ impl MlpClassifier {
     /// Predicted class for one example.
     pub fn predict(&self, x: &[f32]) -> usize {
         argmax(&self.logits(x))
+    }
+
+    /// Batched inference: the logits for every row of `xs`, bit-for-bit
+    /// identical to calling [`MlpClassifier::logits`] row by row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim()` differs from
+    /// the input dimensionality.
+    pub fn logits_batch(&self, xs: &BatchView<'_>) -> Result<Matrix, FormatError> {
+        self.forward_batch_impl(xs, None)
+    }
+
+    /// Batched inference sharded across the executor's worker pool.
+    /// [`CompressedFc`] layers run their batch rows in parallel; other layers
+    /// (activations, trainable heads) apply row by row. Outputs are
+    /// bit-for-bit identical to [`MlpClassifier::logits_batch`] — and thus to
+    /// sequential [`MlpClassifier::logits`] — for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim()` differs from
+    /// the input dimensionality.
+    pub fn forward_batch_parallel(
+        &self,
+        xs: &BatchView<'_>,
+        exec: &ParallelExecutor,
+    ) -> Result<Matrix, FormatError> {
+        self.forward_batch_impl(xs, Some(exec))
+    }
+
+    fn forward_batch_impl(
+        &self,
+        xs: &BatchView<'_>,
+        exec: Option<&ParallelExecutor>,
+    ) -> Result<Matrix, FormatError> {
+        permdnn_core::format::check_dim("logits_batch", self.input_dim, xs.dim())?;
+        let mut current: Option<Matrix> = None;
+        for layer in &self.layers {
+            let view = match &current {
+                Some(m) => BatchView::from_matrix(m),
+                None => *xs,
+            };
+            let next = if let Some(fc) = layer.as_any().downcast_ref::<CompressedFc>() {
+                match exec {
+                    Some(exec) => fc.forward_batch_parallel(&view, exec)?,
+                    None => fc.forward_batch(&view)?,
+                }
+            } else {
+                // Activations and trainable layers: row-by-row through the
+                // same `forward` the sequential path uses.
+                let mut out = Matrix::zeros(view.batch(), layer.output_dim());
+                for i in 0..view.batch() {
+                    out.row_mut(i).copy_from_slice(&layer.forward(view.row(i)));
+                }
+                out
+            };
+            current = Some(next);
+        }
+        Ok(current.unwrap_or_else(|| Matrix::zeros(0, self.num_classes)))
+    }
+
+    /// Real multiplications one example costs through every layer on a dense
+    /// input (the serving runtime's per-example service cost).
+    pub fn mul_count_per_example(&self) -> u64 {
+        self.layers.iter().map(|l| l.mul_count()).sum()
     }
 
     /// One training step on a single example; returns the loss.
@@ -177,6 +283,31 @@ impl MlpClassifier {
             .iter_mut()
             .filter_map(|l| l.as_any_mut().downcast_mut::<PdDense>())
             .collect()
+    }
+}
+
+/// Any MLP is servable by the batching runtime: the model is shared across
+/// worker threads (every [`Layer`] is `Send + Sync`) and batches run through
+/// [`MlpClassifier::forward_batch_parallel`].
+impl BatchModel for MlpClassifier {
+    fn in_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn out_dim(&self) -> usize {
+        self.num_classes
+    }
+
+    fn mul_count_per_example(&self) -> u64 {
+        self.mul_count_per_example()
+    }
+
+    fn forward_batch(
+        &self,
+        xs: &BatchView<'_>,
+        exec: &ParallelExecutor,
+    ) -> Result<Matrix, FormatError> {
+        self.forward_batch_parallel(xs, exec)
     }
 }
 
@@ -292,6 +423,70 @@ mod tests {
         );
         // Hidden layers dominate: PD should store far fewer parameters.
         assert!(pd.num_params() * 4 < dense.num_params());
+    }
+
+    #[test]
+    fn batch_paths_match_sequential_logits_bitwise() {
+        let model = MlpClassifier::new_frozen(
+            16,
+            &[24, 12],
+            5,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            &mut seeded_rng(20),
+        );
+        let xs_mat = pd_tensor::init::xavier_uniform(&mut seeded_rng(21), 9, 16);
+        let xs = BatchView::from_matrix(&xs_mat);
+        let sequential = model.logits_batch(&xs).unwrap();
+        for i in 0..9 {
+            assert_eq!(sequential.row(i), &model.logits(xs.row(i))[..], "row {i}");
+        }
+        for workers in [1, 2, 3, 7] {
+            let exec = ParallelExecutor::new(workers);
+            let parallel = model.forward_batch_parallel(&xs, &exec).unwrap();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn trainable_mlp_also_supports_batch_inference() {
+        // Non-CompressedFc layers take the row-by-row fallback; equivalence
+        // must still hold exactly.
+        let model = MlpClassifier::new(10, &[8], 3, WeightFormat::Dense, &mut seeded_rng(22));
+        let xs_mat = pd_tensor::init::xavier_uniform(&mut seeded_rng(23), 4, 10);
+        let xs = BatchView::from_matrix(&xs_mat);
+        let exec = ParallelExecutor::new(2);
+        let batch = model.forward_batch_parallel(&xs, &exec).unwrap();
+        for i in 0..4 {
+            assert_eq!(batch.row(i), &model.logits(xs.row(i))[..]);
+        }
+    }
+
+    #[test]
+    fn frozen_mlp_counts_multiplications_per_example() {
+        let model = MlpClassifier::new_frozen(
+            16,
+            &[8],
+            4,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            &mut seeded_rng(24),
+        );
+        // Hidden PD layer: 16·8/4 muls; dense head: 8·4.
+        assert_eq!(model.mul_count_per_example(), 16 * 8 / 4 + 8 * 4);
+    }
+
+    #[test]
+    fn batch_dim_mismatch_is_a_typed_error() {
+        let model = MlpClassifier::new_frozen(8, &[8], 2, WeightFormat::Dense, &mut seeded_rng(25));
+        let data = vec![0.0f32; 6];
+        let xs = BatchView::new(&data, 1, 6).unwrap();
+        assert!(matches!(
+            model.logits_batch(&xs),
+            Err(FormatError::DimensionMismatch {
+                expected: 8,
+                got: 6,
+                ..
+            })
+        ));
     }
 
     #[test]

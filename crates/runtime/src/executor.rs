@@ -1,0 +1,247 @@
+//! Sharded execution of batched [`CompressedLinear`] products on a
+//! [`WorkerPool`].
+//!
+//! The executor splits a batch of input vectors into contiguous row ranges
+//! (one per worker, via [`par_row_ranges`]) and runs each range through the
+//! operator's own `matmul` on a worker thread. Because the split is by whole
+//! rows and every row goes through exactly the same kernel exactly once, the
+//! gathered result is **bit-for-bit identical** to the sequential
+//! [`CompressedLinear::matmul`] — the property the concurrency test suite
+//! (`tests/concurrency.rs`) locks in for every format.
+
+use std::ops::Range;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use pd_tensor::Matrix;
+use permdnn_core::format::{check_dim, par_row_ranges, BatchView, CompressedLinear, FormatError};
+
+use crate::pool::WorkerPool;
+
+/// Runs batched compressed-matrix products sharded across a worker pool.
+///
+/// Operators are shared with workers as `Arc<dyn CompressedLinear>` — the
+/// trait's `Send + Sync` supertraits make that sound, and every format is
+/// immutable weight data at inference time.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use permdnn_runtime::ParallelExecutor;
+/// use permdnn_core::format::{BatchView, CompressedLinear};
+/// use permdnn_core::BlockPermDiagMatrix;
+/// use pd_tensor::init::{seeded_rng, xavier_uniform};
+///
+/// let op: Arc<dyn CompressedLinear> =
+///     Arc::new(BlockPermDiagMatrix::random(16, 32, 4, &mut seeded_rng(0)));
+/// let xs_mat = xavier_uniform(&mut seeded_rng(1), 6, 32);
+/// let xs = BatchView::from_matrix(&xs_mat);
+///
+/// let exec = ParallelExecutor::new(3);
+/// let parallel = exec.matmul(&op, &xs).unwrap();
+/// let sequential = op.matmul(&xs).unwrap();
+/// assert_eq!(parallel, sequential); // bit-for-bit
+/// ```
+pub struct ParallelExecutor {
+    pool: WorkerPool,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor backed by a fresh pool of `n_workers` threads
+    /// (clamped to at least one).
+    pub fn new(n_workers: usize) -> Self {
+        ParallelExecutor {
+            pool: WorkerPool::new(n_workers),
+        }
+    }
+
+    /// An executor with a single worker — sequential execution through the
+    /// same code path, useful as a baseline.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs `shard(range)` for each of the given ranges on the pool and
+    /// returns the results in range order.
+    ///
+    /// This is the generic fan-out/gather primitive the matmul path and the
+    /// multi-host engine model are built on. The shard function is shared
+    /// across workers via `Arc`, so captured context must be `Send + Sync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard job panics on its worker (the result channel closes
+    /// before all results arrive).
+    pub fn map_shards<T, F>(&self, ranges: Vec<Range<usize>>, shard: Arc<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Range<usize>) -> T + Send + Sync + 'static,
+    {
+        let n = ranges.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // One shard: run inline, no dispatch overhead.
+            let range = ranges.into_iter().next().expect("n == 1");
+            return vec![shard(range)];
+        }
+        let (tx, rx) = channel::<(usize, T)>();
+        for (idx, range) in ranges.into_iter().enumerate() {
+            let tx = tx.clone();
+            let shard = Arc::clone(&shard);
+            self.pool.execute(move || {
+                // A send failure means the gatherer already gave up; nothing
+                // useful to do with the result then.
+                let _ = tx.send((idx, shard(range)));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match rx.recv() {
+                Ok((idx, value)) => slots[idx] = Some(value),
+                Err(_) => panic!("a worker shard panicked before reporting its result"),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard index reports exactly once"))
+            .collect()
+    }
+
+    /// Batched product `Y = X·Wᵀ` sharded across the pool: the batch rows are
+    /// split into one contiguous range per worker, each range runs through the
+    /// operator's own [`CompressedLinear::matmul`] on a sub-view, and the
+    /// shard outputs are gathered in order.
+    ///
+    /// The result is bit-for-bit identical to `op.matmul(xs)` for any worker
+    /// count: row-granular sharding re-orders no floating-point operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim() != op.in_dim()`;
+    /// any shard error propagates unchanged.
+    pub fn matmul(
+        &self,
+        op: &Arc<dyn CompressedLinear>,
+        xs: &BatchView<'_>,
+    ) -> Result<Matrix, FormatError> {
+        check_dim("matmul", op.in_dim(), xs.dim())?;
+        let batch = xs.batch();
+        let out_dim = op.out_dim();
+        if batch == 0 {
+            return Ok(Matrix::zeros(0, out_dim));
+        }
+        let ranges = par_row_ranges(batch, self.workers());
+        if ranges.len() == 1 {
+            return op.matmul(xs);
+        }
+
+        // Jobs on the pool are `'static`, so the borrowed batch is copied into
+        // a shared buffer once — O(batch·dim), dwarfed by the O(batch·m·n/p)
+        // product it enables.
+        let dim = xs.dim();
+        let mut input = Vec::with_capacity(batch * dim);
+        for i in 0..batch {
+            input.extend_from_slice(xs.row(i));
+        }
+        let input = Arc::new(input);
+        let op = Arc::clone(op);
+
+        let shards = self.map_shards(
+            ranges.clone(),
+            Arc::new(move |range: Range<usize>| -> Result<Matrix, FormatError> {
+                let sub =
+                    BatchView::new(&input[range.start * dim..range.end * dim], range.len(), dim)?;
+                op.matmul(&sub)
+            }),
+        );
+
+        let mut out = Matrix::zeros(batch, out_dim);
+        for (range, shard) in ranges.into_iter().zip(shards) {
+            let shard = shard?;
+            out.as_mut_slice()[range.start * out_dim..range.end * out_dim]
+                .copy_from_slice(shard.as_slice());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::{seeded_rng, xavier_uniform};
+    use permdnn_core::BlockPermDiagMatrix;
+
+    fn pd_op(rows: usize, cols: usize, p: usize, seed: u64) -> Arc<dyn CompressedLinear> {
+        Arc::new(BlockPermDiagMatrix::random(
+            rows,
+            cols,
+            p,
+            &mut seeded_rng(seed),
+        ))
+    }
+
+    #[test]
+    fn sharded_matmul_matches_sequential_bitwise() {
+        let op = pd_op(24, 36, 4, 1);
+        let xs_mat = xavier_uniform(&mut seeded_rng(2), 11, 36);
+        let xs = BatchView::from_matrix(&xs_mat);
+        let sequential = op.matmul(&xs).unwrap();
+        for workers in [1, 2, 3, 7, 16] {
+            let exec = ParallelExecutor::new(workers);
+            let parallel = exec.matmul(&op, &xs).unwrap();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_wrong_input_dim() {
+        let op = pd_op(8, 8, 4, 3);
+        let data = vec![0.0f32; 2 * 7];
+        let xs = BatchView::new(&data, 2, 7).unwrap();
+        let exec = ParallelExecutor::new(2);
+        assert!(matches!(
+            exec.matmul(&op, &xs),
+            Err(FormatError::DimensionMismatch {
+                expected: 8,
+                got: 7,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_output() {
+        let op = pd_op(8, 8, 4, 4);
+        let xs = BatchView::new(&[], 0, 8).unwrap();
+        let exec = ParallelExecutor::new(4);
+        let out = exec.matmul(&op, &xs).unwrap();
+        assert_eq!(out.shape(), (0, 8));
+    }
+
+    #[test]
+    fn map_shards_preserves_range_order() {
+        let exec = ParallelExecutor::new(3);
+        let ranges = par_row_ranges(20, 6);
+        let results = exec.map_shards(ranges.clone(), Arc::new(|r: Range<usize>| r.start));
+        let expected: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn more_workers_than_batch_rows_is_fine() {
+        let op = pd_op(12, 12, 4, 5);
+        let xs_mat = xavier_uniform(&mut seeded_rng(6), 2, 12);
+        let xs = BatchView::from_matrix(&xs_mat);
+        let exec = ParallelExecutor::new(8);
+        assert_eq!(exec.matmul(&op, &xs).unwrap(), op.matmul(&xs).unwrap());
+    }
+}

@@ -1,0 +1,38 @@
+//! Parallel batched-inference runtime for the PermDNN reproduction.
+//!
+//! The paper argues permuted-diagonal compression makes DNN inference cheap
+//! enough to serve at scale; this crate supplies the serving machinery the
+//! rest of the workspace plugs into:
+//!
+//! * [`WorkerPool`] — a hand-rolled `std::thread` pool (single shared job
+//!   queue, no external dependencies — the workspace builds offline).
+//! * [`ParallelExecutor`] — shards batched
+//!   [`CompressedLinear`](permdnn_core::format::CompressedLinear) products
+//!   across the pool by batch-row range ([`permdnn_core::format::par_row_ranges`])
+//!   and gathers the shards; results are bit-for-bit identical to sequential
+//!   execution for any worker count.
+//! * [`BatchingQueue`] / [`serve`] — the serving scenario: requests arrive
+//!   individually, coalesce into batches (up to `max_batch`, at most
+//!   `max_wait_ticks` of queueing), and run through a [`BatchModel`]
+//!   (`permdnn_nn::MlpClassifier` implements it) with deterministic
+//!   tick-accounted latency.
+//!
+//! Consumers: `permdnn_nn` builds `forward_batch_parallel` on top of the
+//! executor, `permdnn_sim` reuses it for the multi-host engine model, and the
+//! `serve_throughput` bench sweeps thread count × batch size × format into
+//! `BENCH_serve.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod pool;
+mod serve;
+
+pub use executor::ParallelExecutor;
+pub use pool::WorkerPool;
+pub use serve::{
+    plan_batches, seeded_request_stream, serve, BatchConfig, BatchModel, BatchingQueue,
+    CompletedRequest, PlannedBatch, Request, ServeConfig, ServeReport, ServiceModel,
+    SingleLayerModel,
+};

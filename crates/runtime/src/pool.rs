@@ -1,0 +1,197 @@
+//! A hand-rolled `std::thread` worker pool.
+//!
+//! The workspace builds with no external dependencies (network is
+//! unavailable), so instead of rayon this is the classic channel-based pool:
+//! one `mpsc` job queue shared by all workers behind a mutex, each worker
+//! looping `recv → run`. Jobs are `'static` closures; callers that need to
+//! share data with jobs wrap it in [`std::sync::Arc`] (see
+//! [`crate::ParallelExecutor`] for the sharding layer built on top).
+//!
+//! Dropping the pool closes the queue and joins every worker, so a pool can
+//! be created per scope without leaking threads.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads executing submitted jobs in
+/// FIFO order (single shared queue — workers steal from the front as they
+/// become free).
+///
+/// # Example
+///
+/// ```
+/// use permdnn_runtime::WorkerPool;
+/// use std::sync::mpsc::channel;
+///
+/// let pool = WorkerPool::new(3);
+/// let (tx, rx) = channel();
+/// for i in 0..8u32 {
+///     let tx = tx.clone();
+///     pool.execute(move || tx.send(i * i).unwrap());
+/// }
+/// drop(tx);
+/// let mut squares: Vec<u32> = rx.iter().collect();
+/// squares.sort_unstable();
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `n_workers` threads (clamped to at least one).
+    pub fn new(n_workers: usize) -> Self {
+        let n = n_workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..n)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("permdnn-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job to the queue; some worker will run it.
+    ///
+    /// Jobs must not block on other jobs submitted to the *same* pool
+    /// (a job waiting for a later queue entry can deadlock a fully busy
+    /// pool); the executor layer only ever submits independent shards.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Box::new(job))
+            .expect("worker threads outlive the pool handle");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's `recv` fail, ending its loop.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            // Job panics are contained in worker_loop, but stay defensive:
+            // never propagate a worker panic out of drop.
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the queue lock only while dequeuing, never while running the
+        // job, so one long job does not serialise the whole pool.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break, // a worker panicked while dequeuing; shut down
+        };
+        match job {
+            Ok(job) => {
+                // Contain job panics so a failing job does not shrink the pool:
+                // the submitter observes the failure through its dropped result
+                // channel (see `ParallelExecutor::map_shards`), and this worker
+                // stays available for later jobs.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                if outcome.is_err() {
+                    eprintln!(
+                        "permdnn-runtime: job panicked on {} (worker kept alive)",
+                        std::thread::current().name().unwrap_or("worker")
+                    );
+                }
+            }
+            Err(_) => break, // pool dropped: queue closed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 100);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7u8).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping here closes the queue; workers drain it before exiting.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn worker_threads_are_named() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = channel();
+        pool.execute(move || {
+            tx.send(std::thread::current().name().map(str::to_owned))
+                .unwrap();
+        });
+        let name = rx.recv().unwrap().unwrap();
+        assert!(name.starts_with("permdnn-worker-"), "{name}");
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_or_shrink_the_pool() {
+        // A single worker: if the panicking job killed its thread, the second
+        // job could never run.
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = channel::<&'static str>();
+        pool.execute(|| panic!("job panic (expected in test)"));
+        let tx2 = tx.clone();
+        pool.execute(move || tx2.send("still alive").unwrap());
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), "still alive");
+    }
+}

@@ -18,7 +18,9 @@
 //!   paper's Table IX breakdown, and the standard **technology projection** rules
 //!   ([`project`]) used to bring 45 nm designs to 28 nm (Table X footnote);
 //! * the **benchmark workloads** of Table VII ([`workload`]) and the comparison
-//!   generators behind Tables X–XI and Figs. 12–13 ([`comparison`]).
+//!   generators behind Tables X–XI and Figs. 12–13 ([`comparison`]);
+//! * a **multi-PE-host scaling model** ([`host`]) sharding one layer row-wise
+//!   across several engines, evaluated on the `permdnn_runtime` worker pool.
 //!
 //! The absolute numbers are model outputs, not silicon measurements; EXPERIMENTS.md
 //! records how the *shape* of every comparison (who wins, by roughly what factor) lines
@@ -32,6 +34,7 @@ pub mod comparison;
 pub mod config;
 pub mod eie;
 pub mod engine;
+pub mod host;
 pub mod metrics;
 pub mod power;
 pub mod project;
@@ -41,4 +44,5 @@ pub mod workload;
 
 pub use config::{EngineConfig, PeConfig};
 pub use engine::{simulate_layer, EngineResult};
+pub use host::{simulate_multi_host, MultiHostResult};
 pub use workload::{FcWorkload, TABLE7_WORKLOADS};

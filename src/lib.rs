@@ -11,6 +11,8 @@
 //! * [`prune`] — unstructured magnitude pruning, CSC and the EIE encoding.
 //! * [`quant`] — fixed-point quantization and 4-bit weight sharing.
 //! * [`nn`] — the from-scratch training framework (MLP / CNN / LSTM).
+//! * [`runtime`] — the parallel batched-inference runtime (worker pool,
+//!   sharded executor, request-batching serving loop).
 //! * [`sim`] — cycle-level models of the PERMDNN engine, EIE and CIRCNN.
 //! * [`bench`] — shared helpers for the table/figure regeneration binaries.
 //!
@@ -27,4 +29,5 @@ pub use permdnn_core as core;
 pub use permdnn_nn as nn;
 pub use permdnn_prune as prune;
 pub use permdnn_quant as quant;
+pub use permdnn_runtime as runtime;
 pub use permdnn_sim as sim;
