@@ -74,6 +74,26 @@ impl CompressedLinear for BlockCirculantMatrix {
     fn to_dense(&self) -> pd_tensor::Matrix {
         self.to_dense()
     }
+
+    fn max_weight_abs(&self) -> f32 {
+        let mut m = 0.0f32;
+        for br in 0..self.rows().div_ceil(self.k()) {
+            for bc in 0..self.cols().div_ceil(self.k()) {
+                for &v in self.block(br, bc).first_row() {
+                    m = m.max(v.abs());
+                }
+            }
+        }
+        m
+    }
+
+    // `quantize_kernel` deliberately keeps the default `None`: the CIRCNN
+    // inference path runs in the frequency domain (complex FFT butterflies),
+    // which has no 16-bit time-domain weight layout to hand to the integer
+    // kernels. Quantized circulant layers therefore execute through the
+    // generic dequantize fallback of `permdnn_core::qlinear::QuantizedLinear`
+    // — activations are still exchanged in 16-bit fixed point at the layer
+    // boundaries, only the internal kernel stays f32.
 }
 
 #[cfg(test)]

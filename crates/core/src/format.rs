@@ -284,6 +284,28 @@ pub trait CompressedLinear: Send + Sync {
         Ok(out)
     }
 
+    /// Largest absolute stored weight — the dynamic range the fixed-point
+    /// backend calibrates its weight Q-format against. The default expands to
+    /// dense; formats with direct value access should override.
+    fn max_weight_abs(&self) -> f32 {
+        self.to_dense().max_abs()
+    }
+
+    /// Builds this format's 16-bit integer kernel at the given weight
+    /// Q-format, or `None` if the format has no integer kernel (it will then
+    /// execute through the generic dequantize fallback of
+    /// [`QuantizedLinear`](crate::qlinear::QuantizedLinear)).
+    ///
+    /// Implementing this for a new format is all it takes to make it execute
+    /// natively in fixed point: express the weight layout as one of the
+    /// [`QuantKernel`](crate::qlinear::QuantKernel) traversals (row-major
+    /// dense, or column-compressed sparse for anything processed column-wise
+    /// with input zero-skipping).
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<crate::qlinear::QuantKernel> {
+        let _ = weight_frac;
+        None
+    }
+
     /// Compression ratio versus the dense `m × n` matrix.
     fn compression_ratio(&self) -> f64 {
         let stored = self.stored_weights();
@@ -342,6 +364,29 @@ impl CompressedLinear for BlockPermDiagMatrix {
     fn to_dense(&self) -> Matrix {
         self.to_dense()
     }
+
+    fn max_weight_abs(&self) -> f32 {
+        self.values().iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// The PD integer kernel is the column-compressed zero-skipping traversal:
+    /// each column stores exactly one weight per block row, reached through
+    /// [`BlockPermDiagMatrix::column_nonzeros`].
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<crate::qlinear::QuantKernel> {
+        let columns: Vec<Vec<(usize, f32)>> = (0..self.cols())
+            .map(|j| {
+                self.column_nonzeros(j)
+                    .map(|(i, value_idx)| (i, self.values()[value_idx]))
+                    .collect()
+            })
+            .collect();
+        Some(crate::qlinear::QuantKernel::column_sparse(
+            self.rows(),
+            self.cols(),
+            weight_frac,
+            &columns,
+        ))
+    }
 }
 
 impl CompressedLinear for Matrix {
@@ -380,6 +425,14 @@ impl CompressedLinear for Matrix {
 
     fn to_dense(&self) -> Matrix {
         self.clone()
+    }
+
+    fn max_weight_abs(&self) -> f32 {
+        self.max_abs()
+    }
+
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<crate::qlinear::QuantKernel> {
+        Some(crate::qlinear::QuantKernel::dense(self, weight_frac))
     }
 }
 

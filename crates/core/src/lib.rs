@@ -13,6 +13,9 @@
 //! * [`format`] — the format-agnostic [`CompressedLinear`] operator API that every weight
 //!   format in the workspace (dense, PD, circulant, CSC/EIE, weight-shared) implements,
 //!   with the shared [`FormatError`] and the batched [`BatchView`] entry point.
+//! * [`qlinear`] — the 16-bit fixed-point inference backend: [`QuantizedLinear`] executes
+//!   any [`CompressedLinear`] operator in integer arithmetic (i16 weights, 24-bit
+//!   saturating accumulation, requantize-on-output), matching the hardware's datapath.
 //! * [`grad`] — structure-preserving gradients and weight updates for FC layers
 //!   (Eqns. 2–3), enabling end-to-end training that never leaves the PD manifold.
 //! * [`conv`] — the extension to convolutional layers (Section III-C, Eqns. 4–6):
@@ -56,6 +59,7 @@ pub mod grad;
 pub mod matvec;
 pub mod pd_block;
 pub mod pd_matrix;
+pub mod qlinear;
 pub mod sparsity;
 pub mod storage;
 
@@ -64,3 +68,4 @@ pub use error::PdError;
 pub use format::{BatchView, CompressedLinear, FormatError};
 pub use pd_block::PermutedDiagonalBlock;
 pub use pd_matrix::{BlockPermDiagMatrix, PermutationIndexing};
+pub use qlinear::{QKernelStats, QScheme, QuantKernel, QuantizedLinear};

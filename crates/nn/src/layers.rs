@@ -335,6 +335,11 @@ impl PdDense {
         &self.weights
     }
 
+    /// Borrow of the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
     /// Mutable borrow of the permuted-diagonal weight matrix (used by quantization).
     pub fn weights_mut(&mut self) -> &mut BlockPermDiagMatrix {
         &mut self.weights
@@ -445,6 +450,11 @@ impl CirculantDense {
     /// Borrow of the circulant weight matrix.
     pub fn weights(&self) -> &BlockCirculantMatrix {
         &self.weights
+    }
+
+    /// Borrow of the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
     }
 
     /// Compression ratio of the stored representation.
@@ -698,6 +708,11 @@ impl CompressedFc {
     /// other layers consume).
     pub fn shared_weights(&self) -> Arc<dyn CompressedLinear> {
         Arc::clone(&self.weights)
+    }
+
+    /// Borrow of the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
     }
 
     /// Whether the input-gradient dense expansion has been materialised.

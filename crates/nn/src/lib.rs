@@ -21,6 +21,9 @@
 //!   which are not available offline (see DESIGN.md for the substitution argument).
 //! * [`experiments`] — the scaled-down versions of the paper's accuracy experiments,
 //!   returning structured results that the `permdnn-bench` binaries print as tables.
+//! * [`quantize`] — the deployment path to the 16-bit fixed-point backend: per-layer
+//!   Q-format calibration and conversion of any trained classifier into a network of
+//!   [`permdnn_core::QuantizedLinear`] layers with activation requantization between them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,8 @@ pub mod loss;
 pub mod lstm;
 pub mod metrics;
 pub mod mlp;
+pub mod quantize;
 
 pub use layers::{Layer, WeightFormat};
 pub use mlp::MlpClassifier;
+pub use quantize::{quantize_mlp, LayerQuantization, QuantizationReport};

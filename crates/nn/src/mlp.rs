@@ -100,6 +100,37 @@ impl MlpClassifier {
         }
     }
 
+    /// Assembles a classifier from an explicit layer stack (used by the
+    /// quantization path, which rebuilds each layer in fixed point).
+    pub(crate) fn from_layers(
+        layers: Vec<Box<dyn Layer>>,
+        input_dim: usize,
+        num_classes: usize,
+        hidden_format: WeightFormat,
+    ) -> Self {
+        MlpClassifier {
+            layers,
+            input_dim,
+            num_classes,
+            hidden_format,
+        }
+    }
+
+    /// The layer stack, in forward order.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Quantizes the whole network to the 16-bit fixed-point backend, with
+    /// per-layer Q-formats calibrated on `calibration` inputs — see
+    /// [`crate::quantize::quantize_mlp`].
+    pub fn quantize(
+        &self,
+        calibration: &[Vec<f32>],
+    ) -> (MlpClassifier, crate::quantize::QuantizationReport) {
+        crate::quantize::quantize_mlp(self, calibration)
+    }
+
     /// The weight format used by the hidden layers.
     pub fn hidden_format(&self) -> WeightFormat {
         self.hidden_format

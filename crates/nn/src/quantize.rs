@@ -1,0 +1,245 @@
+//! Deployment path to the 16-bit fixed-point backend: calibrate per-layer
+//! Q-formats on sample inputs, then rebuild a trained classifier as a network
+//! of [`QuantizedLinear`] layers.
+//!
+//! Calibration runs the f32 network over the calibration set and records, for
+//! every layer, the largest absolute activation *entering* it and the largest
+//! absolute activation it *produces*. Each fully-connected layer then gets the
+//! finest Q-format whose range covers what calibration saw
+//! ([`pd_tensor::fixed::choose_frac_bits`]): the input width fixes how the
+//! incoming activations are quantized, the output width is what the layer's
+//! accumulator requantizes to.
+//!
+//! Activation requantization between layers falls out of the chaining: layer
+//! `i` emits raw values in its output Q-format, and layer `i+1` re-grids them
+//! to its own input Q-format. ReLU on a fixed-point grid is exact (it maps
+//! representable values to representable values), and re-gridding to a format
+//! at least as fine is exact too, so the f32 `Vec` flowing between [`Layer`]s
+//! carries the integer values losslessly — the composed network computes the
+//! same results as a monolithic integer pipeline, while every existing
+//! call site (batched forward, the serving runtime, accuracy evaluation)
+//! works unchanged.
+
+use std::sync::Arc;
+
+use permdnn_core::format::CompressedLinear;
+use permdnn_core::qlinear::{QScheme, QuantizedLinear};
+
+use crate::layers::{CirculantDense, CompressedFc, Dense, Layer, PdDense, Relu, Tanh};
+use crate::mlp::MlpClassifier;
+
+/// The calibrated Q-formats of one quantized layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerQuantization {
+    /// Index of the layer in the network's forward order.
+    pub layer: usize,
+    /// The quantized operator's label (e.g. `"q16 permuted-diagonal (p=4)"`).
+    pub label: String,
+    /// The calibrated input/weight/output fractional widths.
+    pub scheme: QScheme,
+    /// Whether the layer executes through a native integer kernel (`false`
+    /// means the dequantize fallback, e.g. the FFT circulant format).
+    pub integer_kernel: bool,
+}
+
+/// What [`quantize_mlp`] decided: one entry per fully-connected layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantizationReport {
+    /// Per-FC-layer calibration results, in forward order.
+    pub layers: Vec<LayerQuantization>,
+}
+
+impl QuantizationReport {
+    /// Whether every FC layer runs on a native integer kernel.
+    pub fn fully_integer(&self) -> bool {
+        self.layers.iter().all(|l| l.integer_kernel)
+    }
+}
+
+/// The weight operator and bias of a fully-connected layer, extracted
+/// format-agnostically for quantization.
+fn extract_fc(layer: &dyn Layer) -> Option<(Arc<dyn CompressedLinear>, Vec<f32>)> {
+    let any = layer.as_any();
+    if let Some(d) = any.downcast_ref::<Dense>() {
+        Some((Arc::new(d.weights().clone()), d.bias().to_vec()))
+    } else if let Some(p) = any.downcast_ref::<PdDense>() {
+        Some((Arc::new(p.weights().clone()), p.bias().to_vec()))
+    } else if let Some(c) = any.downcast_ref::<CirculantDense>() {
+        Some((Arc::new(c.weights().clone()), c.bias().to_vec()))
+    } else if let Some(fc) = any.downcast_ref::<CompressedFc>() {
+        Some((fc.shared_weights(), fc.bias().to_vec()))
+    } else {
+        None
+    }
+}
+
+fn max_abs(v: &[f32]) -> f32 {
+    v.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+}
+
+/// Quantizes a trained classifier to 16-bit fixed point.
+///
+/// Every fully-connected layer — trainable ([`Dense`], [`PdDense`],
+/// [`CirculantDense`]) or frozen ([`CompressedFc`]) — becomes a frozen
+/// [`CompressedFc`] over a [`QuantizedLinear`] operator (bias quantized into
+/// the integer datapath); activation layers are kept as-is. Returns the
+/// quantized network and the per-layer calibration report.
+///
+/// # Panics
+///
+/// Panics if `calibration` is empty (the Q-formats would be meaningless) or
+/// if the network contains a layer type the quantizer does not know.
+pub fn quantize_mlp(
+    model: &MlpClassifier,
+    calibration: &[Vec<f32>],
+) -> (MlpClassifier, QuantizationReport) {
+    assert!(
+        !calibration.is_empty(),
+        "calibration needs at least one input to observe activation ranges"
+    );
+    let layers = model.layers();
+
+    // Pass 1: observe the activation dynamic range at every layer boundary.
+    let mut input_max = vec![0.0f32; layers.len()];
+    let mut output_max = vec![0.0f32; layers.len()];
+    for x in calibration {
+        let mut current = x.clone();
+        for (i, layer) in layers.iter().enumerate() {
+            input_max[i] = input_max[i].max(max_abs(&current));
+            current = layer.forward(&current);
+            output_max[i] = output_max[i].max(max_abs(&current));
+        }
+    }
+
+    // Pass 2: rebuild each layer in fixed point.
+    let mut quantized: Vec<Box<dyn Layer>> = Vec::with_capacity(layers.len());
+    let mut report = QuantizationReport::default();
+    for (i, layer) in layers.iter().enumerate() {
+        if let Some((op, bias)) = extract_fc(layer.as_ref()) {
+            let scheme = QScheme::calibrate(
+                input_max[i],
+                op.max_weight_abs(),
+                // The affine output must cover the bias too; calibration saw
+                // the biased output, so output_max already includes it.
+                output_max[i],
+            );
+            let q = QuantizedLinear::from_op(op, scheme).with_bias(&bias);
+            report.layers.push(LayerQuantization {
+                layer: i,
+                label: q.label(),
+                scheme,
+                integer_kernel: q.has_integer_kernel(),
+            });
+            quantized.push(Box::new(CompressedFc::new(Box::new(q))));
+        } else if let Some(r) = layer.as_any().downcast_ref::<Relu>() {
+            quantized.push(Box::new(r.clone()));
+        } else if let Some(t) = layer.as_any().downcast_ref::<Tanh>() {
+            quantized.push(Box::new(t.clone()));
+        } else {
+            panic!("quantize_mlp: unsupported layer type at index {i}");
+        }
+    }
+
+    let q_model = MlpClassifier::from_layers(
+        quantized,
+        model.input_dim(),
+        model.num_classes(),
+        model.hidden_format(),
+    );
+    (q_model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GaussianClusters;
+    use crate::layers::WeightFormat;
+    use pd_tensor::init::seeded_rng;
+
+    fn trained_model(format: WeightFormat, seed: u64) -> (MlpClassifier, GaussianClusters) {
+        let (train, test) =
+            GaussianClusters::generate(&mut seeded_rng(seed), 500, 4, 16, 0.4).split(0.6);
+        let mut model = MlpClassifier::new(16, &[24], 4, format, &mut seeded_rng(seed + 1));
+        model.fit(&train, 8, 8, 0.1);
+        (model, test)
+    }
+
+    #[test]
+    fn quantized_model_tracks_f32_accuracy() {
+        let (model, test) = trained_model(WeightFormat::PermutedDiagonal { p: 4 }, 1);
+        let f32_acc = model.evaluate(&test);
+        let (q_model, report) = model.quantize(&test.features);
+        let q_acc = q_model.evaluate(&test);
+        assert!(
+            (f32_acc - q_acc).abs() <= 0.01,
+            "accuracy drifted: f32 {f32_acc} vs q16 {q_acc}"
+        );
+        assert_eq!(report.layers.len(), 2, "hidden FC + head");
+        assert!(report.fully_integer(), "PD and dense both have kernels");
+    }
+
+    #[test]
+    fn quantized_logits_are_close_to_f32_logits() {
+        let (model, test) = trained_model(WeightFormat::Dense, 3);
+        let (q_model, _) = model.quantize(&test.features);
+        for x in test.features.iter().take(20) {
+            let f = model.logits(x);
+            let q = q_model.logits(x);
+            for (a, b) in f.iter().zip(q.iter()) {
+                assert!((a - b).abs() < 0.05, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_layers_take_the_fallback_path() {
+        let (model, test) = trained_model(WeightFormat::Circulant { k: 4 }, 5);
+        let (q_model, report) = model.quantize(&test.features);
+        assert!(!report.layers[0].integer_kernel, "FFT format has no kernel");
+        assert!(report.layers[1].integer_kernel, "dense head does");
+        assert!(report.layers[0].label.contains("q16-fallback"));
+        let f32_acc = model.evaluate(&test);
+        let q_acc = q_model.evaluate(&test);
+        assert!((f32_acc - q_acc).abs() <= 0.01, "{f32_acc} vs {q_acc}");
+    }
+
+    #[test]
+    fn frozen_compressed_fc_models_quantize_too() {
+        let (model, test) = trained_model(WeightFormat::UnstructuredSparse { p: 2 }, 7);
+        let (q_model, report) = model.quantize(&test.features);
+        assert!(report.fully_integer());
+        let agreement = test
+            .features
+            .iter()
+            .filter(|x| model.predict(x) == q_model.predict(x))
+            .count() as f64
+            / test.len() as f64;
+        assert!(agreement >= 0.99, "prediction agreement {agreement}");
+    }
+
+    #[test]
+    fn calibration_chooses_coarser_formats_for_wider_ranges() {
+        let (model, test) = trained_model(WeightFormat::Dense, 9);
+        let (_, report) = model.quantize(&test.features);
+        for l in &report.layers {
+            assert!((1..=14).contains(&l.scheme.input_frac));
+            assert!((1..=14).contains(&l.scheme.weight_frac));
+            assert!((1..=14).contains(&l.scheme.output_frac));
+        }
+        // Scaled-up inputs must force a coarser (or equal) input format.
+        let scaled: Vec<Vec<f32>> = test
+            .features
+            .iter()
+            .map(|x| x.iter().map(|v| v * 64.0).collect())
+            .collect();
+        let (_, wide_report) = model.quantize(&scaled);
+        assert!(wide_report.layers[0].scheme.input_frac <= report.layers[0].scheme.input_frac);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration needs at least one input")]
+    fn empty_calibration_is_rejected() {
+        let (model, _) = trained_model(WeightFormat::Dense, 11);
+        let _ = model.quantize(&[]);
+    }
+}

@@ -146,19 +146,37 @@ impl EieEncodedMatrix {
             + 32 * (self.cols as u64 + 1)
     }
 
+    /// The decoded `(row, value)` pairs of column `c`: the relative-index
+    /// run-length walk resolved to absolute rows, tags resolved through the
+    /// codebook, padding entries (which carry no value) dropped. This is the
+    /// one place the decode convention lives — `to_dense` and the integer
+    /// `quantize_kernel` both build on it; only `matvec` re-walks the raw
+    /// entries because it must also charge the padding multiplies the
+    /// hardware issues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn decoded_column(&self, c: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let mut r = 0usize;
+        self.columns[c].iter().filter_map(move |e| {
+            r += e.relative_index as usize;
+            let decoded = if e.is_padding {
+                None
+            } else {
+                Some((r, self.codebook[e.weight_tag as usize]))
+            };
+            r += 1; // every entry (padding included) occupies the row after its run
+            decoded
+        })
+    }
+
     /// Decodes back to a dense matrix (values become their codebook representatives).
     pub fn to_dense(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
         for c in 0..self.cols {
-            let mut r = 0usize;
-            for e in &self.columns[c] {
-                r += e.relative_index as usize;
-                if e.is_padding {
-                    r += 1; // padding entry occupies the row after the skipped run
-                    continue;
-                }
-                out[(r, c)] = self.codebook[e.weight_tag as usize];
-                r += 1;
+            for (r, v) in self.decoded_column(c) {
+                out[(r, c)] = v;
             }
         }
         out

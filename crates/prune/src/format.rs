@@ -7,6 +7,7 @@
 //! does (Section II-B of the PermDNN paper).
 
 use permdnn_core::format::{check_dim, CompressedLinear, FormatError};
+use permdnn_core::qlinear::QuantKernel;
 
 use crate::csc::CscMatrix;
 use crate::eie_format::EieEncodedMatrix;
@@ -55,6 +56,25 @@ impl CompressedLinear for CscMatrix {
     fn to_dense(&self) -> pd_tensor::Matrix {
         self.to_dense()
     }
+
+    fn max_weight_abs(&self) -> f32 {
+        (0..self.cols())
+            .flat_map(|c| self.column(c))
+            .fold(0.0f32, |m, (_, v)| m.max(v.abs()))
+    }
+
+    /// CSC is already the column-compressed layout the integer kernel runs —
+    /// the conversion just quantizes the stored values.
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<QuantKernel> {
+        let columns: Vec<Vec<(usize, f32)>> =
+            (0..self.cols()).map(|c| self.column(c).collect()).collect();
+        Some(QuantKernel::column_sparse(
+            self.rows(),
+            self.cols(),
+            weight_frac,
+            &columns,
+        ))
+    }
 }
 
 impl CompressedLinear for EieEncodedMatrix {
@@ -95,6 +115,29 @@ impl CompressedLinear for EieEncodedMatrix {
 
     fn to_dense(&self) -> pd_tensor::Matrix {
         self.to_dense()
+    }
+
+    fn max_weight_abs(&self) -> f32 {
+        self.codebook().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Decodes tags through the codebook into the column-compressed integer
+    /// kernel (via [`EieEncodedMatrix::decoded_column`], the same decode
+    /// `to_dense` uses). Padding entries multiply by the zero codeword, so
+    /// they contribute nothing numerically and are dropped from the kernel
+    /// (their storage and multiply overhead stay accounted in
+    /// `stored_weights` / `mul_count`, which this operator copies from the
+    /// encoding).
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<QuantKernel> {
+        let columns: Vec<Vec<(usize, f32)>> = (0..self.cols())
+            .map(|c| self.decoded_column(c).collect())
+            .collect();
+        Some(QuantKernel::column_sparse(
+            self.rows(),
+            self.cols(),
+            weight_frac,
+            &columns,
+        ))
     }
 }
 

@@ -6,8 +6,13 @@
 //! of the data being quantized, which is how fixed-point DNN deployments typically pick
 //! their Q-format per layer.
 
-use pd_tensor::fixed::Q16;
 use permdnn_core::BlockPermDiagMatrix;
+
+// The Q-format selection rule and the runtime-width round-trip live in
+// `pd_tensor::fixed` so the integer inference backend (`permdnn_core::qlinear`)
+// and this measurement module share one implementation; re-exported here for
+// compatibility with existing call sites.
+pub use pd_tensor::fixed::{choose_frac_bits, roundtrip_f32};
 
 /// Statistics describing how well a quantization round-trip preserved a tensor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,27 +25,12 @@ pub struct QuantizedTensorStats {
     pub rms_error: f32,
 }
 
-/// Chooses the largest fractional width (up to 14 bits) whose integer range still covers
-/// `max_abs`, so precision is maximised without saturation.
-pub fn choose_frac_bits(max_abs: f32) -> u32 {
-    for frac in (1..=14u32).rev() {
-        let max_representable = (i16::MAX as f32) / (1u32 << frac) as f32;
-        if max_abs <= max_representable {
-            return frac;
-        }
-    }
-    1
-}
-
 /// Quantizes a slice to 16-bit fixed point (round-trip through the chosen Q-format),
 /// returning the dequantized values and the error statistics.
 pub fn quantize_slice_q16(values: &[f32]) -> (Vec<f32>, QuantizedTensorStats) {
     let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
     let frac = choose_frac_bits(max_abs);
-    let quantized: Vec<f32> = values
-        .iter()
-        .map(|&v| dispatch_roundtrip(v, frac))
-        .collect();
+    let quantized: Vec<f32> = values.iter().map(|&v| roundtrip_f32(v, frac)).collect();
     let mut max_err = 0.0f32;
     let mut sq_sum = 0.0f64;
     for (&orig, &q) in values.iter().zip(quantized.iter()) {
@@ -70,19 +60,6 @@ pub fn quantize_matrix_q16(w: &mut BlockPermDiagMatrix) -> QuantizedTensorStats 
     let (quantized, stats) = quantize_slice_q16(w.values());
     w.values_mut().copy_from_slice(&quantized);
     stats
-}
-
-/// Round-trips a single value through `Q16<FRAC>` for a runtime fractional width.
-fn dispatch_roundtrip(v: f32, frac: u32) -> f32 {
-    macro_rules! case {
-        ($($n:literal),*) => {
-            match frac {
-                $( $n => Q16::<$n>::from_f32(v).to_f32(), )*
-                _ => Q16::<12>::from_f32(v).to_f32(),
-            }
-        };
-    }
-    case!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
 }
 
 #[cfg(test)]

@@ -18,6 +18,8 @@ pub mod fixed_point;
 pub mod shared_pd;
 pub mod weight_sharing;
 
-pub use fixed_point::{quantize_matrix_q16, quantize_slice_q16, QuantizedTensorStats};
+pub use fixed_point::{
+    choose_frac_bits, quantize_matrix_q16, quantize_slice_q16, QuantizedTensorStats,
+};
 pub use shared_pd::SharedWeightPdMatrix;
 pub use weight_sharing::{kmeans_codebook, SharedWeightTable};

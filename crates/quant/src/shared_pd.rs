@@ -112,6 +112,16 @@ impl CompressedLinear for SharedWeightPdMatrix {
         self.matrix.matvec_into(x, y)
     }
 
+    fn max_weight_abs(&self) -> f32 {
+        CompressedLinear::max_weight_abs(&self.matrix)
+    }
+
+    /// Same integer kernel as the plain PD format: the codebook is already
+    /// applied to the stored values, so quantization sees centroid weights.
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<permdnn_core::qlinear::QuantKernel> {
+        CompressedLinear::quantize_kernel(&self.matrix, weight_frac)
+    }
+
     fn to_dense(&self) -> pd_tensor::Matrix {
         self.matrix.to_dense()
     }

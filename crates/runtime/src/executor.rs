@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use pd_tensor::Matrix;
 use permdnn_core::format::{check_dim, par_row_ranges, BatchView, CompressedLinear, FormatError};
+use permdnn_core::qlinear::{QKernelStats, QuantizedLinear};
 
 use crate::pool::WorkerPool;
 
@@ -172,6 +173,61 @@ impl ParallelExecutor {
         }
         Ok(out)
     }
+
+    /// Batched *integer* product on the 16-bit fixed-point backend: `batch`
+    /// row-major raw input vectors (at the operator's input Q-format) are
+    /// sharded into one contiguous row range per worker, each range runs
+    /// through [`QuantizedLinear::matmul_q`], and the raw outputs plus the
+    /// merged datapath counters are gathered in range order.
+    ///
+    /// Bit-for-bit identical to `op.matmul_q(xs_raw, batch)` for any worker
+    /// count — integer row-granular sharding re-orders nothing, and the
+    /// [`QKernelStats`] counters are pure sums, gathered deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if
+    /// `xs_raw.len() != batch * op.in_dim()`.
+    pub fn matmul_q(
+        &self,
+        op: &Arc<QuantizedLinear>,
+        xs_raw: &[i16],
+        batch: usize,
+    ) -> Result<(Vec<i16>, QKernelStats), FormatError> {
+        let in_dim = op.in_dim();
+        let out_dim = op.out_dim();
+        check_dim("matmul_q", batch * in_dim, xs_raw.len())?;
+        if batch == 0 {
+            return Ok((Vec::new(), QKernelStats::default()));
+        }
+        let ranges = par_row_ranges(batch, self.workers());
+        if ranges.len() == 1 {
+            return op.matmul_q(xs_raw, batch);
+        }
+
+        let input: Arc<Vec<i16>> = Arc::new(xs_raw.to_vec());
+        let op = Arc::clone(op);
+        let shards = self.map_shards(
+            ranges.clone(),
+            Arc::new(
+                move |range: Range<usize>| -> Result<(Vec<i16>, QKernelStats), FormatError> {
+                    op.matmul_q(
+                        &input[range.start * in_dim..range.end * in_dim],
+                        range.len(),
+                    )
+                },
+            ),
+        );
+
+        let mut out = vec![0i16; batch * out_dim];
+        let mut stats = QKernelStats::default();
+        for (range, shard) in ranges.into_iter().zip(shards) {
+            let (shard_out, shard_stats) = shard?;
+            out[range.start * out_dim..range.end * out_dim].copy_from_slice(&shard_out);
+            stats.merge(&shard_stats);
+        }
+        Ok((out, stats))
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +290,42 @@ mod tests {
         let results = exec.map_shards(ranges.clone(), Arc::new(|r: Range<usize>| r.start));
         let expected: Vec<usize> = ranges.iter().map(|r| r.start).collect();
         assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn integer_matmul_is_bit_identical_for_any_worker_count() {
+        use permdnn_core::qlinear::{QScheme, QuantizedLinear};
+        let op = pd_op(24, 36, 4, 7);
+        let q = Arc::new(QuantizedLinear::from_op(
+            Arc::clone(&op),
+            QScheme::calibrate(1.0, op.max_weight_abs(), 8.0),
+        ));
+        let xs_mat = xavier_uniform(&mut seeded_rng(8), 11, 36);
+        let mut xs_raw = Vec::new();
+        for i in 0..11 {
+            xs_raw.extend(q.quantize_input(xs_mat.row(i)));
+        }
+        let sequential = q.matmul_q(&xs_raw, 11).unwrap();
+        for workers in [1, 2, 3, 7, 16] {
+            let exec = ParallelExecutor::new(workers);
+            let parallel = exec.matmul_q(&q, &xs_raw, 11).unwrap();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn integer_matmul_validates_input_length() {
+        use permdnn_core::qlinear::{QScheme, QuantizedLinear};
+        let op = pd_op(8, 8, 4, 9);
+        let q = Arc::new(QuantizedLinear::from_op(Arc::clone(&op), QScheme::q3_12()));
+        let exec = ParallelExecutor::new(2);
+        assert!(matches!(
+            exec.matmul_q(&q, &[0i16; 15], 2),
+            Err(FormatError::DimensionMismatch { .. })
+        ));
+        let (out, stats) = exec.matmul_q(&q, &[], 0).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats, permdnn_core::qlinear::QKernelStats::default());
     }
 
     #[test]

@@ -232,6 +232,19 @@ impl Default for ServiceModel {
 }
 
 impl ServiceModel {
+    /// The cost model for models on the 16-bit fixed-point backend
+    /// (`permdnn_core::qlinear`): a 16-bit integer MAC datapath retires ~4×
+    /// the multiplies per cycle of an f32 one at matched area/power (narrower
+    /// multipliers, halved operand bandwidth — the reason the paper's
+    /// hardware is fixed-point in the first place), so a worker tick retires
+    /// 4× the default's multiplications.
+    pub fn fixed_point() -> Self {
+        ServiceModel {
+            muls_per_worker_tick: 4096,
+            batch_overhead_ticks: 2,
+        }
+    }
+
     /// Ticks to execute a batch costing `total_muls` on `workers` workers.
     pub fn batch_ticks(&self, total_muls: u64, workers: usize) -> u64 {
         let throughput = self.muls_per_worker_tick.max(1) * workers.max(1) as u64;

@@ -38,6 +38,7 @@ pub mod host;
 pub mod metrics;
 pub mod power;
 pub mod project;
+pub mod quant;
 pub mod schedule;
 pub mod sram;
 pub mod workload;
@@ -45,4 +46,5 @@ pub mod workload;
 pub use config::{EngineConfig, PeConfig};
 pub use engine::{simulate_layer, EngineResult};
 pub use host::{simulate_multi_host, MultiHostResult};
+pub use quant::{simulate_quantized, FixedPointDatapath, QuantSimResult};
 pub use workload::{FcWorkload, TABLE7_WORKLOADS};

@@ -92,6 +92,53 @@ pub fn quantize_dequantize_f32<const FRAC: u32>(values: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// Chooses the largest fractional width (up to 14 bits) whose integer range still covers
+/// `max_abs`, so precision is maximised without saturation.
+///
+/// This is how fixed-point DNN deployments typically pick their Q-format per layer; it is
+/// the one Q-format-selection rule shared by the measurement helpers in
+/// `permdnn_quant::fixed_point` and the integer inference backend in
+/// `permdnn_core::qlinear`.
+pub fn choose_frac_bits(max_abs: f32) -> u32 {
+    for frac in (1..=14u32).rev() {
+        let max_representable = (i16::MAX as f32) / (1u32 << frac) as f32;
+        if max_abs <= max_representable {
+            return frac;
+        }
+    }
+    1
+}
+
+/// Quantizes an `f32` to a raw 16-bit value with a *runtime* fractional width
+/// (round to nearest, saturating) — identical arithmetic to
+/// [`Q16::from_f32`], without needing `frac` at compile time.
+pub fn quantize_to_raw(v: f32, frac: u32) -> i16 {
+    let scaled = (v * (1u32 << frac) as f32).round();
+    scaled.clamp(i16::MIN as f32, i16::MAX as f32) as i16
+}
+
+/// Dequantizes a raw 16-bit value with a runtime fractional width — identical
+/// arithmetic to [`Q16::to_f32`].
+pub fn dequantize_raw(raw: i16, frac: u32) -> f32 {
+    raw as f32 / (1u32 << frac) as f32
+}
+
+/// Round-trips one value through the 16-bit fixed-point grid with `frac`
+/// fractional bits.
+pub fn roundtrip_f32(v: f32, frac: u32) -> f32 {
+    dequantize_raw(quantize_to_raw(v, frac), frac)
+}
+
+/// Quantizes a slice to raw 16-bit values at the given fractional width.
+pub fn quantize_slice_to_raw(values: &[f32], frac: u32) -> Vec<i16> {
+    values.iter().map(|&v| quantize_to_raw(v, frac)).collect()
+}
+
+/// Dequantizes a slice of raw 16-bit values at the given fractional width.
+pub fn dequantize_slice_raw(raw: &[i16], frac: u32) -> Vec<f32> {
+    raw.iter().map(|&r| dequantize_raw(r, frac)).collect()
+}
+
 /// A 24-bit saturating accumulator, matching the PE accumulator width in Table VIII.
 ///
 /// Products of two 16-bit fixed-point values are accumulated at full precision in a wider
@@ -117,7 +164,16 @@ impl Accumulator24 {
 
     /// Accumulates a raw product, saturating at the 24-bit signed range.
     pub fn accumulate(&mut self, product: i32) {
-        self.value = (self.value.saturating_add(product)).clamp(Self::MIN, Self::MAX);
+        let _ = self.accumulate_checked(product);
+    }
+
+    /// Accumulates a raw product and reports whether the 24-bit clamp fired —
+    /// the per-event saturation signal the quantized kernels count so the
+    /// simulator can report how often the PE accumulator overflows.
+    pub fn accumulate_checked(&mut self, product: i32) -> bool {
+        let unclamped = self.value.saturating_add(product);
+        self.value = unclamped.clamp(Self::MIN, Self::MAX);
+        self.value != unclamped
     }
 
     /// Returns `true` if the accumulator is pinned at either saturation bound.
@@ -196,6 +252,107 @@ mod tests {
         for (o, v) in out.iter().zip(vals.iter()) {
             assert!((o - v).abs() <= Q::EPSILON);
         }
+    }
+
+    #[test]
+    fn q16_min_max_saturation_on_add() {
+        // MAX + anything positive pins at MAX; MIN + anything negative at MIN.
+        let max = Q::from_raw(i16::MAX);
+        let min = Q::from_raw(i16::MIN);
+        let one = Q::from_f32(1.0);
+        assert_eq!(max.add(one).raw(), i16::MAX);
+        assert_eq!(min.sub(one).raw(), i16::MIN);
+        assert_eq!(min.add(min).raw(), i16::MIN);
+        // Crossing back off the rail works: MAX - 1 is representable.
+        assert_eq!(max.sub(one), Q::from_f32(Q::MAX - 1.0));
+    }
+
+    #[test]
+    fn q16_min_max_saturation_on_mul() {
+        // MIN · MIN is the largest positive product the datapath can see; it
+        // must clamp to MAX, not wrap to a negative value.
+        let min = Q::from_raw(i16::MIN);
+        assert_eq!(min.mul(min).raw(), i16::MAX);
+        let max = Q::from_raw(i16::MAX);
+        assert_eq!(max.mul(min).raw(), i16::MIN);
+        assert_eq!(max.mul(max).raw(), i16::MAX);
+    }
+
+    #[test]
+    fn q16_frac1_extreme_coarse_grid() {
+        // Q14.1: huge range (±16383.5), 0.5 resolution.
+        type Q1 = Q16<1>;
+        assert!((Q1::EPSILON - 0.5).abs() < 1e-9);
+        assert_eq!(Q1::from_f32(100.25).to_f32(), 100.5); // ties round away from zero on the 0.5 grid
+        assert_eq!(Q1::from_f32(16383.5).raw(), i16::MAX);
+        assert_eq!(Q1::from_f32(1e9).raw(), i16::MAX);
+        assert_eq!(Q1::from_f32(-1e9).raw(), i16::MIN);
+        // Multiplication still rounds on the coarse grid: 0.5 · 0.5 = 0.25 -> 0.5.
+        let half = Q1::from_f32(0.5);
+        assert_eq!(half.mul(half).to_f32(), 0.5);
+    }
+
+    #[test]
+    fn q16_frac14_extreme_fine_grid() {
+        // Q1.14: range only ±2, 2^-14 resolution.
+        type Q14 = Q16<14>;
+        assert!((Q14::MAX - 1.999_94).abs() < 1e-4);
+        assert_eq!(Q14::from_f32(2.0).raw(), i16::MAX);
+        assert_eq!(Q14::from_f32(-2.1).raw(), i16::MIN);
+        let v = Q14::from_f32(0.123_456);
+        assert!((v.to_f32() - 0.123_456).abs() <= Q14::EPSILON / 2.0 + 1e-9);
+        // 1.5 · 1.5 = 2.25 overflows the Q1.14 range and must saturate.
+        let x = Q14::from_f32(1.5);
+        assert_eq!(x.mul(x).raw(), i16::MAX);
+    }
+
+    #[test]
+    fn runtime_frac_helpers_match_const_generic_q16() {
+        for &v in &[0.0f32, 0.37, -1.25, 3.999, -8.0, 100.0, -100.0] {
+            assert_eq!(quantize_to_raw(v, 12), Q16::<12>::from_f32(v).raw(), "{v}");
+            assert_eq!(roundtrip_f32(v, 12), Q16::<12>::from_f32(v).to_f32(), "{v}");
+            assert_eq!(quantize_to_raw(v, 1), Q16::<1>::from_f32(v).raw(), "{v}");
+            assert_eq!(quantize_to_raw(v, 14), Q16::<14>::from_f32(v).raw(), "{v}");
+        }
+        let raws = quantize_slice_to_raw(&[0.5, -0.25], 10);
+        assert_eq!(raws, vec![512, -256]);
+        assert_eq!(dequantize_slice_raw(&raws, 10), vec![0.5, -0.25]);
+    }
+
+    #[test]
+    fn choose_frac_bits_covers_dynamic_range() {
+        assert_eq!(choose_frac_bits(0.5), 14);
+        assert_eq!(choose_frac_bits(1.9), 14);
+        assert!(choose_frac_bits(3.0) <= 13);
+        assert!(choose_frac_bits(100.0) <= 8);
+        for &m in &[0.1f32, 1.0, 7.3, 99.0, 2000.0] {
+            let frac = choose_frac_bits(m);
+            assert!((1..=14).contains(&frac));
+            let max_representable = (i16::MAX as f32) / (1u32 << frac) as f32;
+            assert!(max_representable >= m, "max_abs {m} frac {frac}");
+        }
+        // Beyond even Q14.1's range the rule degrades to the coarsest format.
+        assert_eq!(choose_frac_bits(40000.0), 1);
+    }
+
+    #[test]
+    fn accumulator_checked_reports_each_clamp_event() {
+        let mut acc = Accumulator24::new();
+        assert!(!acc.accumulate_checked(1 << 22));
+        // 2^22 + 2^22 = 2^23 > MAX = 2^23 - 1, so the second call clamps.
+        assert!(acc.accumulate_checked(1 << 22));
+        assert_eq!(acc.value(), (1 << 23) - 1);
+        assert!(acc.saturated());
+        assert!(acc.accumulate_checked(1), "pinned at MAX keeps clamping");
+        assert!(
+            !acc.accumulate_checked(-5),
+            "stepping off the rail is clean"
+        );
+        acc.reset();
+        assert!(!acc.accumulate_checked(-(1 << 23)), "MIN is representable");
+        assert!(acc.saturated());
+        assert!(acc.accumulate_checked(-1), "below MIN clamps");
+        assert_eq!(acc.value(), -(1 << 23));
     }
 
     #[test]

@@ -146,6 +146,88 @@ fn served_mlp_outputs_match_sequential_logits_for_every_format() {
 }
 
 #[test]
+fn quantized_serving_is_bit_exact_across_worker_counts() {
+    // The fixed-point backend through the full serving stack: a frozen MLP
+    // quantized to 16 bits must produce bit-identical outputs for any worker
+    // count, exactly like the f32 path — integer kernels shard by batch rows
+    // and re-order nothing.
+    for format in [
+        WeightFormat::Dense,
+        WeightFormat::PermutedDiagonal { p: 4 },
+        WeightFormat::Circulant { k: 4 }, // dequantize-fallback path
+        WeightFormat::UnstructuredSparse { p: 4 },
+    ] {
+        let model = MlpClassifier::new_frozen(16, &[24], 4, format, &mut seeded_rng(31));
+        let stream = seeded_request_stream(37, 24, 16, 2.0);
+        let calibration: Vec<Vec<f32>> = stream.iter().map(|r| r.input.clone()).collect();
+        let (q_model, _) = model.quantize(&calibration);
+        let cfg = ServeConfig {
+            batching: BatchConfig::new(4, 6),
+            service: ServiceModel::fixed_point(),
+        };
+        let baseline = serve(&q_model, &ParallelExecutor::new(1), &cfg, stream.clone()).unwrap();
+        for workers in [2usize, 3, 7] {
+            let exec = ParallelExecutor::new(workers);
+            let report = serve(&q_model, &exec, &cfg, stream.clone()).unwrap();
+            assert_eq!(
+                report.batch_sizes,
+                baseline.batch_sizes,
+                "{}: {workers} workers changed the batching decisions",
+                format.label()
+            );
+            for (got, want) in report.completed.iter().zip(baseline.completed.iter()) {
+                assert_eq!(got.id, want.id);
+                assert_eq!(
+                    got.output,
+                    want.output,
+                    "{}: quantized request {} diverged at {workers} workers",
+                    format.label(),
+                    got.id
+                );
+            }
+        }
+        // And the served outputs are the quantized model's own logits.
+        for done in &baseline.completed {
+            assert_eq!(
+                done.output,
+                q_model.logits(&stream[done.id as usize].input),
+                "{}: request {}",
+                format.label(),
+                done.id
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_integer_matmul_is_bit_identical_for_every_format_and_worker_count() {
+    use permdnn::core::qlinear::{QScheme, QuantizedLinear};
+    let xs_mat = xavier_uniform(&mut seeded_rng(53), 9, 32);
+    for format in registry_formats() {
+        let op: Arc<dyn CompressedLinear> = Arc::from(format.build(20, 32, &mut seeded_rng(51)));
+        let q = Arc::new(QuantizedLinear::from_op(
+            Arc::clone(&op),
+            QScheme::calibrate(1.0, op.max_weight_abs(), 16.0),
+        ));
+        let mut xs_raw = Vec::new();
+        for i in 0..9 {
+            xs_raw.extend(q.quantize_input(xs_mat.row(i)));
+        }
+        let sequential = q.matmul_q(&xs_raw, 9).unwrap();
+        for workers in [1usize, 2, 3, 7] {
+            let exec = ParallelExecutor::new(workers);
+            let parallel = exec.matmul_q(&q, &xs_raw, 9).unwrap();
+            assert_eq!(
+                parallel,
+                sequential,
+                "{} with {workers} workers",
+                format.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn modeled_throughput_scales_with_workers_for_a_saturated_stream() {
     let model = MlpClassifier::new_frozen(
         64,
