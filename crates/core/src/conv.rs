@@ -198,6 +198,17 @@ impl BlockPermDiagTensor4 {
         (l * self.p + o % self.p) * self.kh * self.kw
     }
 
+    /// Flat offset into [`kernels`](Self::kernels) of the stored kernel for filter
+    /// `(o, i)`, or `None` if that filter is structurally zero. Used by the im2col
+    /// lowering to address stored kernels without re-deriving the block layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o >= c_out` or `i >= c_in`.
+    pub fn kernel_offset(&self, o: usize, i: usize) -> Option<usize> {
+        self.is_structural(o, i).then(|| self.kernel_base(o, i))
+    }
+
     /// The stored kernel for filter `(o, i)`, or `None` if that filter is structurally
     /// zero.
     ///

@@ -21,6 +21,10 @@
 //! * [`conv`] — the extension to convolutional layers (Section III-C, Eqns. 4–6):
 //!   permuted-diagonal structure on the (output-channel, input-channel) dimensions of a
 //!   4-D weight tensor.
+//! * [`lowering`] — im2col lowering of convolution weights onto the [`CompressedLinear`]
+//!   surface: dense tensors flatten to a `Matrix`, permuted-diagonal tensors become
+//!   [`PdConvMatrix`] (a zero-skipping macro-row kernel, no densification), so conv
+//!   layers serve through the same batched matmul datapath as FC layers.
 //! * [`approx`] — the l2-optimal permuted-diagonal approximation of a pre-trained dense
 //!   matrix/tensor (Section III-F), used to convert dense models before fine-tuning.
 //! * [`storage`] — exact storage and compression-ratio accounting used to reproduce
@@ -56,6 +60,7 @@ pub mod cost;
 pub mod error;
 pub mod format;
 pub mod grad;
+pub mod lowering;
 pub mod matvec;
 pub mod pd_block;
 pub mod pd_matrix;
@@ -66,6 +71,7 @@ pub mod storage;
 pub use conv::BlockPermDiagTensor4;
 pub use error::PdError;
 pub use format::{BatchView, CompressedLinear, FormatError};
+pub use lowering::{lower_dense_conv, ConvGeometry, PdConvMatrix};
 pub use pd_block::PermutedDiagonalBlock;
 pub use pd_matrix::{BlockPermDiagMatrix, PermutationIndexing};
 pub use qlinear::{QKernelStats, QScheme, QuantKernel, QuantizedLinear};

@@ -1,0 +1,435 @@
+//! im2col lowering: convolution weights as [`CompressedLinear`] operators
+//! over patch matrices.
+//!
+//! The paper's CONV experiments (Tables IV–V, Section III-C) impose the
+//! permuted-diagonal structure on the channel dimensions of the 4-D weight
+//! tensor; the engine, however, has exactly one datapath — the column-wise FC
+//! matmul. This module closes that gap the same way the hardware does: a
+//! convolution over a `[1, c_in, h, w]` image is lowered to a batched product
+//! of *patch vectors* (rows of [`pd_tensor::Tensor4::im2col_patches`], one per
+//! output position, flattened in `(c, ky, kx)` order) with the flattened
+//! `c_out × (c_in·kh·kw)` weight matrix:
+//!
+//! * dense weight tensors flatten to an ordinary [`Matrix`]
+//!   ([`lower_dense_conv`]), which already implements [`CompressedLinear`];
+//! * permuted-diagonal weight tensors get [`PdConvMatrix`] — a zero-skipping
+//!   macro-row kernel over the stored kernels that implements
+//!   [`CompressedLinear`] *directly*, never densifying: each macro row (output
+//!   channel) visits only its structurally connected input channels, `p ×`
+//!   fewer than dense, and zero patch entries are skipped exactly as the PE
+//!   zero-detector drops zero activations.
+//!
+//! With the weight lowered, one conv layer forward is
+//! `op.matmul(im2col_patches(input))` — the identical surface the runtime's
+//! `ParallelExecutor` shards by rows (here: output positions), the quantizer
+//! wraps in `QuantizedLinear` ([`PdConvMatrix`] advertises the column-sparse
+//! integer kernel), and the `sim` crate charges the engine cycle model for.
+//!
+//! [`ConvGeometry`] carries the `(kernel, stride, padding)` bookkeeping and the
+//! im2col cost model: lowering materialises `out_h·out_w·c_in·kh·kw` patch
+//! values per image — a `kh·kw ×` read amplification of the input — which is
+//! the price paid for reusing the one audited matmul datapath.
+//!
+//! # Example
+//!
+//! ```
+//! use permdnn_core::lowering::{ConvGeometry, PdConvMatrix};
+//! use permdnn_core::format::{BatchView, CompressedLinear};
+//! use permdnn_core::{BlockPermDiagTensor4, PermutationIndexing};
+//! use pd_tensor::{Tensor4, init::seeded_rng};
+//!
+//! let f = BlockPermDiagTensor4::random(8, 4, 3, 3, 2, PermutationIndexing::Natural,
+//!                                      &mut seeded_rng(0));
+//! let geom = ConvGeometry::new(3, 3, 1, 1);
+//! let op = PdConvMatrix::new(f.clone());
+//! let img = Tensor4::from_fn([1, 4, 6, 6], |(_, c, y, x)| (c + y + x) as f32 * 0.1);
+//! let patches = geom.patches(&img);
+//! let out = op.matmul(&BatchView::from_matrix(&patches)).unwrap(); // positions × c_out
+//! assert_eq!(out.shape(), (36, 8));
+//! assert_eq!(op.stored_weights(), f.stored_weights());
+//! ```
+
+use pd_tensor::tensor4::conv_out_dim;
+use pd_tensor::{Matrix, Tensor4};
+
+use crate::conv::BlockPermDiagTensor4;
+use crate::format::{check_dim, CompressedLinear, FormatError};
+
+/// Kernel size, stride and padding of one convolution layer, with the im2col
+/// lowering helpers and cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (both dimensions).
+    pub stride: usize,
+    /// Zero padding (both dimensions).
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or the kernel is empty.
+    pub fn new(kh: usize, kw: usize, stride: usize, padding: usize) -> Self {
+        assert!(kh > 0 && kw > 0, "kernel must be non-empty");
+        assert!(stride > 0, "stride must be non-zero");
+        ConvGeometry {
+            kh,
+            kw,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial dimensions for an `h × w` input.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_dim(h, self.kh, self.stride, self.padding),
+            conv_out_dim(w, self.kw, self.stride, self.padding),
+        )
+    }
+
+    /// Number of output positions (= patch rows) for an `h × w` input.
+    pub fn positions(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.out_dims(h, w);
+        oh * ow
+    }
+
+    /// Length of one flattened patch vector for `c_in` input channels — the
+    /// lowered operator's input dimension.
+    pub fn patch_len(&self, c_in: usize) -> usize {
+        c_in * self.kh * self.kw
+    }
+
+    /// im2col cost model: number of patch values materialised when lowering
+    /// one `c_in × h × w` image — `positions · c_in·kh·kw`, a `kh·kw ×` read
+    /// amplification of the `c_in·h·w` input (at stride 1).
+    pub fn im2col_elements(&self, c_in: usize, h: usize, w: usize) -> usize {
+        self.positions(h, w) * self.patch_len(c_in)
+    }
+
+    /// Lowers a single image to its patch matrix: one row per output position,
+    /// each row a flattened receptive field (zero padding included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image batch dimension is not 1 or the kernel does not fit
+    /// the padded input.
+    pub fn patches(&self, image: &Tensor4) -> Matrix {
+        image.im2col_patches(self.kh, self.kw, self.stride, self.padding)
+    }
+
+    /// Reassembles the batched product output (`positions × c_out`, one row
+    /// per patch) into the `[1, c_out, out_h, out_w]` activation tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `product.rows()` does not
+    /// equal the number of output positions for an `h × w` input.
+    pub fn assemble(&self, product: &Matrix, h: usize, w: usize) -> Result<Tensor4, FormatError> {
+        let (oh, ow) = self.out_dims(h, w);
+        check_dim("ConvGeometry::assemble", oh * ow, product.rows())?;
+        let c_out = product.cols();
+        let mut out = Tensor4::zeros([1, c_out, oh, ow]);
+        for pos in 0..oh * ow {
+            let row = product.row(pos);
+            for (o, &v) in row.iter().enumerate() {
+                out[[0, o, pos / ow, pos % ow]] = v;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Flattens a dense `[c_out, c_in, kh, kw]` convolution weight tensor into the
+/// `c_out × (c_in·kh·kw)` matrix acting on patch vectors — a dense
+/// [`CompressedLinear`] operator, ready for the same serving stack as any FC
+/// layer.
+pub fn lower_dense_conv(weights: &Tensor4) -> Matrix {
+    weights.to_matrix_2d()
+}
+
+/// A permuted-diagonal convolution weight tensor as a [`CompressedLinear`]
+/// operator over patch vectors — the zero-skipping macro-row kernel.
+///
+/// Logically this is the `c_out × (c_in·kh·kw)` flattening of the PD weight
+/// tensor, but nothing is densified: per macro row (output channel) only the
+/// structurally connected input channels' stored kernels are stored and
+/// visited, so a mat-vec costs exactly `stored_weights()` multiplies on a
+/// dense patch and proportionally less on a sparse one (zero patch entries
+/// are skipped, the engine's zero-detector behaviour).
+#[derive(Debug, Clone)]
+pub struct PdConvMatrix {
+    tensor: BlockPermDiagTensor4,
+    /// Per output channel: the `(patch column offset, stored-kernel base)` of
+    /// every structurally connected input channel, in ascending channel order
+    /// — the same traversal order as `BlockPermDiagTensor4::forward`, so
+    /// lowered and direct convolution accumulate identically.
+    macro_rows: Vec<Vec<(usize, usize)>>,
+}
+
+impl PdConvMatrix {
+    /// Wraps a permuted-diagonal weight tensor as a lowered operator.
+    pub fn new(tensor: BlockPermDiagTensor4) -> Self {
+        let window = tensor.kh() * tensor.kw();
+        let macro_rows = (0..tensor.c_out())
+            .map(|o| {
+                tensor
+                    .connected_inputs(o)
+                    .into_iter()
+                    .map(|i| {
+                        let base = tensor
+                            .kernel_offset(o, i)
+                            .expect("connected inputs are structural");
+                        (i * window, base)
+                    })
+                    .collect()
+            })
+            .collect();
+        PdConvMatrix { tensor, macro_rows }
+    }
+
+    /// The wrapped permuted-diagonal weight tensor.
+    pub fn tensor(&self) -> &BlockPermDiagTensor4 {
+        &self.tensor
+    }
+}
+
+impl CompressedLinear for PdConvMatrix {
+    fn out_dim(&self) -> usize {
+        self.tensor.c_out()
+    }
+
+    fn in_dim(&self) -> usize {
+        self.tensor.c_in() * self.tensor.kh() * self.tensor.kw()
+    }
+
+    fn label(&self) -> String {
+        format!("permuted-diagonal conv (p={})", self.tensor.p())
+    }
+
+    fn stored_weights(&self) -> usize {
+        self.tensor.stored_weights()
+    }
+
+    fn mul_count(&self) -> u64 {
+        // One multiply per stored weight on a dense patch: each macro row
+        // touches only its connected kernels.
+        self.macro_rows
+            .iter()
+            .map(|row| (row.len() * self.tensor.kh() * self.tensor.kw()) as u64)
+            .sum()
+    }
+
+    fn exploits_input_sparsity(&self) -> bool {
+        true
+    }
+
+    /// The macro-row kernel: `y[o] = Σ_{i connected to o} kernel(o,i) · patch[i]`,
+    /// skipping zero patch entries. Accumulation order (channels ascending,
+    /// kernel row-major, one partial sum per connected channel) matches
+    /// `BlockPermDiagTensor4::forward` exactly, so the lowered forward is
+    /// numerically identical to the direct training-path convolution.
+    fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        check_dim("matvec_into", self.in_dim(), x.len())?;
+        check_dim("matvec_into", self.out_dim(), y.len())?;
+        let window = self.tensor.kh() * self.tensor.kw();
+        let kernels = self.tensor.kernels();
+        for (o, row) in self.macro_rows.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for &(col, base) in row {
+                let patch = &x[col..col + window];
+                let kernel = &kernels[base..base + window];
+                let mut partial = 0.0f32;
+                for (&w, &xv) in kernel.iter().zip(patch.iter()) {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    partial += w * xv;
+                }
+                acc += partial;
+            }
+            y[o] = acc;
+        }
+        Ok(())
+    }
+
+    fn to_dense(&self) -> Matrix {
+        self.tensor.to_dense().to_matrix_2d()
+    }
+
+    fn max_weight_abs(&self) -> f32 {
+        self.tensor
+            .kernels()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// The lowered PD conv layer shares the column-compressed zero-skipping
+    /// integer kernel with the FC formats: column `j = (i, ky, kx)` holds one
+    /// weight per structurally connected output channel.
+    fn quantize_kernel(&self, weight_frac: u32) -> Option<crate::qlinear::QuantKernel> {
+        let window = self.tensor.kh() * self.tensor.kw();
+        let kernels = self.tensor.kernels();
+        let mut columns: Vec<Vec<(usize, f32)>> = vec![Vec::new(); self.in_dim()];
+        for (o, row) in self.macro_rows.iter().enumerate() {
+            for &(col, base) in row {
+                for t in 0..window {
+                    columns[col + t].push((o, kernels[base + t]));
+                }
+            }
+        }
+        Some(crate::qlinear::QuantKernel::column_sparse(
+            self.out_dim(),
+            self.in_dim(),
+            weight_frac,
+            &columns,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::dense_conv2d;
+    use crate::format::BatchView;
+    use crate::PermutationIndexing;
+    use pd_tensor::init::seeded_rng;
+    use rand::Rng;
+
+    fn random_image(c: usize, h: usize, w: usize, seed: u64) -> Tensor4 {
+        let mut rng = seeded_rng(seed);
+        Tensor4::from_fn([1, c, h, w], |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn pd_conv_matvec_matches_dense_expansion() {
+        let mut rng = seeded_rng(1);
+        let f = BlockPermDiagTensor4::random(8, 4, 3, 3, 2, PermutationIndexing::Natural, &mut rng);
+        let op = PdConvMatrix::new(f);
+        let x: Vec<f32> = (0..op.in_dim()).map(|i| (i as f32 * 0.31).sin()).collect();
+        let got = op.matvec(&x).unwrap();
+        let expected = op.to_dense().matvec(&x);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+        assert_eq!(op.mul_count(), op.stored_weights() as u64);
+        assert!(op.exploits_input_sparsity());
+        assert!(op.label().contains("conv (p=2)"));
+    }
+
+    #[test]
+    fn lowered_convolution_equals_direct_convolution() {
+        // PD: lowered patch-matmul ≡ the structure-aware direct forward.
+        let mut rng = seeded_rng(2);
+        let f = BlockPermDiagTensor4::random(8, 4, 3, 3, 2, PermutationIndexing::Natural, &mut rng);
+        let geom = ConvGeometry::new(3, 3, 1, 1);
+        let img = random_image(4, 6, 6, 3);
+        let direct = f.forward(&img, 1, 1).unwrap();
+        let op = PdConvMatrix::new(f);
+        let patches = geom.patches(&img);
+        let product = op.matmul(&BatchView::from_matrix(&patches)).unwrap();
+        let lowered = geom.assemble(&product, 6, 6).unwrap();
+        assert_eq!(lowered.shape(), direct.shape());
+        for (a, b) in lowered.as_slice().iter().zip(direct.as_slice().iter()) {
+            assert_eq!(a, b, "lowered PD conv must match the direct kernel");
+        }
+    }
+
+    #[test]
+    fn lowered_dense_convolution_matches_reference() {
+        let mut rng = seeded_rng(4);
+        let w = Tensor4::from_fn([5, 3, 3, 3], |_| rng.gen_range(-0.5..0.5));
+        let geom = ConvGeometry::new(3, 3, 1, 1);
+        let img = random_image(3, 5, 7, 5);
+        let reference = dense_conv2d(&w, &img, 1, 1);
+        let op = lower_dense_conv(&w);
+        let patches = geom.patches(&img);
+        let product = CompressedLinear::matmul(&op, &BatchView::from_matrix(&patches)).unwrap();
+        let lowered = geom.assemble(&product, 5, 7).unwrap();
+        for (a, b) in lowered.as_slice().iter().zip(reference.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ragged_channel_counts_lower_correctly() {
+        // c_out=6, c_in=10, p=4: padded blocks must not corrupt the lowering.
+        let mut rng = seeded_rng(6);
+        let f =
+            BlockPermDiagTensor4::random(6, 10, 3, 3, 4, PermutationIndexing::Natural, &mut rng);
+        let geom = ConvGeometry::new(3, 3, 1, 1);
+        let img = random_image(10, 5, 5, 7);
+        let direct = f.forward(&img, 1, 1).unwrap();
+        let op = PdConvMatrix::new(f);
+        let patches = geom.patches(&img);
+        let product = op.matmul(&BatchView::from_matrix(&patches)).unwrap();
+        let lowered = geom.assemble(&product, 5, 5).unwrap();
+        for (a, b) in lowered.as_slice().iter().zip(direct.as_slice().iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn quantize_kernel_matches_f32_within_rounding() {
+        use crate::qlinear::{QScheme, QuantizedLinear};
+        use std::sync::Arc;
+        let mut rng = seeded_rng(8);
+        let f = BlockPermDiagTensor4::random(8, 8, 3, 3, 4, PermutationIndexing::Natural, &mut rng);
+        let op: Arc<dyn CompressedLinear> = Arc::new(PdConvMatrix::new(f));
+        let q = QuantizedLinear::from_op(
+            Arc::clone(&op),
+            QScheme::calibrate(1.0, op.max_weight_abs(), 8.0),
+        );
+        assert!(
+            q.has_integer_kernel(),
+            "PD conv advertises the integer kernel"
+        );
+        let x: Vec<f32> = (0..op.in_dim())
+            .map(|i| (i as f32 * 0.17).cos() * 0.8)
+            .collect();
+        let yq = q.matvec(&x).unwrap();
+        let yf = op.matvec(&x).unwrap();
+        for (a, b) in yq.iter().zip(yf.iter()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn geometry_cost_model_and_errors() {
+        let geom = ConvGeometry::new(3, 3, 1, 1);
+        assert_eq!(geom.out_dims(12, 12), (12, 12));
+        assert_eq!(geom.positions(12, 12), 144);
+        assert_eq!(geom.patch_len(8), 72);
+        // kh·kw read amplification at stride 1: 9 patch values per input value.
+        assert_eq!(geom.im2col_elements(8, 12, 12), 144 * 72);
+        let wrong = Matrix::zeros(10, 4);
+        assert!(matches!(
+            geom.assemble(&wrong, 12, 12),
+            Err(FormatError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_typed() {
+        let f = BlockPermDiagTensor4::random(
+            4,
+            4,
+            3,
+            3,
+            2,
+            PermutationIndexing::Natural,
+            &mut seeded_rng(9),
+        );
+        let op = PdConvMatrix::new(f);
+        assert!(matches!(
+            op.matvec(&[0.0; 7]),
+            Err(FormatError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,5 +1,5 @@
 //! A LeNet-style convolutional classifier whose convolution layers can be dense or
-//! permuted-diagonal.
+//! permuted-diagonal, plus its frozen serving form on the `CompressedLinear` stack.
 //!
 //! This model is the stand-in for the paper's CONV-layer experiments (ResNet-20 and Wide
 //! ResNet-48 on CIFAR-10, Tables IV–V, and the LeNet-5 conversion of Section III-F): two
@@ -7,32 +7,35 @@
 //! classifier head. The convolution weight tensors use
 //! [`permdnn_core::BlockPermDiagTensor4`] when the permuted-diagonal format is selected,
 //! trained with the structure-preserving updates of Eqns. (5)–(6).
+//!
+//! Conv layers accept the same [`WeightFormat`] registry as FC and LSTM layers;
+//! formats without a faithful convolution training rule are rejected with a typed
+//! [`FormatError`] at construction. Deployment goes through
+//! [`ConvClassifier::freeze`]: every convolution is lowered onto the
+//! [`CompressedLinear`] surface via im2col
+//! ([`permdnn_core::lowering`]), so the frozen model serves — and quantizes —
+//! through exactly the runtime/quant/sim datapath as the FC models.
+
+use std::sync::Arc;
 
 use pd_tensor::tensor4::conv_out_dim;
 use pd_tensor::Tensor4;
 use permdnn_core::approx::{pd_approximate_tensor, ApproxStrategy};
 use permdnn_core::conv::dense_conv2d;
+use permdnn_core::format::{BatchView, CompressedLinear, FormatError};
+use permdnn_core::lowering::{lower_dense_conv, ConvGeometry, PdConvMatrix};
+use permdnn_core::qlinear::{QScheme, QuantizedLinear};
 use permdnn_core::{BlockPermDiagTensor4, PermutationIndexing};
+use permdnn_runtime::{BatchModel, ParallelExecutor};
 use rand::Rng;
 use rand_chacha::ChaCha20Rng;
 
 use crate::activations::{relu, relu_grad};
 use crate::data::GlyphImages;
-use crate::layers::{Dense, Layer};
+use crate::layers::{CompressedFc, Dense, Layer, WeightFormat};
 use crate::loss::softmax_cross_entropy;
 use crate::metrics::{argmax, Accuracy};
-
-/// Weight format of a convolution layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ConvFormat {
-    /// Dense convolution weights (baseline).
-    Dense,
-    /// Permuted-diagonal channel structure with block size `p`.
-    PermutedDiagonal {
-        /// Block size / compression ratio on the channel dimensions.
-        p: usize,
-    },
-}
+use crate::quantize::{max_abs, LayerQuantization, QuantizationReport};
 
 /// One convolution layer (stride 1, padding 1) in either weight format.
 enum ConvWeights {
@@ -56,6 +59,15 @@ impl ConvWeights {
             ConvWeights::Pd(w) => w.stored_weights(),
         }
     }
+
+    /// Lowers the weights onto the [`CompressedLinear`] surface (im2col
+    /// macro-row operator for PD, flattened matrix for dense).
+    fn lower(&self) -> Arc<dyn CompressedLinear> {
+        match self {
+            ConvWeights::Dense(w) => Arc::new(lower_dense_conv(w)),
+            ConvWeights::Pd(w) => Arc::new(PdConvMatrix::new(w.clone())),
+        }
+    }
 }
 
 /// A small CNN classifier: conv → ReLU → pool → conv → ReLU → pool → dense head.
@@ -66,7 +78,7 @@ pub struct ConvClassifier {
     channels: [usize; 3],
     image_size: usize,
     num_classes: usize,
-    format: ConvFormat,
+    format: WeightFormat,
     lr_scale_conv: f32,
 }
 
@@ -85,21 +97,30 @@ impl std::fmt::Debug for ConvClassifier {
 impl ConvClassifier {
     /// Builds the classifier for `image_size × image_size` inputs with `in_channels`
     /// channels. `channels` selects the two convolution widths.
+    ///
+    /// Accepts the shared [`WeightFormat`] registry; only [`WeightFormat::Dense`]
+    /// and [`WeightFormat::PermutedDiagonal`] have faithful convolution training
+    /// rules (Eqns. 5–6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Format`] for any other registry format — conv
+    /// layers never silently substitute a proxy.
     pub fn new(
         image_size: usize,
         in_channels: usize,
         channels: [usize; 2],
         num_classes: usize,
-        format: ConvFormat,
+        format: WeightFormat,
         rng: &mut ChaCha20Rng,
-    ) -> Self {
-        let conv1 = Self::make_conv(channels[0], in_channels, format, rng);
-        let conv2 = Self::make_conv(channels[1], channels[0], format, rng);
+    ) -> Result<Self, FormatError> {
+        let conv1 = Self::make_conv(channels[0], in_channels, format, rng)?;
+        let conv2 = Self::make_conv(channels[1], channels[0], format, rng)?;
         // Two 2x2 poolings shrink the spatial size by 4 (conv keeps it, padding 1, k=3).
         let pooled = image_size / 4;
         let head_inputs = channels[1] * pooled * pooled;
         let head = Dense::new(head_inputs, num_classes, rng);
-        ConvClassifier {
+        Ok(ConvClassifier {
             conv1,
             conv2,
             head,
@@ -108,32 +129,43 @@ impl ConvClassifier {
             num_classes,
             format,
             lr_scale_conv: 1.0,
-        }
+        })
     }
 
     fn make_conv(
         c_out: usize,
         c_in: usize,
-        format: ConvFormat,
+        format: WeightFormat,
         rng: &mut ChaCha20Rng,
-    ) -> ConvWeights {
+    ) -> Result<ConvWeights, FormatError> {
         match format {
-            ConvFormat::Dense => {
+            WeightFormat::Dense => {
                 let fan = (c_in * 9 + c_out * 9) as f32;
                 let a = (6.0 / fan).sqrt();
-                ConvWeights::Dense(Tensor4::from_fn([c_out, c_in, 3, 3], |_| {
-                    rng.gen_range(-a..=a)
-                }))
+                Ok(ConvWeights::Dense(Tensor4::from_fn(
+                    [c_out, c_in, 3, 3],
+                    |_| rng.gen_range(-a..=a),
+                )))
             }
-            ConvFormat::PermutedDiagonal { p } => ConvWeights::Pd(BlockPermDiagTensor4::random(
-                c_out,
-                c_in,
-                3,
-                3,
-                p,
-                PermutationIndexing::Natural,
-                rng,
-            )),
+            WeightFormat::PermutedDiagonal { p } => {
+                Ok(ConvWeights::Pd(BlockPermDiagTensor4::random(
+                    c_out,
+                    c_in,
+                    3,
+                    3,
+                    p,
+                    PermutationIndexing::Natural,
+                    rng,
+                )))
+            }
+            other => Err(FormatError::Format {
+                format: "conv",
+                reason: format!(
+                    "{} has no convolution training rule; train dense or \
+                     permuted-diagonal and freeze into a deployment format",
+                    other.label()
+                ),
+            }),
         }
     }
 
@@ -161,7 +193,7 @@ impl ConvClassifier {
             channels: self.channels,
             image_size: self.image_size,
             num_classes: self.num_classes,
-            format: ConvFormat::PermutedDiagonal { p },
+            format: WeightFormat::PermutedDiagonal { p },
             lr_scale_conv: self.lr_scale_conv,
         }
     }
@@ -172,8 +204,26 @@ impl ConvClassifier {
     }
 
     /// The convolution weight format.
-    pub fn format(&self) -> ConvFormat {
+    pub fn format(&self) -> WeightFormat {
         self.format
+    }
+
+    /// Freezes the trained model into its inference-only serving form: both
+    /// convolutions are lowered onto the [`CompressedLinear`] surface (im2col,
+    /// see [`permdnn_core::lowering`]) and the head becomes a frozen
+    /// [`CompressedFc`], so the whole network runs on the one audited matmul
+    /// datapath — batched, parallel and quantizable.
+    pub fn freeze(&self) -> FrozenConvNet {
+        FrozenConvNet {
+            convs: [self.conv1.lower(), self.conv2.lower()],
+            geometry: ConvGeometry::new(3, 3, 1, 1),
+            head: CompressedFc::new(Box::new(self.head.weights().clone()))
+                .with_bias(self.head.bias()),
+            channels: self.channels,
+            image_size: self.image_size,
+            num_classes: self.num_classes,
+            format: self.format,
+        }
     }
 
     /// Class logits for one image.
@@ -296,6 +346,267 @@ impl ConvClassifier {
             acc.record(self.predict(img) == label);
         }
         acc.value()
+    }
+}
+
+/// The inference-only serving form of a [`ConvClassifier`]: every layer is a
+/// frozen [`CompressedLinear`] operator.
+///
+/// Each convolution runs as a batched product of im2col patch rows (one per
+/// output position) with the lowered weight operator — the identical
+/// `CompressedLinear::matmul` surface FC layers use, so the `ParallelExecutor`
+/// shards conv work by output positions with the same bit-for-bit worker-count
+/// invariance, and [`FrozenConvNet::quantize`] drops the convolutions onto the
+/// 16-bit integer kernels.
+pub struct FrozenConvNet {
+    /// The two lowered convolution operators, in forward order.
+    convs: [Arc<dyn CompressedLinear>; 2],
+    geometry: ConvGeometry,
+    head: CompressedFc,
+    channels: [usize; 3],
+    image_size: usize,
+    num_classes: usize,
+    format: WeightFormat,
+}
+
+impl std::fmt::Debug for FrozenConvNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenConvNet")
+            .field("channels", &self.channels)
+            .field("image_size", &self.image_size)
+            .field("num_classes", &self.num_classes)
+            .field(
+                "conv_labels",
+                &[self.convs[0].label(), self.convs[1].label()],
+            )
+            .finish()
+    }
+}
+
+impl FrozenConvNet {
+    /// The lowered convolution operators, in forward order.
+    pub fn conv_ops(&self) -> [&dyn CompressedLinear; 2] {
+        [self.convs[0].as_ref(), self.convs[1].as_ref()]
+    }
+
+    /// The weight format the model was trained with.
+    pub fn format(&self) -> WeightFormat {
+        self.format
+    }
+
+    /// Number of stored convolution weights.
+    pub fn conv_params(&self) -> usize {
+        self.convs.iter().map(|c| c.stored_weights()).sum()
+    }
+
+    /// Flattened input length ([`BatchModel`] view of an image).
+    pub fn input_len(&self) -> usize {
+        self.channels[0] * self.image_size * self.image_size
+    }
+
+    /// Spatial side length of the input to conv layer `index` (pooling halves
+    /// it per stage).
+    fn stage_size(&self, index: usize) -> usize {
+        self.image_size >> index
+    }
+
+    /// One lowered convolution: im2col patches → (optionally sharded) batched
+    /// product → activation tensor. Sharding by patch rows re-orders no
+    /// floating-point operation, so outputs are bit-for-bit identical for any
+    /// worker count.
+    fn conv_forward(
+        &self,
+        index: usize,
+        input: &Tensor4,
+        exec: Option<&ParallelExecutor>,
+    ) -> Result<Tensor4, FormatError> {
+        let [_, _, h, w] = input.shape();
+        let patches = self.geometry.patches(input);
+        let view = BatchView::from_matrix(&patches);
+        let product = match exec {
+            Some(exec) => exec.matmul(&self.convs[index], &view)?,
+            None => self.convs[index].matmul(&view)?,
+        };
+        self.geometry.assemble(&product, h, w)
+    }
+
+    fn forward_to_flat(
+        &self,
+        image: &Tensor4,
+        exec: Option<&ParallelExecutor>,
+    ) -> Result<Vec<f32>, FormatError> {
+        let z1 = self.conv_forward(0, image, exec)?;
+        let p1 = avg_pool2(&map_tensor(&z1, relu));
+        let z2 = self.conv_forward(1, &p1, exec)?;
+        let p2 = avg_pool2(&map_tensor(&z2, relu));
+        Ok(p2.as_slice().to_vec())
+    }
+
+    /// Class logits for one image through the sequential lowered path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if the image shape does not
+    /// match the model configuration.
+    pub fn logits(&self, image: &Tensor4) -> Result<Vec<f32>, FormatError> {
+        let flat = self.forward_to_flat(image, None)?;
+        Ok(self.head.forward(&flat))
+    }
+
+    /// Class logits with the conv patch batches sharded across the executor's
+    /// worker pool — bit-for-bit identical to [`FrozenConvNet::logits`] for
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if the image shape does not
+    /// match the model configuration.
+    pub fn logits_parallel(
+        &self,
+        image: &Tensor4,
+        exec: &ParallelExecutor,
+    ) -> Result<Vec<f32>, FormatError> {
+        let flat = self.forward_to_flat(image, Some(exec))?;
+        Ok(self.head.forward(&flat))
+    }
+
+    /// Predicted class for one image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image shape does not match the model configuration.
+    pub fn predict(&self, image: &Tensor4) -> usize {
+        argmax(&self.logits(image).expect("image shape matches the model"))
+    }
+
+    /// Top-1 accuracy on a glyph dataset.
+    pub fn evaluate(&self, data: &GlyphImages) -> f64 {
+        let mut acc = Accuracy::new();
+        for (img, &label) in data.images.iter().zip(data.labels.iter()) {
+            acc.record(self.predict(img) == label);
+        }
+        acc.value()
+    }
+
+    /// Real multiplications one image costs: each conv charges its operator's
+    /// per-patch `mul_count` once per output position, plus the head.
+    pub fn mul_count_per_example(&self) -> u64 {
+        let mut total = 0u64;
+        for (i, conv) in self.convs.iter().enumerate() {
+            let side = self.stage_size(i);
+            total += conv.mul_count() * self.geometry.positions(side, side) as u64;
+        }
+        total + self.head.mul_count()
+    }
+
+    /// Quantizes the frozen model to the 16-bit fixed-point backend with
+    /// per-layer Q-formats calibrated on `calibration` images (the PR 3
+    /// machinery: activation ranges observed per layer boundary, weights
+    /// wrapped in [`QuantizedLinear`]; the lowered PD conv operator executes
+    /// on the column-sparse integer kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is empty or an image shape does not match the
+    /// model configuration.
+    pub fn quantize(&self, calibration: &[Tensor4]) -> (FrozenConvNet, QuantizationReport) {
+        assert!(
+            !calibration.is_empty(),
+            "calibration needs at least one image to observe activation ranges"
+        );
+        // Pass 1: observe the dynamic range entering and leaving each layer.
+        let mut input_max = [0.0f32; 3];
+        let mut output_max = [0.0f32; 3];
+        for image in calibration {
+            let mut current = image.clone();
+            for i in 0..2 {
+                // One im2col per layer: the patch matrix both feeds the range
+                // observation and runs the layer forward.
+                let [_, _, h, w] = current.shape();
+                let patches = self.geometry.patches(&current);
+                input_max[i] = input_max[i].max(max_abs(patches.as_slice()));
+                let product = self.convs[i]
+                    .matmul(&BatchView::from_matrix(&patches))
+                    .expect("calibration image shape matches the model");
+                let z = self
+                    .geometry
+                    .assemble(&product, h, w)
+                    .expect("product rows equal the output positions");
+                output_max[i] = output_max[i].max(max_abs(z.as_slice()));
+                current = avg_pool2(&map_tensor(&z, relu));
+            }
+            let flat = current.as_slice().to_vec();
+            input_max[2] = input_max[2].max(max_abs(&flat));
+            let logits = self.head.forward(&flat);
+            output_max[2] = output_max[2].max(max_abs(&logits));
+        }
+
+        // Pass 2: rebuild every operator in fixed point.
+        let mut report = QuantizationReport::default();
+        let quantize_op = |layer: usize,
+                           op: Arc<dyn CompressedLinear>,
+                           report: &mut QuantizationReport|
+         -> QuantizedLinear {
+            let scheme =
+                QScheme::calibrate(input_max[layer], op.max_weight_abs(), output_max[layer]);
+            let q = QuantizedLinear::from_op(op, scheme);
+            report.layers.push(LayerQuantization {
+                layer,
+                label: q.label(),
+                scheme,
+                integer_kernel: q.has_integer_kernel(),
+            });
+            q
+        };
+        let conv1 = quantize_op(0, Arc::clone(&self.convs[0]), &mut report);
+        let conv2 = quantize_op(1, Arc::clone(&self.convs[1]), &mut report);
+        let head_q =
+            quantize_op(2, self.head.shared_weights(), &mut report).with_bias(self.head.bias());
+
+        let model = FrozenConvNet {
+            convs: [Arc::new(conv1), Arc::new(conv2)],
+            geometry: self.geometry,
+            head: CompressedFc::new(Box::new(head_q)),
+            channels: self.channels,
+            image_size: self.image_size,
+            num_classes: self.num_classes,
+            format: self.format,
+        };
+        (model, report)
+    }
+}
+
+/// A frozen conv net is servable by the batching runtime: requests carry
+/// flattened `[c_in, h, w]` images (row-major, the `Tensor4` layout), and each
+/// image's conv patch batches run on the executor's worker pool.
+impl BatchModel for FrozenConvNet {
+    fn in_dim(&self) -> usize {
+        self.input_len()
+    }
+
+    fn out_dim(&self) -> usize {
+        self.num_classes
+    }
+
+    fn mul_count_per_example(&self) -> u64 {
+        self.mul_count_per_example()
+    }
+
+    fn forward_batch(
+        &self,
+        xs: &BatchView<'_>,
+        exec: &ParallelExecutor,
+    ) -> Result<pd_tensor::Matrix, FormatError> {
+        permdnn_core::format::check_dim("conv forward_batch", self.input_len(), xs.dim())?;
+        let mut out = pd_tensor::Matrix::zeros(xs.batch(), self.num_classes);
+        let shape = [1, self.channels[0], self.image_size, self.image_size];
+        for i in 0..xs.batch() {
+            let image = Tensor4::from_vec(shape, xs.row(i).to_vec())
+                .expect("length checked against the model input");
+            out.row_mut(i)
+                .copy_from_slice(&self.logits_parallel(&image, exec)?);
+        }
+        Ok(out)
     }
 }
 
@@ -438,7 +749,8 @@ mod tests {
     #[test]
     fn untrained_model_is_near_chance() {
         let (_, test) = small_glyphs(1, 80);
-        let model = ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(2));
+        let model =
+            ConvClassifier::new(12, 1, [4, 8], 4, WeightFormat::Dense, &mut seeded_rng(2)).unwrap();
         let acc = model.evaluate(&test);
         assert!(
             acc < 0.7,
@@ -450,7 +762,7 @@ mod tests {
     fn dense_cnn_learns_glyphs() {
         let (train, test) = small_glyphs(3, 160);
         let mut model =
-            ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(4));
+            ConvClassifier::new(12, 1, [4, 8], 4, WeightFormat::Dense, &mut seeded_rng(4)).unwrap();
         model.fit(&train, 6, 0.05);
         let acc = model.evaluate(&test);
         assert!(
@@ -463,15 +775,16 @@ mod tests {
     fn pd_cnn_learns_glyphs_with_fewer_weights() {
         let (train, test) = small_glyphs(5, 160);
         let mut dense =
-            ConvClassifier::new(12, 1, [4, 8], 4, ConvFormat::Dense, &mut seeded_rng(6));
+            ConvClassifier::new(12, 1, [4, 8], 4, WeightFormat::Dense, &mut seeded_rng(6)).unwrap();
         let mut pd = ConvClassifier::new(
             12,
             1,
             [4, 8],
             4,
-            ConvFormat::PermutedDiagonal { p: 2 },
+            WeightFormat::PermutedDiagonal { p: 2 },
             &mut seeded_rng(6),
-        );
+        )
+        .unwrap();
         assert!(pd.conv_params() < dense.conv_params());
         dense.fit(&train, 6, 0.05);
         pd.fit(&train, 6, 0.05);
@@ -488,7 +801,7 @@ mod tests {
     fn dense_to_pd_projection_then_finetune() {
         let (train, test) = small_glyphs(7, 120);
         let mut dense =
-            ConvClassifier::new(12, 1, [4, 4], 4, ConvFormat::Dense, &mut seeded_rng(8));
+            ConvClassifier::new(12, 1, [4, 4], 4, WeightFormat::Dense, &mut seeded_rng(8)).unwrap();
         dense.fit(&train, 5, 0.05);
         let dense_acc = dense.evaluate(&test);
         let mut pd = dense.to_permuted_diagonal(2);
@@ -498,7 +811,10 @@ mod tests {
             dense_acc - pd_acc < 0.3,
             "projected + fine-tuned PD CNN should retain most accuracy ({dense_acc} vs {pd_acc})"
         );
-        assert!(matches!(pd.format(), ConvFormat::PermutedDiagonal { p: 2 }));
+        assert!(matches!(
+            pd.format(),
+            WeightFormat::PermutedDiagonal { p: 2 }
+        ));
     }
 
     #[test]
@@ -509,9 +825,116 @@ mod tests {
             1,
             [4, 4],
             4,
-            ConvFormat::PermutedDiagonal { p: 2 },
+            WeightFormat::PermutedDiagonal { p: 2 },
             &mut seeded_rng(9),
-        );
+        )
+        .unwrap();
         let _ = model.to_permuted_diagonal(2);
+    }
+
+    #[test]
+    fn unsupported_conv_formats_are_typed_errors() {
+        for format in [
+            WeightFormat::Circulant { k: 4 },
+            WeightFormat::UnstructuredSparse { p: 4 },
+            WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+        ] {
+            let err = ConvClassifier::new(12, 1, [4, 4], 4, format, &mut seeded_rng(10))
+                .expect_err("format without a conv training rule must be rejected");
+            assert!(
+                matches!(err, FormatError::Format { format: "conv", .. }),
+                "{}: {err}",
+                format.label()
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_conv_net_matches_training_forward() {
+        let (train, test) = small_glyphs(11, 120);
+        for format in [WeightFormat::Dense, WeightFormat::PermutedDiagonal { p: 2 }] {
+            let mut model =
+                ConvClassifier::new(12, 1, [4, 8], 4, format, &mut seeded_rng(12)).unwrap();
+            model.fit(&train, 2, 0.05);
+            let frozen = model.freeze();
+            assert_eq!(frozen.conv_params(), model.conv_params());
+            for img in test.images.iter().take(12) {
+                let trained = model.logits(img);
+                let served = frozen.logits(img).unwrap();
+                for (a, b) in trained.iter().zip(served.iter()) {
+                    assert!((a - b).abs() < 1e-4, "{}: {a} vs {b}", format.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_conv_parallel_is_bit_identical_per_worker_count() {
+        let (_, test) = small_glyphs(13, 40);
+        let model = ConvClassifier::new(
+            12,
+            1,
+            [4, 8],
+            4,
+            WeightFormat::PermutedDiagonal { p: 2 },
+            &mut seeded_rng(14),
+        )
+        .unwrap();
+        let frozen = model.freeze();
+        let img = &test.images[0];
+        let sequential = frozen.logits(img).unwrap();
+        for workers in [1, 2, 3, 7] {
+            let exec = ParallelExecutor::new(workers);
+            let parallel = frozen.logits_parallel(img, &exec).unwrap();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn quantized_frozen_conv_tracks_f32_accuracy() {
+        let (train, test) = small_glyphs(15, 160);
+        let mut model = ConvClassifier::new(
+            12,
+            1,
+            [4, 8],
+            4,
+            WeightFormat::PermutedDiagonal { p: 2 },
+            &mut seeded_rng(16),
+        )
+        .unwrap();
+        model.fit(&train, 4, 0.05);
+        let frozen = model.freeze();
+        let (quantized, report) = frozen.quantize(&train.images);
+        assert_eq!(report.layers.len(), 3, "two convs + head");
+        assert!(
+            report.fully_integer(),
+            "PD conv and dense head have kernels"
+        );
+        let f32_acc = frozen.evaluate(&test);
+        let q_acc = quantized.evaluate(&test);
+        assert!(
+            (f32_acc - q_acc).abs() <= 0.05,
+            "accuracy drifted: f32 {f32_acc} vs q16 {q_acc}"
+        );
+    }
+
+    #[test]
+    fn frozen_conv_serves_as_a_batch_model() {
+        let (_, test) = small_glyphs(17, 40);
+        let model = ConvClassifier::new(12, 1, [4, 8], 4, WeightFormat::Dense, &mut seeded_rng(18))
+            .unwrap();
+        let frozen = model.freeze();
+        assert_eq!(BatchModel::in_dim(&frozen), 144);
+        assert!(frozen.mul_count_per_example() > 0);
+        let mut flat = Vec::new();
+        for img in test.images.iter().take(3) {
+            flat.extend_from_slice(img.as_slice());
+        }
+        let xs = BatchView::new(&flat, 3, 144).unwrap();
+        let exec = ParallelExecutor::new(2);
+        let out = frozen.forward_batch(&xs, &exec).unwrap();
+        for (i, img) in test.images.iter().take(3).enumerate() {
+            assert_eq!(out.row(i), &frozen.logits(img).unwrap()[..], "row {i}");
+        }
     }
 }

@@ -15,7 +15,7 @@ use pd_tensor::init::seeded_rng;
 use permdnn_core::storage::{self, LayerShape, ModelStorageReport};
 use permdnn_quant::fixed_point::quantize_slice_q16;
 
-use crate::conv_net::{ConvClassifier, ConvFormat};
+use crate::conv_net::ConvClassifier;
 use crate::data::{GaussianClusters, GlyphImages, TranslationPairs};
 use crate::layers::WeightFormat;
 use crate::lstm::Seq2Seq;
@@ -281,9 +281,10 @@ pub mod conv_tables {
             1,
             [8, 8],
             4,
-            ConvFormat::Dense,
+            WeightFormat::Dense,
             &mut seeded_rng(seed + 1),
-        );
+        )
+        .expect("dense convolutions are trainable");
         dense.fit(&train, epochs, 0.05);
         let dense_acc = dense.evaluate(&test);
 
@@ -292,9 +293,10 @@ pub mod conv_tables {
             1,
             [8, 8],
             4,
-            ConvFormat::PermutedDiagonal { p },
+            WeightFormat::PermutedDiagonal { p },
             &mut seeded_rng(seed + 1),
-        );
+        )
+        .expect("permuted-diagonal convolutions are trainable");
         pd.fit(&train, epochs, 0.05);
         let pd_acc = pd.evaluate(&test);
 
@@ -354,9 +356,10 @@ pub mod lenet_pretrained {
             1,
             [8, 8],
             4,
-            ConvFormat::Dense,
+            WeightFormat::Dense,
             &mut seeded_rng(seed + 1),
-        );
+        )
+        .expect("dense convolutions are trainable");
         dense.fit(&train, epochs, 0.05);
         let dense_acc = dense.evaluate(&test);
         let dense_params = dense.conv_params() as f64;

@@ -699,6 +699,22 @@ impl CompressedFc {
         Self::new(format.build(output_dim, input_dim, rng))
     }
 
+    /// Sets the bias vector (builder style) — used when freezing a trained
+    /// layer whose bias must carry over into the serving operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len()` differs from the layer's output width.
+    pub fn with_bias(mut self, bias: &[f32]) -> Self {
+        assert_eq!(
+            bias.len(),
+            self.weights.out_dim(),
+            "bias length must match the output dimension"
+        );
+        self.bias = bias.to_vec();
+        self
+    }
+
     /// The underlying compressed operator.
     pub fn weights(&self) -> &dyn CompressedLinear {
         self.weights.as_ref()

@@ -13,9 +13,14 @@
 //!   trainer, accuracy evaluation, and conversion between dense and PD weight formats
 //!   (the pre-trained-model path of Section III-F).
 //! * [`conv_net`] — a LeNet-style CNN whose convolution layers can be dense or
-//!   permuted-diagonal ([`permdnn_core::BlockPermDiagTensor4`]).
+//!   permuted-diagonal ([`permdnn_core::BlockPermDiagTensor4`]), plus its frozen serving
+//!   form [`conv_net::FrozenConvNet`]: convolutions im2col-lowered onto
+//!   `CompressedLinear`, served and quantized through the same stack as FC layers.
 //! * [`lstm`] — an LSTM cell and a sequence-to-sequence copy/translation task whose four
-//!   gate matrices can be dense or permuted-diagonal, with BLEU scoring.
+//!   gate matrices can be dense or permuted-diagonal, with BLEU scoring; freezing
+//!   ([`lstm::Seq2Seq::freeze`]) builds the *requested* deployment format from the
+//!   trained weights and serves per-timestep batched gate matmuls
+//!   ([`lstm::FrozenSeq2Seq`]).
 //! * [`data`] — deterministic synthetic datasets (Gaussian clusters, procedural glyph
 //!   images, synthetic translation pairs) standing in for ImageNet / CIFAR-10 / IWSLT'15,
 //!   which are not available offline (see DESIGN.md for the substitution argument).
@@ -39,6 +44,8 @@ pub mod metrics;
 pub mod mlp;
 pub mod quantize;
 
+pub use conv_net::{ConvClassifier, FrozenConvNet};
 pub use layers::{Layer, WeightFormat};
+pub use lstm::{FrozenSeq2Seq, Seq2Seq};
 pub use mlp::MlpClassifier;
 pub use quantize::{quantize_mlp, LayerQuantization, QuantizationReport};

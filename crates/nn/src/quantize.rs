@@ -73,7 +73,9 @@ fn extract_fc(layer: &dyn Layer) -> Option<(Arc<dyn CompressedLinear>, Vec<f32>)
     }
 }
 
-fn max_abs(v: &[f32]) -> f32 {
+/// Largest absolute value of a slice — the range observation every
+/// calibration pass (MLP, conv, LSTM) shares.
+pub(crate) fn max_abs(v: &[f32]) -> f32 {
     v.iter().fold(0.0f32, |m, x| m.max(x.abs()))
 }
 

@@ -102,13 +102,26 @@ pub fn simulate_compressed(
     weights: &dyn permdnn_core::format::CompressedLinear,
     activation_nonzero_fraction: f64,
 ) -> EngineResult {
-    let effective_fraction = if weights.exploits_input_sparsity() {
+    let fraction = effective_activation_fraction(weights, activation_nonzero_fraction);
+    let workload = FcWorkload::from_format("compressed", weights, fraction);
+    simulate_layer(config, &workload)
+}
+
+/// The activation fraction the engine actually charges an operator for:
+/// formats whose kernels cannot skip zero inputs
+/// ([`CompressedLinear::exploits_input_sparsity`](permdnn_core::format::CompressedLinear::exploits_input_sparsity)
+/// is `false`) pay for every column regardless of the nominal sparsity. The
+/// single home of that charging rule — [`simulate_compressed`] and the
+/// conv/LSTM scenario constructors ([`crate::scenario`]) all route through it.
+pub fn effective_activation_fraction(
+    weights: &dyn permdnn_core::format::CompressedLinear,
+    activation_nonzero_fraction: f64,
+) -> f64 {
+    if weights.exploits_input_sparsity() {
         activation_nonzero_fraction
     } else {
         1.0
-    };
-    let workload = FcWorkload::from_format("compressed", weights, effective_fraction);
-    simulate_layer(config, &workload)
+    }
 }
 
 /// Simulates one FC layer with the workload's nominal activation sparsity.

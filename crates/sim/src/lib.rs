@@ -19,6 +19,10 @@
 //!   ([`project`]) used to bring 45 nm designs to 28 nm (Table X footnote);
 //! * the **benchmark workloads** of Table VII ([`workload`]) and the comparison
 //!   generators behind Tables X–XI and Figs. 12–13 ([`comparison`]);
+//! * **conv and LSTM scenarios** ([`scenario`]): lowered convolution operators
+//!   charged once per output position, LSTM cells charged eight gate matvecs
+//!   per timestep — the `sim` bridge for the models `permdnn_nn` freezes onto
+//!   the `CompressedLinear` serving stack;
 //! * a **multi-PE-host scaling model** ([`host`]) sharding one layer row-wise
 //!   across several engines, evaluated on the `permdnn_runtime` worker pool.
 //!
@@ -39,6 +43,7 @@ pub mod metrics;
 pub mod power;
 pub mod project;
 pub mod quant;
+pub mod scenario;
 pub mod schedule;
 pub mod sram;
 pub mod workload;
@@ -47,4 +52,8 @@ pub use config::{EngineConfig, PeConfig};
 pub use engine::{simulate_layer, EngineResult};
 pub use host::{simulate_multi_host, MultiHostResult};
 pub use quant::{simulate_quantized, FixedPointDatapath, QuantSimResult};
+pub use scenario::{
+    simulate_quantized_conv, ConvQuantSimResult, ConvSimResult, ConvWorkload, LstmSimResult,
+    LstmWorkload,
+};
 pub use workload::{FcWorkload, TABLE7_WORKLOADS};

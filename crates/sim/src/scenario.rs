@@ -1,0 +1,308 @@
+//! Conv and LSTM serving scenarios on the engine cycle model.
+//!
+//! PR 4 lowers convolutions and LSTM gate matrices onto the
+//! [`CompressedLinear`] surface (`permdnn_core::lowering`,
+//! `permdnn_nn::conv_net::FrozenConvNet`, `permdnn_nn::lstm::FrozenSeq2Seq`);
+//! this module is the matching `sim` bridge, in the same style as
+//! [`FcWorkload::from_format`]: a lowered operator plus the scenario's repeat
+//! structure (output positions for conv, timesteps × eight gates for LSTM)
+//! becomes a workload the engine cycle model can be charged for.
+//!
+//! * a conv layer executes the lowered `c_out × (c_in·kh·kw)` matmul once per
+//!   output position ([`ConvWorkload`]);
+//! * an LSTM cell executes its eight gate matvecs once per timestep
+//!   ([`LstmWorkload`]); the recurrent (`W_h`) inputs are post-nonlinearity
+//!   hidden states — dense in practice, the reason Table VII lists the NMT
+//!   layers at activation fraction 1.0 — while the feed-forward (`W_x`)
+//!   inputs keep whatever sparsity the embedding has (one-hot inputs are
+//!   extremely sparse and the PD kernel skips the zeros).
+//!
+//! Quantized conv layers additionally run the real integer kernel on a sample
+//! patch ([`simulate_quantized_conv`]), scaling the fixed-point datapath
+//! accounting of [`crate::quant`] by the position count.
+
+use permdnn_core::format::{CompressedLinear, FormatError};
+use permdnn_core::qlinear::QuantizedLinear;
+
+use crate::config::EngineConfig;
+use crate::engine::{effective_activation_fraction, simulate_layer, EngineResult};
+use crate::quant::{simulate_quantized, FixedPointDatapath, QuantSimResult};
+use crate::workload::FcWorkload;
+
+/// A lowered convolution layer as an engine workload: the patch matmul,
+/// executed once per output position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvWorkload {
+    /// The lowered per-position FC workload (rows = output channels, cols =
+    /// patch length).
+    pub fc: FcWorkload,
+    /// Output positions per image (`out_h · out_w`).
+    pub positions: usize,
+}
+
+/// Engine charge for one conv layer forward (one image).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvSimResult {
+    /// The engine model evaluated on one output position's patch matvec.
+    pub per_position: EngineResult,
+    /// Output positions charged.
+    pub positions: usize,
+    /// Total cycles across all positions.
+    pub total_cycles: u64,
+    /// Total useful MACs across all positions.
+    pub total_useful_macs: u64,
+    /// Total latency in microseconds at the configured clock.
+    pub total_latency_us: f64,
+}
+
+impl ConvWorkload {
+    /// Derives the workload from a lowered conv operator (dense flattening or
+    /// `permdnn_core::lowering::PdConvMatrix`), exactly as
+    /// [`FcWorkload::from_format`] does for FC layers: operators that cannot
+    /// skip zero inputs are charged every patch entry.
+    pub fn from_format(
+        name: &'static str,
+        op: &dyn CompressedLinear,
+        positions: usize,
+        activation_nonzero_fraction: f64,
+    ) -> ConvWorkload {
+        ConvWorkload {
+            fc: FcWorkload::from_format(
+                name,
+                op,
+                effective_activation_fraction(op, activation_nonzero_fraction),
+            ),
+            positions,
+        }
+    }
+
+    /// Charges the engine cycle model for one image through this layer.
+    pub fn simulate(&self, config: &EngineConfig) -> ConvSimResult {
+        let per_position = simulate_layer(config, &self.fc);
+        ConvSimResult {
+            per_position,
+            positions: self.positions,
+            total_cycles: per_position.cycles * self.positions as u64,
+            total_useful_macs: per_position.useful_macs * self.positions as u64,
+            total_latency_us: per_position.latency_us * self.positions as f64,
+        }
+    }
+}
+
+/// An LSTM cell as an engine workload: eight gate matvecs per timestep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmWorkload {
+    /// One workload per gate operator, `W_x` gates first, then `W_h` gates.
+    pub gates: Vec<FcWorkload>,
+    /// Timesteps the cell is unrolled for.
+    pub timesteps: usize,
+}
+
+/// Engine charge for unrolling one LSTM cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmSimResult {
+    /// Engine model per gate matvec, in the order of [`LstmWorkload::gates`].
+    pub per_gate: Vec<EngineResult>,
+    /// Cycles for one full timestep (all gates).
+    pub cycles_per_step: u64,
+    /// Total cycles across the unrolled timesteps.
+    pub total_cycles: u64,
+    /// Total useful MACs across the unrolled timesteps.
+    pub total_useful_macs: u64,
+    /// Total latency in microseconds at the configured clock.
+    pub total_latency_us: f64,
+}
+
+impl LstmWorkload {
+    /// Derives the workload from the frozen cell's gate operators.
+    /// `x_nonzero_fraction` applies to the four feed-forward (`W_x`) gates,
+    /// `h_nonzero_fraction` to the four recurrent (`W_h`) gates; formats that
+    /// cannot skip zero inputs are charged every column regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly four operators are supplied per side.
+    pub fn from_formats(
+        wx_ops: &[&dyn CompressedLinear],
+        wh_ops: &[&dyn CompressedLinear],
+        x_nonzero_fraction: f64,
+        h_nonzero_fraction: f64,
+        timesteps: usize,
+    ) -> LstmWorkload {
+        assert_eq!(wx_ops.len(), 4, "an LSTM cell has four W_x gate matrices");
+        assert_eq!(wh_ops.len(), 4, "an LSTM cell has four W_h gate matrices");
+        let derive = |op: &dyn CompressedLinear, fraction: f64| {
+            FcWorkload::from_format("lstm-gate", op, effective_activation_fraction(op, fraction))
+        };
+        let gates = wx_ops
+            .iter()
+            .map(|op| derive(*op, x_nonzero_fraction))
+            .chain(wh_ops.iter().map(|op| derive(*op, h_nonzero_fraction)))
+            .collect();
+        LstmWorkload { gates, timesteps }
+    }
+
+    /// Charges the engine cycle model for the unrolled cell.
+    pub fn simulate(&self, config: &EngineConfig) -> LstmSimResult {
+        let per_gate: Vec<EngineResult> = self
+            .gates
+            .iter()
+            .map(|g| simulate_layer(config, g))
+            .collect();
+        let cycles_per_step: u64 = per_gate.iter().map(|r| r.cycles).sum();
+        let macs_per_step: u64 = per_gate.iter().map(|r| r.useful_macs).sum();
+        let latency_per_step: f64 = per_gate.iter().map(|r| r.latency_us).sum();
+        LstmSimResult {
+            per_gate,
+            cycles_per_step,
+            total_cycles: cycles_per_step * self.timesteps as u64,
+            total_useful_macs: macs_per_step * self.timesteps as u64,
+            total_latency_us: latency_per_step * self.timesteps as f64,
+        }
+    }
+}
+
+/// Engine + fixed-point datapath charge for one quantized conv layer forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvQuantSimResult {
+    /// The per-position quantized simulation (real integer kernel run on the
+    /// sample patch).
+    pub per_position: QuantSimResult,
+    /// Output positions charged.
+    pub positions: usize,
+    /// Total cycles across all positions.
+    pub total_cycles: u64,
+    /// Total 16-bit MAC energy across all positions (pJ).
+    pub total_mac_energy_pj: f64,
+    /// Energy the same MACs would cost on an f32 datapath (pJ).
+    pub total_f32_mac_energy_pj: f64,
+}
+
+/// Simulates one quantized conv layer on the engine: the integer kernel runs
+/// for real on `sample_patch` (counting saturations exactly as
+/// [`simulate_quantized`] does for FC layers) and the per-position charge is
+/// scaled by the layer's position count.
+///
+/// # Errors
+///
+/// Returns [`FormatError::DimensionMismatch`] if `sample_patch.len()` differs
+/// from the operator's patch length.
+pub fn simulate_quantized_conv(
+    config: &EngineConfig,
+    q: &QuantizedLinear,
+    sample_patch: &[f32],
+    positions: usize,
+    datapath: &FixedPointDatapath,
+) -> Result<ConvQuantSimResult, FormatError> {
+    let per_position = simulate_quantized(config, q, sample_patch, datapath)?;
+    Ok(ConvQuantSimResult {
+        positions,
+        total_cycles: per_position.engine.cycles * positions as u64,
+        total_mac_energy_pj: per_position.mac_energy_pj * positions as f64,
+        total_f32_mac_energy_pj: per_position.f32_mac_energy_pj * positions as f64,
+        per_position,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::seeded_rng;
+    use pd_tensor::Tensor4;
+    use permdnn_core::lowering::{lower_dense_conv, ConvGeometry, PdConvMatrix};
+    use permdnn_core::qlinear::QScheme;
+    use permdnn_core::{BlockPermDiagMatrix, BlockPermDiagTensor4, PermutationIndexing};
+    use rand::Rng;
+    use std::sync::Arc;
+
+    #[test]
+    fn pd_conv_beats_dense_conv_on_cycles() {
+        let cfg = EngineConfig::paper_32pe();
+        let mut rng = seeded_rng(1);
+        let pd =
+            BlockPermDiagTensor4::random(64, 64, 3, 3, 4, PermutationIndexing::Natural, &mut rng);
+        let dense_t = pd.to_dense();
+        let geom = ConvGeometry::new(3, 3, 1, 1);
+        let positions = geom.positions(16, 16);
+        let pd_op = PdConvMatrix::new(pd);
+        let dense_op = lower_dense_conv(&dense_t);
+        let pd_sim = ConvWorkload::from_format("pd-conv", &pd_op, positions, 1.0).simulate(&cfg);
+        let dense_sim =
+            ConvWorkload::from_format("dense-conv", &dense_op, positions, 1.0).simulate(&cfg);
+        assert_eq!(pd_sim.positions, positions);
+        assert!(
+            pd_sim.total_cycles < dense_sim.total_cycles,
+            "pd {} vs dense {}",
+            pd_sim.total_cycles,
+            dense_sim.total_cycles
+        );
+        assert_eq!(
+            pd_sim.total_cycles,
+            pd_sim.per_position.cycles * positions as u64
+        );
+    }
+
+    #[test]
+    fn conv_sparsity_is_ignored_by_non_skipping_formats() {
+        let cfg = EngineConfig::paper_32pe();
+        let mut rng = seeded_rng(2);
+        let dense_t = Tensor4::from_fn([32, 32, 3, 3], |_| rng.gen_range(-0.5..0.5));
+        let op = lower_dense_conv(&dense_t);
+        let sparse = ConvWorkload::from_format("dense", &op, 64, 0.25).simulate(&cfg);
+        let full = ConvWorkload::from_format("dense", &op, 64, 1.0).simulate(&cfg);
+        assert_eq!(sparse.total_cycles, full.total_cycles);
+    }
+
+    #[test]
+    fn lstm_workload_sums_eight_gates_per_timestep() {
+        let cfg = EngineConfig::paper_32pe();
+        let mut rng = seeded_rng(3);
+        let wx: Vec<BlockPermDiagMatrix> = (0..4)
+            .map(|_| BlockPermDiagMatrix::random(64, 32, 4, &mut rng))
+            .collect();
+        let wh: Vec<BlockPermDiagMatrix> = (0..4)
+            .map(|_| BlockPermDiagMatrix::random(64, 64, 4, &mut rng))
+            .collect();
+        let wx_refs: Vec<&dyn CompressedLinear> =
+            wx.iter().map(|w| w as &dyn CompressedLinear).collect();
+        let wh_refs: Vec<&dyn CompressedLinear> =
+            wh.iter().map(|w| w as &dyn CompressedLinear).collect();
+        let workload = LstmWorkload::from_formats(&wx_refs, &wh_refs, 0.1, 1.0, 6);
+        let sim = workload.simulate(&cfg);
+        assert_eq!(sim.per_gate.len(), 8);
+        assert_eq!(
+            sim.cycles_per_step,
+            sim.per_gate.iter().map(|r| r.cycles).sum::<u64>()
+        );
+        assert_eq!(sim.total_cycles, sim.cycles_per_step * 6);
+        // One-hot sparse x inputs cost fewer processed columns than the dense
+        // recurrent inputs at the same shape.
+        assert!(
+            sim.per_gate[0].processed_columns < sim.per_gate[4].processed_columns * 32 / 64 + 1
+        );
+    }
+
+    #[test]
+    fn quantized_conv_scales_the_per_position_charge() {
+        let cfg = EngineConfig::paper_32pe();
+        let mut rng = seeded_rng(4);
+        let pd =
+            BlockPermDiagTensor4::random(16, 16, 3, 3, 4, PermutationIndexing::Natural, &mut rng);
+        let op: Arc<dyn CompressedLinear> = Arc::new(PdConvMatrix::new(pd));
+        let q = QuantizedLinear::from_op(
+            Arc::clone(&op),
+            QScheme::calibrate(1.0, op.max_weight_abs(), 8.0),
+        );
+        let patch: Vec<f32> = (0..op.in_dim()).map(|i| (i as f32 * 0.23).sin()).collect();
+        let r =
+            simulate_quantized_conv(&cfg, &q, &patch, 49, &FixedPointDatapath::default()).unwrap();
+        assert_eq!(r.positions, 49);
+        assert_eq!(r.total_cycles, r.per_position.engine.cycles * 49);
+        assert!((r.total_mac_energy_pj - r.per_position.mac_energy_pj * 49.0).abs() < 1e-9);
+        assert!(r.total_f32_mac_energy_pj > r.total_mac_energy_pj * 4.0);
+        assert!(matches!(
+            simulate_quantized_conv(&cfg, &q, &[0.0; 3], 49, &FixedPointDatapath::default()),
+            Err(FormatError::DimensionMismatch { .. })
+        ));
+    }
+}

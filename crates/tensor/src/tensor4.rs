@@ -180,6 +180,50 @@ impl Tensor4 {
         }
         out
     }
+
+    /// Patch-major im2col lowering of a single image (this tensor must have
+    /// `batch == 1`): the transpose of [`im2col`](Self::im2col).
+    ///
+    /// The result has shape `(out_h·out_w) × (c_in·kh·kw)` — one row per output
+    /// position, holding that position's receptive field flattened in the same
+    /// `(c, ky, kx)` order as [`to_matrix_2d`](Self::to_matrix_2d) flattens a
+    /// weight tensor. A convolution is then the batched product of the patch
+    /// rows with the flattened weight matrix, which is exactly the
+    /// `CompressedLinear::matmul` surface (one input vector per row) the
+    /// serving runtime shards across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch dimension is not 1 or the kernel is larger than the
+    /// padded input.
+    pub fn im2col_patches(&self, kh: usize, kw: usize, stride: usize, padding: usize) -> Matrix {
+        assert_eq!(
+            self.shape[0], 1,
+            "im2col_patches expects a single image (batch==1)"
+        );
+        let (c_in, h, w) = (self.shape[1], self.shape[2], self.shape[3]);
+        let out_h = conv_out_dim(h, kh, stride, padding);
+        let out_w = conv_out_dim(w, kw, stride, padding);
+        let mut out = Matrix::zeros(out_h * out_w, c_in * kh * kw);
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let row = oy * out_w + ox;
+                for c in 0..c_in {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                out[(row, (c * kh + ky) * kw + kx)] =
+                                    self.data[self.offset([0, c, iy as usize, ix as usize])];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Output spatial dimension of a convolution: `(in + 2·padding - kernel) / stride + 1`.
@@ -292,6 +336,21 @@ mod tests {
         let first_col: Vec<f32> = (0..9).map(|r| cols[(r, 0)]).collect();
         assert_eq!(first_col.iter().filter(|&&v| v == 0.0).count(), 5);
         assert_eq!(first_col.iter().filter(|&&v| v == 1.0).count(), 4);
+    }
+
+    #[test]
+    fn im2col_patches_is_the_transpose_of_im2col() {
+        let img = Tensor4::from_fn([1, 2, 5, 4], |(_, c, y, x)| (c * 20 + y * 4 + x) as f32);
+        for &(kh, kw, stride, padding) in &[(3usize, 3usize, 1usize, 1usize), (2, 2, 2, 0)] {
+            let cols = img.im2col(kh, kw, stride, padding);
+            let patches = img.im2col_patches(kh, kw, stride, padding);
+            assert_eq!(patches.shape(), (cols.cols(), cols.rows()));
+            for r in 0..patches.rows() {
+                for c in 0..patches.cols() {
+                    assert_eq!(patches[(r, c)], cols[(c, r)], "({r},{c}) k={kh}x{kw}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Conv/LSTM serving-stack equivalence suite.
+//!
+//! PR 4 lowers every model — conv net and seq2seq LSTM included — onto the
+//! `CompressedLinear` serving stack. This suite locks in the properties that
+//! refactor rests on:
+//!
+//! 1. **Freeze equivalence** — the frozen (im2col-lowered) conv forward equals
+//!    the training-path direct convolution, and the frozen LSTM's
+//!    teacher-forced logits equal the training path's, for every trainable
+//!    conv/LSTM format and for proptest-generated shapes including channel
+//!    counts not divisible by the block size.
+//! 2. **Worker-count invariance** — the frozen *and quantized* conv and LSTM
+//!    forwards are bit-for-bit identical across {1, 2, 3, 7} workers (the
+//!    PR 2 invariant, extended beyond FC).
+//! 3. **Serving-loop integration** — a frozen conv net serves through the
+//!    batching runtime (`serve`) with outputs identical to sequential
+//!    inference.
+
+use permdnn::nn::conv_net::ConvClassifier;
+use permdnn::nn::data::{GlyphImages, TranslationPairs};
+use permdnn::nn::layers::WeightFormat;
+use permdnn::nn::lstm::Seq2Seq;
+use permdnn::runtime::{
+    serve, BatchConfig, BatchModel, ParallelExecutor, Request, ServeConfig, ServiceModel,
+};
+use permdnn::tensor::init::seeded_rng;
+use permdnn::tensor::Tensor4;
+use proptest::prelude::*;
+use rand::Rng;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn random_image(c: usize, size: usize, seed: u64) -> Tensor4 {
+    let mut rng = seeded_rng(seed);
+    Tensor4::from_fn([1, c, size, size], |_| rng.gen_range(-1.0f32..1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Frozen conv forward ≡ training-path forward (dense_conv2d /
+    // BlockPermDiagTensor4::forward) for both trainable conv formats, on
+    // shapes including channel counts not divisible by p, and bit-for-bit
+    // identical across worker counts. (Regular comments: the proptest shim's
+    // macro does not accept doc attributes on property fns.)
+    #[test]
+    fn frozen_conv_forward_matches_training_path(
+        (c1, c2, p, seed) in (1usize..=5, 1usize..=6, 2usize..=3, 0u64..200)
+    ) {
+        let size = 8usize;
+        let img = random_image(1, size, seed ^ 0xf00d);
+        for format in [WeightFormat::Dense, WeightFormat::PermutedDiagonal { p }] {
+            let model =
+                ConvClassifier::new(size, 1, [c1, c2], 3, format, &mut seeded_rng(seed)).unwrap();
+            let frozen = model.freeze();
+            let trained = model.logits(&img);
+            let lowered = frozen.logits(&img).unwrap();
+            for (a, b) in trained.iter().zip(lowered.iter()) {
+                prop_assert!(
+                    (a - b).abs() < 1e-4,
+                    "{} [{c1},{c2}] p={p}: {a} vs {b}",
+                    format.label()
+                );
+            }
+            for workers in WORKER_COUNTS {
+                let exec = ParallelExecutor::new(workers);
+                prop_assert_eq!(
+                    frozen.logits_parallel(&img, &exec).unwrap(),
+                    lowered.clone(),
+                    "{} diverged at {} workers",
+                    format.label(),
+                    workers
+                );
+            }
+        }
+    }
+
+    // Frozen LSTM teacher-forced logits ≡ training-path logits for the
+    // weight-preserving formats, at hidden sizes divisible and not divisible
+    // by the block size.
+    #[test]
+    fn frozen_lstm_logits_match_training_path(
+        (hidden, seed) in (9usize..=24, 0u64..200)
+    ) {
+        let vocab = 6usize;
+        let mut tok_rng = seeded_rng(seed ^ 0xbeef);
+        let source: Vec<u32> = (0..4).map(|_| tok_rng.gen_range(0..vocab as u32)).collect();
+        let target: Vec<u32> = (0..4).map(|_| tok_rng.gen_range(0..vocab as u32)).collect();
+        for format in [WeightFormat::Dense, WeightFormat::PermutedDiagonal { p: 4 }] {
+            let model = Seq2Seq::new(vocab, hidden, format, &mut seeded_rng(seed));
+            let frozen = model.freeze();
+            let trained = model.teacher_forced_logits(&source, &target);
+            let served = frozen.teacher_forced_logits(&source, &target).unwrap();
+            prop_assert_eq!(trained.len(), served.len());
+            for (a, b) in trained.iter().flatten().zip(served.iter().flatten()) {
+                prop_assert!(
+                    (a - b).abs() < 1e-4,
+                    "{} hidden={hidden}: {a} vs {b}",
+                    format.label()
+                );
+            }
+        }
+    }
+}
+
+/// Frozen + quantized conv net: bit-exact end-to-end through the executor at
+/// every worker count (the acceptance criterion of the unification PR).
+#[test]
+fn quantized_conv_is_bit_exact_across_worker_counts() {
+    let glyphs = GlyphImages::generate(&mut seeded_rng(1), 48, 4, 12, 1, 0.15);
+    let mut model = ConvClassifier::new(
+        12,
+        1,
+        [4, 8],
+        4,
+        WeightFormat::PermutedDiagonal { p: 2 },
+        &mut seeded_rng(2),
+    )
+    .unwrap();
+    model.fit(&glyphs, 1, 0.05);
+    let frozen = model.freeze();
+    let (quantized, report) = frozen.quantize(&glyphs.images[..8]);
+    assert!(report.fully_integer());
+    for image in glyphs.images.iter().take(4) {
+        let sequential = quantized.logits(image).unwrap();
+        for workers in WORKER_COUNTS {
+            let exec = ParallelExecutor::new(workers);
+            assert_eq!(
+                quantized.logits_parallel(image, &exec).unwrap(),
+                sequential,
+                "workers = {workers}"
+            );
+        }
+    }
+}
+
+/// Frozen + quantized seq2seq: batched decoding bit-exact across worker
+/// counts, for a weight-preserving format and a freeze-built deployment
+/// format.
+#[test]
+fn quantized_lstm_is_bit_exact_across_worker_counts() {
+    let pairs = TranslationPairs::generate(&mut seeded_rng(3), 60, 8, 4);
+    for format in [
+        WeightFormat::PermutedDiagonal { p: 4 },
+        WeightFormat::UnstructuredSparse { p: 4 },
+    ] {
+        let model = Seq2Seq::new(8, 24, format, &mut seeded_rng(4));
+        let frozen = model.freeze();
+        let (quantized, _) = frozen.quantize(&pairs);
+        let sources: Vec<Vec<u32>> = pairs.sources.iter().take(9).cloned().collect();
+        for net in [&frozen, &quantized] {
+            let sequential: Vec<Vec<u32>> = sources
+                .iter()
+                .map(|s| net.translate(s, 4).unwrap())
+                .collect();
+            for workers in WORKER_COUNTS {
+                let exec = ParallelExecutor::new(workers);
+                assert_eq!(
+                    net.translate_batch(&sources, 4, &exec).unwrap(),
+                    sequential,
+                    "{} workers = {workers}",
+                    format.label()
+                );
+            }
+        }
+    }
+}
+
+/// A frozen conv net is a `BatchModel`: the request-batching serving loop
+/// returns exactly the model's own sequential logits for every request.
+#[test]
+fn conv_net_serves_through_the_batching_runtime() {
+    let glyphs = GlyphImages::generate(&mut seeded_rng(5), 24, 4, 12, 1, 0.15);
+    let model = ConvClassifier::new(
+        12,
+        1,
+        [4, 8],
+        4,
+        WeightFormat::PermutedDiagonal { p: 2 },
+        &mut seeded_rng(6),
+    )
+    .unwrap();
+    let frozen = model.freeze();
+    let requests: Vec<Request> = glyphs
+        .images
+        .iter()
+        .take(10)
+        .enumerate()
+        .map(|(i, img)| Request {
+            id: i as u64,
+            arrival_tick: 3 * i as u64,
+            input: img.as_slice().to_vec(),
+        })
+        .collect();
+    let cfg = ServeConfig {
+        batching: BatchConfig::new(4, 10),
+        service: ServiceModel::default(),
+    };
+    let exec = ParallelExecutor::new(3);
+    let report = serve(&frozen, &exec, &cfg, requests).unwrap();
+    assert_eq!(report.completed.len(), 10);
+    assert_eq!(BatchModel::out_dim(&frozen), 4);
+    for done in &report.completed {
+        let reference = frozen.logits(&glyphs.images[done.id as usize]).unwrap();
+        assert_eq!(done.output, reference, "request {}", done.id);
+    }
+}
+
+/// The sim bridge charges the engine model for the lowered scenarios: PD conv
+/// and LSTM serving must model faster than dense at the same shapes.
+#[test]
+fn sim_charges_lowered_conv_and_lstm_scenarios() {
+    use permdnn::core::format::CompressedLinear;
+    use permdnn::sim::{ConvWorkload, EngineConfig, LstmWorkload};
+
+    let cfg = EngineConfig::paper_32pe();
+    let model = ConvClassifier::new(
+        12,
+        1,
+        [8, 16],
+        4,
+        WeightFormat::PermutedDiagonal { p: 4 },
+        &mut seeded_rng(7),
+    )
+    .unwrap();
+    let frozen = model.freeze();
+    let [conv1, conv2] = frozen.conv_ops();
+    let sim1 = ConvWorkload::from_format("conv1", conv1, 144, 1.0).simulate(&cfg);
+    let sim2 = ConvWorkload::from_format("conv2", conv2, 36, 1.0).simulate(&cfg);
+    assert!(sim1.total_cycles > 0 && sim2.total_cycles > 0);
+
+    let seq = Seq2Seq::new(
+        8,
+        32,
+        WeightFormat::PermutedDiagonal { p: 4 },
+        &mut seeded_rng(8),
+    );
+    let frozen_seq = seq.freeze();
+    let enc_ops = frozen_seq.encoder().gate_ops();
+    let lstm = LstmWorkload::from_formats(&enc_ops[..4], &enc_ops[4..], 0.2, 1.0, 4);
+    let lstm_sim = lstm.simulate(&cfg);
+    assert_eq!(lstm_sim.per_gate.len(), 8);
+    assert!(lstm_sim.total_cycles == lstm_sim.cycles_per_step * 4);
+    // PD gates store 4x fewer weights, so the engine retires 4x fewer MACs
+    // than a dense cell of the same shape would.
+    let dense_seq = Seq2Seq::new(8, 32, WeightFormat::Dense, &mut seeded_rng(8));
+    let dense_frozen = dense_seq.freeze();
+    let dense_ops = dense_frozen.encoder().gate_ops();
+    let dense_sim =
+        LstmWorkload::from_formats(&dense_ops[..4], &dense_ops[4..], 0.2, 1.0, 4).simulate(&cfg);
+    assert!(
+        lstm_sim.total_useful_macs * 3 < dense_sim.total_useful_macs,
+        "pd {} vs dense {}",
+        lstm_sim.total_useful_macs,
+        dense_sim.total_useful_macs
+    );
+    let _ = CompressedLinear::mul_count(conv1);
+}
