@@ -1,0 +1,38 @@
+//! Regenerates the committed golden snapshot fixtures under
+//! `tests/fixtures/` (one `.snap` + `.logits` pair per entry of
+//! `permdnn_bench::fixtures::all`).
+//!
+//! The fixtures pin the on-disk snapshot format: run this ONLY after an
+//! intentional format change (with a container version bump), then commit
+//! the results. `tests/snapshot.rs` fails if the committed bytes drift from
+//! what today's code writes.
+//!
+//! Run: `cargo run -p permdnn-bench --bin gen_fixtures`
+
+use std::path::PathBuf;
+
+use permdnn_bench::fixtures;
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+    std::fs::create_dir_all(&dir).expect("create tests/fixtures");
+    for fixture in fixtures::all() {
+        let snap = dir.join(format!("{}.snap", fixture.name));
+        let logits = dir.join(format!("{}.logits", fixture.name));
+        std::fs::write(&snap, &fixture.bytes).expect("write fixture snapshot");
+        std::fs::write(&logits, fixtures::logits_to_bytes(&fixture.logits))
+            .expect("write fixture logits");
+        assert!(
+            fixture.bytes.len() <= 8 * 1024,
+            "{}: fixture is {} bytes, above the 8 KiB cap",
+            fixture.name,
+            fixture.bytes.len()
+        );
+        println!(
+            "{:<16} {:>5} bytes  -> {}",
+            fixture.name,
+            fixture.bytes.len(),
+            snap.display()
+        );
+    }
+}

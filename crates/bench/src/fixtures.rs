@@ -1,0 +1,130 @@
+//! Deterministic golden-fixture construction for the snapshot format.
+//!
+//! The committed files under `tests/fixtures/` pin the on-disk snapshot
+//! format against accidental drift: `gen_fixtures` writes exactly what this
+//! module builds, and `tests/snapshot.rs` asserts that (a) rebuilding each
+//! fixture today produces byte-identical snapshots, (b) every committed
+//! fixture still loads, and (c) the loaded model's outputs on a fixed probe
+//! input match the committed `.logits` sidecar bit-for-bit.
+//!
+//! Everything here is seeded: same code, same bytes, on every run. If a
+//! fixture test fails after an intentional format change, bump
+//! [`permdnn_core::snapshot::VERSION`] and regenerate with
+//! `cargo run -p permdnn-bench --bin gen_fixtures`.
+
+use pd_tensor::init::seeded_rng;
+use permdnn_core::format::CompressedLinear;
+use permdnn_core::snapshot::save_tensor;
+use permdnn_nn::layers::WeightFormat;
+use permdnn_nn::MlpClassifier;
+use permdnn_prune::eie_format::{uniform_codebook, EieEncodedMatrix};
+use permdnn_prune::magnitude_prune;
+
+/// One golden fixture: its file stem, snapshot bytes and the expected logits
+/// of the fixed probe input.
+pub struct Fixture {
+    /// File stem (`<name>.snap` / `<name>.logits` under `tests/fixtures/`).
+    pub name: &'static str,
+    /// The snapshot bytes.
+    pub bytes: Vec<u8>,
+    /// Model output for [`probe_input`] of the model's input width.
+    pub logits: Vec<f32>,
+}
+
+/// The deterministic probe input every fixture's expected logits are
+/// computed on.
+pub fn probe_input(dim: usize) -> Vec<f32> {
+    (0..dim).map(|i| (i as f32 * 0.37).sin()).collect()
+}
+
+/// Fixture MLP input width.
+pub const MLP_IN: usize = 8;
+/// Fixture MLP hidden width.
+pub const MLP_HIDDEN: usize = 8;
+/// Fixture MLP class count.
+pub const MLP_CLASSES: usize = 3;
+
+fn mlp_fixture(name: &'static str, format: WeightFormat, seed: u64) -> Fixture {
+    let model = MlpClassifier::new_frozen(
+        MLP_IN,
+        &[MLP_HIDDEN],
+        MLP_CLASSES,
+        format,
+        &mut seeded_rng(seed),
+    );
+    Fixture {
+        name,
+        bytes: model.save().expect("frozen models always snapshot"),
+        logits: model.logits(&probe_input(MLP_IN)),
+    }
+}
+
+/// Builds every golden fixture: one tiny frozen MLP per registry format, a
+/// bare EIE-encoded tensor (EIE has no training-registry entry — it is a
+/// storage format), and one quantized model.
+pub fn all() -> Vec<Fixture> {
+    let mut fixtures = vec![
+        mlp_fixture("mlp_dense", WeightFormat::Dense, 0xF100),
+        mlp_fixture("mlp_pd", WeightFormat::PermutedDiagonal { p: 4 }, 0xF101),
+        mlp_fixture("mlp_circulant", WeightFormat::Circulant { k: 4 }, 0xF102),
+        mlp_fixture("mlp_csc", WeightFormat::UnstructuredSparse { p: 4 }, 0xF103),
+        mlp_fixture(
+            "mlp_shared_pd",
+            WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+            0xF104,
+        ),
+    ];
+
+    // Bare EIE tensor: encode a pruned 16x12 matrix with the paper's 4+4-bit
+    // fields (long zero runs included, so padding entries are pinned too).
+    let dense = pd_tensor::init::xavier_uniform(&mut seeded_rng(0xF105), 16, 12);
+    let pruned = magnitude_prune(&dense, 0.25).pruned;
+    let codebook = uniform_codebook(4, pruned.max_abs());
+    let eie = EieEncodedMatrix::encode(&pruned, &codebook, 4, 4);
+    fixtures.push(Fixture {
+        name: "tensor_eie",
+        bytes: save_tensor(&eie).expect("eie has a codec"),
+        logits: CompressedLinear::matvec(&eie, &probe_input(12)).expect("probe matches"),
+    });
+
+    // Quantized model: the PD fixture dropped onto the 16-bit fixed-point
+    // backend with a deterministic calibration set — pins the QuantizedLinear
+    // record (QScheme + raw i16 weights) end to end.
+    let model = MlpClassifier::new_frozen(
+        MLP_IN,
+        &[MLP_HIDDEN],
+        MLP_CLASSES,
+        WeightFormat::PermutedDiagonal { p: 4 },
+        &mut seeded_rng(0xF106),
+    );
+    let calibration: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            let mut rng = seeded_rng(0xF107 + i);
+            (0..MLP_IN)
+                .map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0))
+                .collect()
+        })
+        .collect();
+    let (q_model, _) = model.quantize(&calibration);
+    fixtures.push(Fixture {
+        name: "mlp_pd_q16",
+        bytes: q_model.save().expect("quantized models snapshot"),
+        logits: q_model.logits(&probe_input(MLP_IN)),
+    });
+
+    fixtures
+}
+
+/// Encodes a logits vector as the `.logits` sidecar bytes (little-endian
+/// `f32`s, nothing else).
+pub fn logits_to_bytes(logits: &[f32]) -> Vec<u8> {
+    logits.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Decodes a `.logits` sidecar.
+pub fn logits_from_bytes(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect()
+}

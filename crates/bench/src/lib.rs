@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fixtures;
+
 /// Returns `true` when the binary was invoked with `--full`, selecting the longer-running
 /// (non-quick) experiment configuration.
 pub fn full_run_requested() -> bool {

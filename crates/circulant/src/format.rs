@@ -87,6 +87,21 @@ impl CompressedLinear for BlockCirculantMatrix {
         m
     }
 
+    /// Snapshot payload: rows, cols, block size, then every block's first
+    /// row in block-row-major order — the stored representation (`k` values
+    /// per block), never the dense expansion.
+    fn write_snapshot(&self, out: &mut permdnn_core::snapshot::ByteWriter) -> Option<u16> {
+        out.dim(self.rows());
+        out.dim(self.cols());
+        out.dim(self.k());
+        for br in 0..self.rows().div_ceil(self.k()) {
+            for bc in 0..self.cols().div_ceil(self.k()) {
+                out.f32_slice(self.block(br, bc).first_row());
+            }
+        }
+        Some(permdnn_core::snapshot::FORMAT_CIRCULANT)
+    }
+
     // `quantize_kernel` deliberately keeps the default `None`: the CIRCNN
     // inference path runs in the frequency domain (complex FFT butterflies),
     // which has no 16-bit time-domain weight layout to hand to the integer
@@ -94,6 +109,48 @@ impl CompressedLinear for BlockCirculantMatrix {
     // generic dequantize fallback of `permdnn_core::qlinear::QuantizedLinear`
     // — activations are still exchanged in 16-bit fixed point at the layer
     // boundaries, only the internal kernel stays f32.
+}
+
+/// Decodes a [`FORMAT_CIRCULANT`](permdnn_core::snapshot::FORMAT_CIRCULANT)
+/// payload — the [`permdnn_core::snapshot::DecodeFn`] registered by
+/// `permdnn_nn::snapshot::codec`.
+///
+/// # Errors
+///
+/// Returns a typed [`permdnn_core::snapshot::SnapshotError`] for truncated or
+/// structurally invalid payloads; never panics.
+pub fn decode_snapshot(
+    r: &mut permdnn_core::snapshot::ByteReader<'_>,
+    _codec: &permdnn_core::snapshot::SnapshotCodec,
+) -> Result<std::sync::Arc<dyn CompressedLinear>, permdnn_core::snapshot::SnapshotError> {
+    use permdnn_core::snapshot::SnapshotError;
+    let rows = r.dim("circulant rows")?;
+    let cols = r.dim("circulant cols")?;
+    let k = r.dim("circulant block size")?;
+    if k == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "circulant block size",
+            reason: "k must be non-zero".to_string(),
+        });
+    }
+    let nblocks = rows.div_ceil(k) * cols.div_ceil(k);
+    let mut blocks = Vec::with_capacity(nblocks.min(r.remaining() / 4 / k.max(1) + 1));
+    for _ in 0..nblocks {
+        let first_row = r.f32_vec(k, "circulant block row")?;
+        blocks.push(crate::block::CirculantBlock::new(first_row).map_err(|e| {
+            SnapshotError::Malformed {
+                context: "circulant block",
+                reason: e.to_string(),
+            }
+        })?);
+    }
+    let m = BlockCirculantMatrix::new_any_size(rows, cols, k, blocks).map_err(|e| {
+        SnapshotError::Malformed {
+            context: "circulant tensor",
+            reason: e.to_string(),
+        }
+    })?;
+    Ok(std::sync::Arc::new(m))
 }
 
 #[cfg(test)]
@@ -170,6 +227,29 @@ mod tests {
                 assert!(reason.contains('6'));
             }
             other => panic!("unexpected conversion: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly_for_both_kernels() {
+        let mut codec = permdnn_core::snapshot::SnapshotCodec::new();
+        codec.register(permdnn_core::snapshot::FORMAT_CIRCULANT, decode_snapshot);
+        for k in [4usize, 3] {
+            let m = BlockCirculantMatrix::random_any_size(10, 14, k, &mut seeded_rng(7 + k as u64));
+            let bytes = permdnn_core::snapshot::save_tensor(&m).unwrap();
+            let back = permdnn_core::snapshot::load_tensor(&bytes, &codec).unwrap();
+            let x: Vec<f32> = (0..14).map(|i| (i as f32 * 0.3).sin()).collect();
+            assert_eq!(
+                back.matvec(&x).unwrap(),
+                CompressedLinear::matvec(&m, &x).unwrap(),
+                "k = {k}"
+            );
+            assert_eq!(back.label(), CompressedLinear::label(&m));
+            assert_eq!(
+                permdnn_core::snapshot::save_tensor(back.as_ref()).unwrap(),
+                bytes,
+                "canonical re-encode"
+            );
         }
     }
 

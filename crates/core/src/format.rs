@@ -306,6 +306,21 @@ pub trait CompressedLinear: Send + Sync {
         None
     }
 
+    /// Writes this operator's *compressed* on-disk representation into the
+    /// snapshot payload writer and returns its tensor-format code, or `None`
+    /// if the format has no snapshot codec (it then cannot be saved —
+    /// [`crate::snapshot::encode_tensor`] reports a typed error).
+    ///
+    /// Contract: an implementation either writes its complete payload and
+    /// returns `Some(code)`, or writes nothing and returns `None`. Payloads
+    /// must encode the stored representation (values + structure parameters),
+    /// never a dense expansion; decoding goes through
+    /// [`crate::snapshot::SnapshotCodec`].
+    fn write_snapshot(&self, out: &mut crate::snapshot::ByteWriter) -> Option<u16> {
+        let _ = out;
+        None
+    }
+
     /// Compression ratio versus the dense `m × n` matrix.
     fn compression_ratio(&self) -> f64 {
         let stored = self.stored_weights();
@@ -387,6 +402,14 @@ impl CompressedLinear for BlockPermDiagMatrix {
             &columns,
         ))
     }
+
+    fn write_snapshot(&self, out: &mut crate::snapshot::ByteWriter) -> Option<u16> {
+        if !crate::snapshot::pd_perms_encodable(self.p()) {
+            return None;
+        }
+        crate::snapshot::write_pd_matrix(self, out);
+        Some(crate::snapshot::FORMAT_PERMUTED_DIAGONAL)
+    }
 }
 
 impl CompressedLinear for Matrix {
@@ -433,6 +456,11 @@ impl CompressedLinear for Matrix {
 
     fn quantize_kernel(&self, weight_frac: u32) -> Option<crate::qlinear::QuantKernel> {
         Some(crate::qlinear::QuantKernel::dense(self, weight_frac))
+    }
+
+    fn write_snapshot(&self, out: &mut crate::snapshot::ByteWriter) -> Option<u16> {
+        crate::snapshot::write_dense(self, out);
+        Some(crate::snapshot::FORMAT_DENSE)
     }
 }
 

@@ -25,6 +25,11 @@
 //!   surface: dense tensors flatten to a `Matrix`, permuted-diagonal tensors become
 //!   [`PdConvMatrix`] (a zero-skipping macro-row kernel, no densification), so conv
 //!   layers serve through the same batched matmul datapath as FC layers.
+//! * [`snapshot`] — the versioned binary snapshot container (magic + checksummed
+//!   length-prefixed sections) and the per-format tensor codec: every
+//!   [`CompressedLinear`] operator persists its *compressed* representation and is
+//!   rebuilt through a [`SnapshotCodec`] registry, with typed [`SnapshotError`]s for
+//!   corrupted input.
 //! * [`approx`] — the l2-optimal permuted-diagonal approximation of a pre-trained dense
 //!   matrix/tensor (Section III-F), used to convert dense models before fine-tuning.
 //! * [`storage`] — exact storage and compression-ratio accounting used to reproduce
@@ -65,6 +70,7 @@ pub mod matvec;
 pub mod pd_block;
 pub mod pd_matrix;
 pub mod qlinear;
+pub mod snapshot;
 pub mod sparsity;
 pub mod storage;
 
@@ -75,3 +81,4 @@ pub use lowering::{lower_dense_conv, ConvGeometry, PdConvMatrix};
 pub use pd_block::PermutedDiagonalBlock;
 pub use pd_matrix::{BlockPermDiagMatrix, PermutationIndexing};
 pub use qlinear::{QKernelStats, QScheme, QuantKernel, QuantizedLinear};
+pub use snapshot::{Snapshot, SnapshotBuilder, SnapshotCodec, SnapshotError};

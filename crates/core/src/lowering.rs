@@ -291,6 +291,14 @@ impl CompressedLinear for PdConvMatrix {
             &columns,
         ))
     }
+
+    fn write_snapshot(&self, out: &mut crate::snapshot::ByteWriter) -> Option<u16> {
+        if !crate::snapshot::pd_perms_encodable(self.tensor.p()) {
+            return None;
+        }
+        crate::snapshot::write_pd_conv(self, out);
+        Some(crate::snapshot::FORMAT_PD_CONV)
+    }
 }
 
 #[cfg(test)]

@@ -493,6 +493,224 @@ impl QuantizedLinear {
         raw
     }
 
+    /// Writes the snapshot payload for [`FORMAT_QUANTIZED`]
+    /// (`crate::snapshot::FORMAT_QUANTIZED`): shape, Q-scheme, label and cost
+    /// metadata, then the raw integer kernel (or the nested tensor record of
+    /// the fallback operator), then the quantized bias. Returns `None`
+    /// without writing anything if a fallback-wrapped operator has no codec.
+    pub(crate) fn snapshot_write(&self, out: &mut crate::snapshot::ByteWriter) -> Option<u16> {
+        use crate::snapshot::ByteWriter;
+        // Build the whole payload first so an unsupported inner operator
+        // leaves `out` untouched.
+        let mut w = ByteWriter::new();
+        w.dim(self.rows);
+        w.dim(self.cols);
+        w.u8(self.scheme.input_frac as u8);
+        w.u8(self.scheme.weight_frac as u8);
+        w.u8(self.scheme.output_frac as u8);
+        w.str(&self.label);
+        w.u64(self.mul_count);
+        w.u8(u8::from(self.exploits_input_sparsity));
+        match &self.exec {
+            QExec::Integer(QuantKernel::Dense { weights }) => {
+                w.u8(0);
+                for &v in weights {
+                    w.i16(v);
+                }
+            }
+            QExec::Integer(QuantKernel::ColumnSparse {
+                col_ptr,
+                row_idx,
+                weights,
+            }) => {
+                w.u8(1);
+                w.u64(weights.len() as u64);
+                // Row indices take 2 bytes whenever they fit (they always do
+                // below 64Ki rows) — at u32 the indices would outweigh the
+                // i16 weights 2:1, wrecking the compression the formats buy.
+                let idx_width: u8 = if self.rows <= (u16::MAX as usize) + 1 {
+                    2
+                } else {
+                    4
+                };
+                w.u8(idx_width);
+                for &p in col_ptr {
+                    w.u32(p as u32);
+                }
+                for &r in row_idx {
+                    if idx_width == 2 {
+                        w.u16(r as u16);
+                    } else {
+                        w.u32(r);
+                    }
+                }
+                for &v in weights {
+                    w.i16(v);
+                }
+            }
+            QExec::Fallback(op) => {
+                let inner = crate::snapshot::encode_tensor(op.as_ref()).ok()?;
+                w.u8(2);
+                w.u64(inner.len() as u64);
+                w.bytes(&inner);
+            }
+        }
+        match &self.bias_raw {
+            Some(bias) => {
+                w.u8(1);
+                for &b in bias {
+                    w.i32(b);
+                }
+            }
+            None => w.u8(0),
+        }
+        out.bytes(w.as_slice());
+        Some(crate::snapshot::FORMAT_QUANTIZED)
+    }
+
+    /// Decodes a [`FORMAT_QUANTIZED`](crate::snapshot::FORMAT_QUANTIZED)
+    /// payload written by [`QuantizedLinear::snapshot_write`]. Every field is
+    /// validated; corrupted payloads produce a typed
+    /// [`SnapshotError`](crate::snapshot::SnapshotError), never a panic.
+    pub(crate) fn snapshot_read(
+        r: &mut crate::snapshot::ByteReader<'_>,
+        codec: &crate::snapshot::SnapshotCodec,
+    ) -> Result<QuantizedLinear, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let rows = r.dim("quantized rows")?;
+        let cols = r.dim("quantized cols")?;
+        let mut frac = [0u32; 3];
+        for (name, slot) in ["input_frac", "weight_frac", "output_frac"]
+            .iter()
+            .zip(frac.iter_mut())
+        {
+            let v = u32::from(r.u8("quantized scheme")?);
+            if !(1..=14).contains(&v) {
+                return Err(SnapshotError::Malformed {
+                    context: "quantized scheme",
+                    reason: format!("{name} = {v} outside 1..=14"),
+                });
+            }
+            *slot = v;
+        }
+        let scheme = QScheme::new(frac[0], frac[1], frac[2]);
+        let label = r.str("quantized label")?;
+        let mul_count = r.u64("quantized mul count")?;
+        let exploits_input_sparsity = r.u8("quantized sparsity flag")? != 0;
+        let exec_kind = r.u8("quantized exec kind")?;
+        let (exec, stored_weights) = match exec_kind {
+            0 => {
+                let weights = r.i16_vec(rows * cols, "quantized dense weights")?;
+                let stored = weights.len();
+                (QExec::Integer(QuantKernel::Dense { weights }), stored)
+            }
+            1 => {
+                let nnz = r.u64("quantized nnz")? as usize;
+                let idx_width = r.u8("quantized index width")?;
+                if idx_width != 2 && idx_width != 4 {
+                    return Err(SnapshotError::Malformed {
+                        context: "quantized index width",
+                        reason: format!("width {idx_width} is not 2 or 4"),
+                    });
+                }
+                // Guard before the three allocations below: the declared nnz
+                // must fit in the bytes present (index + 2 per entry).
+                let per_entry = u64::from(idx_width) + 2;
+                if (nnz as u64).saturating_mul(per_entry) > r.remaining() as u64 {
+                    return Err(SnapshotError::Truncated {
+                        context: "quantized column-sparse kernel",
+                        needed: (nnz as u64).saturating_mul(per_entry),
+                        got: r.remaining() as u64,
+                    });
+                }
+                let col_ptr = r.u32_vec(cols + 1, "quantized col_ptr")?;
+                if col_ptr.first() != Some(&0)
+                    || col_ptr.last() != Some(&nnz)
+                    || col_ptr.windows(2).any(|w| w[0] > w[1])
+                {
+                    return Err(SnapshotError::Malformed {
+                        context: "quantized col_ptr",
+                        reason: "column pointers are not a monotone 0..=nnz walk".to_string(),
+                    });
+                }
+                let row_idx_usize = if idx_width == 2 {
+                    r.u16_vec(nnz, "quantized row_idx")?
+                } else {
+                    r.u32_vec(nnz, "quantized row_idx")?
+                };
+                if row_idx_usize.iter().any(|&ri| ri >= rows) {
+                    return Err(SnapshotError::Malformed {
+                        context: "quantized row_idx",
+                        reason: format!("row index out of bounds for {rows} rows"),
+                    });
+                }
+                let row_idx: Vec<u32> = row_idx_usize.into_iter().map(|v| v as u32).collect();
+                let weights = r.i16_vec(nnz, "quantized sparse weights")?;
+                (
+                    QExec::Integer(QuantKernel::ColumnSparse {
+                        col_ptr,
+                        row_idx,
+                        weights,
+                    }),
+                    nnz,
+                )
+            }
+            2 => {
+                let len = r.u64("quantized fallback length")? as usize;
+                let mut inner = r.sub_reader(len, "quantized fallback record")?;
+                let op = codec.decode_tensor(&mut inner)?;
+                inner.expect_end("quantized fallback record")?;
+                if op.out_dim() != rows || op.in_dim() != cols {
+                    return Err(SnapshotError::Malformed {
+                        context: "quantized fallback",
+                        reason: format!(
+                            "inner operator is {}x{}, wrapper declares {}x{}",
+                            op.out_dim(),
+                            op.in_dim(),
+                            rows,
+                            cols
+                        ),
+                    });
+                }
+                let stored = op.stored_weights();
+                (QExec::Fallback(op), stored)
+            }
+            other => {
+                return Err(SnapshotError::Malformed {
+                    context: "quantized exec kind",
+                    reason: format!("unknown kind {other}"),
+                })
+            }
+        };
+        let bias_raw = match r.u8("quantized bias flag")? {
+            0 => None,
+            1 => {
+                let mut bias = Vec::with_capacity(rows.min(r.remaining() / 4));
+                for _ in 0..rows {
+                    bias.push(r.i32("quantized bias")?);
+                }
+                Some(bias)
+            }
+            other => {
+                return Err(SnapshotError::Malformed {
+                    context: "quantized bias flag",
+                    reason: format!("flag {other} is not 0 or 1"),
+                })
+            }
+        };
+        Ok(QuantizedLinear {
+            rows,
+            cols,
+            scheme,
+            exec,
+            bias_raw,
+            label,
+            stored_weights,
+            mul_count,
+            exploits_input_sparsity,
+        })
+    }
+
     /// The integer matvec into a fresh vector.
     ///
     /// # Errors
@@ -556,6 +774,10 @@ impl CompressedLinear for QuantizedLinear {
 
     fn exploits_input_sparsity(&self) -> bool {
         self.exploits_input_sparsity
+    }
+
+    fn write_snapshot(&self, out: &mut crate::snapshot::ByteWriter) -> Option<u16> {
+        self.snapshot_write(out)
     }
 
     /// The f32 surface: quantize the input, run the integer kernel,

@@ -1,0 +1,1119 @@
+//! The binary model-snapshot format: a versioned, little-endian container of
+//! checksummed, length-prefixed sections, plus the per-format tensor codec
+//! that lets every [`CompressedLinear`] operator persist its *compressed*
+//! representation (never a densified one).
+//!
+//! # On-disk layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"PDNNSNAP"
+//! 8       2     u16    container version (currently 1)
+//! 10      2     u16    model kind (0 = bare tensor, 1 = MLP, 2 = conv net,
+//!                      3 = seq2seq — see the KIND_* constants)
+//! 12      4     u32    section count
+//! 16      ...   sections, back to back
+//! ```
+//!
+//! Each section is
+//!
+//! ```text
+//! u16    name length (≤ 255)
+//! bytes  name (UTF-8)
+//! u64    payload length
+//! bytes  payload
+//! u32    CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! All integers and floats are little-endian. Trailing bytes after the last
+//! section are a parse error: a snapshot is exactly its header plus its
+//! sections.
+//!
+//! # Tensor encoding
+//!
+//! A *tensor record* is a `u16` format code followed by a format-specific
+//! payload. Formats opt in by overriding
+//! [`CompressedLinear::write_snapshot`]; decoding goes through a
+//! [`SnapshotCodec`] — a registry mapping format codes to decode functions,
+//! so downstream crates (circulant, prune, quant) register their formats
+//! without `permdnn-core` depending on them. [`SnapshotCodec::new`] knows the
+//! codecs implemented in this crate: dense, permuted-diagonal, the quantized
+//! wrapper and the lowered PD convolution operator.
+//!
+//! # Versioning rules
+//!
+//! * The container version covers the header + section framing. Readers
+//!   reject versions they do not know ([`SnapshotError::UnsupportedVersion`])
+//!   rather than guessing.
+//! * Format codes are append-only: a code is never reused for a different
+//!   payload layout. A new layout for an existing format gets a new code.
+//! * Section names are the model loaders' contract; loaders must tolerate
+//!   unknown *extra* sections (forward compatibility) but never missing ones.
+//!
+//! # Corruption safety
+//!
+//! [`Snapshot::parse`] and every decoder return a typed [`SnapshotError`] on
+//! malformed input — truncation, bit flips (checksum mismatch), bad magic,
+//! unknown versions or format codes, and oversized length fields. Declared
+//! lengths are validated against the bytes actually present *before* any
+//! allocation, so a hostile header cannot make `load` over-allocate.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pd_tensor::Matrix;
+
+use crate::format::CompressedLinear;
+use crate::lowering::PdConvMatrix;
+use crate::qlinear::QuantizedLinear;
+use crate::BlockPermDiagMatrix;
+
+/// The 8-byte container magic.
+pub const MAGIC: [u8; 8] = *b"PDNNSNAP";
+/// The container version this build writes and reads.
+pub const VERSION: u16 = 1;
+
+/// Model kind: a bare tensor record (one section named `"tensor"`).
+pub const KIND_TENSOR: u16 = 0;
+/// Model kind: a frozen MLP classifier.
+pub const KIND_MLP: u16 = 1;
+/// Model kind: a frozen convolutional classifier.
+pub const KIND_CONV: u16 = 2;
+/// Model kind: a frozen sequence-to-sequence model.
+pub const KIND_SEQ2SEQ: u16 = 3;
+
+/// Tensor format code: dense `pd_tensor::Matrix`.
+pub const FORMAT_DENSE: u16 = 1;
+/// Tensor format code: [`BlockPermDiagMatrix`].
+pub const FORMAT_PERMUTED_DIAGONAL: u16 = 2;
+/// Tensor format code: `permdnn_circulant::BlockCirculantMatrix`.
+pub const FORMAT_CIRCULANT: u16 = 3;
+/// Tensor format code: `permdnn_prune::CscMatrix`.
+pub const FORMAT_CSC: u16 = 4;
+/// Tensor format code: `permdnn_prune::eie_format::EieEncodedMatrix`.
+pub const FORMAT_EIE: u16 = 5;
+/// Tensor format code: `permdnn_quant::SharedWeightPdMatrix`.
+pub const FORMAT_SHARED_PD: u16 = 6;
+/// Tensor format code: [`QuantizedLinear`] (QScheme + raw `i16` weights, or a
+/// nested tensor record for the dequantize-fallback execution).
+pub const FORMAT_QUANTIZED: u16 = 7;
+/// Tensor format code: [`PdConvMatrix`] (lowered permuted-diagonal conv).
+pub const FORMAT_PD_CONV: u16 = 8;
+
+/// Largest accepted section-name length.
+const MAX_NAME_LEN: usize = 255;
+/// Largest accepted logical dimension (rows, cols, channels...). Generous —
+/// a 2^24 × 2^24 dense matrix could never fit in a real snapshot anyway —
+/// while keeping every `rows * cols`-style product far from overflow.
+const MAX_DIM: u64 = 1 << 24;
+
+/// Everything that can go wrong reading (or writing) a snapshot. `load` paths
+/// return this — never panic — for arbitrarily corrupted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The 8 bytes actually found (zero-padded if fewer were present).
+        got: [u8; 8],
+    },
+    /// The container version is not one this build reads.
+    UnsupportedVersion {
+        /// Version found in the header.
+        got: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The input ended before a declared field — truncation, or a length
+    /// field larger than the bytes present (the over-allocation guard).
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes (or elements) the field declared.
+        needed: u64,
+        /// Bytes actually available.
+        got: u64,
+    },
+    /// A section's stored CRC-32 does not match its payload (bit corruption).
+    ChecksumMismatch {
+        /// Name of the damaged section.
+        section: String,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A tensor record carries a format code no registered codec decodes.
+    UnknownFormat {
+        /// The unrecognised format code.
+        code: u16,
+    },
+    /// A model loader did not find a section it requires.
+    MissingSection {
+        /// The absent section's name.
+        name: String,
+    },
+    /// The operator has no snapshot codec (it cannot be saved).
+    UnsupportedOperator {
+        /// The operator's label.
+        label: String,
+    },
+    /// Any other structural violation (inconsistent counts, out-of-range
+    /// values, trailing garbage, invalid UTF-8...).
+    Malformed {
+        /// Where the violation was detected.
+        context: &'static str,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic { got } => {
+                write!(f, "bad snapshot magic {got:02x?} (expected {MAGIC:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { got, supported } => {
+                write!(f, "unsupported snapshot version {got} (supported: {supported})")
+            }
+            SnapshotError::Truncated {
+                context,
+                needed,
+                got,
+            } => write!(
+                f,
+                "truncated snapshot in {context}: needed {needed} bytes, {got} available"
+            ),
+            SnapshotError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in section {section:?}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::UnknownFormat { code } => {
+                write!(f, "unknown tensor format code {code}")
+            }
+            SnapshotError::MissingSection { name } => {
+                write!(f, "required section {name:?} is missing")
+            }
+            SnapshotError::UnsupportedOperator { label } => {
+                write!(f, "operator {label:?} has no snapshot codec")
+            }
+            SnapshotError::Malformed { context, reason } => {
+                write!(f, "malformed snapshot in {context}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the per-section
+/// payload checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Little-endian byte sink used by every encoder.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds [`MAX_DIM`] — the same bound
+    /// [`ByteReader::dim`] enforces, so anything written is always readable
+    /// back. No in-memory operator in this workspace has a dimension
+    /// anywhere near 2²⁴.
+    pub fn dim(&mut self, v: usize) {
+        assert!(
+            v as u64 <= MAX_DIM,
+            "dimension {v} exceeds the snapshot encoding's maximum {MAX_DIM}"
+        );
+        self.u32(v as u32);
+    }
+
+    /// Appends a little-endian `i16`.
+    pub fn i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u16` length prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is longer than 65535 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.u16(u16::try_from(s.len()).expect("string fits in a u16 length"));
+        self.bytes(s.as_bytes());
+    }
+
+    /// Appends each `f32` of a slice (no length prefix).
+    pub fn f32_slice(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a snapshot (or section) payload.
+/// Every read returns [`SnapshotError::Truncated`] instead of panicking when
+/// the input runs out.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether everything has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if n > self.remaining() {
+            return Err(SnapshotError::Truncated {
+                context,
+                needed: n as u64,
+                got: self.remaining() as u64,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, SnapshotError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a dimension written by [`ByteWriter::dim`], bounded by
+    /// [`MAX_DIM`] so downstream size products cannot overflow.
+    pub fn dim(&mut self, context: &'static str) -> Result<usize, SnapshotError> {
+        let v = self.u32(context)?;
+        if u64::from(v) > MAX_DIM {
+            return Err(SnapshotError::Malformed {
+                context,
+                reason: format!("dimension {v} exceeds the supported maximum {MAX_DIM}"),
+            });
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a little-endian `i16`.
+    pub fn i16(&mut self, context: &'static str) -> Result<i16, SnapshotError> {
+        let b = self.take(2, context)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self, context: &'static str) -> Result<i32, SnapshotError> {
+        let b = self.take(4, context)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self, context: &'static str) -> Result<f32, SnapshotError> {
+        let b = self.take(4, context)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u16`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<String, SnapshotError> {
+        let len = self.u16(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Malformed {
+            context,
+            reason: "string is not valid UTF-8".to_string(),
+        })
+    }
+
+    /// Reads exactly `count` `f32`s. The byte requirement is checked against
+    /// the remaining input *before* allocating.
+    pub fn f32_vec(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Vec<f32>, SnapshotError> {
+        let bytes = self.take(
+            count.checked_mul(4).ok_or(SnapshotError::Malformed {
+                context,
+                reason: "element count overflows".to_string(),
+            })?,
+            context,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect())
+    }
+
+    /// Reads exactly `count` `i16`s, bounds-checked before allocation.
+    pub fn i16_vec(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Vec<i16>, SnapshotError> {
+        let bytes = self.take(
+            count.checked_mul(2).ok_or(SnapshotError::Malformed {
+                context,
+                reason: "element count overflows".to_string(),
+            })?,
+            context,
+        )?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|b| i16::from_le_bytes([b[0], b[1]]))
+            .collect())
+    }
+
+    /// Reads exactly `count` `u16`s as `usize`s, bounds-checked before
+    /// allocation.
+    pub fn u16_vec(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Vec<usize>, SnapshotError> {
+        let bytes = self.take(
+            count.checked_mul(2).ok_or(SnapshotError::Malformed {
+                context,
+                reason: "element count overflows".to_string(),
+            })?,
+            context,
+        )?;
+        Ok(bytes
+            .chunks_exact(2)
+            .map(|b| u16::from_le_bytes([b[0], b[1]]) as usize)
+            .collect())
+    }
+
+    /// Reads exactly `count` `u32`s as `usize`s, bounds-checked before
+    /// allocation.
+    pub fn u32_vec(
+        &mut self,
+        count: usize,
+        context: &'static str,
+    ) -> Result<Vec<usize>, SnapshotError> {
+        let bytes = self.take(
+            count.checked_mul(4).ok_or(SnapshotError::Malformed {
+                context,
+                reason: "element count overflows".to_string(),
+            })?,
+            context,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
+            .collect())
+    }
+
+    /// Splits off the next `len` bytes as a nested reader (used for embedded
+    /// tensor records).
+    pub fn sub_reader(
+        &mut self,
+        len: usize,
+        context: &'static str,
+    ) -> Result<ByteReader<'a>, SnapshotError> {
+        Ok(ByteReader::new(self.take(len, context)?))
+    }
+
+    /// Fails unless the reader is fully consumed — decoders call this so
+    /// trailing garbage inside a section is a hard error, not silence.
+    pub fn expect_end(&self, context: &'static str) -> Result<(), SnapshotError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Malformed {
+                context,
+                reason: format!("{} trailing bytes after the payload", self.remaining()),
+            })
+        }
+    }
+}
+
+/// Builds a snapshot: a model kind plus named, checksummed sections in
+/// insertion order.
+#[derive(Debug, Clone)]
+pub struct SnapshotBuilder {
+    kind: u16,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// An empty snapshot of the given model kind.
+    pub fn new(kind: u16) -> Self {
+        SnapshotBuilder {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty or longer than 255 bytes (writer bug, not
+    /// data corruption).
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+        assert!(
+            !name.is_empty() && name.len() <= MAX_NAME_LEN,
+            "section name must be 1..=255 bytes"
+        );
+        self.sections.push((name.to_string(), payload));
+        self
+    }
+
+    /// Serialises the container.
+    pub fn finish(self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&MAGIC);
+        w.u16(VERSION);
+        w.u16(self.kind);
+        w.u32(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            w.u16(name.len() as u16);
+            w.bytes(name.as_bytes());
+            w.u64(payload.len() as u64);
+            w.bytes(payload);
+            w.u32(crc32(payload));
+        }
+        w.into_vec()
+    }
+}
+
+/// A parsed snapshot: the model kind and the validated sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    kind: u16,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Parses and fully validates a snapshot container: magic, version,
+    /// section framing and every per-section checksum. Corrupted input of any
+    /// shape produces a typed [`SnapshotError`]; nothing panics, and declared
+    /// lengths are checked against the available bytes before allocation.
+    pub fn parse(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(MAGIC.len(), "magic").map_err(|_| {
+            let mut got = [0u8; 8];
+            got[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+            SnapshotError::BadMagic { got }
+        })?;
+        if magic != MAGIC {
+            let mut got = [0u8; 8];
+            got.copy_from_slice(magic);
+            return Err(SnapshotError::BadMagic { got });
+        }
+        let version = r.u16("header version")?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                got: version,
+                supported: VERSION,
+            });
+        }
+        let kind = r.u16("header kind")?;
+        let count = r.u32("header section count")? as usize;
+        // Each section needs at least name-len + payload-len + crc = 14 bytes;
+        // reject impossible counts before reserving anything.
+        if count > r.remaining() / 14 {
+            return Err(SnapshotError::Truncated {
+                context: "section table",
+                needed: (count as u64) * 14,
+                got: r.remaining() as u64,
+            });
+        }
+        let mut sections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = r.u16("section name length")? as usize;
+            if name_len == 0 || name_len > MAX_NAME_LEN {
+                return Err(SnapshotError::Malformed {
+                    context: "section name length",
+                    reason: format!("length {name_len} outside 1..=255"),
+                });
+            }
+            let name_bytes = r.take(name_len, "section name")?;
+            let name =
+                String::from_utf8(name_bytes.to_vec()).map_err(|_| SnapshotError::Malformed {
+                    context: "section name",
+                    reason: "not valid UTF-8".to_string(),
+                })?;
+            let payload_len = r.u64("section payload length")?;
+            // The over-allocation guard: the declared length must fit in the
+            // bytes that are actually present (leaving room for the CRC).
+            if payload_len.saturating_add(4) > r.remaining() as u64 {
+                return Err(SnapshotError::Truncated {
+                    context: "section payload",
+                    needed: payload_len.saturating_add(4),
+                    got: r.remaining() as u64,
+                });
+            }
+            let payload = r.take(payload_len as usize, "section payload")?.to_vec();
+            let stored = r.u32("section checksum")?;
+            let computed = crc32(&payload);
+            if stored != computed {
+                return Err(SnapshotError::ChecksumMismatch {
+                    section: name,
+                    stored,
+                    computed,
+                });
+            }
+            sections.push((name, payload));
+        }
+        r.expect_end("container")?;
+        Ok(Snapshot { kind, sections })
+    }
+
+    /// The model kind from the header.
+    pub fn kind(&self) -> u16 {
+        self.kind
+    }
+
+    /// The sections, in file order.
+    pub fn sections(&self) -> &[(String, Vec<u8>)] {
+        &self.sections
+    }
+
+    /// The payload of the named section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::MissingSection`] if no section has that name.
+    pub fn section(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+            .ok_or_else(|| SnapshotError::MissingSection {
+                name: name.to_string(),
+            })
+    }
+}
+
+/// A decode function: consumes one tensor payload (the bytes after the format
+/// code) and rebuilds the operator. The codec is passed back in so wrapper
+/// formats ([`QuantizedLinear`]'s fallback execution) can decode nested
+/// records.
+pub type DecodeFn =
+    fn(&mut ByteReader<'_>, &SnapshotCodec) -> Result<Arc<dyn CompressedLinear>, SnapshotError>;
+
+/// The tensor-format registry: format code → decoder. [`SnapshotCodec::new`]
+/// registers the formats implemented in `permdnn-core`; downstream crates add
+/// theirs with [`SnapshotCodec::register`] (see `permdnn_nn::snapshot::codec`
+/// for the full workspace registry).
+#[derive(Clone, Default)]
+pub struct SnapshotCodec {
+    decoders: BTreeMap<u16, DecodeFn>,
+}
+
+impl std::fmt::Debug for SnapshotCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCodec")
+            .field("formats", &self.decoders.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SnapshotCodec {
+    /// A codec knowing the formats owned by `permdnn-core`: dense,
+    /// permuted-diagonal, the quantized wrapper and the lowered PD conv.
+    pub fn new() -> Self {
+        let mut codec = SnapshotCodec {
+            decoders: BTreeMap::new(),
+        };
+        codec.register(FORMAT_DENSE, decode_dense);
+        codec.register(FORMAT_PERMUTED_DIAGONAL, decode_permuted_diagonal);
+        codec.register(FORMAT_QUANTIZED, decode_quantized);
+        codec.register(FORMAT_PD_CONV, decode_pd_conv);
+        codec
+    }
+
+    /// Registers (or replaces) the decoder for a format code.
+    pub fn register(&mut self, code: u16, decode: DecodeFn) -> &mut Self {
+        self.decoders.insert(code, decode);
+        self
+    }
+
+    /// The registered format codes, ascending.
+    pub fn formats(&self) -> Vec<u16> {
+        self.decoders.keys().copied().collect()
+    }
+
+    /// Decodes one tensor record (format code + payload) from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::UnknownFormat`] for unregistered codes and
+    /// the decoder's error for malformed payloads.
+    pub fn decode_tensor(
+        &self,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+        let code = r.u16("tensor format code")?;
+        let decode = self
+            .decoders
+            .get(&code)
+            .ok_or(SnapshotError::UnknownFormat { code })?;
+        decode(r, self)
+    }
+}
+
+/// Encodes one operator as a tensor record (`u16` format code + payload).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::UnsupportedOperator`] if the operator does not
+/// implement [`CompressedLinear::write_snapshot`].
+pub fn encode_tensor(op: &dyn CompressedLinear) -> Result<Vec<u8>, SnapshotError> {
+    let mut payload = ByteWriter::new();
+    match op.write_snapshot(&mut payload) {
+        Some(code) => {
+            let mut w = ByteWriter::new();
+            w.u16(code);
+            w.bytes(payload.as_slice());
+            Ok(w.into_vec())
+        }
+        None => Err(SnapshotError::UnsupportedOperator { label: op.label() }),
+    }
+}
+
+/// Saves one bare operator as a standalone snapshot ([`KIND_TENSOR`], a
+/// single `"tensor"` section) — the golden-fixture form.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::UnsupportedOperator`] if the operator has no
+/// codec.
+pub fn save_tensor(op: &dyn CompressedLinear) -> Result<Vec<u8>, SnapshotError> {
+    let mut b = SnapshotBuilder::new(KIND_TENSOR);
+    b.section("tensor", encode_tensor(op)?);
+    Ok(b.finish())
+}
+
+/// Loads a standalone operator snapshot written by [`save_tensor`].
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] for any corruption, wrong kind, or
+/// unregistered format.
+pub fn load_tensor(
+    bytes: &[u8],
+    codec: &SnapshotCodec,
+) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+    let snap = Snapshot::parse(bytes)?;
+    if snap.kind() != KIND_TENSOR {
+        return Err(SnapshotError::Malformed {
+            context: "tensor snapshot",
+            reason: format!("kind {} is not a bare tensor", snap.kind()),
+        });
+    }
+    let mut r = ByteReader::new(snap.section("tensor")?);
+    let op = codec.decode_tensor(&mut r)?;
+    r.expect_end("tensor section")?;
+    Ok(op)
+}
+
+// ---------------------------------------------------------------------------
+// Core-owned format codecs.
+// ---------------------------------------------------------------------------
+
+/// Encodes a dense matrix: rows, cols, row-major `f32` values.
+pub(crate) fn write_dense(m: &Matrix, w: &mut ByteWriter) {
+    w.dim(m.rows());
+    w.dim(m.cols());
+    w.f32_slice(m.as_slice());
+}
+
+fn decode_dense(
+    r: &mut ByteReader<'_>,
+    _codec: &SnapshotCodec,
+) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+    let rows = r.dim("dense rows")?;
+    let cols = r.dim("dense cols")?;
+    let data = r.f32_vec(rows * cols, "dense values")?;
+    let m = Matrix::from_vec(rows, cols, data).map_err(|e| SnapshotError::Malformed {
+        context: "dense tensor",
+        reason: e.to_string(),
+    })?;
+    Ok(Arc::new(m))
+}
+
+/// Encodes a permuted-diagonal matrix: rows, cols, p, per-block permutation
+/// parameters (`u16` each — one per `p × p` block, the near-zero index
+/// overhead the format is prized for), stored values — exactly the
+/// compressed representation, no densification.
+pub(crate) fn write_permuted_diagonal(m: &BlockPermDiagMatrix, w: &mut ByteWriter) {
+    w.dim(m.rows());
+    w.dim(m.cols());
+    w.dim(m.p());
+    for &k in m.perms() {
+        w.u16(k as u16);
+    }
+    w.f32_slice(m.values());
+}
+
+/// Whether a PD block size fits the snapshot encoding's `u16` permutation
+/// parameters (`k < p ≤ 65536`). Block sizes are compression ratios — single
+/// to double digits in practice — so this never bites outside fuzzers;
+/// writers return `None` (no codec) for larger `p` rather than corrupting.
+pub fn pd_perms_encodable(p: usize) -> bool {
+    p <= (u16::MAX as usize) + 1
+}
+
+fn decode_permuted_diagonal(
+    r: &mut ByteReader<'_>,
+    _codec: &SnapshotCodec,
+) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+    let m = read_pd_matrix(r)?;
+    Ok(Arc::new(m))
+}
+
+/// Decodes the permuted-diagonal payload into the concrete matrix type
+/// (shared with the shared-codebook format in `permdnn-quant`).
+pub fn read_pd_matrix(r: &mut ByteReader<'_>) -> Result<BlockPermDiagMatrix, SnapshotError> {
+    let rows = r.dim("pd rows")?;
+    let cols = r.dim("pd cols")?;
+    let p = r.dim("pd block size")?;
+    if p == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "pd block size",
+            reason: "p must be non-zero".to_string(),
+        });
+    }
+    let nblocks = rows.div_ceil(p) * cols.div_ceil(p);
+    let perms = r.u16_vec(nblocks, "pd permutations")?;
+    let values = r.f32_vec(nblocks * p, "pd values")?;
+    BlockPermDiagMatrix::new(rows, cols, p, perms, values).map_err(|e| SnapshotError::Malformed {
+        context: "pd tensor",
+        reason: e.to_string(),
+    })
+}
+
+/// Encodes the permuted-diagonal matrix fields without constructing a trait
+/// object (helper for the shared-codebook format).
+pub fn write_pd_matrix(m: &BlockPermDiagMatrix, w: &mut ByteWriter) {
+    write_permuted_diagonal(m, w);
+}
+
+fn decode_quantized(
+    r: &mut ByteReader<'_>,
+    codec: &SnapshotCodec,
+) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+    Ok(Arc::new(QuantizedLinear::snapshot_read(r, codec)?))
+}
+
+/// Encodes a lowered permuted-diagonal convolution operator: channel
+/// geometry, kernel window, block size, per-block permutations and the stored
+/// kernels.
+pub(crate) fn write_pd_conv(m: &PdConvMatrix, w: &mut ByteWriter) {
+    let t = m.tensor();
+    w.dim(t.c_out());
+    w.dim(t.c_in());
+    w.dim(t.kh());
+    w.dim(t.kw());
+    w.dim(t.p());
+    for &k in t.perms() {
+        w.u16(k as u16);
+    }
+    w.f32_slice(t.kernels());
+}
+
+fn decode_pd_conv(
+    r: &mut ByteReader<'_>,
+    _codec: &SnapshotCodec,
+) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+    let c_out = r.dim("pd-conv c_out")?;
+    let c_in = r.dim("pd-conv c_in")?;
+    let kh = r.dim("pd-conv kh")?;
+    let kw = r.dim("pd-conv kw")?;
+    let p = r.dim("pd-conv block size")?;
+    if p == 0 || kh == 0 || kw == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "pd-conv geometry",
+            reason: "block size and kernel window must be non-zero".to_string(),
+        });
+    }
+    let nblocks = c_out.div_ceil(p) * c_in.div_ceil(p);
+    let perms = r.u16_vec(nblocks, "pd-conv permutations")?;
+    if let Some(&bad) = perms.iter().find(|&&k| k >= p) {
+        return Err(SnapshotError::Malformed {
+            context: "pd-conv permutations",
+            reason: format!("permutation {bad} out of range for p = {p}"),
+        });
+    }
+    // 4-factor product of attacker-controlled dims: MAX_DIM bounds each
+    // factor but not the product, so multiply checked (2^24 × 2^24 × 2^24
+    // would wrap usize before f32_vec's own byte guard could see it).
+    let kernel_count = nblocks
+        .checked_mul(p)
+        .and_then(|n| n.checked_mul(kh))
+        .and_then(|n| n.checked_mul(kw))
+        .ok_or(SnapshotError::Malformed {
+            context: "pd-conv kernels",
+            reason: "kernel element count overflows".to_string(),
+        })?;
+    let kernels = r.f32_vec(kernel_count, "pd-conv kernels")?;
+    let mut tensor = crate::BlockPermDiagTensor4::zeros(
+        c_out,
+        c_in,
+        kh,
+        kw,
+        p,
+        crate::PermutationIndexing::Natural,
+    )
+    .map_err(|e| SnapshotError::Malformed {
+        context: "pd-conv tensor",
+        reason: e.to_string(),
+    })?;
+    tensor.set_perms(&perms);
+    tensor.kernels_mut().copy_from_slice(&kernels);
+    Ok(Arc::new(PdConvMatrix::new(tensor)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_tensor::init::{seeded_rng, xavier_uniform};
+
+    #[test]
+    fn container_round_trips() {
+        let mut b = SnapshotBuilder::new(KIND_MLP);
+        b.section("graph", vec![1, 2, 3]);
+        b.section("layer0.weights", vec![9; 100]);
+        let bytes = b.finish();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert_eq!(snap.kind(), KIND_MLP);
+        assert_eq!(snap.section("graph").unwrap(), &[1, 2, 3]);
+        assert_eq!(snap.section("layer0.weights").unwrap().len(), 100);
+        assert!(matches!(
+            snap.section("absent"),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        assert!(matches!(
+            Snapshot::parse(b"NOTASNAP\x01\x00\x00\x00\x00\x00\x00\x00"),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Snapshot::parse(b"PD"),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let mut bytes = SnapshotBuilder::new(0).finish();
+        bytes[8] = 0xff; // version low byte
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut b = SnapshotBuilder::new(0);
+        b.section("tensor", vec![0xaa; 64]);
+        let mut bytes = b.finish();
+        let flip = bytes.len() - 20; // inside the payload
+        bytes[flip] ^= 0x01;
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_section_length_is_rejected_before_allocation() {
+        let mut b = SnapshotBuilder::new(0);
+        b.section("tensor", vec![1, 2, 3, 4]);
+        let mut bytes = b.finish();
+        // Overwrite the payload-length field (after name-len + name) with u64::MAX.
+        let len_off = 16 + 2 + "tensor".len();
+        bytes[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match Snapshot::parse(&bytes) {
+            Err(SnapshotError::Truncated { needed, .. }) => assert!(needed > 1 << 40),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let mut b = SnapshotBuilder::new(KIND_TENSOR);
+        b.section("tensor", encode_tensor(&Matrix::identity(4)).unwrap());
+        let bytes = b.finish();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::parse(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        assert!(Snapshot::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = SnapshotBuilder::new(0).finish();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_tensor_round_trips_bit_exactly() {
+        let m = xavier_uniform(&mut seeded_rng(1), 6, 9);
+        let bytes = save_tensor(&m).unwrap();
+        let codec = SnapshotCodec::new();
+        let back = load_tensor(&bytes, &codec).unwrap();
+        assert_eq!(back.to_dense(), m);
+        assert_eq!(back.label(), "dense");
+        // Canonical encoding: re-saving is byte-identical.
+        assert_eq!(save_tensor(back.as_ref()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn pd_tensor_round_trips_without_densifying() {
+        let m = BlockPermDiagMatrix::random(12, 16, 4, &mut seeded_rng(2));
+        let bytes = save_tensor(&m).unwrap();
+        // Stored payload is ~stored_weights * 4 bytes, far below dense size.
+        assert!(bytes.len() < 12 * 16 * 4 / 2);
+        let back = load_tensor(&bytes, &SnapshotCodec::new()).unwrap();
+        assert_eq!(back.stored_weights(), m.stored_weights());
+        assert_eq!(back.to_dense(), m.to_dense());
+        assert_eq!(save_tensor(back.as_ref()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn unknown_format_code_is_reported() {
+        let mut w = ByteWriter::new();
+        w.u16(0x7777);
+        let mut b = SnapshotBuilder::new(KIND_TENSOR);
+        b.section("tensor", w.into_vec());
+        let bytes = b.finish();
+        assert!(matches!(
+            load_tensor(&bytes, &SnapshotCodec::new()),
+            Err(SnapshotError::UnknownFormat { code: 0x7777 })
+        ));
+    }
+
+    #[test]
+    fn quantized_tensor_round_trips_bit_exactly() {
+        use crate::format::CompressedLinear as _;
+        use crate::qlinear::QScheme;
+        let op: Arc<dyn CompressedLinear> =
+            Arc::new(BlockPermDiagMatrix::random(8, 12, 4, &mut seeded_rng(3)));
+        let q = QuantizedLinear::from_op(Arc::clone(&op), QScheme::new(12, 12, 11))
+            .with_bias(&[0.25; 8]);
+        let bytes = save_tensor(&q).unwrap();
+        let back = load_tensor(&bytes, &SnapshotCodec::new()).unwrap();
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 * 0.37).sin()).collect();
+        assert_eq!(back.matvec(&x).unwrap(), q.matvec(&x).unwrap());
+        assert_eq!(back.label(), q.label());
+        assert_eq!(save_tensor(back.as_ref()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -574,6 +574,123 @@ impl FrozenConvNet {
         };
         (model, report)
     }
+
+    /// Serialises the frozen conv net into a model snapshot: a `"graph"`
+    /// section (channel plan, image size, class count, training format and
+    /// the head bias length implied by its tensor), the two lowered conv
+    /// operators as compressed tensor records, and the head weights + bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`](permdnn_core::snapshot::SnapshotError) if an
+    /// operator has no snapshot codec.
+    pub fn save(&self) -> Result<Vec<u8>, permdnn_core::snapshot::SnapshotError> {
+        use permdnn_core::snapshot::{encode_tensor, ByteWriter, SnapshotBuilder};
+        let mut graph = ByteWriter::new();
+        for &c in &self.channels {
+            graph.dim(c);
+        }
+        graph.dim(self.image_size);
+        graph.dim(self.num_classes);
+        crate::snapshot::write_weight_format(self.format, &mut graph);
+        let mut b = SnapshotBuilder::new(permdnn_core::snapshot::KIND_CONV);
+        b.section("graph", graph.into_vec());
+        b.section("conv0", encode_tensor(self.convs[0].as_ref())?);
+        b.section("conv1", encode_tensor(self.convs[1].as_ref())?);
+        b.section("head.weights", encode_tensor(self.head.weights())?);
+        b.section("head.bias", crate::snapshot::write_bias(self.head.bias()));
+        Ok(b.finish())
+    }
+
+    /// Loads a frozen conv net snapshot written by [`FrozenConvNet::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapshotError`](permdnn_core::snapshot::SnapshotError)
+    /// for any corruption or a geometry that does not chain (conv widths,
+    /// pooling arithmetic, head input) — never panics on hostile bytes.
+    pub fn load(bytes: &[u8]) -> Result<FrozenConvNet, permdnn_core::snapshot::SnapshotError> {
+        let snap = permdnn_core::snapshot::Snapshot::parse(bytes)?;
+        if snap.kind() != permdnn_core::snapshot::KIND_CONV {
+            return Err(permdnn_core::snapshot::SnapshotError::Malformed {
+                context: "conv snapshot",
+                reason: format!("kind {} is not a conv net", snap.kind()),
+            });
+        }
+        Self::load_snapshot(&snap)
+    }
+
+    /// [`FrozenConvNet::load`] over an already-parsed container (shared with
+    /// the batch-model dispatcher).
+    pub(crate) fn load_snapshot(
+        snap: &permdnn_core::snapshot::Snapshot,
+    ) -> Result<FrozenConvNet, permdnn_core::snapshot::SnapshotError> {
+        use permdnn_core::snapshot::{ByteReader, SnapshotError};
+        let codec = crate::snapshot::codec();
+        let mut g = ByteReader::new(snap.section("graph")?);
+        let channels = [
+            g.dim("conv channels")?,
+            g.dim("conv channels")?,
+            g.dim("conv channels")?,
+        ];
+        let image_size = g.dim("conv image size")?;
+        let num_classes = g.dim("conv class count")?;
+        let format = crate::snapshot::read_weight_format(&mut g)?;
+        g.expect_end("conv graph")?;
+
+        let geometry = ConvGeometry::new(3, 3, 1, 1);
+        let conv0 = crate::snapshot::read_tensor_section(snap.section("conv0")?, &codec)?;
+        let conv1 = crate::snapshot::read_tensor_section(snap.section("conv1")?, &codec)?;
+        for (i, conv) in [&conv0, &conv1].into_iter().enumerate() {
+            let (c_in, c_out) = (channels[i], channels[i + 1]);
+            if conv.in_dim() != geometry.patch_len(c_in) || conv.out_dim() != c_out {
+                return Err(SnapshotError::Malformed {
+                    context: "conv operator shape",
+                    reason: format!(
+                        "conv{i} is {}x{}, expected {}x{}",
+                        conv.out_dim(),
+                        conv.in_dim(),
+                        c_out,
+                        geometry.patch_len(c_in)
+                    ),
+                });
+            }
+        }
+        // Two stride-1 convs each followed by 2x2 pooling: the head consumes
+        // channels[2] * (image_size/4)^2 values. All three factors come from
+        // the (attacker-controlled) graph section, so multiply checked.
+        let pooled = image_size / 2 / 2;
+        let head_in = channels[2]
+            .checked_mul(pooled)
+            .and_then(|n| n.checked_mul(pooled))
+            .ok_or(SnapshotError::Malformed {
+                context: "conv head shape",
+                reason: "head input size overflows".to_string(),
+            })?;
+        let head_w = crate::snapshot::read_tensor_section(snap.section("head.weights")?, &codec)?;
+        if head_w.in_dim() != head_in || head_w.out_dim() != num_classes {
+            return Err(SnapshotError::Malformed {
+                context: "conv head shape",
+                reason: format!(
+                    "head is {}x{}, expected {}x{}",
+                    head_w.out_dim(),
+                    head_w.in_dim(),
+                    num_classes,
+                    head_in
+                ),
+            });
+        }
+        let head_bias = crate::snapshot::read_bias(snap.section("head.bias")?, num_classes)?;
+        Ok(FrozenConvNet {
+            convs: [conv0, conv1],
+            geometry,
+            head: CompressedFc::from_shared(head_w).with_bias(&head_bias),
+            channels,
+            image_size,
+            num_classes,
+            format,
+        })
+    }
 }
 
 /// A frozen conv net is servable by the batching runtime: requests carry

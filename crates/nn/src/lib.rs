@@ -29,6 +29,10 @@
 //! * [`quantize`] — the deployment path to the 16-bit fixed-point backend: per-layer
 //!   Q-format calibration and conversion of any trained classifier into a network of
 //!   [`permdnn_core::QuantizedLinear`] layers with activation requantization between them.
+//! * [`snapshot`] — durable model artifacts: `save`/`load` on every frozen model
+//!   (MLP, conv net, seq2seq) over the binary container of
+//!   [`permdnn_core::snapshot`], the workspace-wide tensor codec, and the
+//!   batch-model loader the serving registry routes through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,9 +47,10 @@ pub mod lstm;
 pub mod metrics;
 pub mod mlp;
 pub mod quantize;
+pub mod snapshot;
 
 pub use conv_net::{ConvClassifier, FrozenConvNet};
 pub use layers::{Layer, WeightFormat};
-pub use lstm::{FrozenSeq2Seq, Seq2Seq};
+pub use lstm::{capture_proxy_warnings, FrozenSeq2Seq, Seq2Seq};
 pub use mlp::MlpClassifier;
 pub use quantize::{quantize_mlp, LayerQuantization, QuantizationReport};

@@ -64,15 +64,55 @@ fn decoder_input(vocab: usize, prev_token: Option<u32>) -> Vec<f32> {
     v
 }
 
+thread_local! {
+    /// When set, proxy-training warnings on this thread are appended here
+    /// instead of written to stderr — the test-observability hook behind
+    /// [`capture_proxy_warnings`].
+    static PROXY_WARNING_CAPTURE: std::cell::RefCell<Option<Vec<String>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's proxy-training warnings captured instead of
+/// written to stderr, returning `f`'s result and the messages emitted. The
+/// capture is strictly thread-local, so concurrent tests (or worker threads)
+/// never observe each other's warnings, and it is restored on unwind.
+pub fn capture_proxy_warnings<T>(f: impl FnOnce() -> T) -> (T, Vec<String>) {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            PROXY_WARNING_CAPTURE.with(|c| *c.borrow_mut() = None);
+        }
+    }
+    PROXY_WARNING_CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    let guard = Guard;
+    let out = f();
+    let msgs = PROXY_WARNING_CAPTURE
+        .with(|c| c.borrow_mut().take())
+        .unwrap_or_default();
+    drop(guard);
+    (out, msgs)
+}
+
 /// One visible warning per model when training uses a proxy representation —
-/// never a silent substitution.
+/// never a silent substitution. Goes to the thread's capture sink when one
+/// is installed ([`capture_proxy_warnings`]), to stderr otherwise.
 fn warn_proxy_training(context: &str, format: WeightFormat, proxy: &str) {
-    eprintln!(
+    let msg = format!(
         "warning: {context}: {} has no LSTM training rule; training {proxy} gates \
          as a proxy (freeze() builds the real {} operators from the trained weights)",
         format.label(),
         format.label()
     );
+    let captured = PROXY_WARNING_CAPTURE.with(|c| match c.borrow_mut().as_mut() {
+        Some(sink) => {
+            sink.push(msg.clone());
+            true
+        }
+        None => false,
+    });
+    if !captured {
+        eprintln!("{msg}");
+    }
 }
 
 /// Rejects LSTM formats [`Seq2Seq::freeze`] could not honor, up front at
@@ -1189,6 +1229,136 @@ impl FrozenSeq2Seq {
         };
         (model, report)
     }
+
+    /// Serialises the frozen model into a model snapshot: a `"graph"` section
+    /// (vocabulary, hidden width, gate format), all sixteen gate operators as
+    /// compressed tensor records (`"encoder.wx0"` ... `"decoder.wh3"`, gate
+    /// order i/f/g/o), the eight gate biases, and the vocabulary head.
+    /// Quantized models save each gate's QScheme inside its tensor record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`](permdnn_core::snapshot::SnapshotError) if an
+    /// operator has no snapshot codec.
+    pub fn save(&self) -> Result<Vec<u8>, permdnn_core::snapshot::SnapshotError> {
+        use permdnn_core::snapshot::{encode_tensor, ByteWriter, SnapshotBuilder};
+        let mut graph = ByteWriter::new();
+        graph.dim(self.vocab);
+        graph.dim(self.hidden);
+        crate::snapshot::write_weight_format(self.format, &mut graph);
+        let mut b = SnapshotBuilder::new(permdnn_core::snapshot::KIND_SEQ2SEQ);
+        b.section("graph", graph.into_vec());
+        for (prefix, cell) in [("encoder", &self.encoder), ("decoder", &self.decoder)] {
+            for g in 0..4 {
+                b.section(
+                    &format!("{prefix}.wx{g}"),
+                    encode_tensor(cell.wx[g].as_ref())?,
+                );
+                b.section(
+                    &format!("{prefix}.wh{g}"),
+                    encode_tensor(cell.wh[g].as_ref())?,
+                );
+                b.section(
+                    &format!("{prefix}.bias{g}"),
+                    crate::snapshot::write_bias(&cell.bias[g]),
+                );
+            }
+        }
+        b.section("head.weights", encode_tensor(self.head.as_ref())?);
+        b.section("head.bias", crate::snapshot::write_bias(&self.head_bias));
+        Ok(b.finish())
+    }
+
+    /// Loads a frozen seq2seq snapshot written by [`FrozenSeq2Seq::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapshotError`](permdnn_core::snapshot::SnapshotError)
+    /// for any corruption or gate geometry that does not match the declared
+    /// vocabulary/hidden widths — never panics on hostile bytes.
+    pub fn load(bytes: &[u8]) -> Result<FrozenSeq2Seq, permdnn_core::snapshot::SnapshotError> {
+        use permdnn_core::snapshot::{ByteReader, SnapshotError};
+        let snap = permdnn_core::snapshot::Snapshot::parse(bytes)?;
+        if snap.kind() != permdnn_core::snapshot::KIND_SEQ2SEQ {
+            return Err(SnapshotError::Malformed {
+                context: "seq2seq snapshot",
+                reason: format!("kind {} is not a seq2seq model", snap.kind()),
+            });
+        }
+        let codec = crate::snapshot::codec();
+        let mut g = ByteReader::new(snap.section("graph")?);
+        let vocab = g.dim("seq2seq vocab")?;
+        let hidden = g.dim("seq2seq hidden")?;
+        let format = crate::snapshot::read_weight_format(&mut g)?;
+        g.expect_end("seq2seq graph")?;
+
+        let load_cell = |prefix: &str, input_dim: usize| -> Result<FrozenLstmCell, SnapshotError> {
+            let mut wx: Vec<Arc<dyn CompressedLinear>> = Vec::with_capacity(4);
+            let mut wh: Vec<Arc<dyn CompressedLinear>> = Vec::with_capacity(4);
+            let mut bias: Vec<Vec<f32>> = Vec::with_capacity(4);
+            for gate in 0..4 {
+                let x_op = crate::snapshot::read_tensor_section(
+                    snap.section(&format!("{prefix}.wx{gate}"))?,
+                    &codec,
+                )?;
+                let h_op = crate::snapshot::read_tensor_section(
+                    snap.section(&format!("{prefix}.wh{gate}"))?,
+                    &codec,
+                )?;
+                for (name, op, in_dim) in [("wx", &x_op, input_dim), ("wh", &h_op, hidden)] {
+                    if op.out_dim() != hidden || op.in_dim() != in_dim {
+                        return Err(SnapshotError::Malformed {
+                            context: "seq2seq gate shape",
+                            reason: format!(
+                                "{prefix}.{name}{gate} is {}x{}, expected {hidden}x{in_dim}",
+                                op.out_dim(),
+                                op.in_dim()
+                            ),
+                        });
+                    }
+                }
+                bias.push(crate::snapshot::read_bias(
+                    snap.section(&format!("{prefix}.bias{gate}"))?,
+                    hidden,
+                )?);
+                wx.push(x_op);
+                wh.push(h_op);
+            }
+            let mut wx_it = wx.into_iter();
+            let mut wh_it = wh.into_iter();
+            let mut bias_it = bias.into_iter();
+            Ok(FrozenLstmCell {
+                wx: std::array::from_fn(|_| wx_it.next().expect("four gates")),
+                wh: std::array::from_fn(|_| wh_it.next().expect("four gates")),
+                bias: std::array::from_fn(|_| bias_it.next().expect("four gates")),
+                input_dim,
+                hidden_dim: hidden,
+            })
+        };
+        let encoder = load_cell("encoder", vocab)?;
+        let decoder = load_cell("decoder", vocab + 1)?;
+        let head = crate::snapshot::read_tensor_section(snap.section("head.weights")?, &codec)?;
+        if head.out_dim() != vocab || head.in_dim() != hidden {
+            return Err(SnapshotError::Malformed {
+                context: "seq2seq head shape",
+                reason: format!(
+                    "head is {}x{}, expected {vocab}x{hidden}",
+                    head.out_dim(),
+                    head.in_dim()
+                ),
+            });
+        }
+        let head_bias = crate::snapshot::read_bias(snap.section("head.bias")?, vocab)?;
+        Ok(FrozenSeq2Seq {
+            encoder,
+            decoder,
+            head,
+            head_bias,
+            vocab,
+            hidden,
+            format,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1213,6 +1383,47 @@ mod tests {
             &mut seeded_rng(1),
         );
         assert_eq!(pd.stored_weights(), dense.stored_weights() / 8);
+    }
+
+    #[test]
+    fn proxy_training_warning_fires_exactly_once_and_is_capturable() {
+        // A proxy-trained model warns exactly once — for the whole model, not
+        // once per cell — and the capture hook observes it instead of stderr.
+        let (_, msgs) = capture_proxy_warnings(|| {
+            Seq2Seq::new(
+                6,
+                8,
+                WeightFormat::UnstructuredSparse { p: 2 },
+                &mut seeded_rng(70),
+            )
+        });
+        assert_eq!(msgs.len(), 1, "one warning per model: {msgs:?}");
+        assert!(
+            msgs[0].contains("proxy") && msgs[0].contains("unstructured-sparse"),
+            "{msgs:?}"
+        );
+
+        // Formats the trainer represents exactly warn nothing.
+        let (_, msgs) = capture_proxy_warnings(|| {
+            Seq2Seq::new(
+                6,
+                8,
+                WeightFormat::PermutedDiagonal { p: 4 },
+                &mut seeded_rng(71),
+            )
+        });
+        assert!(msgs.is_empty(), "exact formats are silent: {msgs:?}");
+
+        // A bare cell constructed directly also warns exactly once.
+        let (_, msgs) = capture_proxy_warnings(|| {
+            LstmCell::new(
+                4,
+                8,
+                WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+                &mut seeded_rng(72),
+            )
+        });
+        assert_eq!(msgs.len(), 1, "a bare cell warns once: {msgs:?}");
     }
 
     #[test]

@@ -315,6 +315,153 @@ impl MlpClassifier {
             .filter_map(|l| l.as_any_mut().downcast_mut::<PdDense>())
             .collect()
     }
+
+    /// Serialises a *frozen* classifier (every layer a [`CompressedFc`],
+    /// [`Relu`] or `Tanh`) into a model snapshot: a `"graph"` section holding
+    /// the layer chain, plus per-FC-layer `"layerN.weights"` (compressed
+    /// tensor record) and `"layerN.bias"` sections. Quantized networks save
+    /// their per-layer QSchemes and raw `i16` weights through the same path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`](permdnn_core::snapshot::SnapshotError) if
+    /// any layer is still trainable (freeze or quantize first) or a weight
+    /// operator has no snapshot codec.
+    pub fn save(&self) -> Result<Vec<u8>, permdnn_core::snapshot::SnapshotError> {
+        use permdnn_core::snapshot::{encode_tensor, ByteWriter, SnapshotBuilder, SnapshotError};
+        let mut graph = ByteWriter::new();
+        graph.dim(self.input_dim);
+        graph.dim(self.num_classes);
+        crate::snapshot::write_weight_format(self.hidden_format, &mut graph);
+        graph.dim(self.layers.len());
+        let mut sections: Vec<(String, Vec<u8>)> = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let any = layer.as_any();
+            if let Some(fc) = any.downcast_ref::<CompressedFc>() {
+                graph.u8(0);
+                sections.push((format!("layer{i}.weights"), encode_tensor(fc.weights())?));
+                sections.push((
+                    format!("layer{i}.bias"),
+                    crate::snapshot::write_bias(fc.bias()),
+                ));
+            } else if any.downcast_ref::<Relu>().is_some() {
+                graph.u8(1);
+                graph.dim(layer.input_dim());
+            } else if any.downcast_ref::<crate::layers::Tanh>().is_some() {
+                graph.u8(2);
+                graph.dim(layer.input_dim());
+            } else {
+                return Err(SnapshotError::Malformed {
+                    context: "mlp save",
+                    reason: format!(
+                        "layer {i} is trainable; snapshots hold frozen networks only \
+                         (build with new_frozen or quantize first)"
+                    ),
+                });
+            }
+        }
+        let mut b = SnapshotBuilder::new(permdnn_core::snapshot::KIND_MLP);
+        b.section("graph", graph.into_vec());
+        for (name, payload) in sections {
+            b.section(&name, payload);
+        }
+        Ok(b.finish())
+    }
+
+    /// Loads a classifier snapshot written by [`MlpClassifier::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapshotError`](permdnn_core::snapshot::SnapshotError)
+    /// for any corruption — bad magic/version, checksum mismatches, truncated
+    /// or oversized sections, unknown formats, inconsistent layer chains —
+    /// and never panics on hostile bytes.
+    pub fn load(bytes: &[u8]) -> Result<MlpClassifier, permdnn_core::snapshot::SnapshotError> {
+        let snap = permdnn_core::snapshot::Snapshot::parse(bytes)?;
+        if snap.kind() != permdnn_core::snapshot::KIND_MLP {
+            return Err(permdnn_core::snapshot::SnapshotError::Malformed {
+                context: "mlp snapshot",
+                reason: format!("kind {} is not an MLP", snap.kind()),
+            });
+        }
+        Self::load_snapshot(&snap)
+    }
+
+    /// [`MlpClassifier::load`] over an already-parsed container (shared with
+    /// the batch-model dispatcher).
+    pub(crate) fn load_snapshot(
+        snap: &permdnn_core::snapshot::Snapshot,
+    ) -> Result<MlpClassifier, permdnn_core::snapshot::SnapshotError> {
+        use permdnn_core::snapshot::{ByteReader, SnapshotError};
+        let codec = crate::snapshot::codec();
+        let mut g = ByteReader::new(snap.section("graph")?);
+        let input_dim = g.dim("mlp input dim")?;
+        let num_classes = g.dim("mlp class count")?;
+        let hidden_format = crate::snapshot::read_weight_format(&mut g)?;
+        let n_layers = g.dim("mlp layer count")?;
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(n_layers.min(g.remaining() + 1));
+        let mut current = input_dim;
+        for i in 0..n_layers {
+            match g.u8("mlp layer kind")? {
+                0 => {
+                    let weights = crate::snapshot::read_tensor_section(
+                        snap.section(&format!("layer{i}.weights"))?,
+                        &codec,
+                    )?;
+                    if weights.in_dim() != current {
+                        return Err(SnapshotError::Malformed {
+                            context: "mlp layer chain",
+                            reason: format!(
+                                "layer {i} consumes {} values but receives {current}",
+                                weights.in_dim()
+                            ),
+                        });
+                    }
+                    let bias = crate::snapshot::read_bias(
+                        snap.section(&format!("layer{i}.bias"))?,
+                        weights.out_dim(),
+                    )?;
+                    current = weights.out_dim();
+                    layers.push(Box::new(
+                        CompressedFc::from_shared(weights).with_bias(&bias),
+                    ));
+                }
+                kind @ (1 | 2) => {
+                    let dim = g.dim("mlp activation dim")?;
+                    if dim != current {
+                        return Err(SnapshotError::Malformed {
+                            context: "mlp layer chain",
+                            reason: format!("activation {i} has width {dim}, expected {current}"),
+                        });
+                    }
+                    layers.push(if kind == 1 {
+                        Box::new(Relu::new(dim))
+                    } else {
+                        Box::new(crate::layers::Tanh::new(dim))
+                    });
+                }
+                other => {
+                    return Err(SnapshotError::Malformed {
+                        context: "mlp layer kind",
+                        reason: format!("unknown kind {other}"),
+                    })
+                }
+            }
+        }
+        g.expect_end("mlp graph")?;
+        if current != num_classes {
+            return Err(SnapshotError::Malformed {
+                context: "mlp layer chain",
+                reason: format!("network emits {current} values for {num_classes} classes"),
+            });
+        }
+        Ok(MlpClassifier::from_layers(
+            layers,
+            input_dim,
+            num_classes,
+            hidden_format,
+        ))
+    }
 }
 
 /// Any MLP is servable by the batching runtime: the model is shared across

@@ -1,0 +1,198 @@
+//! Model snapshots: durable on-disk artifacts for every frozen model in the
+//! workspace, built on the container and tensor codec of
+//! [`permdnn_core::snapshot`].
+//!
+//! This module owns the *workspace-wide* codec ([`codec`]): `permdnn-core`
+//! registers the formats it implements (dense, permuted-diagonal, quantized,
+//! lowered PD conv), and this crate — which depends on every format crate —
+//! adds circulant, CSC, EIE and shared-codebook PD. Model `save`/`load`
+//! methods live next to their types ([`crate::MlpClassifier::save`],
+//! [`crate::FrozenConvNet::save`], [`crate::FrozenSeq2Seq::save`]); the
+//! helpers here encode the shared vocabulary (weight-format tags, bias
+//! vectors, layer chains) and [`load_batch_model`] turns snapshot bytes back
+//! into something the serving runtime can route requests to.
+//!
+//! Only *frozen* networks snapshot: a deployment artifact is immutable weight
+//! data, so trainable layers (`Dense`, `PdDense`, `CirculantDense`) must be
+//! frozen/quantized first. Every tensor is stored in its compressed
+//! representation — a permuted-diagonal layer costs `stored_weights × 4`
+//! bytes plus its permutation table on disk, never `rows × cols × 4`.
+
+use std::sync::Arc;
+
+use permdnn_core::format::CompressedLinear;
+use permdnn_core::snapshot::{
+    ByteReader, ByteWriter, SnapshotCodec, SnapshotError, FORMAT_CIRCULANT, FORMAT_CSC, FORMAT_EIE,
+    FORMAT_SHARED_PD,
+};
+use permdnn_runtime::{BatchModel, ModelLoader};
+
+use crate::layers::WeightFormat;
+use crate::{FrozenConvNet, MlpClassifier};
+
+/// The full workspace tensor codec: core's formats plus circulant, CSC, EIE
+/// and shared-codebook PD. Every model loader in this crate decodes through
+/// it, so a snapshot written by any frozen model round-trips regardless of
+/// which formats it mixes.
+pub fn codec() -> SnapshotCodec {
+    let mut codec = SnapshotCodec::new();
+    codec.register(FORMAT_CIRCULANT, permdnn_circulant::format::decode_snapshot);
+    codec.register(FORMAT_CSC, permdnn_prune::format::decode_csc_snapshot);
+    codec.register(FORMAT_EIE, permdnn_prune::format::decode_eie_snapshot);
+    codec.register(FORMAT_SHARED_PD, permdnn_quant::shared_pd::decode_snapshot);
+    codec
+}
+
+/// Writes a [`WeightFormat`] tag (`u8` variant + two `u32` parameters).
+pub(crate) fn write_weight_format(format: WeightFormat, w: &mut ByteWriter) {
+    let (tag, a, b) = match format {
+        WeightFormat::Dense => (0u8, 0u32, 0u32),
+        WeightFormat::PermutedDiagonal { p } => (1, p as u32, 0),
+        WeightFormat::Circulant { k } => (2, k as u32, 0),
+        WeightFormat::UnstructuredSparse { p } => (3, p as u32, 0),
+        WeightFormat::SharedPermutedDiagonal { p, tag_bits } => (4, p as u32, tag_bits),
+    };
+    w.u8(tag);
+    w.u32(a);
+    w.u32(b);
+}
+
+/// Reads a [`WeightFormat`] tag written by [`write_weight_format`].
+pub(crate) fn read_weight_format(r: &mut ByteReader<'_>) -> Result<WeightFormat, SnapshotError> {
+    let tag = r.u8("weight format tag")?;
+    let a = r.u32("weight format parameter")? as usize;
+    let b = r.u32("weight format parameter")?;
+    match tag {
+        0 => Ok(WeightFormat::Dense),
+        1 => Ok(WeightFormat::PermutedDiagonal { p: a }),
+        2 => Ok(WeightFormat::Circulant { k: a }),
+        3 => Ok(WeightFormat::UnstructuredSparse { p: a }),
+        4 => Ok(WeightFormat::SharedPermutedDiagonal { p: a, tag_bits: b }),
+        other => Err(SnapshotError::Malformed {
+            context: "weight format tag",
+            reason: format!("unknown variant {other}"),
+        }),
+    }
+}
+
+/// Encodes a bias vector section: `u32` length + `f32` values.
+pub(crate) fn write_bias(bias: &[f32]) -> Vec<u8> {
+    let mut out = ByteWriter::new();
+    out.dim(bias.len());
+    out.f32_slice(bias);
+    out.into_vec()
+}
+
+/// Decodes a bias section written by [`write_bias`], checking the declared
+/// length against `expected` (the owning operator's output width).
+pub(crate) fn read_bias(payload: &[u8], expected: usize) -> Result<Vec<f32>, SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let len = r.dim("bias length")?;
+    if len != expected {
+        return Err(SnapshotError::Malformed {
+            context: "bias length",
+            reason: format!("{len} entries for an output width of {expected}"),
+        });
+    }
+    let bias = r.f32_vec(len, "bias values")?;
+    r.expect_end("bias section")?;
+    Ok(bias)
+}
+
+/// Decodes one tensor section into an operator, requiring the section to be
+/// exactly one record.
+pub(crate) fn read_tensor_section(
+    payload: &[u8],
+    codec: &SnapshotCodec,
+) -> Result<Arc<dyn CompressedLinear>, SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let op = codec.decode_tensor(&mut r)?;
+    r.expect_end("tensor section")?;
+    Ok(op)
+}
+
+/// Loads any servable model snapshot — a frozen MLP ([`KIND_MLP`]) or frozen
+/// conv net ([`KIND_CONV`]) — as a boxed [`BatchModel`] ready for the serving
+/// runtime. This is the loader `permdnn_runtime::ModelRegistry` routes
+/// through.
+///
+/// [`KIND_MLP`]: permdnn_core::snapshot::KIND_MLP
+/// [`KIND_CONV`]: permdnn_core::snapshot::KIND_CONV
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corrupted bytes or a model kind with
+/// no batch-serving surface (seq2seq models translate token sequences — load
+/// them with [`crate::FrozenSeq2Seq::load`] instead).
+pub fn load_batch_model(bytes: &[u8]) -> Result<Arc<dyn BatchModel>, SnapshotError> {
+    let snap = permdnn_core::snapshot::Snapshot::parse(bytes)?;
+    match snap.kind() {
+        permdnn_core::snapshot::KIND_MLP => {
+            Ok(Arc::new(MlpClassifier::load_snapshot(&snap)?) as Arc<dyn BatchModel>)
+        }
+        permdnn_core::snapshot::KIND_CONV => {
+            Ok(Arc::new(FrozenConvNet::load_snapshot(&snap)?) as Arc<dyn BatchModel>)
+        }
+        other => Err(SnapshotError::Malformed {
+            context: "batch model snapshot",
+            reason: format!("kind {other} is not batch-servable"),
+        }),
+    }
+}
+
+/// A [`ModelLoader`] wrapping [`load_batch_model`] — plug it straight into
+/// `permdnn_runtime::ModelRegistry::new`.
+pub fn batch_model_loader() -> ModelLoader {
+    Box::new(load_batch_model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_format_tags_round_trip() {
+        for format in [
+            WeightFormat::Dense,
+            WeightFormat::PermutedDiagonal { p: 8 },
+            WeightFormat::Circulant { k: 4 },
+            WeightFormat::UnstructuredSparse { p: 2 },
+            WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+        ] {
+            let mut w = ByteWriter::new();
+            write_weight_format(format, &mut w);
+            let bytes = w.into_vec();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(read_weight_format(&mut r).unwrap(), format);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn codec_registers_every_workspace_format() {
+        use permdnn_core::snapshot::*;
+        assert_eq!(
+            codec().formats(),
+            vec![
+                FORMAT_DENSE,
+                FORMAT_PERMUTED_DIAGONAL,
+                FORMAT_CIRCULANT,
+                FORMAT_CSC,
+                FORMAT_EIE,
+                FORMAT_SHARED_PD,
+                FORMAT_QUANTIZED,
+                FORMAT_PD_CONV,
+            ]
+        );
+    }
+
+    #[test]
+    fn bias_length_mismatch_is_a_typed_error() {
+        let payload = write_bias(&[1.0, 2.0]);
+        assert_eq!(read_bias(&payload, 2).unwrap(), vec![1.0, 2.0]);
+        assert!(matches!(
+            read_bias(&payload, 3),
+            Err(SnapshotError::Malformed { .. })
+        ));
+    }
+}

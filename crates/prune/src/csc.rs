@@ -48,6 +48,62 @@ impl CscMatrix {
         }
     }
 
+    /// Rebuilds a CSC matrix from its raw arrays (the snapshot-decode path),
+    /// validating every structural invariant `from_dense` guarantees:
+    /// `col_ptr` is a monotone walk `0..=nnz` with one entry per column plus
+    /// the terminator, row indices are in bounds and strictly increasing
+    /// within each column, and the value array matches the index array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self, String> {
+        if col_ptr.len() != cols + 1 {
+            return Err(format!(
+                "col_ptr has {} entries, expected cols + 1 = {}",
+                col_ptr.len(),
+                cols + 1
+            ));
+        }
+        if col_ptr.first() != Some(&0) || col_ptr.last() != Some(&row_idx.len()) {
+            return Err("col_ptr must walk from 0 to nnz".to_string());
+        }
+        if col_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("col_ptr must be non-decreasing".to_string());
+        }
+        if values.len() != row_idx.len() {
+            return Err(format!(
+                "{} values for {} row indices",
+                values.len(),
+                row_idx.len()
+            ));
+        }
+        for c in 0..cols {
+            let column = &row_idx[col_ptr[c]..col_ptr[c + 1]];
+            if column.iter().any(|&r| r >= rows) {
+                return Err(format!("row index out of bounds in column {c}"));
+            }
+            if column.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "row indices in column {c} are not strictly increasing"
+                ));
+            }
+        }
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -101,6 +101,78 @@ impl EieEncodedMatrix {
         }
     }
 
+    /// Rebuilds an encoded matrix from its raw parts (the snapshot-decode
+    /// path), validating the invariants `encode` guarantees: the codebook is
+    /// non-empty, starts with the zero codeword and fits `weight_bits`; every
+    /// tag indexes the codebook; every relative index fits `index_bits`;
+    /// padding entries carry the zero tag and a saturated index; and each
+    /// column's run-length walk stays within `rows`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        weight_bits: u32,
+        index_bits: u32,
+        codebook: Vec<f32>,
+        columns: Vec<Vec<EieEntry>>,
+    ) -> Result<Self, String> {
+        if weight_bits == 0 || weight_bits > 8 || index_bits == 0 || index_bits > 8 {
+            return Err(format!(
+                "field widths {weight_bits}/{index_bits} outside 1..=8"
+            ));
+        }
+        if codebook.is_empty() || codebook[0] != 0.0 {
+            return Err("codebook must start with the zero codeword".to_string());
+        }
+        if codebook.len() > (1usize << weight_bits) {
+            return Err(format!(
+                "codebook of {} entries does not fit {weight_bits} bits",
+                codebook.len()
+            ));
+        }
+        if columns.len() != cols {
+            return Err(format!("{} columns for cols = {cols}", columns.len()));
+        }
+        let max_skip = (1u32 << index_bits) - 1;
+        for (c, column) in columns.iter().enumerate() {
+            let mut r = 0usize;
+            for e in column {
+                if usize::from(e.weight_tag) >= codebook.len() {
+                    return Err(format!(
+                        "tag {} out of codebook range in column {c}",
+                        e.weight_tag
+                    ));
+                }
+                if u32::from(e.relative_index) > max_skip {
+                    return Err(format!(
+                        "relative index {} exceeds {index_bits}-bit range in column {c}",
+                        e.relative_index
+                    ));
+                }
+                if e.is_padding && (e.weight_tag != 0 || u32::from(e.relative_index) != max_skip) {
+                    return Err(format!("malformed padding entry in column {c}"));
+                }
+                r += e.relative_index as usize + 1;
+            }
+            if r > rows {
+                return Err(format!(
+                    "column {c} walks to row {r}, past the {rows}-row bound"
+                ));
+            }
+        }
+        Ok(EieEncodedMatrix {
+            rows,
+            cols,
+            index_bits,
+            weight_bits,
+            codebook,
+            columns,
+        })
+    }
+
     /// Number of rows of the original matrix.
     pub fn rows(&self) -> usize {
         self.rows
@@ -114,6 +186,16 @@ impl EieEncodedMatrix {
     /// The shared weight codebook.
     pub fn codebook(&self) -> &[f32] {
         &self.codebook
+    }
+
+    /// Relative-index field width in bits.
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Weight-tag field width in bits.
+    pub fn weight_bits(&self) -> u32 {
+        self.weight_bits
     }
 
     /// Encoded entries of column `c` (including padding entries).

@@ -75,6 +75,68 @@ impl CompressedLinear for CscMatrix {
             &columns,
         ))
     }
+
+    /// Snapshot payload: rows, cols, nnz, column pointers, row indices and
+    /// stored values — the CSC arrays verbatim, never a dense expansion.
+    fn write_snapshot(&self, out: &mut permdnn_core::snapshot::ByteWriter) -> Option<u16> {
+        out.dim(self.rows());
+        out.dim(self.cols());
+        out.u64(self.nnz() as u64);
+        let mut total = 0usize;
+        out.u32(0);
+        for c in 0..self.cols() {
+            total += self.column_nnz(c);
+            out.u32(total as u32);
+        }
+        for c in 0..self.cols() {
+            for (r, _) in self.column(c) {
+                out.u32(r as u32);
+            }
+        }
+        for c in 0..self.cols() {
+            for (_, v) in self.column(c) {
+                out.f32(v);
+            }
+        }
+        Some(permdnn_core::snapshot::FORMAT_CSC)
+    }
+}
+
+/// Decodes a [`FORMAT_CSC`](permdnn_core::snapshot::FORMAT_CSC) payload —
+/// the [`permdnn_core::snapshot::DecodeFn`] registered by
+/// `permdnn_nn::snapshot::codec`.
+///
+/// # Errors
+///
+/// Returns a typed [`permdnn_core::snapshot::SnapshotError`] for truncated or
+/// structurally invalid payloads; never panics.
+pub fn decode_csc_snapshot(
+    r: &mut permdnn_core::snapshot::ByteReader<'_>,
+    _codec: &permdnn_core::snapshot::SnapshotCodec,
+) -> Result<std::sync::Arc<dyn CompressedLinear>, permdnn_core::snapshot::SnapshotError> {
+    use permdnn_core::snapshot::SnapshotError;
+    let rows = r.dim("csc rows")?;
+    let cols = r.dim("csc cols")?;
+    let nnz = r.u64("csc nnz")? as usize;
+    // Guard before any allocation: col_ptr + row_idx + values bytes must all
+    // be present for the declared nnz.
+    if (nnz as u64).saturating_mul(8) > r.remaining() as u64 {
+        return Err(SnapshotError::Truncated {
+            context: "csc arrays",
+            needed: (nnz as u64).saturating_mul(8),
+            got: r.remaining() as u64,
+        });
+    }
+    let col_ptr = r.u32_vec(cols + 1, "csc col_ptr")?;
+    let row_idx = r.u32_vec(nnz, "csc row_idx")?;
+    let values = r.f32_vec(nnz, "csc values")?;
+    let m = CscMatrix::from_parts(rows, cols, col_ptr, row_idx, values).map_err(|reason| {
+        SnapshotError::Malformed {
+            context: "csc tensor",
+            reason,
+        }
+    })?;
+    Ok(std::sync::Arc::new(m))
 }
 
 impl CompressedLinear for EieEncodedMatrix {
@@ -139,6 +201,90 @@ impl CompressedLinear for EieEncodedMatrix {
             &columns,
         ))
     }
+
+    /// Snapshot payload: the encoded form verbatim — field widths, codebook
+    /// and per-column (tag, relative index, padding) entries. Padding entries
+    /// are preserved so storage and multiply accounting survive the round
+    /// trip exactly.
+    fn write_snapshot(&self, out: &mut permdnn_core::snapshot::ByteWriter) -> Option<u16> {
+        out.dim(self.rows());
+        out.dim(self.cols());
+        out.u8(self.weight_bits() as u8);
+        out.u8(self.index_bits() as u8);
+        out.u16(self.codebook().len() as u16);
+        out.f32_slice(self.codebook());
+        for c in 0..self.cols() {
+            let column = self.column(c);
+            out.u32(column.len() as u32);
+            for e in column {
+                out.u8(e.weight_tag);
+                out.u8(e.relative_index);
+                out.u8(u8::from(e.is_padding));
+            }
+        }
+        Some(permdnn_core::snapshot::FORMAT_EIE)
+    }
+}
+
+/// Decodes a [`FORMAT_EIE`](permdnn_core::snapshot::FORMAT_EIE) payload —
+/// the [`permdnn_core::snapshot::DecodeFn`] registered by
+/// `permdnn_nn::snapshot::codec`.
+///
+/// # Errors
+///
+/// Returns a typed [`permdnn_core::snapshot::SnapshotError`] for truncated or
+/// structurally invalid payloads; never panics.
+pub fn decode_eie_snapshot(
+    r: &mut permdnn_core::snapshot::ByteReader<'_>,
+    _codec: &permdnn_core::snapshot::SnapshotCodec,
+) -> Result<std::sync::Arc<dyn CompressedLinear>, permdnn_core::snapshot::SnapshotError> {
+    use crate::eie_format::EieEntry;
+    use permdnn_core::snapshot::SnapshotError;
+    let rows = r.dim("eie rows")?;
+    let cols = r.dim("eie cols")?;
+    let weight_bits = u32::from(r.u8("eie weight bits")?);
+    let index_bits = u32::from(r.u8("eie index bits")?);
+    let cb_len = r.u16("eie codebook length")? as usize;
+    let codebook = r.f32_vec(cb_len, "eie codebook")?;
+    let mut columns = Vec::with_capacity(cols.min(r.remaining() / 4 + 1));
+    for _ in 0..cols {
+        let count = r.u32("eie column count")? as usize;
+        // Three bytes per entry must be present before allocating.
+        if (count as u64).saturating_mul(3) > r.remaining() as u64 {
+            return Err(SnapshotError::Truncated {
+                context: "eie column entries",
+                needed: (count as u64).saturating_mul(3),
+                got: r.remaining() as u64,
+            });
+        }
+        let mut column = Vec::with_capacity(count);
+        for _ in 0..count {
+            let weight_tag = r.u8("eie entry tag")?;
+            let relative_index = r.u8("eie entry index")?;
+            let is_padding = match r.u8("eie entry padding flag")? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(SnapshotError::Malformed {
+                        context: "eie entry padding flag",
+                        reason: format!("flag {other} is not 0 or 1"),
+                    })
+                }
+            };
+            column.push(EieEntry {
+                weight_tag,
+                relative_index,
+                is_padding,
+            });
+        }
+        columns.push(column);
+    }
+    let m = EieEncodedMatrix::from_parts(rows, cols, weight_bits, index_bits, codebook, columns)
+        .map_err(|reason| SnapshotError::Malformed {
+            context: "eie tensor",
+            reason,
+        })?;
+    Ok(std::sync::Arc::new(m))
 }
 
 #[cfg(test)]
@@ -196,6 +342,43 @@ mod tests {
         ));
         let mut y = [0.0; 3];
         assert!(op.matvec_into(&[0.0; 8], &mut y).is_err());
+    }
+
+    #[test]
+    fn csc_and_eie_snapshots_round_trip_bit_exactly() {
+        let mut codec = permdnn_core::snapshot::SnapshotCodec::new();
+        codec.register(permdnn_core::snapshot::FORMAT_CSC, decode_csc_snapshot);
+        codec.register(permdnn_core::snapshot::FORMAT_EIE, decode_eie_snapshot);
+        let m = sparse_matrix(48, 24, 0.12, 9);
+        let x = sparse_activation_vector(&mut seeded_rng(10), 24, 0.5);
+
+        let csc = CscMatrix::from_dense(&m);
+        let bytes = permdnn_core::snapshot::save_tensor(&csc).unwrap();
+        let back = permdnn_core::snapshot::load_tensor(&bytes, &codec).unwrap();
+        assert_eq!(
+            back.matvec(&x).unwrap(),
+            CompressedLinear::matvec(&csc, &x).unwrap()
+        );
+        assert_eq!(back.stored_weights(), csc.nnz());
+        assert_eq!(
+            permdnn_core::snapshot::save_tensor(back.as_ref()).unwrap(),
+            bytes
+        );
+
+        let cb = uniform_codebook(4, m.max_abs());
+        let enc = EieEncodedMatrix::encode(&m, &cb, 4, 4);
+        let bytes = permdnn_core::snapshot::save_tensor(&enc).unwrap();
+        let back = permdnn_core::snapshot::load_tensor(&bytes, &codec).unwrap();
+        assert_eq!(
+            back.matvec(&x).unwrap(),
+            CompressedLinear::matvec(&enc, &x).unwrap()
+        );
+        // Padding entries survive, so the storage accounting is identical.
+        assert_eq!(back.stored_weights(), enc.stored_entries());
+        assert_eq!(
+            permdnn_core::snapshot::save_tensor(back.as_ref()).unwrap(),
+            bytes
+        );
     }
 
     #[test]

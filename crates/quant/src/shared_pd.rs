@@ -55,6 +55,56 @@ impl SharedWeightPdMatrix {
         Self::quantize(w, 4, 25, rng)
     }
 
+    /// Rebuilds a shared-weight matrix from a permuted-diagonal structure and
+    /// its weight table (the snapshot-decode path): the matrix's stored
+    /// values are *derived* by decoding every tag through the codebook, so
+    /// the pair is consistent by construction. `rms_error` is the clustering
+    /// error recorded when the codebook was originally built.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant: tag count differing
+    /// from the matrix's stored-weight count, a tag outside the codebook, or
+    /// a codebook wider than `2^tag_bits`.
+    pub fn from_table(
+        mut matrix: BlockPermDiagMatrix,
+        table: SharedWeightTable,
+        rms_error: f32,
+    ) -> Result<Self, String> {
+        if table.tags.len() != matrix.values().len() {
+            return Err(format!(
+                "{} tags for {} stored weights",
+                table.tags.len(),
+                matrix.values().len()
+            ));
+        }
+        if !(1..=8).contains(&table.tag_bits) {
+            return Err(format!("tag width {} outside 1..=8", table.tag_bits));
+        }
+        if table.codebook.len() > (1usize << table.tag_bits) {
+            return Err(format!(
+                "codebook of {} entries does not fit {} bits",
+                table.codebook.len(),
+                table.tag_bits
+            ));
+        }
+        if table
+            .tags
+            .iter()
+            .any(|&t| usize::from(t) >= table.codebook.len())
+        {
+            return Err("tag outside the codebook range".to_string());
+        }
+        for (v, &t) in matrix.values_mut().iter_mut().zip(table.tags.iter()) {
+            *v = table.codebook[usize::from(t)];
+        }
+        Ok(SharedWeightPdMatrix {
+            matrix,
+            table,
+            rms_error,
+        })
+    }
+
     /// The dequantized permuted-diagonal matrix (centroid-valued weights).
     pub fn matrix(&self) -> &BlockPermDiagMatrix {
         &self.matrix
@@ -125,6 +175,78 @@ impl CompressedLinear for SharedWeightPdMatrix {
     fn to_dense(&self) -> pd_tensor::Matrix {
         self.matrix.to_dense()
     }
+
+    /// Snapshot payload: the PD structure (shape, block size, permutations)
+    /// plus the codebook and the per-weight tags — the weight-SRAM
+    /// representation itself. The centroid-valued matrix is *derived* on
+    /// load, so only `tag_bits` per weight travel, never the f32 values.
+    fn write_snapshot(&self, out: &mut permdnn_core::snapshot::ByteWriter) -> Option<u16> {
+        if !permdnn_core::snapshot::pd_perms_encodable(self.matrix.p()) {
+            return None;
+        }
+        out.dim(self.matrix.rows());
+        out.dim(self.matrix.cols());
+        out.dim(self.matrix.p());
+        for &k in self.matrix.perms() {
+            out.u16(k as u16);
+        }
+        out.u8(self.table.tag_bits as u8);
+        out.u16(self.table.codebook.len() as u16);
+        out.f32_slice(&self.table.codebook);
+        out.bytes(&self.table.tags);
+        out.f32(self.rms_error);
+        Some(permdnn_core::snapshot::FORMAT_SHARED_PD)
+    }
+}
+
+/// Decodes a [`FORMAT_SHARED_PD`](permdnn_core::snapshot::FORMAT_SHARED_PD)
+/// payload — the [`permdnn_core::snapshot::DecodeFn`] registered by
+/// `permdnn_nn::snapshot::codec`.
+///
+/// # Errors
+///
+/// Returns a typed [`permdnn_core::snapshot::SnapshotError`] for truncated or
+/// structurally invalid payloads; never panics.
+pub fn decode_snapshot(
+    r: &mut permdnn_core::snapshot::ByteReader<'_>,
+    _codec: &permdnn_core::snapshot::SnapshotCodec,
+) -> Result<std::sync::Arc<dyn CompressedLinear>, permdnn_core::snapshot::SnapshotError> {
+    use permdnn_core::snapshot::SnapshotError;
+    let rows = r.dim("shared-pd rows")?;
+    let cols = r.dim("shared-pd cols")?;
+    let p = r.dim("shared-pd block size")?;
+    if p == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "shared-pd block size",
+            reason: "p must be non-zero".to_string(),
+        });
+    }
+    let nblocks = rows.div_ceil(p) * cols.div_ceil(p);
+    let perms = r.u16_vec(nblocks, "shared-pd permutations")?;
+    let tag_bits = u32::from(r.u8("shared-pd tag bits")?);
+    let cb_len = r.u16("shared-pd codebook length")? as usize;
+    let codebook = r.f32_vec(cb_len, "shared-pd codebook")?;
+    let tags = r.take(nblocks * p, "shared-pd tags")?.to_vec();
+    let rms_error = r.f32("shared-pd rms error")?;
+    let matrix =
+        BlockPermDiagMatrix::new(rows, cols, p, perms, vec![0.0; nblocks * p]).map_err(|e| {
+            SnapshotError::Malformed {
+                context: "shared-pd structure",
+                reason: e.to_string(),
+            }
+        })?;
+    let table = SharedWeightTable {
+        codebook,
+        tags,
+        tag_bits,
+    };
+    let m = SharedWeightPdMatrix::from_table(matrix, table, rms_error).map_err(|reason| {
+        SnapshotError::Malformed {
+            context: "shared-pd tensor",
+            reason,
+        }
+    })?;
+    Ok(std::sync::Arc::new(m))
 }
 
 #[cfg(test)]
@@ -180,6 +302,33 @@ mod tests {
             op.matvec(&[0.0; 6]),
             Err(FormatError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn snapshot_round_trips_tags_not_values() {
+        let w = BlockPermDiagMatrix::random(16, 24, 4, &mut seeded_rng(12));
+        let q = SharedWeightPdMatrix::quantize_4bit(&w, &mut seeded_rng(13));
+        let bytes = permdnn_core::snapshot::save_tensor(&q).unwrap();
+        // ~4 bits/weight + the 16-entry codebook: far below the f32 PD payload.
+        let f32_pd_payload = q.stored_weights() * 4;
+        assert!(
+            bytes.len() < f32_pd_payload / 2 + 256,
+            "{} bytes vs {} for f32 values",
+            bytes.len(),
+            f32_pd_payload
+        );
+        let mut codec = permdnn_core::snapshot::SnapshotCodec::new();
+        codec.register(permdnn_core::snapshot::FORMAT_SHARED_PD, decode_snapshot);
+        let back = permdnn_core::snapshot::load_tensor(&bytes, &codec).unwrap();
+        let x = sparse_activation_vector(&mut seeded_rng(14), 24, 0.5);
+        let op: &dyn CompressedLinear = &q;
+        assert_eq!(back.matvec(&x).unwrap(), op.matvec(&x).unwrap());
+        assert_eq!(back.label(), op.label());
+        assert_eq!(back.stored_weights(), op.stored_weights());
+        assert_eq!(
+            permdnn_core::snapshot::save_tensor(back.as_ref()).unwrap(),
+            bytes
+        );
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   `max_wait_ticks` of queueing), and run through a [`BatchModel`]
 //!   (`permdnn_nn::MlpClassifier` implements it) with deterministic
 //!   tick-accounted latency.
+//! * [`ModelRegistry`] — multi-model serving over durable snapshots: models
+//!   load by id through a pluggable [`ModelLoader`], heterogeneous request
+//!   streams route per model through the same batching path
+//!   ([`ModelRegistry::serve_multi`]), a byte-budgeted LRU weight cache
+//!   evicts idle models (reloaded from bytes on demand), and hot swaps
+//!   apply atomically between batches.
 //!
 //! Consumers: `permdnn_nn` builds `forward_batch_parallel` on top of the
 //! executor, `permdnn_sim` reuses it for the multi-host engine model, and the
@@ -27,10 +33,15 @@
 
 mod executor;
 mod pool;
+mod registry;
 mod serve;
 
 pub use executor::ParallelExecutor;
 pub use pool::WorkerPool;
+pub use registry::{
+    interleave_streams, ModelLoader, ModelRegistry, ModelServeStats, MultiServeReport,
+    RegistryError, RegistryStats, TaggedCompletion, TaggedRequest,
+};
 pub use serve::{
     plan_batches, seeded_request_stream, serve, BatchConfig, BatchModel, BatchingQueue,
     CompletedRequest, PlannedBatch, Request, ServeConfig, ServeReport, ServiceModel,

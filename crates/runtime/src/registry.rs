@@ -1,0 +1,867 @@
+//! Multi-model serving: a [`ModelRegistry`] holds model snapshots by id,
+//! materialises them on demand through a pluggable loader, serves
+//! heterogeneous request streams routed per model through the existing
+//! batching/parallel-execution path, and keeps resident weights under a byte
+//! budget with LRU eviction.
+//!
+//! The registry deliberately stores *snapshot bytes*, not live models: bytes
+//! are the durable artifact (they survive restarts and travel between
+//! processes), and a model evicted from the weight cache is transparently
+//! rebuilt from its bytes the next time a request routes to it — the
+//! load-compressed-then-execute split the PermDNN/EIE deployment model
+//! assumes. The loader is injected ([`ModelLoader`]) so this crate stays
+//! independent of the model zoo; `permdnn_nn::snapshot::batch_model_loader`
+//! provides the workspace's standard one.
+//!
+//! Serving ([`ModelRegistry::serve_multi`]) keeps the determinism contract of
+//! [`serve`](crate::serve): per-model batch formation is a pure function of
+//! each model's arrival stream and the [`BatchConfig`]; the merged execution
+//! order is a pure function of the batch plans (close tick, then model id);
+//! and outputs are bit-for-bit identical for any worker count. Hot swaps
+//! ([`ModelRegistry::schedule_swap`]) apply *between* batches at a declared
+//! tick, so a swap can never tear a batch.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use permdnn_core::format::{BatchView, FormatError};
+use permdnn_core::snapshot::SnapshotError;
+
+use crate::executor::ParallelExecutor;
+use crate::serve::{
+    plan_batches, BatchModel, CompletedRequest, PlannedBatch, Request, ServeConfig,
+};
+
+/// Rebuilds a servable model from snapshot bytes. Injected into
+/// [`ModelRegistry::new`]; `permdnn_nn::snapshot::batch_model_loader` is the
+/// workspace's standard implementation.
+pub type ModelLoader =
+    Box<dyn Fn(&[u8]) -> Result<Arc<dyn BatchModel>, SnapshotError> + Send + Sync>;
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No model is registered under the requested id.
+    UnknownModel {
+        /// The id that failed to resolve.
+        id: String,
+    },
+    /// The snapshot bytes failed to parse or load.
+    Snapshot(SnapshotError),
+    /// A hot-swap replacement's input/output widths differ from the model it
+    /// replaces — installing it would break every in-flight request stream.
+    ShapeMismatch {
+        /// The id being swapped.
+        id: String,
+        /// `(in_dim, out_dim)` of the currently registered model.
+        current: (usize, usize),
+        /// `(in_dim, out_dim)` of the rejected replacement.
+        replacement: (usize, usize),
+    },
+    /// A request's input did not match its model.
+    Format(FormatError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel { id } => write!(f, "no model registered as {id:?}"),
+            RegistryError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            RegistryError::ShapeMismatch {
+                id,
+                current,
+                replacement,
+            } => write!(
+                f,
+                "swap of {id:?} rejected: replacement is {}x{}, current model is {}x{}",
+                replacement.1, replacement.0, current.1, current.0
+            ),
+            RegistryError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<SnapshotError> for RegistryError {
+    fn from(e: SnapshotError) -> Self {
+        RegistryError::Snapshot(e)
+    }
+}
+
+impl From<FormatError> for RegistryError {
+    fn from(e: FormatError) -> Self {
+        RegistryError::Format(e)
+    }
+}
+
+/// One registered model: its durable snapshot plus the (evictable) loaded
+/// instance and LRU bookkeeping. The input/output widths are recorded at
+/// insert time so hot swaps can be shape-checked even while the model
+/// itself is evicted.
+struct ModelEntry {
+    snapshot: Arc<Vec<u8>>,
+    model: Option<Arc<dyn BatchModel>>,
+    last_used: u64,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Counters the registry accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegistryStats {
+    /// Models materialised from bytes (first loads and reloads alike).
+    pub loads: u64,
+    /// Reloads of a previously evicted model (cache misses after warm-up).
+    pub reloads: u64,
+    /// Models evicted from the weight cache to respect the byte budget.
+    pub evictions: u64,
+    /// Hot swaps applied.
+    pub swaps: u64,
+}
+
+/// A request routed to a named model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedRequest {
+    /// The registry id of the model this request targets.
+    pub model_id: String,
+    /// The underlying request.
+    pub request: Request,
+}
+
+/// One served request of a multi-model run: which model produced it plus the
+/// usual completion record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedCompletion {
+    /// The model that served the request.
+    pub model_id: String,
+    /// Output and latency bookkeeping.
+    pub completed: CompletedRequest,
+}
+
+/// Per-model tallies of one [`ModelRegistry::serve_multi`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelServeStats {
+    /// Requests served.
+    pub served: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Ticks this model's batches occupied the engine.
+    pub busy_ticks: u64,
+}
+
+/// The outcome of serving one heterogeneous request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiServeReport {
+    /// Every request with its model id, in execution order.
+    pub completed: Vec<TaggedCompletion>,
+    /// Per-model tallies, keyed by model id.
+    pub per_model: BTreeMap<String, ModelServeStats>,
+    /// Tick the last batch finished.
+    pub final_tick: u64,
+    /// Tick the first request arrived.
+    pub first_arrival_tick: u64,
+    /// Worker count the stream was served with.
+    pub workers: usize,
+    /// Registry counter deltas accumulated during this run (reloads of
+    /// evicted models, evictions, swaps applied).
+    pub stats: RegistryStats,
+}
+
+impl MultiServeReport {
+    /// Total simulated serving time in ticks.
+    pub fn makespan_ticks(&self) -> u64 {
+        self.final_tick - self.first_arrival_tick
+    }
+
+    /// Requests served per second at a nominal tick rate of `tick_hz`.
+    pub fn requests_per_sec(&self, tick_hz: f64) -> f64 {
+        let ticks = self.makespan_ticks();
+        if ticks == 0 {
+            return 0.0;
+        }
+        self.completed.len() as f64 / (ticks as f64 / tick_hz)
+    }
+}
+
+/// Merges per-model request streams into one tagged arrival stream, sorted by
+/// arrival tick (model id breaking ties) — the deterministic way tests and
+/// benches build heterogeneous traffic.
+pub fn interleave_streams(streams: Vec<(String, Vec<Request>)>) -> Vec<TaggedRequest> {
+    let mut merged: Vec<TaggedRequest> = streams
+        .into_iter()
+        .flat_map(|(model_id, requests)| {
+            requests.into_iter().map(move |request| TaggedRequest {
+                model_id: model_id.clone(),
+                request,
+            })
+        })
+        .collect();
+    merged.sort_by(|a, b| {
+        (a.request.arrival_tick, &a.model_id, a.request.id).cmp(&(
+            b.request.arrival_tick,
+            &b.model_id,
+            b.request.id,
+        ))
+    });
+    merged
+}
+
+/// A snapshot-backed multi-model registry with a byte-budgeted LRU weight
+/// cache and atomic between-batch hot swaps.
+pub struct ModelRegistry {
+    loader: ModelLoader,
+    budget_bytes: u64,
+    entries: BTreeMap<String, ModelEntry>,
+    loaded_bytes: u64,
+    clock: u64,
+    stats: RegistryStats,
+    pending_swaps: Vec<(u64, String, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("models", &self.entries.keys().collect::<Vec<_>>())
+            .field("budget_bytes", &self.budget_bytes)
+            .field("loaded_bytes", &self.loaded_bytes)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry. `budget_bytes` caps the total snapshot bytes of
+    /// *resident* (loaded) models; `u64::MAX` disables eviction. The model
+    /// most recently routed to is never evicted, so a single model larger
+    /// than the budget still serves (the budget then admits nothing else).
+    pub fn new(loader: ModelLoader, budget_bytes: u64) -> Self {
+        ModelRegistry {
+            loader,
+            budget_bytes,
+            entries: BTreeMap::new(),
+            loaded_bytes: 0,
+            clock: 0,
+            stats: RegistryStats::default(),
+            pending_swaps: Vec::new(),
+        }
+    }
+
+    /// Registers (or replaces) a model under `id`. The snapshot is validated
+    /// by loading it once; on failure the registry is unchanged (for an
+    /// existing id, the old snapshot keeps serving — this is also the
+    /// immediate form of hot swap).
+    ///
+    /// # Errors
+    ///
+    /// Returns the loader's [`SnapshotError`] for invalid bytes.
+    pub fn insert(&mut self, id: &str, snapshot: Vec<u8>) -> Result<(), RegistryError> {
+        let model = (self.loader)(&snapshot)?;
+        self.evict_entry_model(id);
+        let size = snapshot.len() as u64;
+        self.clock += 1;
+        self.entries.insert(
+            id.to_string(),
+            ModelEntry {
+                snapshot: Arc::new(snapshot),
+                in_dim: model.in_dim(),
+                out_dim: model.out_dim(),
+                model: Some(model),
+                last_used: self.clock,
+            },
+        );
+        self.stats.loads += 1;
+        self.loaded_bytes += size;
+        self.enforce_budget(Some(id));
+        Ok(())
+    }
+
+    /// Atomically swaps `id` to a new snapshot: the replacement is validated
+    /// by loading it first — and its input/output widths must match the
+    /// model it replaces, so a swap can never break the request streams
+    /// already routed at `id` — and only then installed. An invalid or
+    /// mis-shaped snapshot leaves the current model serving untouched. (To
+    /// *re-shape* an id deliberately, use [`ModelRegistry::insert`], which
+    /// replaces unconditionally.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] if `id` is not registered,
+    /// [`RegistryError::ShapeMismatch`] for a differently-shaped
+    /// replacement, or the loader's error for invalid bytes.
+    pub fn swap(&mut self, id: &str, snapshot: Vec<u8>) -> Result<(), RegistryError> {
+        let Some(entry) = self.entries.get(id) else {
+            return Err(RegistryError::UnknownModel { id: id.to_string() });
+        };
+        let current = (entry.in_dim, entry.out_dim);
+        let model = (self.loader)(&snapshot)?;
+        let replacement = (model.in_dim(), model.out_dim());
+        if replacement != current {
+            return Err(RegistryError::ShapeMismatch {
+                id: id.to_string(),
+                current,
+                replacement,
+            });
+        }
+        self.evict_entry_model(id);
+        let size = snapshot.len() as u64;
+        self.clock += 1;
+        self.entries.insert(
+            id.to_string(),
+            ModelEntry {
+                snapshot: Arc::new(snapshot),
+                in_dim: replacement.0,
+                out_dim: replacement.1,
+                model: Some(model),
+                last_used: self.clock,
+            },
+        );
+        self.stats.loads += 1;
+        self.stats.swaps += 1;
+        self.loaded_bytes += size;
+        self.enforce_budget(Some(id));
+        Ok(())
+    }
+
+    /// Schedules a hot swap to apply during [`ModelRegistry::serve_multi`] at
+    /// the first batch boundary at or after `at_tick` — batches that start
+    /// earlier serve the old weights, later ones the new, and no batch ever
+    /// sees both.
+    pub fn schedule_swap(&mut self, id: &str, snapshot: Vec<u8>, at_tick: u64) {
+        self.pending_swaps.push((at_tick, id.to_string(), snapshot));
+        self.pending_swaps
+            .sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    }
+
+    /// Removes a model entirely, returning whether it existed.
+    pub fn remove(&mut self, id: &str) -> bool {
+        self.evict_entry_model(id);
+        self.entries.remove(id).is_some()
+    }
+
+    /// Registered model ids, ascending.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.contains_key(id)
+    }
+
+    /// Whether `id` is currently materialised in the weight cache.
+    pub fn is_resident(&self, id: &str) -> bool {
+        self.entries.get(id).is_some_and(|e| e.model.is_some())
+    }
+
+    /// Snapshot bytes of the currently resident models.
+    pub fn loaded_bytes(&self) -> u64 {
+        self.loaded_bytes
+    }
+
+    /// The registry's lifetime counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// The stored snapshot bytes of `id` (the durable artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] if `id` is not registered.
+    pub fn snapshot(&self, id: &str) -> Result<Arc<Vec<u8>>, RegistryError> {
+        self.entries
+            .get(id)
+            .map(|e| Arc::clone(&e.snapshot))
+            .ok_or_else(|| RegistryError::UnknownModel { id: id.to_string() })
+    }
+
+    /// Resolves `id` to a servable model: touches the LRU clock, rebuilds the
+    /// model from its snapshot if it was evicted, and evicts least-recently-
+    /// used *other* models while the resident total exceeds the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] for unregistered ids; reload
+    /// errors cannot occur for snapshots that validated at insert time but
+    /// are still propagated rather than unwrapped.
+    pub fn model(&mut self, id: &str) -> Result<Arc<dyn BatchModel>, RegistryError> {
+        if !self.entries.contains_key(id) {
+            return Err(RegistryError::UnknownModel { id: id.to_string() });
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(id).expect("checked above");
+        entry.last_used = clock;
+        let model = match &entry.model {
+            Some(m) => Arc::clone(m),
+            None => {
+                let m = (self.loader)(&entry.snapshot)?;
+                entry.model = Some(Arc::clone(&m));
+                let size = entry.snapshot.len() as u64;
+                self.stats.loads += 1;
+                self.stats.reloads += 1;
+                self.loaded_bytes += size;
+                m
+            }
+        };
+        self.enforce_budget(Some(id));
+        Ok(model)
+    }
+
+    /// Drops `id`'s loaded model (keeping its snapshot), adjusting the
+    /// resident-byte total.
+    fn evict_entry_model(&mut self, id: &str) {
+        if let Some(entry) = self.entries.get_mut(id) {
+            if entry.model.take().is_some() {
+                self.loaded_bytes -= entry.snapshot.len() as u64;
+            }
+        }
+    }
+
+    /// Evicts least-recently-used resident models (never `keep`) until the
+    /// byte budget is respected or nothing evictable remains.
+    fn enforce_budget(&mut self, keep: Option<&str>) {
+        while self.loaded_bytes > self.budget_bytes {
+            // `last_used` values are unique (the clock strictly increments),
+            // so they alone determine the LRU victim.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(id, e)| e.model.is_some() && Some(id.as_str()) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone());
+            match victim {
+                Some(id) => {
+                    self.evict_entry_model(&id);
+                    self.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Applies every pending swap scheduled at or before `tick`. Invalid
+    /// replacement snapshots are dropped (the old model keeps serving) —
+    /// a mid-stream swap must never poison a running service.
+    fn apply_swaps_due(&mut self, tick: u64) -> usize {
+        let mut applied = 0;
+        while self
+            .pending_swaps
+            .first()
+            .is_some_and(|(at, _, _)| *at <= tick)
+        {
+            let (_, id, snapshot) = self.pending_swaps.remove(0);
+            if self.entries.contains_key(&id) && self.swap(&id, snapshot).is_ok() {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Serves a heterogeneous request stream: requests are routed to their
+    /// model's own [`BatchingQueue`](crate::serve::BatchingQueue) policy (per-
+    /// model batch plans — batches never mix models), the resulting batches
+    /// execute in deterministic order (close tick, then model id) on one
+    /// shared engine timeline, and each batch's service time is charged by
+    /// the [`ServeConfig`]'s cost model at that model's per-example cost.
+    /// Scheduled hot swaps apply at batch boundaries.
+    ///
+    /// Outputs are bit-for-bit identical for any worker count, and the batch
+    /// plans are a pure function of the arrival streams and the batching
+    /// policy — the same determinism contract as single-model
+    /// [`serve`](crate::serve::serve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] if a request routes to an
+    /// unregistered id, or [`RegistryError::Format`] if an input length does
+    /// not match its model.
+    pub fn serve_multi(
+        &mut self,
+        exec: &ParallelExecutor,
+        cfg: &ServeConfig,
+        requests: Vec<TaggedRequest>,
+    ) -> Result<MultiServeReport, RegistryError> {
+        let stats_before = self.stats;
+        let first_arrival_tick = requests
+            .iter()
+            .map(|r| r.request.arrival_tick)
+            .min()
+            .unwrap_or(0);
+
+        // Route per model, preserving arrival order within each stream.
+        let mut per_model_requests: BTreeMap<String, Vec<Request>> = BTreeMap::new();
+        for r in requests {
+            if !self.entries.contains_key(&r.model_id) {
+                return Err(RegistryError::UnknownModel { id: r.model_id });
+            }
+            per_model_requests
+                .entry(r.model_id)
+                .or_default()
+                .push(r.request);
+        }
+
+        // Per-model batch plans (pure functions of stream + policy), merged
+        // into one deterministic execution order.
+        let mut planned: Vec<(u64, String, PlannedBatch)> = Vec::new();
+        for (id, stream) in per_model_requests {
+            for plan in plan_batches(stream, cfg.batching) {
+                planned.push((plan.close_tick, id.clone(), plan));
+            }
+        }
+        planned.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+
+        let mut completed = Vec::new();
+        let mut per_model: BTreeMap<String, ModelServeStats> = BTreeMap::new();
+        let mut engine_free = first_arrival_tick;
+        let mut input = Vec::new();
+        for (close_tick, id, plan) in planned {
+            let start = close_tick.max(engine_free);
+            self.apply_swaps_due(start);
+            let model = self.model(&id)?;
+
+            let batch = plan.requests.len();
+            input.clear();
+            for request in &plan.requests {
+                permdnn_core::format::check_dim(
+                    "serve_multi",
+                    model.in_dim(),
+                    request.input.len(),
+                )?;
+                input.extend_from_slice(&request.input);
+            }
+            let xs = BatchView::new(&input, batch, model.in_dim())?;
+            let outputs = model.forward_batch(&xs, exec)?;
+
+            let ticks = cfg
+                .service
+                .batch_ticks(model.mul_count_per_example() * batch as u64, exec.workers());
+            let completion_tick = start + ticks;
+            engine_free = completion_tick;
+
+            let tally = per_model.entry(id.clone()).or_default();
+            tally.served += batch;
+            tally.batches += 1;
+            tally.busy_ticks += ticks;
+            for (i, request) in plan.requests.into_iter().enumerate() {
+                completed.push(TaggedCompletion {
+                    model_id: id.clone(),
+                    completed: CompletedRequest {
+                        id: request.id,
+                        arrival_tick: request.arrival_tick,
+                        completion_tick,
+                        batch_size: batch,
+                        output: outputs.row(i).to_vec(),
+                    },
+                });
+            }
+        }
+        // Swaps scheduled past the last batch apply at stream end.
+        self.apply_swaps_due(u64::MAX);
+
+        let after = self.stats;
+        Ok(MultiServeReport {
+            completed,
+            per_model,
+            final_tick: engine_free,
+            first_arrival_tick,
+            workers: exec.workers(),
+            stats: RegistryStats {
+                loads: after.loads - stats_before.loads,
+                reloads: after.reloads - stats_before.reloads,
+                evictions: after.evictions - stats_before.evictions,
+                swaps: after.swaps - stats_before.swaps,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{BatchConfig, ServiceModel, SingleLayerModel};
+    use permdnn_core::snapshot::{load_tensor, save_tensor, SnapshotCodec};
+    use permdnn_core::BlockPermDiagMatrix;
+
+    /// A loader over bare tensor snapshots: each model is one operator served
+    /// through [`SingleLayerModel`] — enough to exercise the registry without
+    /// depending on the `nn` model zoo.
+    fn tensor_loader() -> ModelLoader {
+        Box::new(|bytes| {
+            let op = load_tensor(bytes, &SnapshotCodec::new())?;
+            Ok(Arc::new(SingleLayerModel::new(op)) as Arc<dyn BatchModel>)
+        })
+    }
+
+    fn pd_snapshot(dim: usize, seed: u64) -> Vec<u8> {
+        let w = BlockPermDiagMatrix::random(dim, dim, 4, &mut pd_tensor::init::seeded_rng(seed));
+        save_tensor(&w).unwrap()
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            batching: BatchConfig::new(4, 8),
+            service: ServiceModel::default(),
+        }
+    }
+
+    #[test]
+    fn insert_validates_and_rejects_garbage() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        assert!(matches!(
+            reg.insert("bad", vec![1, 2, 3]),
+            Err(RegistryError::Snapshot(_))
+        ));
+        assert!(reg.is_empty());
+        reg.insert("a", pd_snapshot(8, 1)).unwrap();
+        assert!(reg.contains("a") && reg.is_resident("a"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_reloads_on_demand() {
+        let snap_a = pd_snapshot(8, 1);
+        let budget = (snap_a.len() as u64) * 2 + 8; // room for two models
+        let mut reg = ModelRegistry::new(tensor_loader(), budget);
+        reg.insert("a", snap_a).unwrap();
+        reg.insert("b", pd_snapshot(8, 2)).unwrap();
+        assert!(reg.is_resident("a") && reg.is_resident("b"));
+        // A third model forces out the least recently used ("a").
+        reg.insert("c", pd_snapshot(8, 3)).unwrap();
+        assert!(!reg.is_resident("a"), "LRU model evicted");
+        assert!(reg.is_resident("b") && reg.is_resident("c"));
+        assert_eq!(reg.stats().evictions, 1);
+        // Touching "a" reloads it and evicts the now-LRU "b".
+        let _ = reg.model("a").unwrap();
+        assert!(reg.is_resident("a") && !reg.is_resident("b"));
+        assert_eq!(reg.stats().reloads, 1);
+        assert!(reg.loaded_bytes() <= budget);
+    }
+
+    #[test]
+    fn evicted_model_serves_identically_after_reload() {
+        let snap = pd_snapshot(8, 5);
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        reg.insert("m", snap.clone()).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.4).sin()).collect();
+        let before = {
+            let m = reg.model("m").unwrap();
+            let xs = BatchView::new(&x, 1, 8).unwrap();
+            m.forward_batch(&xs, &ParallelExecutor::sequential())
+                .unwrap()
+        };
+        reg.evict_entry_model("m");
+        assert!(!reg.is_resident("m"));
+        let after = {
+            let m = reg.model("m").unwrap();
+            let xs = BatchView::new(&x, 1, 8).unwrap();
+            m.forward_batch(&xs, &ParallelExecutor::sequential())
+                .unwrap()
+        };
+        assert_eq!(before, after, "reload is bit-exact");
+    }
+
+    #[test]
+    fn swap_requires_existing_id_and_survives_bad_bytes() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        assert!(matches!(
+            reg.swap("ghost", pd_snapshot(8, 1)),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        reg.insert("m", pd_snapshot(8, 1)).unwrap();
+        let before = reg.snapshot("m").unwrap();
+        assert!(reg.swap("m", b"garbage".to_vec()).is_err());
+        assert_eq!(*reg.snapshot("m").unwrap(), *before, "old model kept");
+        reg.swap("m", pd_snapshot(8, 2)).unwrap();
+        assert_ne!(*reg.snapshot("m").unwrap(), *before, "swap installed");
+        assert_eq!(reg.stats().swaps, 1);
+    }
+
+    #[test]
+    fn swap_rejects_differently_shaped_replacements() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        reg.insert("m", pd_snapshot(8, 1)).unwrap();
+        let before = reg.snapshot("m").unwrap();
+        // A 12x12 model cannot replace an 8x8 one mid-stream...
+        match reg.swap("m", pd_snapshot(12, 2)) {
+            Err(RegistryError::ShapeMismatch {
+                current,
+                replacement,
+                ..
+            }) => {
+                assert_eq!(current, (8, 8));
+                assert_eq!(replacement, (12, 12));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert_eq!(*reg.snapshot("m").unwrap(), *before, "old model kept");
+        assert_eq!(reg.stats().swaps, 0);
+        // ...but an explicit insert may re-shape the id deliberately.
+        reg.insert("m", pd_snapshot(12, 2)).unwrap();
+        assert_ne!(*reg.snapshot("m").unwrap(), *before);
+    }
+
+    #[test]
+    fn serve_multi_routes_per_model_and_matches_single_model_outputs() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        let snap_a = pd_snapshot(8, 11);
+        let snap_b = pd_snapshot(12, 12);
+        reg.insert("a", snap_a.clone()).unwrap();
+        reg.insert("b", snap_b.clone()).unwrap();
+        let stream_a = crate::serve::seeded_request_stream(1, 9, 8, 2.0);
+        let stream_b = crate::serve::seeded_request_stream(2, 7, 12, 3.0);
+        let tagged = interleave_streams(vec![
+            ("a".to_string(), stream_a.clone()),
+            ("b".to_string(), stream_b.clone()),
+        ]);
+        let exec = ParallelExecutor::new(2);
+        let report = reg.serve_multi(&exec, &cfg(), tagged).unwrap();
+        assert_eq!(report.completed.len(), 16);
+        assert_eq!(report.per_model["a"].served, 9);
+        assert_eq!(report.per_model["b"].served, 7);
+
+        // Reference: each model's op applied directly.
+        let op_a = load_tensor(&snap_a, &SnapshotCodec::new()).unwrap();
+        let op_b = load_tensor(&snap_b, &SnapshotCodec::new()).unwrap();
+        for tc in &report.completed {
+            let (op, stream) = match tc.model_id.as_str() {
+                "a" => (&op_a, &stream_a),
+                _ => (&op_b, &stream_b),
+            };
+            let expected = op.matvec(&stream[tc.completed.id as usize].input).unwrap();
+            assert_eq!(tc.completed.output, expected, "model {}", tc.model_id);
+        }
+    }
+
+    #[test]
+    fn serve_multi_is_deterministic_across_worker_counts() {
+        let build = || {
+            let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+            reg.insert("a", pd_snapshot(8, 21)).unwrap();
+            reg.insert("b", pd_snapshot(8, 22)).unwrap();
+            reg
+        };
+        let tagged = interleave_streams(vec![
+            (
+                "a".to_string(),
+                crate::serve::seeded_request_stream(3, 20, 8, 1.5),
+            ),
+            (
+                "b".to_string(),
+                crate::serve::seeded_request_stream(4, 20, 8, 1.5),
+            ),
+        ]);
+        // Completion ticks legitimately shrink as workers are added; the
+        // invariant is the execution order, batch membership and every
+        // output bit.
+        fn decisions(report: &MultiServeReport) -> Vec<(String, u64, usize, Vec<f32>)> {
+            report
+                .completed
+                .iter()
+                .map(|tc| {
+                    (
+                        tc.model_id.clone(),
+                        tc.completed.id,
+                        tc.completed.batch_size,
+                        tc.completed.output.clone(),
+                    )
+                })
+                .collect()
+        }
+        let baseline = build()
+            .serve_multi(&ParallelExecutor::new(1), &cfg(), tagged.clone())
+            .unwrap();
+        for workers in [2usize, 3, 7] {
+            let report = build()
+                .serve_multi(&ParallelExecutor::new(workers), &cfg(), tagged.clone())
+                .unwrap();
+            assert_eq!(
+                decisions(&report),
+                decisions(&baseline),
+                "{workers} workers: identical outputs and batching"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_swap_applies_between_batches() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        let old = pd_snapshot(8, 31);
+        let new = pd_snapshot(8, 32);
+        reg.insert("m", old.clone()).unwrap();
+        // Two waves of traffic far apart; swap scheduled between them.
+        let mut stream = crate::serve::seeded_request_stream(5, 4, 8, 0.0);
+        for (i, r) in crate::serve::seeded_request_stream(6, 4, 8, 0.0)
+            .into_iter()
+            .enumerate()
+        {
+            stream.push(Request {
+                id: 100 + i as u64,
+                arrival_tick: 10_000,
+                ..r
+            });
+        }
+        reg.schedule_swap("m", new.clone(), 5_000);
+        let tagged: Vec<TaggedRequest> = stream
+            .iter()
+            .cloned()
+            .map(|request| TaggedRequest {
+                model_id: "m".to_string(),
+                request,
+            })
+            .collect();
+        let report = reg
+            .serve_multi(&ParallelExecutor::sequential(), &cfg(), tagged)
+            .unwrap();
+        assert_eq!(report.stats.swaps, 1);
+        let codec = SnapshotCodec::new();
+        let op_old = load_tensor(&old, &codec).unwrap();
+        let op_new = load_tensor(&new, &codec).unwrap();
+        for tc in &report.completed {
+            let input = &stream
+                .iter()
+                .find(|r| r.id == tc.completed.id)
+                .unwrap()
+                .input;
+            let expected = if tc.completed.arrival_tick < 10_000 {
+                op_old.matvec(input).unwrap()
+            } else {
+                op_new.matvec(input).unwrap()
+            };
+            assert_eq!(tc.completed.output, expected, "request {}", tc.completed.id);
+        }
+    }
+
+    #[test]
+    fn unknown_model_and_bad_input_are_typed_errors() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        reg.insert("m", pd_snapshot(8, 41)).unwrap();
+        assert!(matches!(
+            reg.model("ghost"),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+        let bad = vec![TaggedRequest {
+            model_id: "m".to_string(),
+            request: Request {
+                id: 0,
+                arrival_tick: 0,
+                input: vec![0.0; 5],
+            },
+        }];
+        assert!(matches!(
+            reg.serve_multi(&ParallelExecutor::sequential(), &cfg(), bad),
+            Err(RegistryError::Format(_))
+        ));
+    }
+}
