@@ -1,0 +1,360 @@
+//! SLO / admission-control sweep over the deterministic traffic engine.
+//!
+//! Three admission policies (`Fifo`, `Priority`, `EarliestDeadline`) serve two
+//! arrival processes (a Zipf-skewed multi-tenant mix and an on/off flash
+//! crowd) against a three-model registry with per-model `SloTarget`s, at a
+//! swept offered-load multiplier. For every `(process, policy, load)` cell the
+//! sweep records the p99 latency, SLO attainment and shed rate into
+//! `BENCH_slo.json` — the p99-vs-offered-load and shed-rate curves the
+//! admission layer is judged by.
+//!
+//! Asserted acceptance bars:
+//!
+//! * shed rate is monotonically non-decreasing in offered load for every
+//!   `(process, policy)` curve;
+//! * admission is policy-independent, so at any `(process, load)` cell all
+//!   three policies shed the *same* requests (equal shed rates);
+//! * `EarliestDeadline` attains ≥ `Fifo`'s SLO attainment on the flash-crowd
+//!   process at every load (at that equal shed rate);
+//! * decisions and outputs are bit-identical across worker counts.
+//!
+//! Run: `cargo run --release -p permdnn-bench --bin slo_sweep [-- --out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use pd_tensor::init::seeded_rng;
+use permdnn_bench::print_header;
+use permdnn_core::snapshot::{load_tensor, save_tensor, SnapshotCodec};
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_runtime::{
+    interleave_streams, AdmissionPolicy, BatchConfig, BatchModel, ModelLoader, ModelRegistry,
+    OnOffFlashCrowd, ParallelExecutor, ServeConfig, ServiceModel, SingleLayerModel, SloTarget,
+    TaggedRequest, TrafficConfig, TrafficReport, UniformProcess, ZipfMix,
+};
+
+/// Nominal tick rate: 1 tick = 1 µs.
+const TICK_HZ: f64 = 1e6;
+/// Worker count the curves are generated at (decisions are worker-count
+/// independent; this only scales completion ticks).
+const WORKERS: usize = 2;
+/// Offered-load multipliers: mean inter-arrival gaps shrink as `1 / load`.
+/// Engine capacity sits near load ≈ 4, so the upper half of the sweep is
+/// genuinely oversubscribed and exercises shedding.
+const LOADS: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+/// Requests in the Zipf mix per load level.
+const ZIPF_REQUESTS: usize = 400;
+/// Mean inter-arrival gap of the Zipf mix at load 1.0.
+const ZIPF_BASE_MEAN: f64 = 6.0;
+
+/// One registered model: a permuted-diagonal layer plus its SLO.
+struct ModelSpec {
+    id: &'static str,
+    dim: usize,
+    seed: u64,
+    slo: SloTarget,
+}
+
+fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            id: "fast",
+            dim: 32,
+            seed: 0x510,
+            slo: SloTarget::new(300, 7, 24).expect("valid"),
+        },
+        ModelSpec {
+            id: "mid",
+            dim: 64,
+            seed: 0x511,
+            slo: SloTarget::new(1_200, 3, 48).expect("valid"),
+        },
+        ModelSpec {
+            id: "bulk",
+            dim: 256,
+            seed: 0x512,
+            slo: SloTarget::new(60_000, 1, 192).expect("valid"),
+        },
+    ]
+}
+
+fn tensor_loader() -> ModelLoader {
+    Box::new(|bytes| {
+        let op = load_tensor(bytes, &SnapshotCodec::new())?;
+        Ok(Arc::new(SingleLayerModel::new(op)) as Arc<dyn BatchModel>)
+    })
+}
+
+fn build_registry() -> ModelRegistry {
+    let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+    for spec in specs() {
+        let w = BlockPermDiagMatrix::random(spec.dim, spec.dim, 4, &mut seeded_rng(spec.seed));
+        reg.insert_with_slo(spec.id, save_tensor(&w).expect("snapshot"), spec.slo)
+            .expect("valid snapshot");
+    }
+    reg
+}
+
+/// The Zipf-skewed multi-tenant mix: hot "fast", warm "mid", cold "bulk".
+fn zipf_stream(load: f64) -> Vec<TaggedRequest> {
+    let models: Vec<(String, usize)> = specs().iter().map(|s| (s.id.to_string(), s.dim)).collect();
+    ZipfMix::new(models, 1.2, ZIPF_BASE_MEAN / load)
+        .expect("valid mix")
+        .stream(0x520, ZIPF_REQUESTS)
+}
+
+/// The flash-crowd process: on/off bursts on "fast" over a steady "mid"
+/// stream, with a saturated "bulk" wave landing at tick 0 — so the crowd
+/// arrives while several engine-hogging bulk batches are already queued.
+/// Whether the fast requests make their deadline is then decided purely by
+/// the ordering policy: Fifo serves the earlier-closed bulk backlog first,
+/// EarliestDeadline lets the crowd jump it.
+fn flash_crowd_stream(load: f64) -> Vec<TaggedRequest> {
+    let crowd = OnOffFlashCrowd::new(32, 40, 400, 1.0 / load)
+        .expect("valid crowd")
+        .stream(0x530, 160);
+    let mid = UniformProcess::new(64, 12.0 / load)
+        .expect("valid process")
+        .stream(0x531, 80);
+    let bulk = UniformProcess::new(256, 0.0)
+        .expect("valid process")
+        .stream(0x532, 40);
+    interleave_streams(vec![
+        ("fast".to_string(), crowd),
+        ("mid".to_string(), mid),
+        ("bulk".to_string(), bulk),
+    ])
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        batching: BatchConfig::new(8, 16),
+        service: ServiceModel::default(),
+    }
+}
+
+fn run(policy: AdmissionPolicy, stream: Vec<TaggedRequest>, workers: usize) -> TrafficReport {
+    build_registry()
+        .serve_traffic(
+            &ParallelExecutor::new(workers),
+            &TrafficConfig::new(serve_cfg(), policy),
+            stream,
+        )
+        .expect("all ids registered")
+}
+
+fn policy_label(policy: AdmissionPolicy) -> &'static str {
+    match policy {
+        AdmissionPolicy::Fifo => "fifo",
+        AdmissionPolicy::Priority => "priority",
+        AdmissionPolicy::EarliestDeadline => "edf",
+    }
+}
+
+struct Point {
+    load: f64,
+    offered: usize,
+    p99_latency_ticks: u64,
+    attainment: f64,
+    shed_rate: f64,
+}
+
+struct Curve {
+    process: &'static str,
+    policy: &'static str,
+    points: Vec<Point>,
+}
+
+fn main() {
+    let out_path = out_path_arg().unwrap_or_else(|| "BENCH_slo.json".to_string());
+    print_header("SLO / admission-control sweep");
+
+    let policies = [
+        AdmissionPolicy::Fifo,
+        AdmissionPolicy::Priority,
+        AdmissionPolicy::EarliestDeadline,
+    ];
+    type StreamFn = fn(f64) -> Vec<TaggedRequest>;
+    let processes: [(&'static str, StreamFn); 2] = [
+        ("zipf_mix", zipf_stream),
+        ("flash_crowd", flash_crowd_stream),
+    ];
+
+    let mut curves: Vec<Curve> = Vec::new();
+    for (process, stream_of) in processes {
+        for policy in policies {
+            println!(
+                "\n{process} × {} ({WORKERS} workers):",
+                policy_label(policy)
+            );
+            println!(
+                "  {:>5} {:>8} {:>10} {:>11} {:>10}",
+                "load", "offered", "p99 ticks", "attainment", "shed rate"
+            );
+            let mut points = Vec::new();
+            for load in LOADS {
+                let report = run(policy, stream_of(load), WORKERS);
+                let point = Point {
+                    load,
+                    offered: report.offered(),
+                    p99_latency_ticks: report.serve.latency_percentile_ticks(0.99),
+                    attainment: report.attainment(),
+                    shed_rate: report.shed_rate(),
+                };
+                println!(
+                    "  {:>5.1} {:>8} {:>10} {:>11.3} {:>10.3}",
+                    point.load,
+                    point.offered,
+                    point.p99_latency_ticks,
+                    point.attainment,
+                    point.shed_rate
+                );
+                points.push(point);
+            }
+            // Acceptance bar: shedding never relaxes as offered load grows.
+            for pair in points.windows(2) {
+                assert!(
+                    pair[1].shed_rate >= pair[0].shed_rate,
+                    "{process}/{}: shed rate fell from {:.4} (load {}) to {:.4} (load {})",
+                    policy_label(policy),
+                    pair[0].shed_rate,
+                    pair[0].load,
+                    pair[1].shed_rate,
+                    pair[1].load
+                );
+            }
+            curves.push(Curve {
+                process,
+                policy: policy_label(policy),
+                points,
+            });
+        }
+    }
+
+    // Admission is policy-independent: at any (process, load) cell every
+    // policy sheds the same requests.
+    for chunk in curves.chunks(policies.len()) {
+        for curve in &chunk[1..] {
+            for (a, b) in chunk[0].points.iter().zip(curve.points.iter()) {
+                assert_eq!(
+                    a.shed_rate, b.shed_rate,
+                    "{}/{}: shed rate must not depend on the policy",
+                    curve.process, curve.policy
+                );
+            }
+        }
+    }
+
+    // EarliestDeadline must do no worse than Fifo on the flash crowd — same
+    // shed set, better (or equal) ordering.
+    let attainment = |process: &str, policy: &str| -> Vec<f64> {
+        curves
+            .iter()
+            .find(|c| c.process == process && c.policy == policy)
+            .expect("curve exists")
+            .points
+            .iter()
+            .map(|p| p.attainment)
+            .collect()
+    };
+    let fifo = attainment("flash_crowd", "fifo");
+    let edf = attainment("flash_crowd", "edf");
+    for (i, (f, e)) in fifo.iter().zip(edf.iter()).enumerate() {
+        assert!(
+            e >= f,
+            "flash crowd at load {}: EDF attainment {e:.4} below Fifo {f:.4}",
+            LOADS[i]
+        );
+    }
+    assert!(
+        edf[LOADS.len() - 1] > fifo[LOADS.len() - 1],
+        "EDF should strictly rescue crowd requests at saturation"
+    );
+    println!("\nEDF vs Fifo attainment on flash crowd: {edf:?} vs {fifo:?}");
+
+    // Decisions are worker-count independent: same admitted set, same batch
+    // membership, same output bits.
+    let probe = || flash_crowd_stream(4.0);
+    let baseline = run(AdmissionPolicy::EarliestDeadline, probe(), 1);
+    for workers in [2usize, 7] {
+        let report = run(AdmissionPolicy::EarliestDeadline, probe(), workers);
+        assert_eq!(report.rejections, baseline.rejections);
+        let decisions = |r: &TrafficReport| -> Vec<(String, u64, usize, Vec<f32>)> {
+            r.serve
+                .completed
+                .iter()
+                .map(|tc| {
+                    (
+                        tc.model_id.clone(),
+                        tc.completed.id,
+                        tc.completed.batch_size,
+                        tc.completed.output.clone(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            decisions(&report),
+            decisions(&baseline),
+            "{workers} workers: decisions must be bit-identical"
+        );
+    }
+    println!("decisions bit-identical across 1/2/7 workers");
+
+    let json = render_json(&curves);
+    std::fs::write(&out_path, json).expect("write bench JSON");
+    println!("\nwrote {out_path}");
+}
+
+fn out_path_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn render_json(curves: &[Curve]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"slo_sweep\",");
+    let _ = writeln!(s, "  \"tick_hz\": {TICK_HZ},");
+    let _ = writeln!(s, "  \"workers\": {WORKERS},");
+    s.push_str("  \"models\": [\n");
+    let spec_list = specs();
+    for (i, spec) in spec_list.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"dim\": {}, \"deadline_ticks\": {}, \"priority\": {}, \
+             \"max_queue_depth\": {}}}",
+            spec.id, spec.dim, spec.slo.deadline_ticks, spec.slo.priority, spec.slo.max_queue_depth
+        );
+        s.push_str(if i + 1 < spec_list.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"curves\": [\n");
+    for (i, curve) in curves.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"process\": \"{}\", \"policy\": \"{}\", \"points\": [",
+            curve.process, curve.policy
+        );
+        for (j, p) in curve.points.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"offered_load\": {}, \"offered\": {}, \"p99_latency_ticks\": {}, \
+                 \"attainment\": {:.4}, \"shed_rate\": {:.4}}}",
+                p.load, p.offered, p.p99_latency_ticks, p.attainment, p.shed_rate
+            );
+            s.push_str(if j + 1 < curve.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("    ]}");
+        s.push_str(if i + 1 < curves.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

@@ -22,6 +22,11 @@
 //!   ([`ModelRegistry::serve_multi`]), a byte-budgeted LRU weight cache
 //!   evicts idle models (reloaded from bytes on demand), and hot swaps
 //!   apply atomically between batches.
+//! * [`traffic`] / [`slo`] — the deterministic traffic engine: seeded arrival
+//!   generators ([`UniformProcess`], [`PoissonBurst`], [`OnOffFlashCrowd`],
+//!   [`ZipfMix`]), per-model [`SloTarget`]s, and admission control + policy-
+//!   driven batch ordering ([`ModelRegistry::serve_traffic`]) whose decisions
+//!   are bit-identical for any worker count.
 //!
 //! Consumers: `permdnn_nn` builds `forward_batch_parallel` on top of the
 //! executor, `permdnn_sim` reuses it for the multi-host engine model, and the
@@ -35,15 +40,21 @@ mod executor;
 mod pool;
 mod registry;
 mod serve;
+pub mod slo;
+pub mod traffic;
 
 pub use executor::ParallelExecutor;
 pub use pool::WorkerPool;
 pub use registry::{
     interleave_streams, ModelLoader, ModelRegistry, ModelServeStats, MultiServeReport,
-    RegistryError, RegistryStats, TaggedCompletion, TaggedRequest,
+    RegistryError, RegistryStats, TaggedCompletion, TaggedRequest, TrafficReport,
 };
 pub use serve::{
     plan_batches, seeded_request_stream, serve, BatchConfig, BatchModel, BatchingQueue,
     CompletedRequest, PlannedBatch, Request, ServeConfig, ServeReport, ServiceModel,
     SingleLayerModel,
 };
+pub use slo::{
+    AdmissionPolicy, RejectReason, Rejection, SloError, SloTally, SloTarget, TrafficConfig,
+};
+pub use traffic::{OnOffFlashCrowd, PoissonBurst, TrafficError, UniformProcess, ZipfMix};

@@ -20,6 +20,15 @@
 //! and outputs are bit-for-bit identical for any worker count. Hot swaps
 //! ([`ModelRegistry::schedule_swap`]) apply *between* batches at a declared
 //! tick, so a swap can never tear a batch.
+//!
+//! [`ModelRegistry::serve_traffic`] layers SLO-aware serving on the same
+//! datapath: models carry a [`SloTarget`] (attached at
+//! [`ModelRegistry::insert_with_slo`]), over-budget arrivals are shed with a
+//! typed [`Rejection`] before batch formation, and the merged batch plans
+//! execute under an [`AdmissionPolicy`] (`Fifo` / `Priority` /
+//! `EarliestDeadline`) decided on a reference timeline — so admission and
+//! ordering stay bit-identical across worker counts too. `serve_multi` is the
+//! `Fifo`, no-shedding special case of the same loop.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -30,6 +39,10 @@ use permdnn_core::snapshot::SnapshotError;
 use crate::executor::ParallelExecutor;
 use crate::serve::{
     plan_batches, BatchModel, CompletedRequest, PlannedBatch, Request, ServeConfig,
+};
+use crate::slo::{
+    admit_stream, order_batches, AdmissionPolicy, RefCost, Rejection, ScheduledBatch, SloTally,
+    SloTarget, TrafficConfig,
 };
 
 /// Rebuilds a servable model from snapshot bytes. Injected into
@@ -105,6 +118,12 @@ struct ModelEntry {
     last_used: u64,
     in_dim: usize,
     out_dim: usize,
+    /// Per-example multiplication cost, recorded at insert time so admission
+    /// control can estimate service ticks without materialising the model.
+    mul_count: u64,
+    /// The model's service-level objective, if one is attached. Swaps and
+    /// re-inserts preserve it.
+    slo: Option<SloTarget>,
 }
 
 /// Counters the registry accumulates across its lifetime.
@@ -182,6 +201,67 @@ impl MultiServeReport {
         }
         self.completed.len() as f64 / (ticks as f64 / tick_hz)
     }
+
+    /// Latency percentile in ticks across every served request (`q` in
+    /// `[0, 1]`; nearest-rank on the sorted latencies). Returns 0 for an
+    /// empty report.
+    pub fn latency_percentile_ticks(&self, q: f64) -> u64 {
+        if self.completed.is_empty() {
+            return 0;
+        }
+        let mut latencies: Vec<u64> = self
+            .completed
+            .iter()
+            .map(|tc| tc.completed.latency_ticks())
+            .collect();
+        latencies.sort_unstable();
+        let idx = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        latencies[idx]
+    }
+}
+
+/// The outcome of one [`ModelRegistry::serve_traffic`] run: the usual serving
+/// report plus everything admission control decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// The serving outcome over the *admitted* requests.
+    pub serve: MultiServeReport,
+    /// Every shed request, sorted by `(tick, model, request id)`.
+    pub rejections: Vec<Rejection>,
+    /// Per-model SLO bookkeeping (offered / met / missed / shed), keyed by
+    /// model id. Models without an SLO count every completion as met.
+    pub per_model_slo: BTreeMap<String, SloTally>,
+}
+
+impl TrafficReport {
+    /// Aggregate SLO tallies across every model.
+    pub fn totals(&self) -> SloTally {
+        let mut total = SloTally::default();
+        for tally in self.per_model_slo.values() {
+            total.offered += tally.offered;
+            total.met += tally.met;
+            total.missed += tally.missed;
+            total.shed += tally.shed;
+        }
+        total
+    }
+
+    /// Requests offered across every model (admitted + shed).
+    pub fn offered(&self) -> usize {
+        self.totals().offered
+    }
+
+    /// Aggregate SLO attainment: the fraction of offered requests served
+    /// within their model's deadline (shed requests count as unmet; models
+    /// without an SLO count completions as met). 1.0 with no traffic.
+    pub fn attainment(&self) -> f64 {
+        self.totals().attainment()
+    }
+
+    /// Aggregate fraction of offered requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        self.totals().shed_rate()
+    }
 }
 
 /// Merges per-model request streams into one tagged arrival stream, sorted by
@@ -250,12 +330,40 @@ impl ModelRegistry {
     /// Registers (or replaces) a model under `id`. The snapshot is validated
     /// by loading it once; on failure the registry is unchanged (for an
     /// existing id, the old snapshot keeps serving — this is also the
-    /// immediate form of hot swap).
+    /// immediate form of hot swap). An existing id keeps its attached
+    /// [`SloTarget`], if any.
     ///
     /// # Errors
     ///
     /// Returns the loader's [`SnapshotError`] for invalid bytes.
     pub fn insert(&mut self, id: &str, snapshot: Vec<u8>) -> Result<(), RegistryError> {
+        let slo = self.entries.get(id).and_then(|e| e.slo);
+        self.insert_inner(id, snapshot, slo)
+    }
+
+    /// [`ModelRegistry::insert`] with a service-level objective attached: the
+    /// target drives admission control and batch ordering in
+    /// [`ModelRegistry::serve_traffic`]. Replaces any previous target on the
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the loader's [`SnapshotError`] for invalid bytes.
+    pub fn insert_with_slo(
+        &mut self,
+        id: &str,
+        snapshot: Vec<u8>,
+        slo: SloTarget,
+    ) -> Result<(), RegistryError> {
+        self.insert_inner(id, snapshot, Some(slo))
+    }
+
+    fn insert_inner(
+        &mut self,
+        id: &str,
+        snapshot: Vec<u8>,
+        slo: Option<SloTarget>,
+    ) -> Result<(), RegistryError> {
         let model = (self.loader)(&snapshot)?;
         self.evict_entry_model(id);
         let size = snapshot.len() as u64;
@@ -266,14 +374,38 @@ impl ModelRegistry {
                 snapshot: Arc::new(snapshot),
                 in_dim: model.in_dim(),
                 out_dim: model.out_dim(),
+                mul_count: model.mul_count_per_example(),
                 model: Some(model),
                 last_used: self.clock,
+                slo,
             },
         );
         self.stats.loads += 1;
         self.loaded_bytes += size;
         self.enforce_budget(Some(id));
         Ok(())
+    }
+
+    /// Attaches (or, with `None`, detaches) a service-level objective on a
+    /// registered model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] if `id` is not registered.
+    pub fn set_slo(&mut self, id: &str, slo: Option<SloTarget>) -> Result<(), RegistryError> {
+        match self.entries.get_mut(id) {
+            Some(entry) => {
+                entry.slo = slo;
+                Ok(())
+            }
+            None => Err(RegistryError::UnknownModel { id: id.to_string() }),
+        }
+    }
+
+    /// The service-level objective attached to `id`, if the model is
+    /// registered and has one.
+    pub fn slo(&self, id: &str) -> Option<SloTarget> {
+        self.entries.get(id).and_then(|e| e.slo)
     }
 
     /// Atomically swaps `id` to a new snapshot: the replacement is validated
@@ -303,6 +435,7 @@ impl ModelRegistry {
                 replacement,
             });
         }
+        let slo = entry.slo;
         self.evict_entry_model(id);
         let size = snapshot.len() as u64;
         self.clock += 1;
@@ -312,8 +445,10 @@ impl ModelRegistry {
                 snapshot: Arc::new(snapshot),
                 in_dim: replacement.0,
                 out_dim: replacement.1,
+                mul_count: model.mul_count_per_example(),
                 model: Some(model),
                 last_used: self.clock,
+                slo,
             },
         );
         self.stats.loads += 1;
@@ -493,6 +628,102 @@ impl ModelRegistry {
         cfg: &ServeConfig,
         requests: Vec<TaggedRequest>,
     ) -> Result<MultiServeReport, RegistryError> {
+        let (report, _) =
+            self.serve_traffic_inner(exec, cfg, AdmissionPolicy::Fifo, 1, false, requests)?;
+        Ok(report)
+    }
+
+    /// Serves a heterogeneous request stream under admission control and a
+    /// scheduling policy: per-model arrival streams pass through admission
+    /// (requests exceeding their model's [`SloTarget`] queue-depth bound or
+    /// already deadline-infeasible on arrival are shed with a typed
+    /// [`Rejection`]), the admitted sub-streams form per-model batch plans
+    /// exactly as [`ModelRegistry::serve_multi`] does, and the merged plans
+    /// execute in the order [`TrafficConfig::policy`] dictates.
+    ///
+    /// Every admission and ordering decision is computed from the arrival
+    /// streams and the *reference* cost model
+    /// ([`TrafficConfig::reference_workers`]) — never from the executing
+    /// worker count — so decisions, batch membership and outputs are
+    /// bit-identical across worker counts; only completion ticks change.
+    /// Models without an SLO are never shed and schedule with priority 0 and
+    /// an infinite deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] if a request routes to an
+    /// unregistered id, or [`RegistryError::Format`] if an input length does
+    /// not match its model.
+    pub fn serve_traffic(
+        &mut self,
+        exec: &ParallelExecutor,
+        cfg: &TrafficConfig,
+        requests: Vec<TaggedRequest>,
+    ) -> Result<TrafficReport, RegistryError> {
+        let mut offered: BTreeMap<String, usize> = BTreeMap::new();
+        for r in &requests {
+            *offered.entry(r.model_id.clone()).or_default() += 1;
+        }
+        let (serve, rejections) = self.serve_traffic_inner(
+            exec,
+            &cfg.serve,
+            cfg.policy,
+            cfg.reference_workers.max(1),
+            true,
+            requests,
+        )?;
+        let mut per_model_slo: BTreeMap<String, SloTally> = offered
+            .into_iter()
+            .map(|(id, offered)| {
+                (
+                    id,
+                    SloTally {
+                        offered,
+                        ..SloTally::default()
+                    },
+                )
+            })
+            .collect();
+        for r in &rejections {
+            per_model_slo
+                .get_mut(&r.model)
+                .expect("rejections come from offered models")
+                .shed += 1;
+        }
+        for tc in &serve.completed {
+            let deadline = self
+                .slo(&tc.model_id)
+                .map_or(u64::MAX, |s| s.deadline_ticks);
+            let tally = per_model_slo
+                .get_mut(&tc.model_id)
+                .expect("completions come from offered models");
+            if tc.completed.latency_ticks() <= deadline {
+                tally.met += 1;
+            } else {
+                tally.missed += 1;
+            }
+        }
+        Ok(TrafficReport {
+            serve,
+            rejections,
+            per_model_slo,
+        })
+    }
+
+    /// The shared serving loop behind [`ModelRegistry::serve_multi`] (Fifo,
+    /// no shedding) and [`ModelRegistry::serve_traffic`]: route → admit →
+    /// plan → order → execute. SLO parameters (deadline, priority, per-
+    /// example cost) are read from the registry state at planning time, so a
+    /// mid-run scheduled swap cannot retroactively change decisions.
+    fn serve_traffic_inner(
+        &mut self,
+        exec: &ParallelExecutor,
+        cfg: &ServeConfig,
+        policy: AdmissionPolicy,
+        reference_workers: usize,
+        shed: bool,
+        requests: Vec<TaggedRequest>,
+    ) -> Result<(MultiServeReport, Vec<Rejection>), RegistryError> {
         let stats_before = self.stats;
         let first_arrival_tick = requests
             .iter()
@@ -512,22 +743,60 @@ impl ModelRegistry {
                 .push(r.request);
         }
 
-        // Per-model batch plans (pure functions of stream + policy), merged
-        // into one deterministic execution order.
-        let mut planned: Vec<(u64, String, PlannedBatch)> = Vec::new();
+        // Admission + per-model batch plans (pure functions of each stream,
+        // the batching policy and the reference cost model), then one merged
+        // execution order decided on the reference timeline.
+        let mut rejections: Vec<Rejection> = Vec::new();
+        let mut metas: Vec<ScheduledBatch> = Vec::new();
+        let mut batches: Vec<Option<PlannedBatch>> = Vec::new();
         for (id, stream) in per_model_requests {
-            for plan in plan_batches(stream, cfg.batching) {
-                planned.push((plan.close_tick, id.clone(), plan));
+            let entry = self.entries.get(&id).expect("routed ids are registered");
+            let slo = entry.slo;
+            let mul_count = entry.mul_count;
+            let admitted = if shed && slo.is_some() {
+                let ref_cost = RefCost::new(
+                    &cfg.service,
+                    mul_count,
+                    cfg.batching.max_batch,
+                    reference_workers,
+                );
+                admit_stream(&id, stream, cfg.batching, slo, &ref_cost, &mut rejections)
+            } else {
+                stream
+            };
+            for (seq, plan) in plan_batches(admitted, cfg.batching).into_iter().enumerate() {
+                let deadline_tick = match (slo, plan.requests.first()) {
+                    (Some(slo), Some(first)) => {
+                        first.arrival_tick.saturating_add(slo.deadline_ticks)
+                    }
+                    _ => u64::MAX,
+                };
+                metas.push(ScheduledBatch {
+                    close_tick: plan.close_tick,
+                    priority: slo.map_or(0, |s| s.priority),
+                    deadline_tick,
+                    ref_ticks: cfg
+                        .service
+                        .batch_ticks(mul_count * plan.requests.len() as u64, reference_workers),
+                    model_id: id.clone(),
+                    seq,
+                });
+                batches.push(Some(plan));
             }
         }
-        planned.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        rejections.sort_by(|a, b| {
+            (a.tick, &a.model, a.request_id).cmp(&(b.tick, &b.model, b.request_id))
+        });
+        let order = order_batches(policy, &metas);
 
         let mut completed = Vec::new();
         let mut per_model: BTreeMap<String, ModelServeStats> = BTreeMap::new();
         let mut engine_free = first_arrival_tick;
         let mut input = Vec::new();
-        for (close_tick, id, plan) in planned {
-            let start = close_tick.max(engine_free);
+        for idx in order {
+            let plan = batches[idx].take().expect("each batch executes once");
+            let id = metas[idx].model_id.clone();
+            let start = plan.close_tick.max(engine_free);
             self.apply_swaps_due(start);
             let model = self.model(&id)?;
 
@@ -571,19 +840,22 @@ impl ModelRegistry {
         self.apply_swaps_due(u64::MAX);
 
         let after = self.stats;
-        Ok(MultiServeReport {
-            completed,
-            per_model,
-            final_tick: engine_free,
-            first_arrival_tick,
-            workers: exec.workers(),
-            stats: RegistryStats {
-                loads: after.loads - stats_before.loads,
-                reloads: after.reloads - stats_before.reloads,
-                evictions: after.evictions - stats_before.evictions,
-                swaps: after.swaps - stats_before.swaps,
+        Ok((
+            MultiServeReport {
+                completed,
+                per_model,
+                final_tick: engine_free,
+                first_arrival_tick,
+                workers: exec.workers(),
+                stats: RegistryStats {
+                    loads: after.loads - stats_before.loads,
+                    reloads: after.reloads - stats_before.reloads,
+                    evictions: after.evictions - stats_before.evictions,
+                    swaps: after.swaps - stats_before.swaps,
+                },
             },
-        })
+            rejections,
+        ))
     }
 }
 
@@ -841,6 +1113,99 @@ mod tests {
             };
             assert_eq!(tc.completed.output, expected, "request {}", tc.completed.id);
         }
+    }
+
+    #[test]
+    fn slo_targets_attach_detach_and_survive_swaps() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        let slo = SloTarget::new(500, 3, 16).unwrap();
+        reg.insert_with_slo("m", pd_snapshot(8, 1), slo).unwrap();
+        assert_eq!(reg.slo("m"), Some(slo));
+        // Swaps and plain re-inserts keep the target.
+        reg.swap("m", pd_snapshot(8, 2)).unwrap();
+        assert_eq!(reg.slo("m"), Some(slo));
+        reg.insert("m", pd_snapshot(8, 3)).unwrap();
+        assert_eq!(reg.slo("m"), Some(slo));
+        // set_slo replaces or detaches; unknown ids are typed errors.
+        let tighter = SloTarget::new(100, 7, 4).unwrap();
+        reg.set_slo("m", Some(tighter)).unwrap();
+        assert_eq!(reg.slo("m"), Some(tighter));
+        reg.set_slo("m", None).unwrap();
+        assert_eq!(reg.slo("m"), None);
+        assert!(matches!(
+            reg.set_slo("ghost", Some(slo)),
+            Err(RegistryError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn serve_traffic_fifo_without_slos_matches_serve_multi() {
+        let build = || {
+            let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+            reg.insert("a", pd_snapshot(8, 51)).unwrap();
+            reg.insert("b", pd_snapshot(8, 52)).unwrap();
+            reg
+        };
+        let tagged = interleave_streams(vec![
+            (
+                "a".to_string(),
+                crate::serve::seeded_request_stream(61, 15, 8, 2.0),
+            ),
+            (
+                "b".to_string(),
+                crate::serve::seeded_request_stream(62, 15, 8, 2.0),
+            ),
+        ]);
+        let exec = ParallelExecutor::new(2);
+        let multi = build().serve_multi(&exec, &cfg(), tagged.clone()).unwrap();
+        let traffic = build()
+            .serve_traffic(
+                &exec,
+                &TrafficConfig::new(cfg(), AdmissionPolicy::Fifo),
+                tagged,
+            )
+            .unwrap();
+        assert_eq!(traffic.serve, multi, "Fifo traffic path is serve_multi");
+        assert!(traffic.rejections.is_empty());
+        assert_eq!(traffic.attainment(), 1.0, "no SLOs: everything counts met");
+        assert_eq!(traffic.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn serve_traffic_sheds_over_depth_and_reports_tallies() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        let slo = SloTarget::new(1_000_000, 0, 2).unwrap();
+        reg.insert_with_slo("m", pd_snapshot(8, 71), slo).unwrap();
+        // Five same-tick arrivals against queue depth 2 (max_batch 8 never
+        // fills, max_wait 50 holds the backlog).
+        let stream: Vec<Request> = crate::serve::seeded_request_stream(72, 5, 8, 0.0);
+        let tagged: Vec<TaggedRequest> = stream
+            .into_iter()
+            .map(|request| TaggedRequest {
+                model_id: "m".to_string(),
+                request,
+            })
+            .collect();
+        let cfg = TrafficConfig::new(
+            ServeConfig {
+                batching: BatchConfig::new(8, 50),
+                service: ServiceModel::default(),
+            },
+            AdmissionPolicy::Fifo,
+        );
+        let report = reg
+            .serve_traffic(&ParallelExecutor::sequential(), &cfg, tagged)
+            .unwrap();
+        assert_eq!(report.offered(), 5);
+        assert_eq!(report.serve.completed.len(), 2);
+        assert_eq!(report.rejections.len(), 3);
+        assert!(report
+            .rejections
+            .iter()
+            .all(|r| r.reason == crate::slo::RejectReason::QueueFull));
+        let tally = report.per_model_slo["m"];
+        assert_eq!((tally.offered, tally.met, tally.shed), (5, 2, 3));
+        assert!((report.shed_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -23,7 +23,6 @@ use std::sync::Arc;
 
 use pd_tensor::Matrix;
 use permdnn_core::format::{BatchView, CompressedLinear, FormatError};
-use rand::Rng;
 
 use crate::executor::ParallelExecutor;
 
@@ -166,6 +165,22 @@ pub struct PlannedBatch {
 /// (and therefore worker count) cannot influence which requests share a
 /// batch. The simulation is event-driven — it jumps between arrival ticks and
 /// queue deadlines — so sparse streams with large tick gaps cost nothing.
+///
+/// # Flush order
+///
+/// At each simulated tick, every arrival at or before the tick is enqueued
+/// *first*, then the queue is polled repeatedly until it stops flushing. Two
+/// consequences worth spelling out:
+///
+/// * A burst larger than `max_batch` landing on one tick splits into
+///   consecutive batches of `max_batch` (in arrival order) that all close on
+///   the arrival tick itself; a remainder smaller than `max_batch` stays
+///   queued until it fills or its deadline expires. An empty stream yields an
+///   empty plan.
+/// * With `max_wait_ticks == 0` the oldest request is always already expired,
+///   so every arrival tick flushes its whole backlog immediately: requests
+///   sharing an arrival tick still coalesce (in `max_batch`-sized chunks),
+///   but nothing ever waits for later arrivals.
 ///
 /// # Panics
 ///
@@ -439,27 +454,27 @@ pub fn serve(
 /// with the given mean (0 ⇒ every request arrives at tick 0, the saturated
 /// closed-loop mode the throughput bench uses) and uniform inputs in
 /// `[-1, 1)`. Deterministic per seed.
+///
+/// This is the [`UniformProcess`](crate::traffic::UniformProcess) arrival
+/// generator (of which it is now a thin wrapper), kept for source
+/// compatibility and because every committed serving baseline
+/// (`BENCH_serve.json`, `BENCH_models.json`) was generated through it — the
+/// `traffic` module's regression test pins the two paths bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `mean_interarrival_ticks` is negative or not finite (historical
+/// behavior was a garbage stream; the typed-error path is
+/// [`UniformProcess::new`](crate::traffic::UniformProcess::new)).
 pub fn seeded_request_stream(
     seed: u64,
     n_requests: usize,
     in_dim: usize,
     mean_interarrival_ticks: f64,
 ) -> Vec<Request> {
-    let mut rng = pd_tensor::init::seeded_rng(seed);
-    let mut tick = 0u64;
-    (0..n_requests as u64)
-        .map(|id| {
-            if mean_interarrival_ticks > 0.0 {
-                let u: f64 = rng.gen_range(0.0..1.0);
-                tick += (-mean_interarrival_ticks * (1.0 - u).ln()).round() as u64;
-            }
-            Request {
-                id,
-                arrival_tick: tick,
-                input: (0..in_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
-            }
-        })
-        .collect()
+    crate::traffic::UniformProcess::new(in_dim, mean_interarrival_ticks)
+        .expect("mean_interarrival_ticks must be finite and >= 0")
+        .stream(seed, n_requests)
 }
 
 #[cfg(test)]
@@ -540,6 +555,60 @@ mod tests {
         assert!(!a.is_empty());
         let total: usize = a.iter().map(|p| p.requests.len()).sum();
         assert_eq!(total, 20, "every request lands in exactly one batch");
+    }
+
+    #[test]
+    fn plan_of_empty_stream_is_empty() {
+        assert!(plan_batches(Vec::new(), BatchConfig::new(4, 10)).is_empty());
+        assert!(plan_batches(Vec::new(), BatchConfig::new(1, 0)).is_empty());
+    }
+
+    #[test]
+    fn plan_with_zero_max_wait_flushes_each_arrival_tick() {
+        // max_wait 0: nothing waits for later arrivals, but same-tick
+        // arrivals still coalesce.
+        let stream = vec![req(0, 0), req(1, 0), req(2, 5), req(3, 9)];
+        let plans = plan_batches(stream, BatchConfig::new(8, 0));
+        let shape: Vec<(u64, Vec<u64>)> = plans
+            .iter()
+            .map(|p| {
+                (
+                    p.close_tick,
+                    p.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            shape,
+            vec![(0, vec![0, 1]), (5, vec![2]), (9, vec![3])],
+            "each arrival tick flushes immediately, co-arrivals coalesce"
+        );
+    }
+
+    #[test]
+    fn plan_splits_single_tick_burst_into_max_batch_chunks() {
+        // 10 requests on one tick, max_batch 4: two full batches close on the
+        // arrival tick itself; the remainder of 2 waits for its deadline.
+        let stream: Vec<Request> = (0..10).map(|i| req(i, 7)).collect();
+        let plans = plan_batches(stream, BatchConfig::new(4, 6));
+        let shape: Vec<(u64, Vec<u64>)> = plans
+            .iter()
+            .map(|p| {
+                (
+                    p.close_tick,
+                    p.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (7, vec![0, 1, 2, 3]),
+                (7, vec![4, 5, 6, 7]),
+                (13, vec![8, 9]),
+            ],
+            "burst splits in arrival order; remainder flushes at its deadline"
+        );
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! Per-model SLO targets, admission control and policy-driven batch ordering
+//! for multi-model serving.
+//!
+//! Three pieces sit in front of the existing
+//! [`plan_batches`](crate::serve::plan_batches)/execution pipeline:
+//!
+//! 1. [`SloTarget`] — a per-model service-level objective (latency deadline in
+//!    ticks, scheduling priority, bounded queue depth), attached to a model
+//!    at [`ModelRegistry::insert_with_slo`](crate::registry::ModelRegistry::insert_with_slo).
+//! 2. **Admission** ([`admit_stream`]) — replays a model's arrival stream
+//!    through the same queue dynamics `plan_batches` uses and *sheds*
+//!    requests that cannot be served: a typed [`Rejection`] records the
+//!    model, tick and [`RejectReason`] (`QueueFull` when the backlog is at
+//!    the SLO's `max_queue_depth`, `DeadlineInfeasible` when even the
+//!    reference-cost service estimate already exceeds the deadline on
+//!    arrival).
+//! 3. **Batch ordering** ([`order_batches`]) — decides the execution order of
+//!    the per-model batch plans on the shared engine under an
+//!    [`AdmissionPolicy`]: `Fifo` (close tick, then model id — exactly the
+//!    historical `serve_multi` order), `Priority` (higher-priority SLOs
+//!    first), or `EarliestDeadline` (the batch whose first member's absolute
+//!    deadline is soonest).
+//!
+//! **Determinism invariant.** Every decision here is a pure function of the
+//! arrival streams, the batching policy and the *reference* cost model
+//! ([`TrafficConfig::reference_workers`], default 1) — never of the worker
+//! count actually executing the batches. Shedding happens on the arrival
+//! timeline; ordering is computed on a simulated reference engine timeline.
+//! The same seed therefore yields bit-identical admission decisions, batch
+//! membership and outputs for any worker count, which `tests/slo.rs` locks
+//! in across {1, 2, 3, 7} workers.
+
+use std::collections::VecDeque;
+
+use crate::serve::{BatchConfig, Request, ServeConfig, ServiceModel};
+
+/// Errors from building an invalid SLO target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloError {
+    /// A latency deadline of zero ticks (nothing can complete in 0 ticks —
+    /// every request would be shed on arrival).
+    ZeroDeadline,
+    /// A queue depth of zero (no request could ever be admitted).
+    ZeroQueueDepth,
+}
+
+impl std::fmt::Display for SloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SloError::ZeroDeadline => write!(f, "SLO deadline must be at least 1 tick"),
+            SloError::ZeroQueueDepth => write!(f, "SLO max queue depth must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SloError {}
+
+/// A per-model service-level objective.
+///
+/// The fields are public for transparency; [`SloTarget::new`] validates them.
+/// A hand-built target with a zero deadline or depth does not panic — it
+/// simply sheds every request, which is the semantically consistent reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloTarget {
+    /// Latency deadline in ticks: a request *meets* its SLO when
+    /// `completion_tick - arrival_tick <= deadline_ticks`.
+    pub deadline_ticks: u64,
+    /// Scheduling priority under [`AdmissionPolicy::Priority`]: higher values
+    /// are served first when batches contend for the engine.
+    pub priority: u8,
+    /// Largest backlog of admitted-but-unbatched requests; an arrival that
+    /// finds the queue at this depth is shed with
+    /// [`RejectReason::QueueFull`].
+    pub max_queue_depth: usize,
+}
+
+impl SloTarget {
+    /// A validated SLO target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SloError::ZeroDeadline`] or [`SloError::ZeroQueueDepth`] for
+    /// degenerate values that would shed all traffic.
+    pub fn new(
+        deadline_ticks: u64,
+        priority: u8,
+        max_queue_depth: usize,
+    ) -> Result<Self, SloError> {
+        if deadline_ticks == 0 {
+            return Err(SloError::ZeroDeadline);
+        }
+        if max_queue_depth == 0 {
+            return Err(SloError::ZeroQueueDepth);
+        }
+        Ok(SloTarget {
+            deadline_ticks,
+            priority,
+            max_queue_depth,
+        })
+    }
+}
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The model's admitted-but-unbatched backlog was at
+    /// [`SloTarget::max_queue_depth`].
+    QueueFull,
+    /// The reference-cost service estimate for this request already exceeded
+    /// [`SloTarget::deadline_ticks`] at arrival — serving it could only waste
+    /// engine time on a guaranteed SLO miss.
+    DeadlineInfeasible,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "queue full"),
+            RejectReason::DeadlineInfeasible => write!(f, "deadline infeasible"),
+        }
+    }
+}
+
+/// One shed request: which model dropped it, when, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// The model the request was routed to.
+    pub model: String,
+    /// The shed request's id.
+    pub request_id: u64,
+    /// The tick the request arrived (and was shed — admission decides on
+    /// arrival).
+    pub tick: u64,
+    /// Why it was shed.
+    pub reason: RejectReason,
+}
+
+/// The batch-ordering policy for contending per-model batches on the shared
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Close tick, then model id — exactly the historical
+    /// [`serve_multi`](crate::registry::ModelRegistry::serve_multi) order.
+    Fifo,
+    /// Higher [`SloTarget::priority`] first among ready batches; close tick
+    /// and model id break ties. Models without an SLO have priority 0.
+    Priority,
+    /// The ready batch whose first member's absolute deadline
+    /// (`arrival + deadline_ticks`) is soonest runs first. Batches of models
+    /// without an SLO have an infinite deadline and run last among ready
+    /// contenders.
+    EarliestDeadline,
+}
+
+/// Everything [`serve_traffic`](crate::registry::ModelRegistry::serve_traffic)
+/// needs: the familiar batching + service-cost configuration, the ordering
+/// policy, and the reference worker count decisions are computed at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Batch-coalescing policy and execution-cost model (shared with the
+    /// plain serving paths).
+    pub serve: ServeConfig,
+    /// How contending batches are ordered on the engine.
+    pub policy: AdmissionPolicy,
+    /// Worker count the *decision* timeline charges service at. Admission
+    /// estimates and batch ordering are computed against this fixed
+    /// reference, never against the executing worker count — that is what
+    /// keeps decisions bit-identical across {1, 2, …, n} workers.
+    pub reference_workers: usize,
+}
+
+impl TrafficConfig {
+    /// A traffic configuration with the default reference worker count (1).
+    pub fn new(serve: ServeConfig, policy: AdmissionPolicy) -> Self {
+        TrafficConfig {
+            serve,
+            policy,
+            reference_workers: 1,
+        }
+    }
+}
+
+/// Per-model SLO bookkeeping of one traffic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloTally {
+    /// Requests offered to the model (admitted + shed).
+    pub offered: usize,
+    /// Served requests whose latency met the deadline.
+    pub met: usize,
+    /// Served requests that missed the deadline.
+    pub missed: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+}
+
+impl SloTally {
+    /// SLO attainment: the fraction of *offered* requests that completed
+    /// within the deadline (shed requests count as unmet). 1.0 when no
+    /// traffic was offered.
+    pub fn attainment(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.met as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of offered requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Reference service costs for one model: the ticks a batch of each size
+/// 1..=max_batch takes at the decision timeline's worker count.
+#[derive(Debug, Clone)]
+pub(crate) struct RefCost {
+    per_size: Vec<u64>,
+}
+
+impl RefCost {
+    /// Precomputes batch costs for `mul_count_per_example` through the
+    /// service model at `reference_workers`.
+    pub(crate) fn new(
+        service: &ServiceModel,
+        mul_count_per_example: u64,
+        max_batch: usize,
+        reference_workers: usize,
+    ) -> Self {
+        let cap = max_batch.max(1);
+        RefCost {
+            per_size: (1..=cap)
+                .map(|b| service.batch_ticks(mul_count_per_example * b as u64, reference_workers))
+                .collect(),
+        }
+    }
+
+    /// Deterministic service estimate for a request that finds `pending`
+    /// admitted requests queued ahead of it: the requests ahead drain in
+    /// full `max_batch` chunks and the new request rides the next chunk.
+    /// Ignores cross-model engine contention and queue-close delay — it is a
+    /// *load-shaped* estimate, monotone in the backlog, not an exact
+    /// prediction.
+    fn estimate(&self, pending: usize) -> u64 {
+        let cap = self.per_size.len();
+        let full_chunks = (pending / cap) as u64;
+        let own_chunk = pending % cap + 1;
+        full_chunks * self.per_size[cap - 1] + self.per_size[own_chunk - 1]
+    }
+}
+
+/// Replays one model's arrival stream through the exact queue dynamics
+/// [`plan_batches`](crate::serve::plan_batches) uses and sheds what cannot be
+/// served, returning the admitted sub-stream (shed requests never enter the
+/// queue, so `plan_batches(admitted)` reproduces the replayed flushes
+/// exactly).
+///
+/// Decisions are made per arrival, against the backlog at that tick:
+/// `QueueFull` when the backlog is at the SLO's depth bound, then
+/// `DeadlineInfeasible` when the [`RefCost`] estimate exceeds the deadline.
+/// With no SLO the stream passes through untouched. Pure function of
+/// `(stream, batching, slo, ref_cost)` — the executing worker count never
+/// enters.
+pub(crate) fn admit_stream(
+    model_id: &str,
+    requests: Vec<Request>,
+    batching: BatchConfig,
+    slo: Option<SloTarget>,
+    ref_cost: &RefCost,
+    rejections: &mut Vec<Rejection>,
+) -> Vec<Request> {
+    let Some(slo) = slo else {
+        return requests;
+    };
+    let cap = batching.max_batch.max(1);
+    // Backlog of admitted-but-unbatched arrival ticks; mirrors
+    // BatchingQueue::poll exactly (flush when full or the oldest expired,
+    // draining `cap` at a time).
+    let mut pending: VecDeque<u64> = VecDeque::new();
+    let mut admitted = Vec::new();
+    let mut iter = requests.into_iter().peekable();
+    let Some(first) = iter.peek() else {
+        return admitted;
+    };
+    let mut now = first.arrival_tick;
+    loop {
+        while iter.peek().is_some_and(|r| r.arrival_tick <= now) {
+            let r = iter.next().expect("peeked");
+            if pending.len() >= slo.max_queue_depth {
+                rejections.push(Rejection {
+                    model: model_id.to_string(),
+                    request_id: r.id,
+                    tick: r.arrival_tick,
+                    reason: RejectReason::QueueFull,
+                });
+            } else if ref_cost.estimate(pending.len()) > slo.deadline_ticks {
+                rejections.push(Rejection {
+                    model: model_id.to_string(),
+                    request_id: r.id,
+                    tick: r.arrival_tick,
+                    reason: RejectReason::DeadlineInfeasible,
+                });
+            } else {
+                pending.push_back(r.arrival_tick);
+                admitted.push(r);
+            }
+        }
+        // Flush exactly as BatchingQueue::poll would at this tick.
+        while let Some(&oldest) = pending.front() {
+            let full = pending.len() >= cap;
+            let expired = now.saturating_sub(oldest) >= batching.max_wait_ticks;
+            if full || expired {
+                let n = pending.len().min(cap);
+                pending.drain(..n);
+            } else {
+                break;
+            }
+        }
+        let next_arrival = iter.peek().map(|r| r.arrival_tick);
+        let deadline = pending.front().map(|t| t + batching.max_wait_ticks);
+        now = match (next_arrival, deadline) {
+            (Some(a), Some(d)) => a.min(d),
+            (Some(a), None) => a,
+            (None, Some(_)) | (None, None) => break,
+        };
+    }
+    admitted
+}
+
+/// One planned batch's scheduling metadata (identity plus every key a policy
+/// can order by).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScheduledBatch {
+    /// Tick the batch became ready for execution.
+    pub close_tick: u64,
+    /// The owning model's SLO priority (0 without an SLO).
+    pub priority: u8,
+    /// Absolute deadline of the batch's first (oldest) member;
+    /// `u64::MAX` without an SLO.
+    pub deadline_tick: u64,
+    /// Service ticks at the reference worker count.
+    pub ref_ticks: u64,
+    /// The owning model.
+    pub model_id: String,
+    /// Position within the model's own batch plan (preserves per-model
+    /// order on key ties).
+    pub seq: usize,
+}
+
+fn policy_key(policy: AdmissionPolicy, batch: &ScheduledBatch) -> (u64, u64, &str, usize) {
+    match policy {
+        AdmissionPolicy::Fifo => (batch.close_tick, 0, &batch.model_id, batch.seq),
+        AdmissionPolicy::Priority => (
+            u64::from(u8::MAX - batch.priority),
+            batch.close_tick,
+            &batch.model_id,
+            batch.seq,
+        ),
+        AdmissionPolicy::EarliestDeadline => (
+            batch.deadline_tick,
+            batch.close_tick,
+            &batch.model_id,
+            batch.seq,
+        ),
+    }
+}
+
+/// Decides the execution order of the merged batch plans under `policy` by
+/// simulating a *reference* engine timeline: whenever the reference engine
+/// frees, the best ready batch (smallest policy key among those already
+/// closed) runs next; if none is ready the timeline jumps to the next close
+/// tick. Service is charged at [`ScheduledBatch::ref_ticks`], so the order is
+/// a pure function of the batch plans and the policy — the executing worker
+/// count never enters.
+///
+/// For [`AdmissionPolicy::Fifo`] this provably reduces to sorting by
+/// `(close_tick, model_id, seq)`: among ready batches the smallest close tick
+/// wins, and unready batches always have later close ticks.
+pub(crate) fn order_batches(policy: AdmissionPolicy, batches: &[ScheduledBatch]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..batches.len()).collect();
+    let mut order = Vec::with_capacity(batches.len());
+    let Some(mut free) = batches.iter().map(|b| b.close_tick).min() else {
+        return order;
+    };
+    while !remaining.is_empty() {
+        if !remaining.iter().any(|&i| batches[i].close_tick <= free) {
+            free = remaining
+                .iter()
+                .map(|&i| batches[i].close_tick)
+                .min()
+                .expect("non-empty");
+        }
+        let pos = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| batches[i].close_tick <= free)
+            .min_by_key(|(_, &i)| policy_key(policy, &batches[i]))
+            .map(|(pos, _)| pos)
+            .expect("a ready batch exists");
+        let idx = remaining.remove(pos);
+        free = free.max(batches[idx].close_tick) + batches[idx].ref_ticks;
+        order.push(idx);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, tick: u64) -> Request {
+        Request {
+            id,
+            arrival_tick: tick,
+            input: vec![0.0],
+        }
+    }
+
+    fn ref_cost(per_example: u64, max_batch: usize) -> RefCost {
+        RefCost::new(
+            &ServiceModel {
+                muls_per_worker_tick: 1,
+                batch_overhead_ticks: 0,
+            },
+            per_example,
+            max_batch,
+            1,
+        )
+    }
+
+    #[test]
+    fn slo_target_validates() {
+        assert_eq!(SloTarget::new(0, 1, 4).unwrap_err(), SloError::ZeroDeadline);
+        assert_eq!(
+            SloTarget::new(10, 1, 0).unwrap_err(),
+            SloError::ZeroQueueDepth
+        );
+        let slo = SloTarget::new(10, 3, 4).unwrap();
+        assert_eq!(slo.deadline_ticks, 10);
+        assert_eq!(slo.priority, 3);
+        assert!(SloError::ZeroDeadline.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn no_slo_admits_everything() {
+        let stream: Vec<Request> = (0..10).map(|i| req(i, i)).collect();
+        let mut rejections = Vec::new();
+        let admitted = admit_stream(
+            "m",
+            stream.clone(),
+            BatchConfig::new(4, 8),
+            None,
+            &ref_cost(1, 4),
+            &mut rejections,
+        );
+        assert_eq!(admitted, stream);
+        assert!(rejections.is_empty());
+    }
+
+    #[test]
+    fn queue_full_sheds_with_typed_rejection() {
+        // max_wait 100, depth 2: the 3rd and later same-tick arrivals find
+        // the backlog full until a flush (max_batch 8 never fills).
+        let stream: Vec<Request> = (0..5).map(|i| req(i, 0)).collect();
+        let slo = SloTarget::new(1_000_000, 0, 2).unwrap();
+        let mut rejections = Vec::new();
+        let admitted = admit_stream(
+            "m",
+            stream,
+            BatchConfig::new(8, 100),
+            Some(slo),
+            &ref_cost(1, 8),
+            &mut rejections,
+        );
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(rejections.len(), 3);
+        assert!(rejections
+            .iter()
+            .all(|r| r.reason == RejectReason::QueueFull && r.model == "m" && r.tick == 0));
+        assert_eq!(rejections[0].request_id, 2);
+    }
+
+    #[test]
+    fn infeasible_deadline_sheds_on_arrival() {
+        // One example costs 50 reference ticks; deadline 60. The first
+        // request is feasible (est 50), the second sees est 100 > 60.
+        let stream: Vec<Request> = (0..3).map(|i| req(i, 0)).collect();
+        let slo = SloTarget::new(60, 0, 100).unwrap();
+        let mut rejections = Vec::new();
+        let admitted = admit_stream(
+            "m",
+            stream,
+            BatchConfig::new(1, 100),
+            Some(slo),
+            &ref_cost(50, 1),
+            &mut rejections,
+        );
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(rejections.len(), 2);
+        assert!(rejections
+            .iter()
+            .all(|r| r.reason == RejectReason::DeadlineInfeasible));
+    }
+
+    #[test]
+    fn backlog_drains_and_later_arrivals_are_admitted() {
+        // Depth 1: burst at tick 0 sheds all but the first; after the
+        // max_wait flush at tick 5, a tick-10 arrival is admitted again.
+        let mut stream: Vec<Request> = (0..3).map(|i| req(i, 0)).collect();
+        stream.push(req(3, 10));
+        let slo = SloTarget::new(1_000_000, 0, 1).unwrap();
+        let mut rejections = Vec::new();
+        let admitted = admit_stream(
+            "m",
+            stream,
+            BatchConfig::new(8, 5),
+            Some(slo),
+            &ref_cost(1, 8),
+            &mut rejections,
+        );
+        assert_eq!(
+            admitted.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 3],
+            "backlog drained at tick 5, tick-10 arrival admitted"
+        );
+        assert_eq!(rejections.len(), 2);
+    }
+
+    fn meta(close: u64, priority: u8, deadline: u64, model: &str, seq: usize) -> ScheduledBatch {
+        ScheduledBatch {
+            close_tick: close,
+            priority,
+            deadline_tick: deadline,
+            ref_ticks: 10,
+            model_id: model.to_string(),
+            seq,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_close_tick_then_model_then_seq() {
+        let batches = vec![
+            meta(5, 0, u64::MAX, "b", 0),
+            meta(0, 0, u64::MAX, "a", 0),
+            meta(0, 0, u64::MAX, "a", 1),
+            meta(3, 0, u64::MAX, "c", 0),
+        ];
+        assert_eq!(
+            order_batches(AdmissionPolicy::Fifo, &batches),
+            vec![1, 2, 3, 0]
+        );
+    }
+
+    #[test]
+    fn priority_runs_urgent_batches_first_when_ready() {
+        // Both close by tick 0; the high-priority one jumps ahead despite the
+        // later model id. An unready batch (close 100) cannot jump anything.
+        let batches = vec![
+            meta(0, 0, u64::MAX, "a", 0),
+            meta(0, 7, u64::MAX, "z", 0),
+            meta(100, 9, u64::MAX, "z", 1),
+        ];
+        assert_eq!(
+            order_batches(AdmissionPolicy::Priority, &batches),
+            vec![1, 0, 2]
+        );
+    }
+
+    #[test]
+    fn earliest_deadline_preempts_ready_contenders() {
+        let batches = vec![
+            meta(0, 0, 10_000, "bulk", 0),
+            meta(0, 0, 10_000, "bulk", 1),
+            meta(0, 0, 50, "fast", 0),
+        ];
+        assert_eq!(
+            order_batches(AdmissionPolicy::EarliestDeadline, &batches),
+            vec![2, 0, 1]
+        );
+    }
+
+    #[test]
+    fn unready_batches_wait_for_their_close_tick() {
+        // EDF: the tight-deadline batch closes at 100 — the reference engine
+        // serves the two ready bulk batches (10 ticks each) and the tight one
+        // preempts the third as soon as it is ready.
+        let batches = vec![
+            meta(0, 0, 10_000, "bulk", 0),
+            meta(0, 0, 10_000, "bulk", 1),
+            meta(0, 0, 10_000, "bulk", 2),
+            meta(15, 0, 120, "fast", 0),
+        ];
+        assert_eq!(
+            order_batches(AdmissionPolicy::EarliestDeadline, &batches),
+            vec![0, 1, 3, 2]
+        );
+    }
+
+    #[test]
+    fn slo_tally_rates() {
+        let t = SloTally {
+            offered: 10,
+            met: 6,
+            missed: 2,
+            shed: 2,
+        };
+        assert!((t.attainment() - 0.6).abs() < 1e-12);
+        assert!((t.shed_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(SloTally::default().attainment(), 1.0);
+        assert_eq!(SloTally::default().shed_rate(), 0.0);
+    }
+}

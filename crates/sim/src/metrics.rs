@@ -103,6 +103,75 @@ impl PerformancePoint {
     }
 }
 
+/// SLO-attainment bookkeeping for a served workload: how many of the offered
+/// requests met their latency deadline, missed it, or were shed before
+/// service.
+///
+/// The serving runtime produces the raw latencies and shed counts
+/// (`permdnn_runtime`'s `TrafficReport`); this summary is the sim-layer
+/// metric the `slo_sweep` bench plots — attainment and shed rate as functions
+/// of offered load, per admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SloAttainment {
+    /// Served requests whose latency was within the deadline.
+    pub met: usize,
+    /// Served requests that exceeded the deadline.
+    pub missed: usize,
+    /// Requests shed by admission control (never served).
+    pub shed: usize,
+}
+
+impl SloAttainment {
+    /// Classifies a set of served latencies against one deadline, with
+    /// `shed` requests dropped before service.
+    pub fn from_latencies(latencies_ticks: &[u64], deadline_ticks: u64, shed: usize) -> Self {
+        let met = latencies_ticks
+            .iter()
+            .filter(|&&l| l <= deadline_ticks)
+            .count();
+        SloAttainment {
+            met,
+            missed: latencies_ticks.len() - met,
+            shed,
+        }
+    }
+
+    /// Total requests offered (served + shed).
+    pub fn offered(&self) -> usize {
+        self.met + self.missed + self.shed
+    }
+
+    /// Fraction of offered requests that met the deadline (shed requests
+    /// count against attainment). 1.0 when nothing was offered.
+    pub fn attainment(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            1.0
+        } else {
+            self.met as f64 / offered as f64
+        }
+    }
+
+    /// Fraction of offered requests shed before service.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+
+    /// Combines two tallies (e.g. per-model summaries into a fleet total).
+    pub fn merge(&self, other: &SloAttainment) -> SloAttainment {
+        SloAttainment {
+            met: self.met + other.met,
+            missed: self.missed + other.missed,
+            shed: self.shed + other.shed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +204,26 @@ mod tests {
         assert!((p.throughput_per_s - 10_000.0).abs() < 1e-6);
         let zero = PerformancePoint::from_latency("A", "L", 0.0, 1.0, 1.0);
         assert_eq!(zero.throughput_per_s, 0.0);
+    }
+
+    #[test]
+    fn slo_attainment_classifies_latencies() {
+        let a = SloAttainment::from_latencies(&[10, 20, 30, 40], 25, 2);
+        assert_eq!((a.met, a.missed, a.shed), (2, 2, 2));
+        assert_eq!(a.offered(), 6);
+        assert!((a.attainment() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((a.shed_rate() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_attainment_merges_and_handles_empty() {
+        let empty = SloAttainment::default();
+        assert_eq!(empty.attainment(), 1.0);
+        assert_eq!(empty.shed_rate(), 0.0);
+        let a = SloAttainment::from_latencies(&[5, 50], 10, 0);
+        let b = SloAttainment::from_latencies(&[1, 2, 3], 10, 4);
+        let m = a.merge(&b);
+        assert_eq!((m.met, m.missed, m.shed), (4, 1, 4));
+        assert_eq!(m.offered(), a.offered() + b.offered());
     }
 }
