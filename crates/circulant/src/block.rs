@@ -1,10 +1,13 @@
 //! Block-circulant matrices and their FFT-based matrix-vector product.
 
+use std::sync::Arc;
+
 use pd_tensor::Matrix;
 use rand::Rng;
 
 use crate::complex::Complex;
 use crate::fft::{fft_in_place, fft_real, ifft_in_place};
+use crate::plan::FftPlan;
 
 /// Errors produced by block-circulant construction and kernels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +114,23 @@ impl CirculantBlock {
         let k = self.k();
         assert_eq!(x.len(), k);
         assert_eq!(y.len(), k);
+        self.matvec_accumulate_partial(x, y);
+    }
+
+    /// Direct product against a *ragged-edge* tile: `x` and `y` may be shorter
+    /// than `k` (the logical matrix's last block column/row). Equivalent to
+    /// zero-padding `x` to length `k` and discarding outputs past `y.len()`,
+    /// without materialising either — padded columns contribute only `±0.0`
+    /// products at the tail of each row's accumulation, which never change a
+    /// running sum that started at `+0.0`, so results are bit-identical to the
+    /// pad-and-truncate formulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() > k` or `y.len() > k`.
+    pub fn matvec_accumulate_partial(&self, x: &[f32], y: &mut [f32]) {
+        let k = self.k();
+        assert!(x.len() <= k && y.len() <= k);
         for (i, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for (j, xj) in x.iter().enumerate() {
@@ -121,10 +141,22 @@ impl CirculantBlock {
     }
 }
 
+/// Reusable buffers for [`BlockCirculantMatrix::matvec_fft_into`]: the input
+/// block-column spectra and the per-block-row frequency-domain accumulator.
+/// Registered in a `permdnn_core::Scratch` arena by the trait adapter so the
+/// serving hot path performs no per-call allocation.
+#[derive(Debug, Default)]
+pub struct CirculantScratch {
+    /// `block_cols · k` input spectrum slots.
+    x_spectra: Vec<Complex>,
+    /// Length-`k` frequency-domain accumulator.
+    acc: Vec<Complex>,
+}
+
 /// An `m × n` block-circulant matrix: a tiling of `k × k` circulant blocks, each stored as
 /// its first row (`k` values instead of `k²` — the same compression ratio `k` as PermDNN's
 /// block size `p`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct BlockCirculantMatrix {
     rows: usize,
     cols: usize,
@@ -133,6 +165,27 @@ pub struct BlockCirculantMatrix {
     block_cols: usize,
     /// First rows, indexed by block `l = block_row * block_cols + block_col`.
     blocks: Vec<CirculantBlock>,
+    /// Shared FFT plan for block size `k`; `None` when `k` is not a power of
+    /// two (direct kernel only). Derived from `k`, rebuilt on construction
+    /// and snapshot decode — never persisted.
+    plan: Option<Arc<FftPlan>>,
+    /// Precomputed *non-conjugated* weight spectra `FFT(first_row)`, `k`
+    /// entries per block in block order; empty when `k` is not a power of
+    /// two. The weights are frozen at inference time, so these are computed
+    /// once here instead of per matvec. Derived data, like `plan`.
+    spectra: Vec<Complex>,
+}
+
+/// Equality is defined on the logical matrix (dimensions, block size and
+/// stored first rows); the FFT plan and cached weight spectra are derived
+/// from those fields deterministically and excluded from the comparison.
+impl PartialEq for BlockCirculantMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.k == other.k
+            && self.blocks == other.blocks
+    }
 }
 
 impl BlockCirculantMatrix {
@@ -185,6 +238,21 @@ impl BlockCirculantMatrix {
                 expected: block_rows * block_cols,
             });
         }
+        // Weights are frozen at inference time: build the FFT plan and the
+        // per-block weight spectra once, here, instead of recomputing
+        // FFT(first_row) inside every matvec. Snapshot decoding funnels
+        // through this constructor, so loaded models get the cache rebuilt
+        // without any change to the on-disk format.
+        let (plan, spectra) = if k.is_power_of_two() {
+            let plan = Arc::new(FftPlan::new(k));
+            let mut spectra = vec![Complex::ZERO; blocks.len() * k];
+            for (block, out) in blocks.iter().zip(spectra.chunks_mut(k)) {
+                plan.forward_real_padded(block.first_row(), out);
+            }
+            (Some(plan), spectra)
+        } else {
+            (None, Vec::new())
+        };
         Ok(BlockCirculantMatrix {
             rows,
             cols,
@@ -192,6 +260,8 @@ impl BlockCirculantMatrix {
             block_rows,
             block_cols,
             blocks,
+            plan,
+            spectra,
         })
     }
 
@@ -292,20 +362,19 @@ impl BlockCirculantMatrix {
                 got: x.len(),
             });
         }
+        // Exact-size output and borrowed ragged-edge tiles: no pad-to-block
+        // input copy and no allocate-then-truncate on the output
+        // (matvec_accumulate_partial handles the last block row/column).
         let k = self.k;
-        let mut y = vec![0.0f32; self.block_rows * k];
-        let mut x_padded = x.to_vec();
-        x_padded.resize(self.block_cols * k, 0.0);
+        let mut y = vec![0.0f32; self.rows];
         for br in 0..self.block_rows {
+            let y_tile = &mut y[br * k..self.rows.min((br + 1) * k)];
             for bc in 0..self.block_cols {
                 let block = &self.blocks[br * self.block_cols + bc];
-                block.matvec_accumulate_direct(
-                    &x_padded[bc * k..(bc + 1) * k],
-                    &mut y[br * k..(br + 1) * k],
-                );
+                let x_tile = &x[bc * k..self.cols.min((bc + 1) * k)];
+                block.matvec_accumulate_partial(x_tile, y_tile);
             }
         }
-        y.truncate(self.rows);
         Ok(y)
     }
 
@@ -316,11 +385,101 @@ impl BlockCirculantMatrix {
     /// dataflow). Note that the input vector is used *in the frequency domain*: its
     /// time-domain sparsity cannot be exploited, which is PermDNN's third advantage.
     ///
+    /// The weight spectra and FFT twiddles are precomputed at construction;
+    /// see [`Self::matvec_fft_into`] for the allocation-free entry point this
+    /// delegates to.
+    ///
     /// # Errors
     ///
     /// Returns [`CirculantError::DimensionMismatch`] if `x.len() != cols` and
     /// [`CirculantError::NonPowerOfTwo`] if the block size cannot be FFT-ed.
     pub fn matvec_fft(&self, x: &[f32]) -> Result<Vec<f32>, CirculantError> {
+        let mut y = vec![0.0f32; self.rows];
+        self.matvec_fft_into(x, &mut y, &mut CirculantScratch::default())?;
+        Ok(y)
+    }
+
+    /// The CIRCNN kernel with caller-owned output and scratch buffers — the
+    /// serving hot path. Uses the [`FftPlan`] and weight spectra cached at
+    /// construction: per call this runs one forward transform per block
+    /// *column* and one inverse per block *row*, and zero weight FFTs.
+    ///
+    /// Bit-identical to [`Self::matvec_fft_percall`]: the plan replays the
+    /// reference FFT's exact arithmetic, the cached spectra are the same
+    /// `FFT(first_row)` values, and the fused `conj(w)·x` accumulation
+    /// preserves the original operation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::DimensionMismatch`] unless `x.len() == cols`
+    /// and `y.len() == rows`, and [`CirculantError::NonPowerOfTwo`] if the
+    /// block size cannot be FFT-ed.
+    pub fn matvec_fft_into(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        scratch: &mut CirculantScratch,
+    ) -> Result<(), CirculantError> {
+        if x.len() != self.cols {
+            return Err(CirculantError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        if y.len() != self.rows {
+            return Err(CirculantError::DimensionMismatch {
+                expected: self.rows,
+                got: y.len(),
+            });
+        }
+        let Some(plan) = self.plan.as_deref() else {
+            return Err(CirculantError::NonPowerOfTwo { k: self.k });
+        };
+        let k = self.k;
+
+        // FFT of every input block column (shared across all block rows),
+        // zero-padded in place by the plan — no padded input copy.
+        scratch.x_spectra.resize(self.block_cols * k, Complex::ZERO);
+        for bc in 0..self.block_cols {
+            let x_tile = &x[bc * k..self.cols.min((bc + 1) * k)];
+            plan.forward_real_padded(x_tile, &mut scratch.x_spectra[bc * k..(bc + 1) * k]);
+        }
+
+        scratch.acc.resize(k, Complex::ZERO);
+        let acc = &mut scratch.acc[..];
+        for br in 0..self.block_rows {
+            acc.fill(Complex::ZERO);
+            for bc in 0..self.block_cols {
+                let w_spec = &self.spectra[(br * self.block_cols + bc) * k..][..k];
+                let x_spectrum = &scratch.x_spectra[bc * k..(bc + 1) * k];
+                // The circulant matvec is a circular correlation of the first row with x:
+                // y = IFFT(conj(FFT(w)) ∘ FFT(x)) for our row-definition w[(j-i) mod k].
+                for ((a, ws), xs) in acc.iter_mut().zip(w_spec.iter()).zip(x_spectrum.iter()) {
+                    *a += ws.conj() * *xs;
+                }
+            }
+            plan.inverse_in_place(acc);
+            for (out, c) in y[br * k..self.rows.min((br + 1) * k)]
+                .iter_mut()
+                .zip(acc.iter())
+            {
+                *out = c.re as f32;
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-cache CIRCNN kernel: recomputes `FFT(first_row)` for every
+    /// block and the FFT twiddle factors on every call. Retained verbatim as
+    /// the wall-clock baseline that `wall_sweep` measures the planned kernel
+    /// against and that `tests/wall.rs` pins bit-identity to; production call
+    /// sites use [`Self::matvec_fft`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::DimensionMismatch`] if `x.len() != cols` and
+    /// [`CirculantError::NonPowerOfTwo`] if the block size cannot be FFT-ed.
+    pub fn matvec_fft_percall(&self, x: &[f32]) -> Result<Vec<f32>, CirculantError> {
         if x.len() != self.cols {
             return Err(CirculantError::DimensionMismatch {
                 expected: self.cols,

@@ -7,8 +7,9 @@
 
 use permdnn_core::cost::circnn_matvec_ops;
 use permdnn_core::format::{check_dim, CompressedLinear, FormatError};
+use permdnn_core::Scratch;
 
-use crate::block::{BlockCirculantMatrix, CirculantError};
+use crate::block::{BlockCirculantMatrix, CirculantError, CirculantScratch};
 
 impl From<CirculantError> for FormatError {
     fn from(e: CirculantError) -> Self {
@@ -60,14 +61,25 @@ impl CompressedLinear for BlockCirculantMatrix {
     }
 
     fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        self.matvec_scratch(x, y, &mut Scratch::new())
+    }
+
+    /// The FFT path draws its input-spectrum and accumulator buffers from the
+    /// scratch arena, making repeated calls allocation-free; the direct
+    /// fallback for non-2ᵗ block sizes has no reusable temporaries.
+    fn matvec_scratch(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), FormatError> {
         check_dim("matvec_into", self.cols(), x.len())?;
         check_dim("matvec_into", self.rows(), y.len())?;
-        let out = if self.k().is_power_of_two() {
-            self.matvec_fft(x)?
+        if self.k().is_power_of_two() {
+            self.matvec_fft_into(x, y, scratch.slot::<CirculantScratch>())?;
         } else {
-            self.matvec_direct(x)?
-        };
-        y.copy_from_slice(&out);
+            y.copy_from_slice(&self.matvec_direct(x)?);
+        }
         Ok(())
     }
 
@@ -134,7 +146,12 @@ pub fn decode_snapshot(
         });
     }
     let nblocks = rows.div_ceil(k) * cols.div_ceil(k);
-    let mut blocks = Vec::with_capacity(nblocks.min(r.remaining() / 4 / k.max(1) + 1));
+    // Pre-size from what the payload can actually hold (4 bytes per f32, k
+    // values per block) so a corrupt header claiming a huge nblocks cannot
+    // trigger a huge allocation before decoding fails. k > 0 was checked
+    // above, so the division is exact and the old `k.max(1) + 1` fudge that
+    // over-reserved by one block is gone.
+    let mut blocks = Vec::with_capacity(nblocks.min(r.remaining() / (4 * k)));
     for _ in 0..nblocks {
         let first_row = r.f32_vec(k, "circulant block row")?;
         blocks.push(crate::block::CirculantBlock::new(first_row).map_err(|e| {

@@ -27,6 +27,8 @@ pub mod complex;
 pub mod cost;
 pub mod fft;
 pub mod format;
+pub mod plan;
 
-pub use block::{BlockCirculantMatrix, CirculantBlock, CirculantError};
+pub use block::{BlockCirculantMatrix, CirculantBlock, CirculantError, CirculantScratch};
 pub use complex::Complex;
+pub use plan::FftPlan;

@@ -46,7 +46,7 @@
 
 use pd_tensor::Matrix;
 
-use crate::{BlockPermDiagMatrix, PdError};
+use crate::{BlockPermDiagMatrix, PdError, Scratch};
 
 /// Error type shared by every [`CompressedLinear`] implementation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -269,6 +269,56 @@ pub trait CompressedLinear: Send + Sync {
         Ok(y)
     }
 
+    /// Computes `y = W·x` using caller-owned [`Scratch`] buffers for the
+    /// kernel's temporaries.
+    ///
+    /// Bit-identical to [`matvec_into`](Self::matvec_into) — the scratch only
+    /// changes *where* temporaries live, never what is computed. The default
+    /// ignores the scratch; formats whose kernels need temporaries (circulant
+    /// FFT buffers, quantized accumulators) override this and make
+    /// `matvec_into` delegate here with a throwaway arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] unless `x.len() == in_dim()`
+    /// and `y.len() == out_dim()`.
+    fn matvec_scratch(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), FormatError> {
+        let _ = scratch;
+        self.matvec_into(x, y)
+    }
+
+    /// Batched product into a caller-provided `(batch × out_dim)` row-major
+    /// buffer, with temporaries drawn from `scratch`.
+    ///
+    /// This is the allocation-free hot path `permdnn_runtime::ParallelExecutor`
+    /// drives per worker shard. The default applies
+    /// [`matvec_scratch`](Self::matvec_scratch) row by row; formats with a
+    /// cache-blocked batched kernel (dense, permuted diagonal, CSC) override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] unless `xs.dim() == in_dim()`
+    /// and `out.len() == xs.batch() * out_dim()`.
+    fn matmul_into(
+        &self,
+        xs: &BatchView<'_>,
+        out: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), FormatError> {
+        check_dim("matmul_into", self.in_dim(), xs.dim())?;
+        let m = self.out_dim();
+        check_dim("matmul_into", xs.batch() * m, out.len())?;
+        for i in 0..xs.batch() {
+            self.matvec_scratch(xs.row(i), &mut out[i * m..(i + 1) * m], scratch)?;
+        }
+        Ok(())
+    }
+
     /// Batched product: applies the operator to every vector of `xs`, returning
     /// a `(batch × out_dim)` matrix with one output per row.
     ///
@@ -276,11 +326,8 @@ pub trait CompressedLinear: Send + Sync {
     ///
     /// Returns [`FormatError::DimensionMismatch`] if `xs.dim() != in_dim()`.
     fn matmul(&self, xs: &BatchView<'_>) -> Result<Matrix, FormatError> {
-        check_dim("matmul", self.in_dim(), xs.dim())?;
         let mut out = Matrix::zeros(xs.batch(), self.out_dim());
-        for i in 0..xs.batch() {
-            self.matvec_into(xs.row(i), out.row_mut(i))?;
-        }
+        self.matmul_into(xs, out.as_mut_slice(), &mut Scratch::new())?;
         Ok(out)
     }
 
@@ -360,17 +407,69 @@ impl CompressedLinear for BlockPermDiagMatrix {
     }
 
     /// Delegates to the column-wise, input-zero-skipping kernel the PERMDNN
-    /// hardware uses (Fig. 5): zero activations are skipped entirely.
+    /// hardware uses (Fig. 5): zero activations are skipped entirely. Streams
+    /// the precomputed [`column_kernel`](BlockPermDiagMatrix::column_kernel)
+    /// index arrays instead of re-deriving the permutation arithmetic per
+    /// entry; identical entry order, so bit-identical to
+    /// [`matvec_reference`](BlockPermDiagMatrix::matvec_reference).
     fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
         check_dim("matvec_into", self.cols(), x.len())?;
         check_dim("matvec_into", self.rows(), y.len())?;
         y.fill(0.0);
+        let (col_ptr, rows, vals) = self.column_kernel();
+        let values = self.values();
         for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }
-            for (i, value_idx) in self.column_nonzeros(j) {
-                y[i] += self.values()[value_idx] * xj;
+            let (s, e) = (col_ptr[j] as usize, col_ptr[j + 1] as usize);
+            for (&i, &v) in rows[s..e].iter().zip(&vals[s..e]) {
+                y[i as usize] += values[v as usize] * xj;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cache-blocked batched kernel: processes the batch in chunks of rows and,
+    /// within a chunk, walks columns once, scattering each column's kernel
+    /// entries across all chunk rows while the index arrays are hot in cache.
+    /// Per output row the columns still arrive in ascending order with the
+    /// same entry order per column, so every row is bit-identical to
+    /// `matvec_into` on that row.
+    fn matmul_into(
+        &self,
+        xs: &BatchView<'_>,
+        out: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), FormatError> {
+        let _ = scratch;
+        check_dim("matmul_into", self.cols(), xs.dim())?;
+        let m = self.rows();
+        check_dim("matmul_into", xs.batch() * m, out.len())?;
+        if m == 0 || xs.batch() == 0 {
+            return Ok(());
+        }
+        let (col_ptr, rows, vals) = self.column_kernel();
+        let values = self.values();
+        const CHUNK: usize = 16;
+        for (chunk_idx, out_chunk) in out.chunks_mut(CHUNK * m).enumerate() {
+            let b0 = chunk_idx * CHUNK;
+            let chunk_rows = out_chunk.len() / m;
+            out_chunk.fill(0.0);
+            for j in 0..self.cols() {
+                let (s, e) = (col_ptr[j] as usize, col_ptr[j + 1] as usize);
+                if s == e {
+                    continue;
+                }
+                for (bi, y) in out_chunk.chunks_mut(m).enumerate().take(chunk_rows) {
+                    let xj = xs.row(b0 + bi)[j];
+                    if xj == 0.0 {
+                        continue;
+                    }
+                    for (&i, &v) in rows[s..e].iter().zip(&vals[s..e]) {
+                        y[i as usize] += values[v as usize] * xj;
+                    }
+                }
             }
         }
         Ok(())
@@ -442,6 +541,43 @@ impl CompressedLinear for Matrix {
                 acc += w * xv;
             }
             *out = acc;
+        }
+        Ok(())
+    }
+
+    /// Cache-blocked batched kernel: for each chunk of batch rows, the outer
+    /// loop walks weight rows so one `W` row is streamed once against every
+    /// input vector in the chunk while it is hot in cache. Each output is
+    /// still the same left-to-right dot product as `matvec_into`, so results
+    /// are bit-identical to the per-row default.
+    fn matmul_into(
+        &self,
+        xs: &BatchView<'_>,
+        out: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), FormatError> {
+        let _ = scratch;
+        check_dim("matmul_into", self.cols(), xs.dim())?;
+        let m = self.rows();
+        check_dim("matmul_into", xs.batch() * m, out.len())?;
+        if m == 0 || xs.batch() == 0 {
+            return Ok(());
+        }
+        const CHUNK: usize = 16;
+        for (chunk_idx, out_chunk) in out.chunks_mut(CHUNK * m).enumerate() {
+            let b0 = chunk_idx * CHUNK;
+            let chunk_rows = out_chunk.len() / m;
+            for r in 0..m {
+                let w_row = self.row(r);
+                for bi in 0..chunk_rows {
+                    let x = xs.row(b0 + bi);
+                    let mut acc = 0.0f32;
+                    for (w, xv) in w_row.iter().zip(x.iter()) {
+                        acc += w * xv;
+                    }
+                    out_chunk[bi * m + r] = acc;
+                }
+            }
         }
         Ok(())
     }
@@ -523,6 +659,31 @@ mod tests {
             let single = CompressedLinear::matvec(&w, xs.row(i)).unwrap();
             assert_eq!(out.row(i), &single[..]);
         }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_per_row_matvec_across_chunk_boundaries() {
+        // Batch 37 exercises full 16-row chunks plus a ragged 5-row tail for
+        // both cache-blocked overrides (dense and permuted diagonal).
+        let dense = xavier_uniform(&mut seeded_rng(20), 11, 9);
+        let pd = BlockPermDiagMatrix::random(6, 9, 3, &mut seeded_rng(21));
+        let xs_mat = xavier_uniform(&mut seeded_rng(22), 37, 9);
+        let xs = BatchView::from_matrix(&xs_mat);
+        for op in [&dense as &dyn CompressedLinear, &pd] {
+            let out = op.matmul(&xs).unwrap();
+            for i in 0..37 {
+                assert_eq!(out.row(i), &op.matvec(xs.row(i)).unwrap()[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn pd_cached_kernel_matches_reference_matvec() {
+        let w = BlockPermDiagMatrix::random(24, 36, 4, &mut seeded_rng(23));
+        let x = sparse_activation_vector(&mut seeded_rng(24), 36, 0.4);
+        let mut reference = vec![0.0f32; 24];
+        w.matvec_reference(&x, &mut reference);
+        assert_eq!(CompressedLinear::matvec(&w, &x).unwrap(), reference);
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod matvec;
 pub mod pd_block;
 pub mod pd_matrix;
 pub mod qlinear;
+pub mod scratch;
 pub mod snapshot;
 pub mod sparsity;
 pub mod storage;
@@ -80,5 +81,6 @@ pub use format::{BatchView, CompressedLinear, FormatError};
 pub use lowering::{lower_dense_conv, ConvGeometry, PdConvMatrix};
 pub use pd_block::PermutedDiagonalBlock;
 pub use pd_matrix::{BlockPermDiagMatrix, PermutationIndexing};
-pub use qlinear::{QKernelStats, QScheme, QuantKernel, QuantizedLinear};
+pub use qlinear::{QKernelStats, QScheme, QScratch, QuantKernel, QuantizedLinear};
+pub use scratch::Scratch;
 pub use snapshot::{Snapshot, SnapshotBuilder, SnapshotCodec, SnapshotError};

@@ -55,6 +55,18 @@ pub struct BlockPermDiagMatrix {
     perms: Vec<usize>,
     /// Stored non-zero values `q`, indexed `l * p + c` where `c` is the row within block `l`.
     values: Vec<f32>,
+    /// Column-kernel cache: `kernel_col_ptr[j]..kernel_col_ptr[j+1]` indexes
+    /// the entries of column `j` in `kernel_rows` / `kernel_vals`. Structure
+    /// only — value *indices*, never value copies, so training updates through
+    /// [`values_mut`](Self::values_mut) stay visible. Built once in
+    /// [`new`](Self::new) (perms are immutable after construction), it
+    /// replaces the per-call modulo arithmetic of
+    /// [`column_nonzeros`](Self::column_nonzeros) on the matvec hot path.
+    kernel_col_ptr: Vec<u32>,
+    /// Output row of each cached column entry.
+    kernel_rows: Vec<u32>,
+    /// Index into `values` of each cached column entry.
+    kernel_vals: Vec<u32>,
 }
 
 impl BlockPermDiagMatrix {
@@ -94,6 +106,28 @@ impl BlockPermDiagMatrix {
                 expected: nblocks * p,
             });
         }
+        // Build the column-kernel cache: the same (row, value-index) walk
+        // `column_nonzeros` produces, flattened into CSC-style arrays so the
+        // matvec kernel streams plain indices instead of recomputing
+        // `(d + p - k_l) % p` per entry per call.
+        let mut kernel_col_ptr = Vec::with_capacity(cols + 1);
+        let mut kernel_rows = Vec::with_capacity(block_rows * cols);
+        let mut kernel_vals = Vec::with_capacity(block_rows * cols);
+        kernel_col_ptr.push(0u32);
+        for j in 0..cols {
+            let d = j % p;
+            let bc = j / p;
+            for br in 0..block_rows {
+                let l = br * block_cols + bc;
+                let c = (d + p - perms[l]) % p;
+                let i = br * p + c;
+                if i < rows {
+                    kernel_rows.push(i as u32);
+                    kernel_vals.push((l * p + c) as u32);
+                }
+            }
+            kernel_col_ptr.push(kernel_rows.len() as u32);
+        }
         Ok(BlockPermDiagMatrix {
             rows,
             cols,
@@ -102,6 +136,9 @@ impl BlockPermDiagMatrix {
             block_cols,
             perms,
             values,
+            kernel_col_ptr,
+            kernel_rows,
+            kernel_vals,
         })
     }
 
@@ -441,6 +478,39 @@ impl BlockPermDiagMatrix {
                 None
             }
         })
+    }
+
+    /// The cached column-kernel arrays `(col_ptr, rows, value_indices)`:
+    /// `col_ptr[j]..col_ptr[j+1]` indexes column `j`'s entries, in exactly the
+    /// order [`column_nonzeros`](Self::column_nonzeros) yields them. The fast
+    /// matvec kernel and the batched cache-blocked kernel stream these instead
+    /// of recomputing the permutation arithmetic per call.
+    pub fn column_kernel(&self) -> (&[u32], &[u32], &[u32]) {
+        (&self.kernel_col_ptr, &self.kernel_rows, &self.kernel_vals)
+    }
+
+    /// The pre-cache column-wise matvec: recomputes `(d + p - k_l) % p` for
+    /// every entry on every call through [`column_nonzeros`](Self::column_nonzeros).
+    ///
+    /// Retained as the wall-clock baseline the cached kernel is measured and
+    /// bit-compared against (`wall_sweep` / `tests/wall.rs`); production call
+    /// sites go through `CompressedLinear::matvec_into`, which uses the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_reference(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "input length mismatch");
+        assert_eq!(y.len(), self.rows, "output length mismatch");
+        y.fill(0.0);
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for (i, value_idx) in self.column_nonzeros(j) {
+                y[i] += self.values[value_idx] * xj;
+            }
+        }
     }
 }
 

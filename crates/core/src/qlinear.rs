@@ -307,6 +307,40 @@ fn requantize_acc(value: i32, input_frac: u32, output_frac: u32) -> (i16, bool) 
     (clamped as i16, clamped != shifted)
 }
 
+/// Reusable buffers for the quantized hot path: the raw activation staging
+/// vectors of the f32 trait surface, the flat accumulator array of the
+/// column-sparse kernel, and the f32 staging vectors of the dequantize
+/// fallback. One lives in each `Scratch` arena slot the runtime owns per
+/// worker, so steady-state quantized serving performs no per-call allocation.
+#[derive(Debug, Default)]
+pub struct QScratch {
+    /// Quantized input staging for the f32 `CompressedLinear` surface.
+    x_raw: Vec<i16>,
+    /// Raw output staging for the f32 `CompressedLinear` surface.
+    y_raw: Vec<i16>,
+    /// One 24-bit (i32-backed) accumulator per output row for the
+    /// column-sparse kernel.
+    accs: Vec<i32>,
+    /// Dequantized input staging for the fallback exec path.
+    x_f32: Vec<f32>,
+    /// f32 output staging for the fallback exec path.
+    y_f32: Vec<f32>,
+}
+
+/// One column-sparse accumulation step on a flat `i32` accumulator array,
+/// replicating [`Accumulator24::accumulate_checked`] exactly: saturating add,
+/// clamp to the 24-bit bounds, report whether the clamp fired. Kept free so
+/// the unrolled inner loop below stays a straight-line instruction sequence.
+#[inline(always)]
+fn acc_step(accs: &mut [i32], row: u32, x_raw: i16, w_raw: i16, weight_frac: u32) -> u64 {
+    let product = product_to_acc(x_raw, w_raw, weight_frac);
+    let a = &mut accs[row as usize];
+    let unclamped = a.saturating_add(product);
+    let clamped = unclamped.clamp(Accumulator24::MIN, Accumulator24::MAX);
+    *a = clamped;
+    u64::from(clamped != unclamped)
+}
+
 impl QuantizedLinear {
     /// Quantizes any weight operator: formats advertising an integer kernel
     /// ([`CompressedLinear::quantize_kernel`]) execute natively in `i16`/`i32`
@@ -401,6 +435,145 @@ impl QuantizedLinear {
         x_raw: &[i16],
         y_raw: &mut [i16],
     ) -> Result<QKernelStats, FormatError> {
+        self.matvec_q_scratch(x_raw, y_raw, &mut QScratch::default())
+    }
+
+    /// The integer matvec with caller-owned scratch buffers — the serving hot
+    /// path. Bit-identical outputs and counters to
+    /// [`matvec_q_reference`](Self::matvec_q_reference): the column-sparse
+    /// kernel runs on a flat reusable `i32` accumulator array (replicating
+    /// [`Accumulator24`] arithmetic exactly, in the same per-accumulator
+    /// order) with its inner loop unrolled four-wide over each column's
+    /// entry slices, and the fallback path stages through reusable f32
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] unless
+    /// `x_raw.len() == in_dim()` and `y_raw.len() == out_dim()`.
+    pub fn matvec_q_scratch(
+        &self,
+        x_raw: &[i16],
+        y_raw: &mut [i16],
+        scratch: &mut QScratch,
+    ) -> Result<QKernelStats, FormatError> {
+        check_dim("matvec_q_into", self.cols, x_raw.len())?;
+        check_dim("matvec_q_into", self.rows, y_raw.len())?;
+        let mut stats = QKernelStats::default();
+        match &self.exec {
+            QExec::Integer(QuantKernel::Dense { weights }) => {
+                let wf = self.scheme.weight_frac;
+                for (r, out) in y_raw.iter_mut().enumerate() {
+                    let mut acc = self.seeded_acc(r, &mut stats);
+                    let row = &weights[r * self.cols..(r + 1) * self.cols];
+                    for (&w, &x) in row.iter().zip(x_raw.iter()) {
+                        stats.products += 1;
+                        stats.accumulator_saturations +=
+                            u64::from(acc.accumulate_checked(product_to_acc(x, w, wf)));
+                    }
+                    *out = self.finish_output(acc.value(), &mut stats);
+                }
+            }
+            QExec::Integer(QuantKernel::ColumnSparse {
+                col_ptr,
+                row_idx,
+                weights,
+            }) => {
+                // The column-wise dataflow: one running accumulator per output
+                // row, zero input activations skipped entirely. Accumulators
+                // are flat i32s (acc_step replays Accumulator24 exactly) and
+                // each column's entries stream four-wide; entries are applied
+                // in stored order, so every accumulator sees the same
+                // saturating-add sequence as the reference kernel.
+                let wf = self.scheme.weight_frac;
+                let accs = &mut scratch.accs;
+                accs.clear();
+                match &self.bias_raw {
+                    Some(bias) => {
+                        accs.extend(
+                            bias.iter()
+                                .map(|&b| b.clamp(Accumulator24::MIN, Accumulator24::MAX)),
+                        );
+                        stats.accumulator_saturations += bias
+                            .iter()
+                            .filter(|&&b| !(Accumulator24::MIN..=Accumulator24::MAX).contains(&b))
+                            .count()
+                            as u64;
+                    }
+                    None => accs.resize(self.rows, 0),
+                }
+                for (c, &x) in x_raw.iter().enumerate() {
+                    if x == 0 {
+                        continue;
+                    }
+                    let (s, e) = (col_ptr[c], col_ptr[c + 1]);
+                    let mut sat = 0u64;
+                    let mut idx = row_idx[s..e].chunks_exact(4);
+                    let mut ws = weights[s..e].chunks_exact(4);
+                    for (ri, wi) in (&mut idx).zip(&mut ws) {
+                        sat += acc_step(accs, ri[0], x, wi[0], wf);
+                        sat += acc_step(accs, ri[1], x, wi[1], wf);
+                        sat += acc_step(accs, ri[2], x, wi[2], wf);
+                        sat += acc_step(accs, ri[3], x, wi[3], wf);
+                    }
+                    for (&r, &w) in idx.remainder().iter().zip(ws.remainder()) {
+                        sat += acc_step(accs, r, x, w, wf);
+                    }
+                    stats.products += (e - s) as u64;
+                    stats.accumulator_saturations += sat;
+                }
+                for (out, &acc) in y_raw.iter_mut().zip(accs.iter()) {
+                    *out = self.finish_output(acc, &mut stats);
+                }
+            }
+            QExec::Fallback(op) => {
+                let QScratch { x_f32, y_f32, .. } = scratch;
+                x_f32.clear();
+                x_f32.extend(
+                    x_raw
+                        .iter()
+                        .map(|&r| dequantize_raw(r, self.scheme.input_frac)),
+                );
+                y_f32.clear();
+                y_f32.resize(self.rows, 0.0);
+                op.matvec_into(x_f32, y_f32)?;
+                stats.products += op.mul_count();
+                let bias_scale = (1u32 << self.scheme.input_frac) as f32;
+                let out_scale = (1u32 << self.scheme.output_frac) as f32;
+                for (r, (out, &v)) in y_raw.iter_mut().zip(y_f32.iter()).enumerate() {
+                    let biased = match &self.bias_raw {
+                        Some(bias) => v + bias[r] as f32 / bias_scale,
+                        None => v,
+                    };
+                    // Same clamp detection as `requantize_acc`: compare the
+                    // pre-clamp scaled value, so a value landing exactly on
+                    // the rail does not count as a saturation.
+                    let scaled = (biased * out_scale).round();
+                    let clamped = scaled.clamp(i16::MIN as f32, i16::MAX as f32);
+                    stats.requantize_saturations += u64::from(scaled != clamped);
+                    *out = clamped as i16;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The pre-optimization integer matvec, retained verbatim as the
+    /// wall-clock and bit-identity baseline for `wall_sweep` and
+    /// `tests/wall.rs`: the column-sparse path allocates a fresh
+    /// [`Accumulator24`] vector per call and applies entries one at a time.
+    /// Production call sites use [`matvec_q_into`](Self::matvec_q_into) /
+    /// [`matvec_q_scratch`](Self::matvec_q_scratch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] unless
+    /// `x_raw.len() == in_dim()` and `y_raw.len() == out_dim()`.
+    pub fn matvec_q_reference(
+        &self,
+        x_raw: &[i16],
+        y_raw: &mut [i16],
+    ) -> Result<QKernelStats, FormatError> {
         check_dim("matvec_q_into", self.cols, x_raw.len())?;
         check_dim("matvec_q_into", self.rows, y_raw.len())?;
         let mut stats = QKernelStats::default();
@@ -445,30 +618,7 @@ impl QuantizedLinear {
                     *out = self.finish_output(acc.value(), &mut stats);
                 }
             }
-            QExec::Fallback(op) => {
-                let x: Vec<f32> = x_raw
-                    .iter()
-                    .map(|&r| dequantize_raw(r, self.scheme.input_frac))
-                    .collect();
-                let mut y = vec![0.0f32; self.rows];
-                op.matvec_into(&x, &mut y)?;
-                stats.products += op.mul_count();
-                let bias_scale = (1u32 << self.scheme.input_frac) as f32;
-                let out_scale = (1u32 << self.scheme.output_frac) as f32;
-                for (r, (out, &v)) in y_raw.iter_mut().zip(y.iter()).enumerate() {
-                    let biased = match &self.bias_raw {
-                        Some(bias) => v + bias[r] as f32 / bias_scale,
-                        None => v,
-                    };
-                    // Same clamp detection as `requantize_acc`: compare the
-                    // pre-clamp scaled value, so a value landing exactly on
-                    // the rail does not count as a saturation.
-                    let scaled = (biased * out_scale).round();
-                    let clamped = scaled.clamp(i16::MIN as f32, i16::MAX as f32);
-                    stats.requantize_saturations += u64::from(scaled != clamped);
-                    *out = clamped as i16;
-                }
-            }
+            QExec::Fallback(_) => return self.matvec_q_into(x_raw, y_raw),
         }
         Ok(stats)
     }
@@ -737,17 +887,40 @@ impl QuantizedLinear {
         xs_raw: &[i16],
         batch: usize,
     ) -> Result<(Vec<i16>, QKernelStats), FormatError> {
-        check_dim("matmul_q", batch * self.cols, xs_raw.len())?;
         let mut out = vec![0i16; batch * self.rows];
+        let stats = self.matmul_q_into(xs_raw, batch, &mut out, &mut QScratch::default())?;
+        Ok((out, stats))
+    }
+
+    /// Batched integer product into a caller-provided output buffer with
+    /// caller-owned scratch — the allocation-free path the runtime's worker
+    /// shards drive. Row `i` of the output is exactly
+    /// [`matvec_q`](Self::matvec_q) of input row `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] unless
+    /// `xs_raw.len() == batch * in_dim()` and
+    /// `out.len() == batch * out_dim()`.
+    pub fn matmul_q_into(
+        &self,
+        xs_raw: &[i16],
+        batch: usize,
+        out: &mut [i16],
+        scratch: &mut QScratch,
+    ) -> Result<QKernelStats, FormatError> {
+        check_dim("matmul_q", batch * self.cols, xs_raw.len())?;
+        check_dim("matmul_q", batch * self.rows, out.len())?;
         let mut stats = QKernelStats::default();
         for i in 0..batch {
-            let row_stats = self.matvec_q_into(
+            let row_stats = self.matvec_q_scratch(
                 &xs_raw[i * self.cols..(i + 1) * self.cols],
                 &mut out[i * self.rows..(i + 1) * self.rows],
+                scratch,
             )?;
             stats.merge(&row_stats);
         }
-        Ok((out, stats))
+        Ok(stats)
     }
 }
 
@@ -784,15 +957,40 @@ impl CompressedLinear for QuantizedLinear {
     /// dequantize the output. Deterministic element-wise, so every batched /
     /// parallel path built on it inherits bit-for-bit reproducibility.
     fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        self.matvec_scratch(x, y, &mut crate::Scratch::new())
+    }
+
+    /// Same quantize → integer kernel → dequantize path, staging the raw
+    /// activation vectors and the kernel's accumulators in the arena's
+    /// [`QScratch`] slot. The raw staging buffers are temporarily moved out
+    /// of the slot so the kernel can borrow the remaining scratch fields.
+    fn matvec_scratch(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        scratch: &mut crate::Scratch,
+    ) -> Result<(), FormatError> {
         check_dim("matvec_into", self.cols, x.len())?;
         check_dim("matvec_into", self.rows, y.len())?;
-        let x_raw = self.quantize_input(x);
-        let mut y_raw = vec![0i16; self.rows];
-        self.matvec_q_into(&x_raw, &mut y_raw)?;
-        for (out, &raw) in y.iter_mut().zip(y_raw.iter()) {
-            *out = dequantize_raw(raw, self.scheme.output_frac);
+        let qs = scratch.slot::<QScratch>();
+        let mut x_raw = std::mem::take(&mut qs.x_raw);
+        let mut y_raw = std::mem::take(&mut qs.y_raw);
+        x_raw.clear();
+        x_raw.extend(
+            x.iter()
+                .map(|&v| quantize_to_raw(v, self.scheme.input_frac)),
+        );
+        y_raw.clear();
+        y_raw.resize(self.rows, 0);
+        let result = self.matvec_q_scratch(&x_raw, &mut y_raw, qs);
+        if result.is_ok() {
+            for (out, &raw) in y.iter_mut().zip(y_raw.iter()) {
+                *out = dequantize_raw(raw, self.scheme.output_frac);
+            }
         }
-        Ok(())
+        qs.x_raw = x_raw;
+        qs.y_raw = y_raw;
+        result.map(|_| ())
     }
 
     /// Dequantized weights (plus the dequantized bias folded out — the dense

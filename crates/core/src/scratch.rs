@@ -1,0 +1,128 @@
+//! Reusable scratch arenas for the kernel hot path.
+//!
+//! Every matvec used to pay for its own temporaries: the circulant kernel
+//! allocated padded inputs and complex spectra, the quantized column-sparse
+//! kernel a `Vec` of accumulators, and the batched default a fresh output
+//! matrix — per call, on every request. [`Scratch`] is the one bag those
+//! temporaries now live in: a type-keyed arena that each kernel pulls its own
+//! buffer struct out of with [`Scratch::slot`], growing it on first use and
+//! reusing it on every call after.
+//!
+//! Ownership model: `permdnn_runtime::ParallelExecutor` owns one `Scratch`
+//! per worker slot, so concurrent shards never share buffers and sequential
+//! calls on the same executor are allocation-free in steady state. Call sites
+//! without an executor (tests, one-shot tools) pass `&mut Scratch::new()` and
+//! get exactly the old allocate-per-call behaviour.
+//!
+//! Buffers are *caches, not state*: every kernel must fully initialise the
+//! slot contents it reads (`clear`/`resize`/`fill`), so results are
+//! bit-identical whether a scratch is fresh or reused — the invariant
+//! `tests/wall.rs` pins for every format.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// A type-keyed arena of reusable kernel buffers.
+///
+/// Each distinct buffer type `T` gets one slot, created on first access via
+/// `T::default()` and kept for the arena's lifetime. Formats define their own
+/// private buffer structs (e.g. the circulant FFT scratch, the quantized
+/// accumulator scratch), so two formats never collide on a slot.
+///
+/// # Example
+///
+/// ```
+/// use permdnn_core::scratch::Scratch;
+///
+/// #[derive(Default)]
+/// struct MyBuffers {
+///     acc: Vec<f32>,
+/// }
+///
+/// let mut scratch = Scratch::new();
+/// let buf = scratch.slot::<MyBuffers>();
+/// buf.acc.resize(128, 0.0);          // first call: allocates
+/// let buf = scratch.slot::<MyBuffers>();
+/// assert_eq!(buf.acc.len(), 128);     // later calls: reuse
+/// ```
+#[derive(Default)]
+pub struct Scratch {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl Scratch {
+    /// An empty arena; slots are created lazily on first [`slot`](Self::slot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The arena's buffer of type `T`, created via `T::default()` on first
+    /// access. The contents carry over from the previous call that used the
+    /// slot — callers must initialise whatever they read.
+    pub fn slot<T: Default + Send + 'static>(&mut self) -> &mut T {
+        self.slots
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(T::default()))
+            .downcast_mut::<T>()
+            .expect("slot is keyed by its own TypeId")
+    }
+
+    /// Number of distinct buffer types currently held.
+    pub fn occupied_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl std::fmt::Debug for Scratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scratch")
+            .field("occupied_slots", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct BufA(Vec<f32>);
+    #[derive(Default)]
+    struct BufB(Vec<i32>);
+
+    #[test]
+    fn slots_are_created_lazily_and_reused() {
+        let mut s = Scratch::new();
+        assert_eq!(s.occupied_slots(), 0);
+        s.slot::<BufA>().0.push(1.0);
+        s.slot::<BufA>().0.push(2.0);
+        assert_eq!(s.slot::<BufA>().0, vec![1.0, 2.0]);
+        assert_eq!(s.occupied_slots(), 1);
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_slots() {
+        let mut s = Scratch::new();
+        s.slot::<BufA>().0.resize(4, 0.0);
+        s.slot::<BufB>().0.resize(7, 0);
+        assert_eq!(s.slot::<BufA>().0.len(), 4);
+        assert_eq!(s.slot::<BufB>().0.len(), 7);
+        assert_eq!(s.occupied_slots(), 2);
+    }
+
+    #[test]
+    fn capacity_survives_clearing() {
+        let mut s = Scratch::new();
+        let buf = s.slot::<BufA>();
+        buf.0.resize(1024, 0.0);
+        let cap = buf.0.capacity();
+        buf.0.clear();
+        assert!(s.slot::<BufA>().0.capacity() >= cap, "reuse keeps capacity");
+    }
+
+    #[test]
+    fn scratch_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Scratch>();
+    }
+}

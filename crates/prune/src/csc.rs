@@ -143,6 +143,14 @@ impl CscMatrix {
             .map(|(&r, &v)| (r, v))
     }
 
+    /// The raw CSC arrays `(col_ptr, row_idx, values)`:
+    /// `col_ptr[c]..col_ptr[c+1]` indexes column `c`'s entries in `row_idx`
+    /// and `values`. Lets the batched cache-blocked kernel stream the arrays
+    /// directly instead of re-materialising per-column iterators.
+    pub fn raw_parts(&self) -> (&[usize], &[usize], &[f32]) {
+        (&self.col_ptr, &self.row_idx, &self.values)
+    }
+
     /// Number of non-zeros in column `c`.
     ///
     /// # Panics

@@ -53,6 +53,50 @@ impl CompressedLinear for CscMatrix {
         Ok(())
     }
 
+    /// Cache-blocked batched kernel: for each chunk of batch rows the outer
+    /// loop walks the CSC columns once, scattering each column's entries
+    /// across all chunk rows while its `row_idx`/`values` slices are hot in
+    /// cache. Per output row the columns still arrive in ascending order with
+    /// the same entry order per column, so every row is bit-identical to
+    /// `matvec_into` on that row.
+    fn matmul_into(
+        &self,
+        xs: &permdnn_core::format::BatchView<'_>,
+        out: &mut [f32],
+        scratch: &mut permdnn_core::Scratch,
+    ) -> Result<(), FormatError> {
+        let _ = scratch;
+        check_dim("matmul_into", self.cols(), xs.dim())?;
+        let m = self.rows();
+        check_dim("matmul_into", xs.batch() * m, out.len())?;
+        if m == 0 || xs.batch() == 0 {
+            return Ok(());
+        }
+        let (col_ptr, row_idx, values) = self.raw_parts();
+        const CHUNK: usize = 16;
+        for (chunk_idx, out_chunk) in out.chunks_mut(CHUNK * m).enumerate() {
+            let b0 = chunk_idx * CHUNK;
+            let chunk_rows = out_chunk.len() / m;
+            out_chunk.fill(0.0);
+            for c in 0..self.cols() {
+                let (s, e) = (col_ptr[c], col_ptr[c + 1]);
+                if s == e {
+                    continue;
+                }
+                for (bi, y) in out_chunk.chunks_mut(m).enumerate().take(chunk_rows) {
+                    let xc = xs.row(b0 + bi)[c];
+                    if xc == 0.0 {
+                        continue;
+                    }
+                    for (&r, &v) in row_idx[s..e].iter().zip(&values[s..e]) {
+                        y[r] += v * xc;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn to_dense(&self) -> pd_tensor::Matrix {
         self.to_dense()
     }
@@ -167,11 +211,29 @@ impl CompressedLinear for EieEncodedMatrix {
         true
     }
 
+    /// Runs the EIE decode loop directly into `y` — the same traversal as the
+    /// inherent [`EieEncodedMatrix::matvec`], without its per-call output
+    /// allocation and multiply-counter bookkeeping.
     fn matvec_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
         check_dim("matvec_into", self.cols(), x.len())?;
         check_dim("matvec_into", self.rows(), y.len())?;
-        let (out, _multiplies) = self.matvec(x);
-        y.copy_from_slice(&out);
+        y.fill(0.0);
+        let codebook = self.codebook();
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            let mut r = 0usize;
+            for e in self.column(c) {
+                r += e.relative_index as usize;
+                if e.is_padding {
+                    r += 1;
+                    continue; // multiply by zero codeword contributes nothing
+                }
+                y[r] += codebook[e.weight_tag as usize] * xc;
+                r += 1;
+            }
+        }
         Ok(())
     }
 

@@ -11,13 +11,32 @@
 
 use std::ops::Range;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use pd_tensor::Matrix;
 use permdnn_core::format::{check_dim, par_row_ranges, BatchView, CompressedLinear, FormatError};
-use permdnn_core::qlinear::{QKernelStats, QuantizedLinear};
+use permdnn_core::qlinear::{QKernelStats, QScratch, QuantizedLinear};
+use permdnn_core::Scratch;
 
 use crate::pool::WorkerPool;
+
+/// One worker slot's reusable buffers: the kernel scratch arena plus the
+/// shard output staging vectors. Shards borrow their slot under a mutex for
+/// the duration of one range, so concurrent `matmul` calls on the same
+/// executor never share buffers; steady-state serving reuses every
+/// allocation.
+#[derive(Default)]
+struct ShardArena {
+    scratch: Scratch,
+    out_f32: Vec<f32>,
+    out_i16: Vec<i16>,
+}
+
+fn lock_arena(arena: &Mutex<ShardArena>) -> std::sync::MutexGuard<'_, ShardArena> {
+    // A poisoned lock means some other shard panicked; its buffers are
+    // caches that every kernel fully re-initialises, so they stay usable.
+    arena.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Runs batched compressed-matrix products sharded across a worker pool.
 ///
@@ -46,14 +65,25 @@ use crate::pool::WorkerPool;
 /// ```
 pub struct ParallelExecutor {
     pool: WorkerPool,
+    /// One scratch arena per worker slot, indexed by shard position.
+    arenas: Arc<Vec<Mutex<ShardArena>>>,
+    /// Recycled input-copy buffers for the sharded f32 path.
+    input_pool_f32: Mutex<Vec<Vec<f32>>>,
+    /// Recycled input-copy buffers for the sharded integer path.
+    input_pool_i16: Mutex<Vec<Vec<i16>>>,
 }
 
 impl ParallelExecutor {
     /// Creates an executor backed by a fresh pool of `n_workers` threads
     /// (clamped to at least one).
     pub fn new(n_workers: usize) -> Self {
+        let pool = WorkerPool::new(n_workers);
+        let arenas = Arc::new((0..pool.workers()).map(|_| Mutex::default()).collect());
         ParallelExecutor {
-            pool: WorkerPool::new(n_workers),
+            pool,
+            arenas,
+            input_pool_f32: Mutex::new(Vec::new()),
+            input_pool_i16: Mutex::new(Vec::new()),
         }
     }
 
@@ -134,44 +164,118 @@ impl ParallelExecutor {
         op: &Arc<dyn CompressedLinear>,
         xs: &BatchView<'_>,
     ) -> Result<Matrix, FormatError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(op, xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`matmul`](Self::matmul) into a caller-owned output matrix — the
+    /// steady-state serving entry point. The output is resized in place
+    /// (reusing its allocation), shard outputs land in per-worker arena
+    /// buffers, kernel temporaries come from each arena's [`Scratch`], and
+    /// the one-off input copy cycles through an internal buffer pool: after
+    /// warm-up, a serve loop calling this repeatedly allocates nothing.
+    ///
+    /// Bit-for-bit identical to the sequential
+    /// [`CompressedLinear::matmul`] for any worker count, like `matmul`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim() != op.in_dim()`;
+    /// any shard error propagates unchanged.
+    pub fn matmul_into(
+        &self,
+        op: &Arc<dyn CompressedLinear>,
+        xs: &BatchView<'_>,
+        out: &mut Matrix,
+    ) -> Result<(), FormatError> {
         check_dim("matmul", op.in_dim(), xs.dim())?;
         let batch = xs.batch();
         let out_dim = op.out_dim();
+        out.resize(batch, out_dim);
         if batch == 0 {
-            return Ok(Matrix::zeros(0, out_dim));
+            return Ok(());
         }
         let ranges = par_row_ranges(batch, self.workers());
         if ranges.len() == 1 {
-            return op.matmul(xs);
+            let mut arena = lock_arena(&self.arenas[0]);
+            return op.matmul_into(xs, out.as_mut_slice(), &mut arena.scratch);
         }
 
         // Jobs on the pool are `'static`, so the borrowed batch is copied into
         // a shared buffer once — O(batch·dim), dwarfed by the O(batch·m·n/p)
-        // product it enables.
+        // product it enables. The buffer itself is recycled across calls.
         let dim = xs.dim();
-        let mut input = Vec::with_capacity(batch * dim);
+        let mut input = self
+            .input_pool_f32
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        input.clear();
+        input.reserve(batch * dim);
         for i in 0..batch {
             input.extend_from_slice(xs.row(i));
         }
         let input = Arc::new(input);
-        let op = Arc::clone(op);
 
+        let shard_op = Arc::clone(op);
+        let shard_input = Arc::clone(&input);
+        let shard_arenas = Arc::clone(&self.arenas);
+        let shard_ranges: Arc<Vec<Range<usize>>> = Arc::new(ranges.clone());
         let shards = self.map_shards(
             ranges.clone(),
-            Arc::new(move |range: Range<usize>| -> Result<Matrix, FormatError> {
-                let sub =
-                    BatchView::new(&input[range.start * dim..range.end * dim], range.len(), dim)?;
-                op.matmul(&sub)
-            }),
+            Arc::new(
+                move |range: Range<usize>| -> Result<Vec<f32>, FormatError> {
+                    // Recover this shard's slot index: range starts are unique
+                    // and strictly increasing, so the position lookup is exact.
+                    let idx = shard_ranges
+                        .iter()
+                        .position(|r| r.start == range.start)
+                        .expect("range comes from this dispatch");
+                    let mut arena = lock_arena(&shard_arenas[idx]);
+                    let arena = &mut *arena;
+                    let mut buf = std::mem::take(&mut arena.out_f32);
+                    buf.clear();
+                    buf.resize(range.len() * out_dim, 0.0);
+                    let sub = BatchView::new(
+                        &shard_input[range.start * dim..range.end * dim],
+                        range.len(),
+                        dim,
+                    )?;
+                    shard_op.matmul_into(&sub, &mut buf, &mut arena.scratch)?;
+                    Ok(buf)
+                },
+            ),
         );
 
-        let mut out = Matrix::zeros(batch, out_dim);
-        for (range, shard) in ranges.into_iter().zip(shards) {
-            let shard = shard?;
-            out.as_mut_slice()[range.start * out_dim..range.end * out_dim]
-                .copy_from_slice(shard.as_slice());
+        let mut result = Ok(());
+        for ((idx, range), shard) in ranges.into_iter().enumerate().zip(shards) {
+            match shard {
+                Ok(buf) => {
+                    if result.is_ok() {
+                        out.as_mut_slice()[range.start * out_dim..range.end * out_dim]
+                            .copy_from_slice(&buf);
+                    }
+                    lock_arena(&self.arenas[idx]).out_f32 = buf;
+                }
+                Err(e) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
         }
-        Ok(out)
+        // Recycle the input copy unless a straggler shard still holds a
+        // reference (then the buffer is simply dropped — correctness never
+        // depends on the pool).
+        if let Ok(input) = Arc::try_unwrap(input) {
+            self.input_pool_f32
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(input);
+        }
+        result
     }
 
     /// Batched *integer* product on the 16-bit fixed-point backend: `batch`
@@ -201,32 +305,79 @@ impl ParallelExecutor {
             return Ok((Vec::new(), QKernelStats::default()));
         }
         let ranges = par_row_ranges(batch, self.workers());
+        let mut out = vec![0i16; batch * out_dim];
         if ranges.len() == 1 {
-            return op.matmul_q(xs_raw, batch);
+            let mut arena = lock_arena(&self.arenas[0]);
+            let stats =
+                op.matmul_q_into(xs_raw, batch, &mut out, arena.scratch.slot::<QScratch>())?;
+            return Ok((out, stats));
         }
 
-        let input: Arc<Vec<i16>> = Arc::new(xs_raw.to_vec());
-        let op = Arc::clone(op);
+        // Same input-copy discipline as the f32 path: one pooled buffer,
+        // shared read-only across shards, recycled after the gather.
+        let mut input = self
+            .input_pool_i16
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default();
+        input.clear();
+        input.extend_from_slice(xs_raw);
+        let input = Arc::new(input);
+
+        let shard_op = Arc::clone(op);
+        let shard_input = Arc::clone(&input);
+        let shard_arenas = Arc::clone(&self.arenas);
+        let shard_ranges: Arc<Vec<Range<usize>>> = Arc::new(ranges.clone());
         let shards = self.map_shards(
             ranges.clone(),
             Arc::new(
                 move |range: Range<usize>| -> Result<(Vec<i16>, QKernelStats), FormatError> {
-                    op.matmul_q(
-                        &input[range.start * in_dim..range.end * in_dim],
+                    let idx = shard_ranges
+                        .iter()
+                        .position(|r| r.start == range.start)
+                        .expect("range comes from this dispatch");
+                    let mut arena = lock_arena(&shard_arenas[idx]);
+                    let arena = &mut *arena;
+                    let mut buf = std::mem::take(&mut arena.out_i16);
+                    buf.clear();
+                    buf.resize(range.len() * out_dim, 0);
+                    let stats = shard_op.matmul_q_into(
+                        &shard_input[range.start * in_dim..range.end * in_dim],
                         range.len(),
-                    )
+                        &mut buf,
+                        arena.scratch.slot::<QScratch>(),
+                    )?;
+                    Ok((buf, stats))
                 },
             ),
         );
 
-        let mut out = vec![0i16; batch * out_dim];
         let mut stats = QKernelStats::default();
-        for (range, shard) in ranges.into_iter().zip(shards) {
-            let (shard_out, shard_stats) = shard?;
-            out[range.start * out_dim..range.end * out_dim].copy_from_slice(&shard_out);
-            stats.merge(&shard_stats);
+        let mut result = Ok(());
+        for ((idx, range), shard) in ranges.into_iter().enumerate().zip(shards) {
+            match shard {
+                Ok((buf, shard_stats)) => {
+                    if result.is_ok() {
+                        out[range.start * out_dim..range.end * out_dim].copy_from_slice(&buf);
+                        stats.merge(&shard_stats);
+                    }
+                    lock_arena(&self.arenas[idx]).out_i16 = buf;
+                }
+                Err(e) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
         }
-        Ok((out, stats))
+        if let Ok(input) = Arc::try_unwrap(input) {
+            self.input_pool_i16
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(input);
+        }
+        result.map(|_| (out, stats))
     }
 }
 

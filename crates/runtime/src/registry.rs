@@ -33,6 +33,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use pd_tensor::Matrix;
 use permdnn_core::format::{BatchView, FormatError};
 use permdnn_core::snapshot::SnapshotError;
 
@@ -793,6 +794,7 @@ impl ModelRegistry {
         let mut per_model: BTreeMap<String, ModelServeStats> = BTreeMap::new();
         let mut engine_free = first_arrival_tick;
         let mut input = Vec::new();
+        let mut outputs = Matrix::zeros(0, 0);
         for idx in order {
             let plan = batches[idx].take().expect("each batch executes once");
             let id = metas[idx].model_id.clone();
@@ -811,7 +813,7 @@ impl ModelRegistry {
                 input.extend_from_slice(&request.input);
             }
             let xs = BatchView::new(&input, batch, model.in_dim())?;
-            let outputs = model.forward_batch(&xs, exec)?;
+            model.forward_batch_into(&xs, exec, &mut outputs)?;
 
             let ticks = cfg
                 .service

@@ -291,6 +291,25 @@ pub trait BatchModel: Send + Sync {
         xs: &BatchView<'_>,
         exec: &ParallelExecutor,
     ) -> Result<Matrix, FormatError>;
+
+    /// Batched forward pass into a caller-owned output matrix, letting serve
+    /// loops reuse one allocation across batches. The default delegates to
+    /// [`forward_batch`](Self::forward_batch) and moves the result into
+    /// `out`; allocation-free implementations (e.g. [`SingleLayerModel`])
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] if `xs.dim() != in_dim()`.
+    fn forward_batch_into(
+        &self,
+        xs: &BatchView<'_>,
+        exec: &ParallelExecutor,
+        out: &mut Matrix,
+    ) -> Result<(), FormatError> {
+        *out = self.forward_batch(xs, exec)?;
+        Ok(())
+    }
 }
 
 /// The trivial [`BatchModel`]: one [`CompressedLinear`] operator, no bias, no
@@ -325,6 +344,15 @@ impl BatchModel for SingleLayerModel {
         exec: &ParallelExecutor,
     ) -> Result<Matrix, FormatError> {
         exec.matmul(&self.op, xs)
+    }
+
+    fn forward_batch_into(
+        &self,
+        xs: &BatchView<'_>,
+        exec: &ParallelExecutor,
+        out: &mut Matrix,
+    ) -> Result<(), FormatError> {
+        exec.matmul_into(&self.op, xs, out)
     }
 }
 
@@ -412,6 +440,7 @@ pub fn serve(
     let mut batch_sizes = Vec::with_capacity(plans.len());
     let mut engine_free = first_arrival_tick;
     let mut input = Vec::new();
+    let mut outputs = Matrix::zeros(0, 0);
     for plan in plans {
         let batch = plan.requests.len();
         input.clear();
@@ -420,7 +449,7 @@ pub fn serve(
             input.extend_from_slice(&request.input);
         }
         let xs = BatchView::new(&input, batch, in_dim)?;
-        let outputs = model.forward_batch(&xs, exec)?;
+        model.forward_batch_into(&xs, exec, &mut outputs)?;
 
         let start = plan.close_tick.max(engine_free);
         let ticks = cfg

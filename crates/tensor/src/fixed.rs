@@ -149,8 +149,15 @@ pub struct Accumulator24 {
 }
 
 impl Accumulator24 {
-    const MAX: i32 = (1 << 23) - 1;
-    const MIN: i32 = -(1 << 23);
+    /// Upper saturation bound of the signed 24-bit accumulator (`2²³ − 1`).
+    ///
+    /// Public so flat-array kernels (e.g. the unrolled column-sparse integer
+    /// kernel in `permdnn_core::qlinear`) can replicate
+    /// [`accumulate_checked`](Self::accumulate_checked) exactly without
+    /// holding a `Vec<Accumulator24>`.
+    pub const MAX: i32 = (1 << 23) - 1;
+    /// Lower saturation bound of the signed 24-bit accumulator (`−2²³`).
+    pub const MIN: i32 = -(1 << 23);
 
     /// Creates a zeroed accumulator.
     pub fn new() -> Self {

@@ -139,6 +139,18 @@ impl Matrix {
         self.data
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing allocation
+    /// whenever its capacity suffices. Every entry is reset to zero; prior
+    /// contents are discarded. This is the output-reuse hook of the serving
+    /// hot path (`ParallelExecutor::matmul_into`): a per-batch output matrix
+    /// can live across iterations instead of being reallocated.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns the entry at `(row, col)`, or `None` when out of bounds.
     pub fn get(&self, row: usize, col: usize) -> Option<f32> {
         if row < self.rows && col < self.cols {
