@@ -1,0 +1,410 @@
+//! Cluster scale-out sweep over the simulated-host serving layer.
+//!
+//! A three-model permuted-diagonal registry serves a Zipf-skewed tenant mix
+//! and an on/off flash crowd on replicated clusters of 1/2/4/8 hosts under
+//! both routing policies, recording modeled requests/sec and p50/p95/p99
+//! latency into `BENCH_cluster.json` — the throughput-vs-replicas scaling
+//! curves the cluster layer is judged by. A second sweep row-shards the same
+//! models 2/4/8 ways and records the per-host resident snapshot bytes.
+//!
+//! Asserted acceptance bars:
+//!
+//! * 4 replicas reach ≥ 3× the modeled requests/sec of 1 host on the Zipf
+//!   workload, under both routing policies;
+//! * served outputs are bit-identical to the single-host run for every
+//!   (traffic, routing, hosts) cell;
+//! * under row-sharding every host holds ≤ `ceil(whole-model bytes / shards)`
+//!   plus a fixed per-model container overhead.
+//!
+//! Run: `cargo run --release -p permdnn-bench --bin cluster_sweep [-- --out PATH]`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use pd_tensor::init::seeded_rng;
+use permdnn_bench::print_header;
+use permdnn_core::snapshot::{load_tensor, save_tensor, SnapshotCodec};
+use permdnn_core::BlockPermDiagMatrix;
+use permdnn_runtime::{
+    interleave_streams, AdmissionPolicy, BatchConfig, BatchModel, Cluster, ClusterReport,
+    ModelLoader, OnOffFlashCrowd, ParallelExecutor, RoutingPolicy, ServeConfig, ServiceModel,
+    SingleLayerModel, TaggedRequest, TrafficConfig, UniformProcess, ZipfMix,
+};
+
+/// Nominal tick rate: 1 tick = 1 µs.
+const TICK_HZ: f64 = 1e6;
+/// Worker count per host (outputs are worker-count independent; this only
+/// scales completion ticks).
+const WORKERS: usize = 2;
+/// Replica counts the throughput curves sweep.
+const HOSTS: [usize; 4] = [1, 2, 4, 8];
+/// Shard counts the memory sweep covers (≤ block rows of the smallest model).
+const SHARDS: [usize; 3] = [2, 4, 8];
+/// Requests in the Zipf mix.
+const ZIPF_REQUESTS: usize = 800;
+/// Mean inter-arrival gap of the Zipf mix in ticks — far below the mean
+/// per-request service time, so a single host is deeply oversubscribed and
+/// throughput is service-bound, the regime replication is supposed to fix.
+const ZIPF_MEAN_GAP: f64 = 0.5;
+/// Container framing slack allowed per model on top of the ideal
+/// `ceil(whole / shards)` byte split (section headers, CRCs, shard index).
+const SECTION_OVERHEAD: u64 = 256;
+
+/// One registered model: a square permuted-diagonal layer, no SLO (nothing
+/// sheds, so every cell serves the identical request set and requests/sec is
+/// a pure service-capacity measurement).
+struct ModelSpec {
+    id: &'static str,
+    dim: usize,
+    seed: u64,
+}
+
+fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            id: "fast",
+            dim: 32,
+            seed: 0x810,
+        },
+        ModelSpec {
+            id: "mid",
+            dim: 64,
+            seed: 0x811,
+        },
+        ModelSpec {
+            id: "bulk",
+            dim: 256,
+            seed: 0x812,
+        },
+    ]
+}
+
+fn snapshot(spec: &ModelSpec) -> Vec<u8> {
+    let w = BlockPermDiagMatrix::random(spec.dim, spec.dim, 4, &mut seeded_rng(spec.seed));
+    save_tensor(&w).expect("snapshot")
+}
+
+fn tensor_loader() -> ModelLoader {
+    Box::new(|bytes| {
+        let op = load_tensor(bytes, &SnapshotCodec::new())?;
+        Ok(Arc::new(SingleLayerModel::new(op)) as Arc<dyn BatchModel>)
+    })
+}
+
+fn loaders(n: usize) -> Vec<ModelLoader> {
+    (0..n).map(|_| tensor_loader()).collect()
+}
+
+fn replicated_cluster(hosts: usize, routing: RoutingPolicy) -> Cluster {
+    let mut cluster =
+        Cluster::replicated(loaders(hosts), routing, u64::MAX).expect("non-empty host list");
+    for spec in specs() {
+        cluster
+            .insert(spec.id, snapshot(&spec), None)
+            .expect("valid snapshot");
+    }
+    cluster
+}
+
+/// The Zipf-skewed tenant mix: hot "fast", warm "mid", cold (but expensive)
+/// "bulk".
+fn zipf_stream() -> Vec<TaggedRequest> {
+    let models: Vec<(String, usize)> = specs().iter().map(|s| (s.id.to_string(), s.dim)).collect();
+    ZipfMix::new(models, 1.2, ZIPF_MEAN_GAP)
+        .expect("valid mix")
+        .stream(0x820, ZIPF_REQUESTS)
+}
+
+/// The flash-crowd process: on/off bursts on "fast" over a steady "mid"
+/// stream, with a saturated "bulk" wave landing at tick 0.
+fn flash_crowd_stream() -> Vec<TaggedRequest> {
+    let crowd = OnOffFlashCrowd::new(32, 40, 400, 0.5)
+        .expect("valid crowd")
+        .stream(0x830, 240);
+    let mid = UniformProcess::new(64, 4.0)
+        .expect("valid process")
+        .stream(0x831, 120);
+    let bulk = UniformProcess::new(256, 0.0)
+        .expect("valid process")
+        .stream(0x832, 60);
+    interleave_streams(vec![
+        ("fast".to_string(), crowd),
+        ("mid".to_string(), mid),
+        ("bulk".to_string(), bulk),
+    ])
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        batching: BatchConfig::new(8, 16),
+        // A deliberately slow engine (vs the 1024 muls/tick default): the
+        // request stream then oversubscribes one host by several ×, which is
+        // the regime where replica scaling is measurable.
+        service: ServiceModel {
+            muls_per_worker_tick: 256,
+            batch_overhead_ticks: 2,
+        },
+    }
+}
+
+fn run(cluster: &mut Cluster, stream: Vec<TaggedRequest>) -> ClusterReport {
+    cluster
+        .serve_traffic(
+            &ParallelExecutor::new(WORKERS),
+            &TrafficConfig::new(serve_cfg(), AdmissionPolicy::Fifo),
+            stream,
+        )
+        .expect("all ids registered")
+}
+
+fn routing_label(routing: RoutingPolicy) -> &'static str {
+    match routing {
+        RoutingPolicy::HashModulo => "hash",
+        RoutingPolicy::Rendezvous => "rendezvous",
+    }
+}
+
+/// The topology-independent fingerprint of a run: who got served, with what
+/// bits. Ticks and batch sizes legitimately vary across topologies.
+fn decisions(report: &ClusterReport) -> Vec<(String, u64, Vec<f32>)> {
+    report
+        .completed
+        .iter()
+        .map(|tc| {
+            (
+                tc.model_id.clone(),
+                tc.completed.id,
+                tc.completed.output.clone(),
+            )
+        })
+        .collect()
+}
+
+struct Point {
+    hosts: usize,
+    requests_per_sec: f64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    makespan_ticks: u64,
+}
+
+struct Curve {
+    traffic: &'static str,
+    routing: &'static str,
+    points: Vec<Point>,
+}
+
+struct ShardPoint {
+    shards: usize,
+    per_host_bytes: Vec<u64>,
+    bound_bytes: u64,
+}
+
+fn main() {
+    let out_path = out_path_arg().unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    print_header("cluster scale-out sweep");
+
+    type StreamFn = fn() -> Vec<TaggedRequest>;
+    let traffics: [(&'static str, StreamFn); 2] = [
+        ("zipf_mix", zipf_stream),
+        ("flash_crowd", flash_crowd_stream),
+    ];
+    let routings = [RoutingPolicy::HashModulo, RoutingPolicy::Rendezvous];
+
+    let mut curves: Vec<Curve> = Vec::new();
+    for (traffic, stream_of) in traffics {
+        // One host is the bit-exactness reference for every cell.
+        let baseline = decisions(&run(
+            &mut replicated_cluster(1, RoutingPolicy::HashModulo),
+            stream_of(),
+        ));
+        for routing in routings {
+            println!(
+                "\n{traffic} × {} ({WORKERS} workers/host):",
+                routing_label(routing)
+            );
+            println!(
+                "  {:>5} {:>10} {:>8} {:>8} {:>8} {:>10}",
+                "hosts", "req/s", "p50", "p95", "p99", "makespan"
+            );
+            let mut points = Vec::new();
+            for hosts in HOSTS {
+                let report = run(&mut replicated_cluster(hosts, routing), stream_of());
+                assert_eq!(
+                    decisions(&report),
+                    baseline,
+                    "{traffic}/{}/{hosts} hosts: outputs must be bit-identical to one host",
+                    routing_label(routing)
+                );
+                let pcts = report.latency_percentiles_ticks(&[0.50, 0.95, 0.99]);
+                let point = Point {
+                    hosts,
+                    requests_per_sec: report.requests_per_sec(TICK_HZ),
+                    p50: pcts[0],
+                    p95: pcts[1],
+                    p99: pcts[2],
+                    makespan_ticks: report.makespan_ticks(),
+                };
+                println!(
+                    "  {:>5} {:>10.0} {:>8} {:>8} {:>8} {:>10}",
+                    point.hosts,
+                    point.requests_per_sec,
+                    point.p50,
+                    point.p95,
+                    point.p99,
+                    point.makespan_ticks
+                );
+                points.push(point);
+            }
+            curves.push(Curve {
+                traffic,
+                routing: routing_label(routing),
+                points,
+            });
+        }
+    }
+
+    // Acceptance bar: on the service-bound Zipf workload, 4 replicas buy at
+    // least 3× the modeled throughput of 1 host, under either routing.
+    for curve in curves.iter().filter(|c| c.traffic == "zipf_mix") {
+        let rps = |hosts: usize| -> f64 {
+            curve
+                .points
+                .iter()
+                .find(|p| p.hosts == hosts)
+                .expect("swept host count")
+                .requests_per_sec
+        };
+        let speedup = rps(4) / rps(1);
+        assert!(
+            speedup >= 3.0,
+            "zipf_mix/{}: 4 replicas reached only {speedup:.2}× of one host",
+            curve.routing
+        );
+        println!(
+            "\nzipf_mix/{}: 4-replica speedup {speedup:.2}×",
+            curve.routing
+        );
+    }
+
+    // Row-shard memory sweep: host k holds only its slice's snapshot bytes.
+    let whole_bytes: Vec<(String, u64)> = specs()
+        .iter()
+        .map(|s| (s.id.to_string(), snapshot(s).len() as u64))
+        .collect();
+    let whole_total: u64 = whole_bytes.iter().map(|(_, b)| b).sum();
+    println!("\nrow-shard residency (whole models: {whole_total} bytes):");
+    println!("  {:>6} {:>14} {:>12}", "shards", "max host bytes", "bound");
+    let mut shard_points = Vec::new();
+    for shards in SHARDS {
+        let mut cluster = Cluster::row_sharded(loaders(shards), u64::MAX).expect("non-empty");
+        for spec in specs() {
+            cluster
+                .insert(spec.id, snapshot(&spec), None)
+                .expect("valid snapshot");
+        }
+        let per_host_bytes = cluster.host_loaded_bytes();
+        // Acceptance bar: an even byte split plus fixed container framing.
+        let bound_bytes: u64 = whole_bytes
+            .iter()
+            .map(|(_, b)| b.div_ceil(shards as u64) + SECTION_OVERHEAD)
+            .sum();
+        for (k, &bytes) in per_host_bytes.iter().enumerate() {
+            assert!(
+                bytes <= bound_bytes,
+                "{shards} shards: host {k} holds {bytes} bytes, bound {bound_bytes}"
+            );
+        }
+        let max = per_host_bytes.iter().copied().max().unwrap_or(0);
+        println!("  {shards:>6} {max:>14} {bound_bytes:>12}");
+        shard_points.push(ShardPoint {
+            shards,
+            per_host_bytes,
+            bound_bytes,
+        });
+    }
+
+    let json = render_json(&curves, &whole_bytes, &shard_points);
+    std::fs::write(&out_path, json).expect("write bench JSON");
+    println!("\nwrote {out_path}");
+}
+
+fn out_path_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn render_json(
+    curves: &[Curve],
+    whole_bytes: &[(String, u64)],
+    shard_points: &[ShardPoint],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"cluster_sweep\",");
+    let _ = writeln!(s, "  \"tick_hz\": {TICK_HZ},");
+    let _ = writeln!(s, "  \"workers_per_host\": {WORKERS},");
+    let _ = writeln!(s, "  \"muls_per_worker_tick\": 256,");
+    s.push_str("  \"models\": [\n");
+    let spec_list = specs();
+    for (i, spec) in spec_list.iter().enumerate() {
+        let bytes = whole_bytes
+            .iter()
+            .find(|(id, _)| id == spec.id)
+            .map(|(_, b)| *b)
+            .unwrap_or(0);
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"dim\": {}, \"snapshot_bytes\": {}}}",
+            spec.id, spec.dim, bytes
+        );
+        s.push_str(if i + 1 < spec_list.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"curves\": [\n");
+    for (i, curve) in curves.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"traffic\": \"{}\", \"routing\": \"{}\", \"points\": [",
+            curve.traffic, curve.routing
+        );
+        for (j, p) in curve.points.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{\"hosts\": {}, \"requests_per_sec\": {:.1}, \"p50_ticks\": {}, \
+                 \"p95_ticks\": {}, \"p99_ticks\": {}, \"makespan_ticks\": {}}}",
+                p.hosts, p.requests_per_sec, p.p50, p.p95, p.p99, p.makespan_ticks
+            );
+            s.push_str(if j + 1 < curve.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("    ]}");
+        s.push_str(if i + 1 < curves.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"row_shard_residency\": [\n");
+    for (i, p) in shard_points.iter().enumerate() {
+        let hosts: Vec<String> = p.per_host_bytes.iter().map(|b| b.to_string()).collect();
+        let _ = write!(
+            s,
+            "    {{\"shards\": {}, \"per_host_bytes\": [{}], \"bound_bytes\": {}}}",
+            p.shards,
+            hosts.join(", "),
+            p.bound_bytes
+        );
+        s.push_str(if i + 1 < shard_points.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

@@ -201,6 +201,36 @@ pub fn par_row_ranges(n_rows: usize, n_shards: usize) -> Vec<std::ops::Range<usi
     ranges
 }
 
+/// Partitions `0..n_rows` into at most `n_shards` contiguous row ranges whose
+/// boundaries fall only on multiples of the block size `p` (the final range
+/// absorbs any ragged trailing rows). This is the *block-granular* variant of
+/// [`par_row_ranges`]: a shard owning a fractional `p × p` block would break
+/// the one-nonzero-per-column-per-block invariant of the permuted-diagonal
+/// format — the phantom-row MAC-overcount bug class — so every consumer that
+/// splits PD rows (the multi-host engine model, the snapshot row-sharder)
+/// must split here instead.
+///
+/// Never more shards than block rows; `p = 0` is treated as 1 (row granular).
+///
+/// # Example
+///
+/// ```
+/// use permdnn_core::format::block_row_ranges;
+/// // 10 rows in blocks of 4 → 3 block rows; the last block is ragged.
+/// assert_eq!(block_row_ranges(10, 4, 2), vec![0..8, 8..10]);
+/// assert_eq!(block_row_ranges(10, 4, 8).len(), 3); // clamped to block rows
+/// assert_eq!(block_row_ranges(10, 1, 2), vec![0..5, 5..10]); // = par_row_ranges
+/// assert!(block_row_ranges(0, 4, 2).is_empty());
+/// ```
+pub fn block_row_ranges(n_rows: usize, p: usize, n_shards: usize) -> Vec<std::ops::Range<usize>> {
+    let p = p.max(1);
+    let block_rows = n_rows.div_ceil(p);
+    par_row_ranges(block_rows, n_shards)
+        .into_iter()
+        .map(|r| (r.start * p)..((r.end * p).min(n_rows)))
+        .collect()
+}
+
 /// A compressed (or dense) weight matrix acting as the linear operator
 /// `y = W·x`.
 ///
@@ -754,6 +784,35 @@ mod tests {
     #[test]
     fn par_row_ranges_zero_shards_is_one_shard() {
         assert_eq!(par_row_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn block_row_ranges_partition_on_block_boundaries() {
+        for (n_rows, p) in [(16usize, 4usize), (100, 8), (37, 5), (40, 10), (7, 7)] {
+            for n_shards in [1usize, 2, 3, 7, 64] {
+                let ranges = block_row_ranges(n_rows, p, n_shards);
+                assert_eq!(ranges.len(), n_shards.min(n_rows.div_ceil(p)));
+                let mut next = 0usize;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.start, next, "contiguous in order");
+                    assert!(!r.is_empty(), "no empty shards");
+                    assert_eq!(r.start % p, 0, "every boundary on a block multiple");
+                    if i + 1 < ranges.len() {
+                        assert_eq!(r.end % p, 0, "interior boundaries on block multiples");
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, n_rows, "ranges cover all rows");
+            }
+        }
+    }
+
+    #[test]
+    fn block_row_ranges_degenerate_inputs() {
+        assert!(block_row_ranges(0, 4, 3).is_empty());
+        // p = 0 behaves as row-granular, matching par_row_ranges.
+        assert_eq!(block_row_ranges(10, 0, 4), par_row_ranges(10, 4));
+        assert_eq!(block_row_ranges(10, 1, 4), par_row_ranges(10, 4));
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub const KIND_MLP: u16 = 1;
 pub const KIND_CONV: u16 = 2;
 /// Model kind: a frozen sequence-to-sequence model.
 pub const KIND_SEQ2SEQ: u16 = 3;
+/// Model kind: a row-sharded bare tensor — a `"shard_index"` section (row
+/// geometry + per-shard row ranges) followed by one `"shard.k"` section per
+/// shard, each holding a complete tensor record for that contiguous row
+/// slice. Written by [`shard_tensor_snapshot`]; host `k` extracts and decodes
+/// only its own slice through [`extract_shard`], Kun-peng ordered-shard-file
+/// style.
+pub const KIND_SHARDED_TENSOR: u16 = 4;
 
 /// Tensor format code: dense `pd_tensor::Matrix`.
 pub const FORMAT_DENSE: u16 = 1;
@@ -811,6 +818,257 @@ pub fn load_tensor(
 }
 
 // ---------------------------------------------------------------------------
+// Row-sharded tensor snapshots (tensor parallelism, Kun-peng shard files).
+// ---------------------------------------------------------------------------
+
+/// The parsed `"shard_index"` section of a [`KIND_SHARDED_TENSOR`] snapshot:
+/// whole-tensor geometry plus the contiguous output-row range each shard owns.
+///
+/// On disk the section is `rows, cols, p, shard count (u32), then per shard
+/// (row_start, row_end)` — every scalar a [`ByteWriter::dim`]-bounded `u32`.
+/// The ranges are validated on read: contiguous, non-empty, starting at 0 and
+/// covering exactly `0..rows`, with interior boundaries on multiples of `p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIndex {
+    /// Output rows of the whole tensor.
+    pub rows: usize,
+    /// Input columns (every shard shares the full input width).
+    pub cols: usize,
+    /// Row granularity of the split: shard boundaries fall only on multiples
+    /// of `p` (the PD block size; 1 for dense), so no shard ever owns a
+    /// fractional block.
+    pub p: usize,
+    /// The contiguous row range of each shard, in shard order.
+    pub shard_rows: Vec<std::ops::Range<usize>>,
+}
+
+impl ShardIndex {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_rows.len()
+    }
+}
+
+/// Name of the index section in a [`KIND_SHARDED_TENSOR`] container.
+pub const SHARD_INDEX_SECTION: &str = "shard_index";
+
+/// Name of shard `k`'s section.
+pub fn shard_section_name(k: usize) -> String {
+    format!("shard.{k}")
+}
+
+/// Splits a bare-tensor snapshot ([`KIND_TENSOR`]) into a
+/// [`KIND_SHARDED_TENSOR`] container of `shards` contiguous row slices, each
+/// stored as a complete, independently decodable tensor record. The split is
+/// block-row granular ([`crate::format::block_row_ranges`]): dense tensors
+/// split at any row, permuted-diagonal tensors only at `p`-row block
+/// boundaries — a fractional block would break the one-nonzero-per-column-
+/// per-block invariant (the phantom-row MAC bug class).
+///
+/// Concatenating the decoded shards row-wise reproduces the whole tensor
+/// bit-for-bit (`tests/cluster.rs` locks this in), which is what makes
+/// row-sharded cluster serving bit-identical to single-host serving.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] if the input is corrupt, is not a bare
+/// tensor, holds a format with no row-slicing support (only dense and
+/// permuted-diagonal tensors shard), or has fewer splittable block rows than
+/// `shards`.
+pub fn shard_tensor_snapshot(bytes: &[u8], shards: usize) -> Result<Vec<u8>, SnapshotError> {
+    if shards == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "shard count",
+            reason: "cannot split a tensor into 0 shards".to_string(),
+        });
+    }
+    let snap = Snapshot::parse(bytes)?;
+    if snap.kind() != KIND_TENSOR {
+        return Err(SnapshotError::Malformed {
+            context: "shard source",
+            reason: format!("kind {} is not a bare tensor", snap.kind()),
+        });
+    }
+    let mut r = ByteReader::new(snap.section("tensor")?);
+    let code = r.u16("tensor format code")?;
+    let (rows, cols, p, slices): (usize, usize, usize, Vec<Box<dyn CompressedLinear>>) = match code
+    {
+        FORMAT_DENSE => {
+            let rows = r.dim("dense rows")?;
+            let cols = r.dim("dense cols")?;
+            let data = r.f32_vec(rows * cols, "dense values")?;
+            r.expect_end("dense tensor")?;
+            slice_check(rows, 1, shards)?;
+            let slices = crate::format::block_row_ranges(rows, 1, shards)
+                .into_iter()
+                .map(|range| {
+                    let m = Matrix::from_vec(
+                        range.len(),
+                        cols,
+                        data[range.start * cols..range.end * cols].to_vec(),
+                    )
+                    .expect("slice length matches its shape");
+                    Box::new(m) as Box<dyn CompressedLinear>
+                })
+                .collect();
+            (rows, cols, 1, slices)
+        }
+        FORMAT_PERMUTED_DIAGONAL => {
+            let m = read_pd_matrix(&mut r)?;
+            r.expect_end("pd tensor")?;
+            let (p, cols) = (m.p(), m.cols());
+            let block_cols = cols.div_ceil(p);
+            slice_check(m.rows(), p, shards)?;
+            // Perms and values are block-row major (block l = br·block_cols +
+            // bc, value l·p + c), so a block-row slice is two contiguous
+            // subslices — no per-entry reindexing.
+            let slices = crate::format::block_row_ranges(m.rows(), p, shards)
+                .into_iter()
+                .map(|range| {
+                    let (br0, br1) = (range.start / p, range.end.div_ceil(p));
+                    let slice = BlockPermDiagMatrix::new(
+                        range.len(),
+                        cols,
+                        p,
+                        m.perms()[br0 * block_cols..br1 * block_cols].to_vec(),
+                        m.values()[br0 * block_cols * p..br1 * block_cols * p].to_vec(),
+                    )
+                    .expect("block-row slices preserve every PD invariant");
+                    Box::new(slice) as Box<dyn CompressedLinear>
+                })
+                .collect();
+            (m.rows(), cols, p, slices)
+        }
+        other => {
+            return Err(SnapshotError::UnsupportedOperator {
+                label: format!("row sharding of tensor format code {other}"),
+            })
+        }
+    };
+
+    let mut index = ByteWriter::new();
+    index.dim(rows);
+    index.dim(cols);
+    index.dim(p);
+    index.u32(slices.len() as u32);
+    let mut start = 0usize;
+    for s in &slices {
+        index.dim(start);
+        index.dim(start + s.out_dim());
+        start += s.out_dim();
+    }
+
+    let mut b = SnapshotBuilder::new(KIND_SHARDED_TENSOR);
+    b.section(SHARD_INDEX_SECTION, index.into_vec());
+    for (k, s) in slices.iter().enumerate() {
+        b.section(&shard_section_name(k), encode_tensor(s.as_ref())?);
+    }
+    Ok(b.finish())
+}
+
+/// Rejects splits finer than the tensor's block-row count.
+fn slice_check(rows: usize, p: usize, shards: usize) -> Result<(), SnapshotError> {
+    let block_rows = rows.div_ceil(p.max(1));
+    if shards > block_rows {
+        return Err(SnapshotError::Malformed {
+            context: "shard count",
+            reason: format!("{shards} shards exceed the tensor's {block_rows} block rows"),
+        });
+    }
+    Ok(())
+}
+
+/// Parses and validates the `"shard_index"` section of a
+/// [`KIND_SHARDED_TENSOR`] snapshot.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corruption, a non-sharded kind, or
+/// an index whose ranges do not tile `0..rows` contiguously on `p`-row
+/// boundaries with one `"shard.k"` section per range.
+pub fn read_shard_index(bytes: &[u8]) -> Result<ShardIndex, SnapshotError> {
+    let snap = Snapshot::parse(bytes)?;
+    if snap.kind() != KIND_SHARDED_TENSOR {
+        return Err(SnapshotError::Malformed {
+            context: "shard index",
+            reason: format!("kind {} is not a sharded tensor", snap.kind()),
+        });
+    }
+    let mut r = ByteReader::new(snap.section(SHARD_INDEX_SECTION)?);
+    let rows = r.dim("shard index rows")?;
+    let cols = r.dim("shard index cols")?;
+    let p = r.dim("shard index block size")?;
+    if p == 0 {
+        return Err(SnapshotError::Malformed {
+            context: "shard index block size",
+            reason: "p must be non-zero".to_string(),
+        });
+    }
+    let count = r.u32("shard index count")? as usize;
+    // Each range costs 8 bytes; reject impossible counts before allocating.
+    if count > r.remaining() / 8 {
+        return Err(SnapshotError::Truncated {
+            context: "shard index ranges",
+            needed: (count as u64) * 8,
+            got: r.remaining() as u64,
+        });
+    }
+    let mut shard_rows = Vec::with_capacity(count);
+    let mut next = 0usize;
+    for k in 0..count {
+        let start = r.dim("shard range start")?;
+        let end = r.dim("shard range end")?;
+        let interior = k + 1 < count;
+        if start != next || end <= start || (interior && end % p != 0) {
+            return Err(SnapshotError::Malformed {
+                context: "shard index ranges",
+                reason: format!("range {k} ({start}..{end}) does not tile 0..{rows} on p={p}"),
+            });
+        }
+        snap.section(&shard_section_name(k))?;
+        next = end;
+        shard_rows.push(start..end);
+    }
+    r.expect_end("shard index")?;
+    if next != rows {
+        return Err(SnapshotError::Malformed {
+            context: "shard index ranges",
+            reason: format!("ranges cover 0..{next}, tensor has {rows} rows"),
+        });
+    }
+    Ok(ShardIndex {
+        rows,
+        cols,
+        p,
+        shard_rows,
+    })
+}
+
+/// Extracts shard `k` of a [`KIND_SHARDED_TENSOR`] snapshot as a standalone
+/// [`KIND_TENSOR`] snapshot — directly loadable by [`load_tensor`] (and
+/// therefore by any `ModelRegistry` loader), without decoding any other
+/// shard's bytes. This is the per-host load path: host `k` holds only its own
+/// slice in memory.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corruption, a non-sharded kind, or
+/// a shard number the index does not list.
+pub fn extract_shard(bytes: &[u8], k: usize) -> Result<Vec<u8>, SnapshotError> {
+    let index = read_shard_index(bytes)?;
+    if k >= index.shards() {
+        return Err(SnapshotError::MissingSection {
+            name: shard_section_name(k),
+        });
+    }
+    let snap = Snapshot::parse(bytes)?;
+    let record = snap.section(&shard_section_name(k))?;
+    let mut b = SnapshotBuilder::new(KIND_TENSOR);
+    b.section("tensor", record.to_vec());
+    Ok(b.finish())
+}
+
+// ---------------------------------------------------------------------------
 // Core-owned format codecs.
 // ---------------------------------------------------------------------------
 
@@ -1115,5 +1373,147 @@ mod tests {
         // The canonical IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sharded_pd_tensor_concatenates_back_bit_exactly() {
+        let m = BlockPermDiagMatrix::random(24, 16, 4, &mut seeded_rng(7));
+        let whole = save_tensor(&m).unwrap();
+        let sharded = shard_tensor_snapshot(&whole, 3).unwrap();
+        let index = read_shard_index(&sharded).unwrap();
+        assert_eq!((index.rows, index.cols, index.p), (24, 16, 4));
+        assert_eq!(index.shards(), 3);
+        let codec = SnapshotCodec::new();
+        let mut dense_rows: Vec<f32> = Vec::new();
+        for (k, range) in index.shard_rows.iter().enumerate() {
+            let piece = extract_shard(&sharded, k).unwrap();
+            let op = load_tensor(&piece, &codec).unwrap();
+            assert_eq!(op.label(), "permuted-diagonal (p=4)");
+            assert_eq!(op.out_dim(), range.len());
+            assert_eq!(op.in_dim(), 16);
+            dense_rows.extend_from_slice(op.to_dense().as_slice());
+        }
+        assert_eq!(dense_rows, m.to_dense().as_slice());
+    }
+
+    #[test]
+    fn sharded_dense_tensor_concatenates_back_bit_exactly() {
+        let m = xavier_uniform(&mut seeded_rng(8), 10, 6);
+        let whole = save_tensor(&m).unwrap();
+        let sharded = shard_tensor_snapshot(&whole, 4).unwrap();
+        let index = read_shard_index(&sharded).unwrap();
+        assert_eq!((index.rows, index.cols, index.p), (10, 6, 1));
+        let codec = SnapshotCodec::new();
+        let mut dense_rows: Vec<f32> = Vec::new();
+        for k in 0..index.shards() {
+            let piece = extract_shard(&sharded, k).unwrap();
+            dense_rows
+                .extend_from_slice(load_tensor(&piece, &codec).unwrap().to_dense().as_slice());
+        }
+        assert_eq!(dense_rows, m.as_slice());
+    }
+
+    #[test]
+    fn shard_split_rejects_bad_inputs() {
+        let m = BlockPermDiagMatrix::random(8, 8, 4, &mut seeded_rng(9));
+        let whole = save_tensor(&m).unwrap();
+        // 0 shards and more shards than block rows (8 rows / p=4 → 2) fail.
+        assert!(matches!(
+            shard_tensor_snapshot(&whole, 0),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        assert!(matches!(
+            shard_tensor_snapshot(&whole, 3),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // A non-tensor container is not shardable.
+        let mlp = SnapshotBuilder::new(KIND_MLP).finish();
+        assert!(matches!(
+            shard_tensor_snapshot(&mlp, 2),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // Formats without a row-slicing path report UnsupportedOperator.
+        use crate::qlinear::QScheme;
+        let op: Arc<dyn CompressedLinear> =
+            Arc::new(BlockPermDiagMatrix::random(8, 8, 4, &mut seeded_rng(9)));
+        let q = QuantizedLinear::from_op(op, QScheme::new(12, 12, 11));
+        let qbytes = save_tensor(&q).unwrap();
+        assert!(matches!(
+            shard_tensor_snapshot(&qbytes, 2),
+            Err(SnapshotError::UnsupportedOperator { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_extraction_rejects_out_of_range_and_wrong_kind() {
+        let m = BlockPermDiagMatrix::random(16, 8, 4, &mut seeded_rng(10));
+        let whole = save_tensor(&m).unwrap();
+        let sharded = shard_tensor_snapshot(&whole, 2).unwrap();
+        assert!(matches!(
+            extract_shard(&sharded, 2),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+        // A plain tensor container has no shard index.
+        assert!(read_shard_index(&whole).is_err());
+        assert!(extract_shard(&whole, 0).is_err());
+    }
+
+    #[test]
+    fn shard_index_validation_catches_tampering() {
+        let m = BlockPermDiagMatrix::random(16, 8, 4, &mut seeded_rng(11));
+        let whole = save_tensor(&m).unwrap();
+        let sharded = shard_tensor_snapshot(&whole, 2).unwrap();
+        let snap = Snapshot::parse(&sharded).unwrap();
+
+        // Rebuild the container with a gap in the row ranges: not a tiling.
+        let mut index = ByteWriter::new();
+        index.dim(16);
+        index.dim(8);
+        index.dim(4);
+        index.u32(2);
+        index.dim(0);
+        index.dim(8);
+        index.dim(12); // hole: 8..12 unowned
+        index.dim(16);
+        let mut b = SnapshotBuilder::new(KIND_SHARDED_TENSOR);
+        b.section(SHARD_INDEX_SECTION, index.into_vec());
+        for k in 0..2 {
+            b.section(
+                &shard_section_name(k),
+                snap.section(&shard_section_name(k)).unwrap().to_vec(),
+            );
+        }
+        assert!(matches!(
+            read_shard_index(&b.finish()),
+            Err(SnapshotError::Malformed { .. })
+        ));
+
+        // An index claiming more ranges than its bytes hold is truncation.
+        let mut short = ByteWriter::new();
+        short.dim(16);
+        short.dim(8);
+        short.dim(4);
+        short.u32(1000);
+        let mut b = SnapshotBuilder::new(KIND_SHARDED_TENSOR);
+        b.section(SHARD_INDEX_SECTION, short.into_vec());
+        assert!(matches!(
+            read_shard_index(&b.finish()),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // A range whose shard section is missing is caught.
+        let mut index = ByteWriter::new();
+        index.dim(16);
+        index.dim(8);
+        index.dim(4);
+        index.u32(1);
+        index.dim(0);
+        index.dim(16);
+        let mut b = SnapshotBuilder::new(KIND_SHARDED_TENSOR);
+        b.section(SHARD_INDEX_SECTION, index.into_vec());
+        assert!(matches!(
+            read_shard_index(&b.finish()),
+            Err(SnapshotError::MissingSection { .. })
+        ));
     }
 }

@@ -27,6 +27,10 @@
 //!   [`ZipfMix`]), per-model [`SloTarget`]s, and admission control + policy-
 //!   driven batch ordering ([`ModelRegistry::serve_traffic`]) whose decisions
 //!   are bit-identical for any worker count.
+//! * [`cluster`] — scale-out across simulated hosts: replicated registries
+//!   behind deterministic hash/rendezvous routing, row-sharded tensors
+//!   (each host loads only its slice's snapshot bytes), and layer pipelines
+//!   with modeled link latency — all serving bit-identically to one host.
 //!
 //! Consumers: `permdnn_nn` builds `forward_batch_parallel` on top of the
 //! executor, `permdnn_sim` reuses it for the multi-host engine model, and the
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod executor;
 mod pool;
 mod registry;
@@ -43,6 +48,9 @@ mod serve;
 pub mod slo;
 pub mod traffic;
 
+pub use cluster::{
+    Cluster, ClusterError, ClusterReport, ClusterTopology, HostStats, PipelineModel, RoutingPolicy,
+};
 pub use executor::ParallelExecutor;
 pub use pool::WorkerPool;
 pub use registry::{

@@ -207,17 +207,22 @@ impl MultiServeReport {
     /// `[0, 1]`; nearest-rank on the sorted latencies). Returns 0 for an
     /// empty report.
     pub fn latency_percentile_ticks(&self, q: f64) -> u64 {
-        if self.completed.is_empty() {
-            return 0;
-        }
+        self.latency_percentiles_ticks(&[q])[0]
+    }
+
+    /// Several latency percentiles from one sort of the completion list — the
+    /// p50/p95/p99 triple every bench sweep reads. Each value is bit-identical
+    /// to the corresponding [`Self::latency_percentile_ticks`] call.
+    pub fn latency_percentiles_ticks(&self, qs: &[f64]) -> Vec<u64> {
         let mut latencies: Vec<u64> = self
             .completed
             .iter()
             .map(|tc| tc.completed.latency_ticks())
             .collect();
         latencies.sort_unstable();
-        let idx = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        latencies[idx]
+        qs.iter()
+            .map(|&q| crate::serve::percentile_of_sorted(&latencies, q))
+            .collect()
     }
 }
 
@@ -409,6 +414,18 @@ impl ModelRegistry {
         self.entries.get(id).and_then(|e| e.slo)
     }
 
+    /// `(in_dim, out_dim)` of a registered model, without materialising it.
+    pub fn dims(&self, id: &str) -> Option<(usize, usize)> {
+        self.entries.get(id).map(|e| (e.in_dim, e.out_dim))
+    }
+
+    /// Modeled multiplies per example of a registered model, without
+    /// materialising it — the cost number every admission and scheduling
+    /// decision keys on.
+    pub fn mul_count(&self, id: &str) -> Option<u64> {
+        self.entries.get(id).map(|e| e.mul_count)
+    }
+
     /// Atomically swaps `id` to a new snapshot: the replacement is validated
     /// by loading it first — and its input/output widths must match the
     /// model it replaces, so a swap can never break the request streams
@@ -469,9 +486,14 @@ impl ModelRegistry {
             .sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
     }
 
-    /// Removes a model entirely, returning whether it existed.
+    /// Removes a model entirely, returning whether it existed. Pending hot
+    /// swaps scheduled for `id` are dropped with it: a model re-inserted
+    /// later under the same id is a *new* model, and must not inherit a swap
+    /// (or, via [`ModelRegistry::insert`]'s SLO carry-over, an SLO target)
+    /// aimed at the one that was removed.
     pub fn remove(&mut self, id: &str) -> bool {
         self.evict_entry_model(id);
+        self.pending_swaps.retain(|(_, swap_id, _)| swap_id != id);
         self.entries.remove(id).is_some()
     }
 
@@ -716,7 +738,9 @@ impl ModelRegistry {
     /// plan → order → execute. SLO parameters (deadline, priority, per-
     /// example cost) are read from the registry state at planning time, so a
     /// mid-run scheduled swap cannot retroactively change decisions.
-    fn serve_traffic_inner(
+    /// `pub(crate)` so the cluster front-end can run a host replica with
+    /// admission already done globally (`shed = false`).
+    pub(crate) fn serve_traffic_inner(
         &mut self,
         exec: &ParallelExecutor,
         cfg: &ServeConfig,
@@ -1138,6 +1162,53 @@ mod tests {
             reg.set_slo("ghost", Some(slo)),
             Err(RegistryError::UnknownModel { .. })
         ));
+    }
+
+    #[test]
+    fn remove_drops_pending_swaps_and_slo_for_reinserted_ids() {
+        let mut reg = ModelRegistry::new(tensor_loader(), u64::MAX);
+        let slo = SloTarget::new(500, 3, 16).unwrap();
+        reg.insert_with_slo("m", pd_snapshot(8, 1), slo).unwrap();
+        reg.insert("keep", pd_snapshot(8, 9)).unwrap();
+        // Swaps are scheduled for both ids, then "m" is removed and a *new*
+        // model registered under the same id: neither the stale swap nor the
+        // old SLO may attach to it — but "keep"'s swap must still apply.
+        reg.schedule_swap("m", pd_snapshot(8, 2), 0);
+        reg.schedule_swap("keep", pd_snapshot(8, 10), 0);
+        assert!(reg.remove("m"));
+        let fresh = pd_snapshot(8, 3);
+        reg.insert("m", fresh.clone()).unwrap();
+        assert_eq!(reg.slo("m"), None, "SLO died with the removed model");
+
+        let stream = crate::serve::seeded_request_stream(7, 4, 8, 0.0);
+        let tagged: Vec<TaggedRequest> = stream
+            .iter()
+            .cloned()
+            .map(|request| TaggedRequest {
+                model_id: "m".to_string(),
+                request,
+            })
+            .collect();
+        let report = reg
+            .serve_multi(&ParallelExecutor::sequential(), &cfg(), tagged)
+            .unwrap();
+        assert_eq!(
+            report.stats.swaps, 1,
+            "only the surviving model's swap applies"
+        );
+        let op = load_tensor(&fresh, &SnapshotCodec::new()).unwrap();
+        for tc in &report.completed {
+            let input = &stream
+                .iter()
+                .find(|r| r.id == tc.completed.id)
+                .unwrap()
+                .input;
+            assert_eq!(
+                tc.completed.output,
+                op.matvec(input).unwrap(),
+                "re-inserted model serves its own weights, not the stale swap"
+            );
+        }
     }
 
     #[test]

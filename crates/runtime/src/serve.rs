@@ -399,13 +399,18 @@ impl ServeReport {
     /// Latency percentile in ticks (`q` in `[0, 1]`; nearest-rank on the
     /// sorted latencies). Returns 0 for an empty report.
     pub fn latency_percentile_ticks(&self, q: f64) -> u64 {
-        if self.completed.is_empty() {
-            return 0;
-        }
+        self.latency_percentiles_ticks(&[q])[0]
+    }
+
+    /// Several latency percentiles from one sort of the completion list — the
+    /// p50/p95/p99 triple every bench sweep reads. Each value is bit-identical
+    /// to the corresponding [`Self::latency_percentile_ticks`] call.
+    pub fn latency_percentiles_ticks(&self, qs: &[f64]) -> Vec<u64> {
         let mut latencies: Vec<u64> = self.completed.iter().map(|c| c.latency_ticks()).collect();
         latencies.sort_unstable();
-        let idx = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        latencies[idx]
+        qs.iter()
+            .map(|&q| percentile_of_sorted(&latencies, q))
+            .collect()
     }
 
     /// Mean executed batch size.
@@ -415,6 +420,16 @@ impl ServeReport {
         }
         self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
     }
+}
+
+/// Nearest-rank percentile over an already-sorted latency list; 0 when empty.
+/// The one percentile definition every report type shares.
+pub(crate) fn percentile_of_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
 }
 
 /// Serves a request stream: plans batches with [`plan_batches`], then executes

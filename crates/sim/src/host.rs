@@ -4,7 +4,7 @@
 //! The ROADMAP's production-scale framing asks what happens beyond a single
 //! 32-PE chip: a serving deployment can put `H` engine *hosts* behind one
 //! layer, each owning a contiguous slice of the output rows (the same
-//! row-granular split [`par_row_ranges`] the software runtime uses, so the
+//! row-granular split [`block_row_ranges`] the software runtime uses, so the
 //! hardware and software sharding stories line up). Every host streams the
 //! same input activations, so activation traffic is replicated while weight
 //! storage and compute partition; the layer finishes when the slowest host
@@ -14,7 +14,7 @@
 //! [`ParallelExecutor`] worker pool — the cycle model reusing the serving
 //! runtime it models.
 
-use permdnn_core::format::par_row_ranges;
+use permdnn_core::format::block_row_ranges;
 use permdnn_runtime::ParallelExecutor;
 use std::sync::Arc;
 
@@ -42,8 +42,8 @@ pub struct MultiHostResult {
 /// evaluating the per-host cycle models on the executor's worker pool.
 ///
 /// Sharding is **block-row granular**: hosts receive whole `p`-row blocks
-/// (the split runs [`par_row_ranges`] over block rows, then scales by `p`),
-/// because a host owning a fractional block would break the
+/// (the split is [`block_row_ranges`], the same one the cluster row-shard
+/// path uses), because a host owning a fractional block would break the
 /// one-nonzero-per-column-per-block invariant the engine schedule relies on
 /// — and would overcount MACs at every shard boundary, the same phantom-row
 /// bug class the EIE model once had. Host count is clamped to the number of
@@ -55,16 +55,16 @@ pub fn simulate_multi_host(
     exec: &ParallelExecutor,
 ) -> MultiHostResult {
     let single = simulate_layer(config, workload);
-    let p = workload.p.max(1);
-    // Block rows, counting a ragged trailing block (rows % p) as one: that
-    // block was already partial on a single host and lands whole on the last
-    // shard, so MAC totals partition exactly for any row count.
-    let block_rows = workload.rows.div_ceil(p).max(1);
-    let hosts = hosts.clamp(1, block_rows);
-    let ranges: Vec<std::ops::Range<usize>> = par_row_ranges(block_rows, hosts)
-        .into_iter()
-        .map(|r| (r.start * p)..(r.end * p).min(workload.rows))
-        .collect();
+    // A ragged trailing block (rows % p) was already partial on a single host
+    // and lands whole on the last shard, so MAC totals partition exactly for
+    // any row count. The split is the same [`block_row_ranges`] the cluster
+    // row-shard path uses; it yields at most one range per block row, which
+    // clamps the host count.
+    let mut ranges = block_row_ranges(workload.rows, workload.p, hosts.max(1));
+    if ranges.is_empty() {
+        ranges.push(0..0);
+    }
+    let hosts = ranges.len();
 
     let config = *config;
     let shard_workload = *workload;
