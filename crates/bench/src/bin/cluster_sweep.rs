@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use pd_tensor::init::seeded_rng;
-use permdnn_bench::print_header;
+use permdnn_bench::{assert_floor, out_path, print_header, write_artifact};
 use permdnn_core::snapshot::{load_tensor, save_tensor, SnapshotCodec};
 use permdnn_core::BlockPermDiagMatrix;
 use permdnn_runtime::{
@@ -202,7 +202,7 @@ struct ShardPoint {
 }
 
 fn main() {
-    let out_path = out_path_arg().unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    let out_path = out_path("BENCH_cluster.json");
     print_header("cluster scale-out sweep");
 
     type StreamFn = fn() -> Vec<TaggedRequest>;
@@ -277,10 +277,10 @@ fn main() {
                 .requests_per_sec
         };
         let speedup = rps(4) / rps(1);
-        assert!(
-            speedup >= 3.0,
-            "zipf_mix/{}: 4 replicas reached only {speedup:.2}× of one host",
-            curve.routing
+        assert_floor(
+            &format!("zipf_mix/{} 4-replica speedup", curve.routing),
+            speedup,
+            3.0,
         );
         println!(
             "\nzipf_mix/{}: 4-replica speedup {speedup:.2}×",
@@ -326,15 +326,7 @@ fn main() {
     }
 
     let json = render_json(&curves, &whole_bytes, &shard_points);
-    std::fs::write(&out_path, json).expect("write bench JSON");
-    println!("\nwrote {out_path}");
-}
-
-fn out_path_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
+    write_artifact(&out_path, &json);
 }
 
 fn render_json(

@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 
 use pd_tensor::init::seeded_rng;
-use permdnn_bench::print_header;
+use permdnn_bench::{assert_floor, out_path, print_header, write_artifact};
 use permdnn_nn::layers::WeightFormat;
 use permdnn_nn::snapshot::batch_model_loader;
 use permdnn_nn::MlpClassifier;
@@ -63,7 +63,7 @@ fn dense_f32_bytes() -> usize {
 }
 
 fn main() {
-    let out_path = out_path_arg().unwrap_or_else(|| "BENCH_registry.json".to_string());
+    let out_path = out_path("BENCH_registry.json");
     print_header("Model snapshots + multi-model registry sweep");
 
     // ---- 1. Snapshot sizes per format. ----
@@ -145,7 +145,7 @@ fn main() {
         .find(|s| s.name == "mlp-pd4-q16")
         .unwrap()
         .ratio;
-    assert!(pd_ratio >= 3.0, "PD snapshot ratio {pd_ratio:.2} below 3x");
+    assert_floor("PD snapshot compression ratio", pd_ratio, 3.0);
     assert!(
         q_ratio > pd_ratio && q_ratio >= 3.3,
         "q16 PD snapshot ratio {q_ratio:.2} should beat f32 PD ({pd_ratio:.2})"
@@ -211,8 +211,7 @@ fn main() {
     );
 
     let json = render_json(&sizes, &throughput, &tight, tight_budget);
-    std::fs::write(&out_path, json).expect("write bench JSON");
-    println!("\nwrote {out_path}");
+    write_artifact(&out_path, &json);
 }
 
 fn push_size(
@@ -231,13 +230,6 @@ fn push_size(
         dense_f32_bytes: dense_f32,
         ratio,
     });
-}
-
-fn out_path_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn render_json(

@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use pd_tensor::init::seeded_rng;
-use permdnn_bench::print_header;
+use permdnn_bench::{out_path, print_header, write_artifact};
 use permdnn_core::snapshot::{load_tensor, save_tensor, SnapshotCodec};
 use permdnn_core::BlockPermDiagMatrix;
 use permdnn_runtime::{
@@ -166,7 +166,7 @@ struct Curve {
 }
 
 fn main() {
-    let out_path = out_path_arg().unwrap_or_else(|| "BENCH_slo.json".to_string());
+    let out_path = out_path("BENCH_slo.json");
     print_header("SLO / admission-control sweep");
 
     let policies = [
@@ -302,15 +302,7 @@ fn main() {
     println!("decisions bit-identical across 1/2/7 workers");
 
     let json = render_json(&curves);
-    std::fs::write(&out_path, json).expect("write bench JSON");
-    println!("\nwrote {out_path}");
-}
-
-fn out_path_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
+    write_artifact(&out_path, &json);
 }
 
 fn render_json(curves: &[Curve]) -> String {

@@ -1,0 +1,292 @@
+//! Block-streamed snapshot sweep: serving models bigger than the weight
+//! cache.
+//!
+//! Three frozen permuted-diagonal MLPs are saved, block-streamed
+//! ([`block_stream_snapshot`]) and registered in a paged
+//! [`ModelRegistry`] ([`ModelRegistry::new_paged`]) whose byte budget is
+//! swept from "everything fits" down past the footprint of a single model —
+//! the regime the whole-load carve-out cannot serve at all. One Zipf-skewed
+//! multi-tenant stream ([`ZipfMix`]) runs at every budget and the sweep
+//! asserts the paper-level contract of the paging layer:
+//!
+//! * **Bit-identity.** Outputs, batch membership and completion order are
+//!   identical to the unlimited-budget whole-load baseline at *every*
+//!   budget — paging moves bytes, never arithmetic.
+//! * **Bounded residency.** Peak resident weight bytes never exceed
+//!   `budget + max_block` (the incoming block is the only overshoot).
+//! * **Cost is visible.** Demand faults are charged modeled ticks, so
+//!   req/s degrades monotonically-ish as the budget shrinks instead of
+//!   lying about free transfers.
+//!
+//! Results land in `BENCH_stream.json` (override with `--out PATH`).
+//!
+//! Run: `cargo run --release -p permdnn-bench --bin stream_sweep [-- --full]`
+
+use std::fmt::Write as _;
+
+use pd_tensor::init::seeded_rng;
+use permdnn_bench::{assert_floor, out_path, print_header, ratio, write_artifact};
+use permdnn_core::snapshot::{block_stream_snapshot, read_block_index};
+use permdnn_nn::layers::WeightFormat;
+use permdnn_nn::snapshot::{batch_model_loader, paged_config};
+use permdnn_nn::MlpClassifier;
+use permdnn_runtime::{
+    AdmissionPolicy, BatchConfig, ModelRegistry, ParallelExecutor, ServeConfig, ServiceModel,
+    TaggedRequest, TrafficConfig, TrafficReport, ZipfMix,
+};
+
+/// Nominal tick rate: 1 tick = 1 µs.
+const TICK_HZ: f64 = 1e6;
+/// Architecture of every benchmarked model (hidden-layer dominated).
+const IN_DIM: usize = 64;
+const HIDDEN: [usize; 2] = [128, 128];
+const CLASSES: usize = 10;
+/// Zipf skew across the three tenants.
+const ZIPF_SKEW: f64 = 1.2;
+/// Mean inter-arrival ticks: sparse enough that prefetch can hide in idle
+/// gaps, dense enough that batches form.
+const ARRIVAL_MEAN: f64 = 4.0;
+
+struct BudgetPoint {
+    label: &'static str,
+    budget_bytes: u64,
+    budget_fraction: f64,
+    requests_per_sec: f64,
+    final_tick: u64,
+    blocks_faulted: u64,
+    bytes_faulted: u64,
+    evictions: u64,
+    peak_resident_bytes: u64,
+}
+
+fn main() {
+    let full = permdnn_bench::full_run_requested();
+    let out_path = out_path("BENCH_stream.json");
+    let requests = if full { 600 } else { 240 };
+    let workers = 2usize;
+
+    print_header("Block-streamed snapshots: budget sweep over a Zipf mix");
+
+    // ---- Models: whole snapshots + their block-streamed forms. ----
+    let ids = ["hot", "warm", "cold"];
+    let snaps: Vec<Vec<u8>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            MlpClassifier::new_frozen(
+                IN_DIM,
+                &HIDDEN,
+                CLASSES,
+                WeightFormat::PermutedDiagonal { p: 4 },
+                &mut seeded_rng(0x9000 + i as u64),
+            )
+            .save()
+            .expect("frozen models snapshot")
+        })
+        .collect();
+    let blocked: Vec<Vec<u8>> = snaps
+        .iter()
+        .map(|s| block_stream_snapshot(s).expect("MLP snapshots block-stream"))
+        .collect();
+
+    let per_model: Vec<u64> = blocked
+        .iter()
+        .map(|b| {
+            read_block_index(b)
+                .expect("valid index")
+                .total_block_bytes()
+        })
+        .collect();
+    let total: u64 = per_model.iter().sum();
+    let largest: u64 = *per_model.iter().max().expect("nonempty");
+    let max_block: u64 = blocked
+        .iter()
+        .map(|b| read_block_index(b).expect("valid index").max_block_bytes())
+        .max()
+        .expect("nonempty");
+    println!(
+        "3 models, {total} weight-block bytes total, largest model {largest} B, \
+         largest block {max_block} B\n"
+    );
+
+    // ---- One Zipf stream shared by every run. ----
+    let stream: Vec<TaggedRequest> = ZipfMix::new(
+        ids.iter().map(|id| (id.to_string(), IN_DIM)).collect(),
+        ZIPF_SKEW,
+        ARRIVAL_MEAN,
+    )
+    .expect("valid mix")
+    .stream(0x9100, requests);
+    let cfg = TrafficConfig::new(
+        ServeConfig {
+            batching: BatchConfig::new(8, 16),
+            service: ServiceModel::default(),
+        },
+        AdmissionPolicy::Fifo,
+    );
+    let exec = ParallelExecutor::new(workers);
+
+    // ---- Whole-load baseline: unlimited budget, plain snapshots. ----
+    let mut whole = ModelRegistry::new(batch_model_loader(), u64::MAX);
+    for (id, snap) in ids.iter().zip(&snaps) {
+        whole.insert(id, snap.clone()).expect("validated snapshot");
+    }
+    let baseline = whole
+        .serve_traffic(&exec, &cfg, stream.clone())
+        .expect("all ids registered");
+    assert!(baseline.rejections.is_empty(), "no SLOs, nothing sheds");
+    let baseline_rps = baseline.serve.requests_per_sec(TICK_HZ);
+    let baseline_strip = strip(&baseline);
+    println!(
+        "whole-load baseline ({workers} workers): {baseline_rps:.0} req/s modeled, \
+         makespan {} ticks\n",
+        baseline.serve.final_tick
+    );
+
+    // ---- Paged budget sweep, down past a single model's footprint. ----
+    let budgets: [(&str, u64); 4] = [
+        ("all-resident", total),
+        ("half", total / 2),
+        ("sub-model", (largest * 3) / 4),
+        ("near-minimal", max_block + 64),
+    ];
+    println!(
+        "{:<14} {:>10} {:>10} {:>8} {:>10} {:>9} {:>11}",
+        "budget", "bytes", "req/s", "faults", "fault B", "evicts", "peak res B"
+    );
+
+    let mut points: Vec<BudgetPoint> = Vec::new();
+    for (label, budget) in budgets {
+        assert!(
+            budget >= max_block,
+            "swept budgets hold at least one block ({budget} < {max_block})"
+        );
+        let mut reg = ModelRegistry::new_paged(batch_model_loader(), paged_config(), budget);
+        for (id, blk) in ids.iter().zip(&blocked) {
+            reg.insert(id, blk.clone()).expect("blocked inserts page");
+        }
+        let report = reg
+            .serve_traffic(&exec, &cfg, stream.clone())
+            .expect("all ids registered");
+
+        // The two acceptance bars, at every budget.
+        assert_eq!(
+            strip(&report),
+            baseline_strip,
+            "{label}: paged outputs must be bit-identical to whole-load"
+        );
+        let peak = report.serve.stats.peak_resident_bytes;
+        assert!(
+            peak <= budget + max_block,
+            "{label}: peak resident {peak} exceeds budget {budget} + max block {max_block}"
+        );
+        assert!(reg.loaded_bytes() <= budget + max_block);
+
+        let rps = report.serve.requests_per_sec(TICK_HZ);
+        let s = &report.serve.stats;
+        println!(
+            "{:<14} {:>10} {:>10.0} {:>8} {:>10} {:>9} {:>11}",
+            label, budget, rps, s.blocks_faulted, s.bytes_faulted, s.evictions, peak
+        );
+        points.push(BudgetPoint {
+            label,
+            budget_bytes: budget,
+            budget_fraction: budget as f64 / total as f64,
+            requests_per_sec: rps,
+            final_tick: report.serve.final_tick,
+            blocks_faulted: s.blocks_faulted,
+            bytes_faulted: s.bytes_faulted,
+            evictions: s.evictions,
+            peak_resident_bytes: peak,
+        });
+    }
+
+    // Generous budget pages every block exactly once; the modeled cost of
+    // that one cold pass must not halve throughput.
+    let full_budget = &points[0];
+    assert_floor(
+        "all-resident paged throughput vs whole-load",
+        full_budget.requests_per_sec / baseline_rps,
+        0.5,
+    );
+    // The sub-model budget cannot keep every block resident, so it must
+    // fault more than the cold pass and evict under pressure.
+    let tight = points.iter().find(|p| p.label == "near-minimal").unwrap();
+    assert!(
+        tight.blocks_faulted > full_budget.blocks_faulted,
+        "tight budgets re-fault evicted blocks"
+    );
+    assert!(tight.evictions > 0, "tight budgets evict");
+    println!(
+        "\nall budgets bit-identical to whole-load; cold-pass throughput {} of baseline",
+        ratio(full_budget.requests_per_sec / baseline_rps)
+    );
+
+    let json = render_json(total, largest, max_block, baseline_rps, workers, &points);
+    write_artifact(&out_path, &json);
+}
+
+/// The budget-invariant fingerprint of a run: everything except modeled
+/// ticks (paging is *charged*, so ticks legitimately differ).
+fn strip(r: &TrafficReport) -> Vec<(String, u64, usize, Vec<f32>)> {
+    r.serve
+        .completed
+        .iter()
+        .map(|tc| {
+            (
+                tc.model_id.clone(),
+                tc.completed.id,
+                tc.completed.batch_size,
+                tc.completed.output.clone(),
+            )
+        })
+        .collect()
+}
+
+fn render_json(
+    total: u64,
+    largest: u64,
+    max_block: u64,
+    baseline_rps: f64,
+    workers: usize,
+    points: &[BudgetPoint],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"stream_sweep\",");
+    let _ = writeln!(s, "  \"tick_hz\": {TICK_HZ},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(
+        s,
+        "  \"models\": {{\"count\": 3, \"total_block_bytes\": {total}, \
+         \"largest_model_bytes\": {largest}, \"max_block_bytes\": {max_block}}},"
+    );
+    let _ = writeln!(
+        s,
+        "  \"whole_load_baseline\": {{\"budget_bytes\": \"unlimited\", \
+         \"requests_per_sec\": {:.2}}},",
+        baseline_rps
+    );
+    s.push_str("  \"paged_budgets\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"label\": \"{}\", \"budget_bytes\": {}, \"budget_fraction\": {:.3}, \
+             \"requests_per_sec\": {:.2}, \"final_tick\": {}, \"blocks_faulted\": {}, \
+             \"bytes_faulted\": {}, \"evictions\": {}, \"peak_resident_bytes\": {}, \
+             \"bit_identical_to_whole_load\": true, \"peak_within_budget_plus_one_block\": true}}",
+            p.label,
+            p.budget_bytes,
+            p.budget_fraction,
+            p.requests_per_sec,
+            p.final_tick,
+            p.blocks_faulted,
+            p.bytes_faulted,
+            p.evictions,
+            p.peak_resident_bytes
+        );
+        s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

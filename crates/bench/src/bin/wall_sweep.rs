@@ -34,7 +34,9 @@ use std::time::Instant;
 
 use pd_tensor::init::seeded_rng;
 use pd_tensor::Matrix;
-use permdnn_bench::{full_run_requested, print_header, ratio};
+use permdnn_bench::{
+    assert_floor, full_run_requested, out_path, print_header, ratio, write_artifact,
+};
 use permdnn_circulant::{BlockCirculantMatrix, CirculantScratch};
 use permdnn_core::format::{BatchView, CompressedLinear};
 use permdnn_core::qlinear::{QScheme, QScratch, QuantizedLinear};
@@ -69,7 +71,7 @@ fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let full = full_run_requested();
-    let out_path = out_path_arg().unwrap_or_else(|| "BENCH_wall.json".to_string());
+    let out_path = out_path("BENCH_wall.json");
     let (n, batch, reps) = if full {
         (1024usize, 64usize, 31usize)
     } else {
@@ -101,13 +103,7 @@ fn main() {
 
     println!();
     for p in &points {
-        assert!(
-            p.speedup >= p.floor,
-            "{}: speedup {:.2}x below the committed {:.1}x floor",
-            p.workload,
-            p.speedup,
-            p.floor
-        );
+        assert_floor(&format!("{} plan speedup", p.workload), p.speedup, p.floor);
         println!(
             "  {} >= {:.1}x floor: ok (outputs bit-identical)",
             p.workload, p.floor
@@ -115,8 +111,7 @@ fn main() {
     }
 
     let json = render_json(&points);
-    std::fs::write(&out_path, json).expect("write bench JSON");
-    println!("\nwrote {out_path}");
+    write_artifact(&out_path, &json);
 }
 
 /// Cached-spectra FFT path vs the per-call FFT path, one matvec per batch row.
@@ -274,13 +269,6 @@ fn inputs(dim: usize, batch: usize, seed: u64) -> Vec<Vec<f32>> {
 
 fn batch_matrix(dim: usize, batch: usize, seed: u64) -> Matrix {
     pd_tensor::init::xavier_uniform(&mut seeded_rng(seed), batch, dim)
-}
-
-fn out_path_arg() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn render_json(points: &[WallPoint]) -> String {

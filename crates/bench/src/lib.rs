@@ -27,6 +27,49 @@ pub fn ratio(value: f64) -> String {
     format!("{value:.2}x")
 }
 
+/// Resolves the JSON artifact path every sweep binary writes: `--out PATH`
+/// when given on the command line, else `default`.
+pub fn out_path(default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// Writes a sweep's JSON artifact and prints the confirmation line CI greps
+/// for — the shared tail of every `*_sweep` binary.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written: a bench run whose artifact is lost
+/// must fail loudly.
+pub fn write_artifact(path: &str, json: &str) {
+    std::fs::write(path, json).expect("write bench JSON");
+    println!("\nwrote {path}");
+}
+
+/// Asserts a measured value stays at or above its regression floor, with the
+/// uniform message every sweep uses.
+///
+/// # Panics
+///
+/// Panics when `value < floor` — sweeps run in CI precisely so these floors
+/// gate merges.
+pub fn assert_floor(what: &str, value: f64, floor: f64) {
+    assert!(
+        value >= floor,
+        "{what}: {value:.3} fell below the {floor:.3} floor"
+    );
+}
+
+/// Formats an `f64` for the hand-rolled JSON reports: plain fixed-point at
+/// `decimals` places (never scientific notation, which JSON consumers of
+/// these artifacts do not expect).
+pub fn json_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,5 +78,25 @@ mod tests {
     fn ratio_formatting() {
         assert_eq!(ratio(3.333), "3.33x");
         assert_eq!(ratio(11.514), "11.51x");
+    }
+
+    #[test]
+    fn out_path_falls_back_to_default() {
+        // The test harness never passes --out.
+        assert_eq!(out_path("BENCH_x.json"), "BENCH_x.json");
+    }
+
+    #[test]
+    fn floor_assertions_and_json_floats() {
+        assert_floor("throughput", 3.0, 3.0);
+        assert_floor("speedup", 1.51, 1.5);
+        assert_eq!(json_f64(2.71875, 2), "2.72");
+        assert_eq!(json_f64(1200.0, 1), "1200.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "fell below")]
+    fn floor_violations_panic() {
+        assert_floor("throughput", 2.9, 3.0);
     }
 }

@@ -88,6 +88,15 @@ pub const KIND_SEQ2SEQ: u16 = 3;
 /// only its own slice through [`extract_shard`], Kun-peng ordered-shard-file
 /// style.
 pub const KIND_SHARDED_TENSOR: u16 = 4;
+/// Model kind: a block-streamed container — a `"block_index"` section (the
+/// wrapped model kind plus the name/format/offset/length of every weight
+/// tensor record) followed by the original model's sections, where each
+/// weight record is an independently CRC-checked, offset-addressable *block*.
+/// Written by [`block_stream_snapshot`]; [`read_block_index`] locates every
+/// block without touching any block payload, and [`extract_block`] re-frames
+/// one block as a standalone [`KIND_TENSOR`] snapshot — the layer-granular
+/// paging form of the Kun-peng ordered-block database design.
+pub const KIND_BLOCKED: u16 = 5;
 
 /// Tensor format code: dense `pd_tensor::Matrix`.
 pub const FORMAT_DENSE: u16 = 1;
@@ -1069,6 +1078,435 @@ pub fn extract_shard(bytes: &[u8], k: usize) -> Result<Vec<u8>, SnapshotError> {
 }
 
 // ---------------------------------------------------------------------------
+// Block-streamed snapshots (layer-granular paging, Kun-peng ordered blocks).
+// ---------------------------------------------------------------------------
+
+/// Name of the index section in a [`KIND_BLOCKED`] container. Always the
+/// first section, so a reader can locate every block before touching any
+/// block payload.
+pub const BLOCK_INDEX_SECTION: &str = "block_index";
+
+/// One entry of a [`BlockIndex`]: a weight tensor record addressable (and
+/// CRC-checkable) without parsing the rest of the container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Section name of the block (e.g. `"layer0.weights"` or `"tensor"`).
+    pub name: String,
+    /// Tensor format code of the record (`FORMAT_*`) — the record's own
+    /// leading `u16`, surfaced here so tooling can dispatch or report without
+    /// reading the block.
+    pub kind: u16,
+    /// Absolute file offset of the record payload.
+    pub offset: u64,
+    /// Record payload length in bytes — the block's cost against a paging
+    /// registry's residency budget.
+    pub len: u64,
+}
+
+/// The parsed `"block_index"` section of a [`KIND_BLOCKED`] container.
+///
+/// On disk the section is `inner kind (u16), block count (u32), then per
+/// block: name (u16 length + bytes), format code (u16), offset (u64), length
+/// (u64)`. Reading validates every entry against the container's actual
+/// section framing — name, offset and length must all agree — so a tampered
+/// index (offsets past EOF, overlapping or re-ordered blocks) is a typed
+/// error even though block payloads are never read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockIndex {
+    /// The model kind the container wraps ([`KIND_MLP`], [`KIND_TENSOR`],
+    /// ...), so loaders can dispatch without decoding anything.
+    pub inner_kind: u16,
+    /// The blocks, in file order.
+    pub blocks: Vec<BlockEntry>,
+}
+
+impl BlockIndex {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the container holds no blocks (never true for an index written
+    /// by [`block_stream_snapshot`]).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Position of the block whose section is named `name`.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == name)
+    }
+
+    /// Total block payload bytes — what full residency costs a paging cache.
+    pub fn total_block_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len).sum()
+    }
+
+    /// The largest single block payload, in bytes. The paging registry's
+    /// peak-residency bound is `budget + max_block_bytes`.
+    pub fn max_block_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len).max().unwrap_or(0)
+    }
+}
+
+/// One section frame located by [`walk_frames`]: its name plus the payload's
+/// position inside the file. The payload has *not* been read or CRC-checked.
+struct Frame {
+    name: String,
+    offset: usize,
+    len: usize,
+}
+
+/// Walks a container's section frames without reading (or CRC-checking) any
+/// payload — O(section count) work, never O(file). This is what lets the
+/// block index stay readable, and individual blocks extractable, while some
+/// *other* block's payload is corrupt: only the bytes actually consumed are
+/// validated.
+fn walk_frames(bytes: &[u8], expect_kind: u16) -> Result<Vec<Frame>, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(MAGIC.len(), "magic").map_err(|_| {
+        let mut got = [0u8; 8];
+        got[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        SnapshotError::BadMagic { got }
+    })?;
+    if magic != MAGIC {
+        let mut got = [0u8; 8];
+        got.copy_from_slice(magic);
+        return Err(SnapshotError::BadMagic { got });
+    }
+    let version = r.u16("header version")?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            got: version,
+            supported: VERSION,
+        });
+    }
+    let kind = r.u16("header kind")?;
+    if kind != expect_kind {
+        return Err(SnapshotError::Malformed {
+            context: "blocked container",
+            reason: format!("kind {kind} is not a block-streamed snapshot"),
+        });
+    }
+    let count = r.u32("header section count")? as usize;
+    if count > r.remaining() / 14 {
+        return Err(SnapshotError::Truncated {
+            context: "section table",
+            needed: (count as u64) * 14,
+            got: r.remaining() as u64,
+        });
+    }
+    let mut frames = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = r.u16("section name length")? as usize;
+        if name_len == 0 || name_len > MAX_NAME_LEN {
+            return Err(SnapshotError::Malformed {
+                context: "section name length",
+                reason: format!("length {name_len} outside 1..=255"),
+            });
+        }
+        let name_bytes = r.take(name_len, "section name")?;
+        let name =
+            String::from_utf8(name_bytes.to_vec()).map_err(|_| SnapshotError::Malformed {
+                context: "section name",
+                reason: "not valid UTF-8".to_string(),
+            })?;
+        let payload_len = r.u64("section payload length")?;
+        if payload_len.saturating_add(4) > r.remaining() as u64 {
+            return Err(SnapshotError::Truncated {
+                context: "section payload",
+                needed: payload_len.saturating_add(4),
+                got: r.remaining() as u64,
+            });
+        }
+        let offset = bytes.len() - r.remaining();
+        r.take(payload_len as usize, "section payload")?;
+        r.take(4, "section checksum")?;
+        frames.push(Frame {
+            name,
+            offset,
+            len: payload_len as usize,
+        });
+    }
+    r.expect_end("container")?;
+    Ok(frames)
+}
+
+/// CRC-checks one walked frame's payload against the stored checksum that
+/// follows it (whose presence [`walk_frames`] already bounds-checked).
+fn verify_frame_crc(bytes: &[u8], frame: &Frame) -> Result<(), SnapshotError> {
+    let payload = &bytes[frame.offset..frame.offset + frame.len];
+    let crc = &bytes[frame.offset + frame.len..frame.offset + frame.len + 4];
+    let stored = u32::from_le_bytes([crc[0], crc[1], crc[2], crc[3]]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch {
+            section: frame.name.clone(),
+            stored,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// The container kind of a snapshot, read from the header alone — no
+/// section is CRC-checked or even framed. `None` if the bytes are too short
+/// or do not carry the magic/version, in which case full parsing would fail
+/// with a typed error anyway. This is the cheap dispatch a registry needs to
+/// decide *how* to load bytes before validating them.
+pub fn peek_kind(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() < 16 || bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    if u16::from_le_bytes([bytes[8], bytes[9]]) != VERSION {
+        return None;
+    }
+    Some(u16::from_le_bytes([bytes[10], bytes[11]]))
+}
+
+/// The default rule for which sections of a model snapshot become pageable
+/// blocks: the bare-tensor `"tensor"` section and every `"*.weights"`
+/// layer/gate record. Everything else (layer graphs, bias vectors, quant
+/// schemes) is small metadata that stays inline and loads eagerly.
+pub fn is_weight_block_section(name: &str) -> bool {
+    name == "tensor" || name.ends_with(".weights")
+}
+
+/// Converts a model snapshot ([`KIND_TENSOR`], [`KIND_MLP`], ...) into a
+/// [`KIND_BLOCKED`] container using the [`is_weight_block_section`]
+/// convention. Every original section is carried over unchanged, in order; a
+/// `"block_index"` section is prepended describing each weight record's
+/// name, format code, file offset and length. Because the container framing
+/// is deterministic, the offsets are computed exactly at build time and
+/// validated against the real framing on every read.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] if the input is corrupt, already
+/// blocked, has no weight sections, or holds a weight section too short to
+/// carry a format code.
+pub fn block_stream_snapshot(bytes: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+    block_stream_snapshot_with(bytes, &is_weight_block_section)
+}
+
+/// [`block_stream_snapshot`] with an explicit rule for which sections page.
+///
+/// # Errors
+///
+/// As [`block_stream_snapshot`].
+pub fn block_stream_snapshot_with(
+    bytes: &[u8],
+    is_block: &dyn Fn(&str) -> bool,
+) -> Result<Vec<u8>, SnapshotError> {
+    let snap = Snapshot::parse(bytes)?;
+    if snap.kind() == KIND_BLOCKED {
+        return Err(SnapshotError::Malformed {
+            context: "block stream source",
+            reason: "snapshot is already block-streamed".to_string(),
+        });
+    }
+    let sections = snap.sections();
+    let block_names: Vec<&str> = sections
+        .iter()
+        .filter(|(name, _)| is_block(name))
+        .map(|(name, _)| name.as_str())
+        .collect();
+    if block_names.is_empty() {
+        return Err(SnapshotError::Malformed {
+            context: "block stream source",
+            reason: "snapshot has no weight sections to block".to_string(),
+        });
+    }
+
+    // The index is section 0, so its own size shifts every offset after it;
+    // its size depends only on the block count and name lengths, so compute
+    // it first, then lay the file out section by section. Each section frame
+    // costs `2 + name + 8` bytes of prefix and `4` of trailing CRC (see
+    // `SnapshotBuilder::finish`).
+    let index_size: usize = 2
+        + 4
+        + block_names
+            .iter()
+            .map(|n| 2 + n.len() + 2 + 8 + 8)
+            .sum::<usize>();
+    let mut offset = 16; // magic + version + kind + section count
+    offset += 2 + BLOCK_INDEX_SECTION.len() + 8 + index_size + 4;
+    let mut entries: Vec<BlockEntry> = Vec::with_capacity(block_names.len());
+    for (name, payload) in sections {
+        offset += 2 + name.len() + 8;
+        if is_block(name) {
+            let mut r = ByteReader::new(payload);
+            let kind = r.u16("block tensor record")?;
+            entries.push(BlockEntry {
+                name: name.clone(),
+                kind,
+                offset: offset as u64,
+                len: payload.len() as u64,
+            });
+        }
+        offset += payload.len() + 4;
+    }
+
+    let mut index = ByteWriter::new();
+    index.u16(snap.kind());
+    index.u32(entries.len() as u32);
+    for e in &entries {
+        index.str(&e.name);
+        index.u16(e.kind);
+        index.u64(e.offset);
+        index.u64(e.len);
+    }
+    let index_payload = index.into_vec();
+    debug_assert_eq!(index_payload.len(), index_size, "index layout accounting");
+
+    let mut b = SnapshotBuilder::new(KIND_BLOCKED);
+    b.section(BLOCK_INDEX_SECTION, index_payload);
+    for (name, payload) in sections {
+        b.section(name, payload.clone());
+    }
+    Ok(b.finish())
+}
+
+/// Parses and validates the `"block_index"` section of a [`KIND_BLOCKED`]
+/// container *without touching any block payload*: only the section framing
+/// is walked (O(section count)) and only the index's own CRC is checked.
+/// Every index entry must name a real section frame, in file order, with the
+/// exact offset and length the framing declares — so truncated files,
+/// offsets past EOF, overlapping blocks and re-ordered entries are all typed
+/// errors before a single block byte is read.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corruption anywhere in the header,
+/// framing or index.
+pub fn read_block_index(bytes: &[u8]) -> Result<BlockIndex, SnapshotError> {
+    let frames = walk_frames(bytes, KIND_BLOCKED)?;
+    let first = match frames.first() {
+        Some(f) if f.name == BLOCK_INDEX_SECTION => f,
+        _ => {
+            return Err(SnapshotError::MissingSection {
+                name: BLOCK_INDEX_SECTION.to_string(),
+            })
+        }
+    };
+    verify_frame_crc(bytes, first)?;
+    let mut r = ByteReader::new(&bytes[first.offset..first.offset + first.len]);
+    let inner_kind = r.u16("block index inner kind")?;
+    let count = r.u32("block index count")? as usize;
+    // Each entry costs at least 2 (name length) + 1 (name) + 2 + 8 + 8 bytes;
+    // reject impossible counts before reserving anything.
+    if count > r.remaining() / 21 {
+        return Err(SnapshotError::Truncated {
+            context: "block index entries",
+            needed: (count as u64) * 21,
+            got: r.remaining() as u64,
+        });
+    }
+    let mut blocks = Vec::with_capacity(count);
+    // frames[0] is the index itself; entries must claim later frames in
+    // strictly ascending file order, so `cursor` only moves forward — two
+    // entries can never alias one frame, and fabricated offsets (past EOF,
+    // overlapping, pointing into the index) cannot match the real framing.
+    let mut cursor = 1;
+    for k in 0..count {
+        let name = r.str("block name")?;
+        let kind = r.u16("block format code")?;
+        let offset = r.u64("block offset")?;
+        let len = r.u64("block length")?;
+        let frame = loop {
+            match frames.get(cursor) {
+                Some(f) => {
+                    cursor += 1;
+                    if f.name == name {
+                        break f;
+                    }
+                }
+                None => {
+                    return Err(SnapshotError::Malformed {
+                        context: "block index entries",
+                        reason: format!("block {k} ({name:?}) names no section frame"),
+                    })
+                }
+            }
+        };
+        if offset != frame.offset as u64 || len != frame.len as u64 {
+            return Err(SnapshotError::Malformed {
+                context: "block index entries",
+                reason: format!(
+                    "block {k} ({name:?}) claims {len} bytes at offset {offset}, \
+                     the section framing has {} at {}",
+                    frame.len, frame.offset
+                ),
+            });
+        }
+        blocks.push(BlockEntry {
+            name,
+            kind,
+            offset,
+            len,
+        });
+    }
+    r.expect_end("block index")?;
+    Ok(BlockIndex { inner_kind, blocks })
+}
+
+/// Extracts block `k` of a [`KIND_BLOCKED`] container as a standalone
+/// [`KIND_TENSOR`] snapshot — directly decodable by [`load_tensor`] — after
+/// CRC-checking *only that block's* payload. This is the registry's fault
+/// path: paging one layer in reads (and validates) just that layer's bytes,
+/// the same re-framing trick as [`extract_shard`].
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corruption in the header, framing,
+/// index, or the requested block itself, and
+/// [`SnapshotError::MissingSection`] for a block number the index does not
+/// list.
+pub fn extract_block(bytes: &[u8], k: usize) -> Result<Vec<u8>, SnapshotError> {
+    let index = read_block_index(bytes)?;
+    let Some(entry) = index.blocks.get(k) else {
+        return Err(SnapshotError::MissingSection {
+            name: format!("block {k}"),
+        });
+    };
+    let frame = Frame {
+        name: entry.name.clone(),
+        offset: entry.offset as usize,
+        len: entry.len as usize,
+    };
+    verify_frame_crc(bytes, &frame)?;
+    let mut b = SnapshotBuilder::new(KIND_TENSOR);
+    b.section(
+        "tensor",
+        bytes[frame.offset..frame.offset + frame.len].to_vec(),
+    );
+    Ok(b.finish())
+}
+
+/// Reads one *metadata* section (an MLP's `"graph"`, a bias vector, ...) of a
+/// [`KIND_BLOCKED`] container, CRC-checking only that section — the eager
+/// half of a paged load, which must not pay for (or depend on the integrity
+/// of) any block payload.
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corruption in the header, framing or
+/// the requested section, and [`SnapshotError::MissingSection`] if no section
+/// has that name.
+pub fn read_blocked_section(bytes: &[u8], name: &str) -> Result<Vec<u8>, SnapshotError> {
+    let frames = walk_frames(bytes, KIND_BLOCKED)?;
+    let frame =
+        frames
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| SnapshotError::MissingSection {
+                name: name.to_string(),
+            })?;
+    verify_frame_crc(bytes, frame)?;
+    Ok(bytes[frame.offset..frame.offset + frame.len].to_vec())
+}
+
+// ---------------------------------------------------------------------------
 // Core-owned format codecs.
 // ---------------------------------------------------------------------------
 
@@ -1515,5 +1953,200 @@ mod tests {
             read_shard_index(&b.finish()),
             Err(SnapshotError::MissingSection { .. })
         ));
+    }
+
+    /// A synthetic multi-section model container: metadata + two weight
+    /// records, the shape `block_stream_snapshot` sees from an MLP save.
+    fn model_like_snapshot() -> (Vec<u8>, BlockPermDiagMatrix, BlockPermDiagMatrix) {
+        let w0 = BlockPermDiagMatrix::random(16, 8, 4, &mut seeded_rng(21));
+        let w1 = BlockPermDiagMatrix::random(8, 16, 4, &mut seeded_rng(22));
+        let mut b = SnapshotBuilder::new(KIND_MLP);
+        b.section("graph", vec![1, 2, 3, 4]);
+        b.section("layer0.weights", encode_tensor(&w0).unwrap());
+        b.section("layer0.bias", vec![0; 12]);
+        b.section("layer1.weights", encode_tensor(&w1).unwrap());
+        b.section("layer1.bias", vec![0; 8]);
+        (b.finish(), w0, w1)
+    }
+
+    #[test]
+    fn block_index_round_trips_and_matches_real_framing() {
+        let (bytes, w0, w1) = model_like_snapshot();
+        let blocked = block_stream_snapshot(&bytes).unwrap();
+        let index = read_block_index(&blocked).unwrap();
+        assert_eq!(index.inner_kind, KIND_MLP);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.blocks[0].name, "layer0.weights");
+        assert_eq!(index.blocks[1].name, "layer1.weights");
+        assert!(index
+            .blocks
+            .iter()
+            .all(|e| e.kind == FORMAT_PERMUTED_DIAGONAL));
+        assert_eq!(index.position("layer1.weights"), Some(1));
+        assert_eq!(
+            index.max_block_bytes(),
+            index.blocks[0].len.max(index.blocks[1].len)
+        );
+        // The blocked container is still a fully valid v1 snapshot: every
+        // original section survives with its payload intact.
+        let snap = Snapshot::parse(&blocked).unwrap();
+        assert_eq!(snap.kind(), KIND_BLOCKED);
+        assert_eq!(snap.section("graph").unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(
+            read_blocked_section(&blocked, "layer1.bias").unwrap(),
+            vec![0; 8]
+        );
+        // Each block decodes standalone and matvecs like the original.
+        let codec = SnapshotCodec::new();
+        for (k, w) in [(0usize, &w0), (1, &w1)] {
+            let op = load_tensor(&extract_block(&blocked, k).unwrap(), &codec).unwrap();
+            let x: Vec<f32> = (0..w.cols()).map(|i| (i as f32 * 0.3).cos()).collect();
+            assert_eq!(op.matvec(&x).unwrap(), w.matvec(&x));
+        }
+    }
+
+    #[test]
+    fn bare_tensor_blocks_into_a_single_block() {
+        let m = BlockPermDiagMatrix::random(16, 16, 4, &mut seeded_rng(23));
+        let blocked = block_stream_snapshot(&save_tensor(&m).unwrap()).unwrap();
+        let index = read_block_index(&blocked).unwrap();
+        assert_eq!((index.inner_kind, index.len()), (KIND_TENSOR, 1));
+        assert_eq!(index.blocks[0].name, "tensor");
+        assert_eq!(index.total_block_bytes(), index.blocks[0].len);
+        let op = load_tensor(&extract_block(&blocked, 0).unwrap(), &SnapshotCodec::new()).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        assert_eq!(op.matvec(&x).unwrap(), m.matvec(&x));
+    }
+
+    #[test]
+    fn block_stream_rejects_bad_sources() {
+        // No weight sections.
+        let mut b = SnapshotBuilder::new(KIND_MLP);
+        b.section("graph", vec![1]);
+        assert!(matches!(
+            block_stream_snapshot(&b.finish()),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // Already blocked.
+        let m = BlockPermDiagMatrix::random(8, 8, 4, &mut seeded_rng(24));
+        let blocked = block_stream_snapshot(&save_tensor(&m).unwrap()).unwrap();
+        assert!(matches!(
+            block_stream_snapshot(&blocked),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // Garbage in, typed error out.
+        assert!(matches!(
+            block_stream_snapshot(b"junk"),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_block_payload_is_isolated_to_that_block() {
+        let (bytes, _, _) = model_like_snapshot();
+        let mut blocked = block_stream_snapshot(&bytes).unwrap();
+        let index = read_block_index(&blocked).unwrap();
+        // Flip a byte inside block 1's payload: the index and block 0 stay
+        // readable, only block 1 fails its checksum.
+        let hit = index.blocks[1].offset as usize + 3;
+        blocked[hit] ^= 0xFF;
+        assert_eq!(read_block_index(&blocked).unwrap(), index);
+        assert!(extract_block(&blocked, 0).is_ok());
+        assert!(matches!(
+            extract_block(&blocked, 1),
+            Err(SnapshotError::ChecksumMismatch { ref section, .. }) if section == "layer1.weights"
+        ));
+        // The eager whole-container parse still catches it, of course.
+        assert!(Snapshot::parse(&blocked).is_err());
+    }
+
+    #[test]
+    fn tampered_block_index_is_a_typed_error() {
+        let (bytes, _, _) = model_like_snapshot();
+        let blocked = block_stream_snapshot(&bytes).unwrap();
+        let snap = Snapshot::parse(&blocked).unwrap();
+        let rebuild = |index_payload: Vec<u8>| {
+            let mut b = SnapshotBuilder::new(KIND_BLOCKED);
+            b.section(BLOCK_INDEX_SECTION, index_payload);
+            for (name, payload) in snap.sections().iter().skip(1) {
+                b.section(name, payload.clone());
+            }
+            b.finish()
+        };
+        let entry = |w: &mut ByteWriter, name: &str, kind: u16, offset: u64, len: u64| {
+            w.str(name);
+            w.u16(kind);
+            w.u64(offset);
+            w.u64(len);
+        };
+        let real = read_block_index(&blocked).unwrap();
+        let (e0, e1) = (&real.blocks[0], &real.blocks[1]);
+
+        // Offset past EOF.
+        let mut w = ByteWriter::new();
+        w.u16(KIND_MLP);
+        w.u32(1);
+        entry(&mut w, &e0.name, e0.kind, 1 << 40, e0.len);
+        assert!(matches!(
+            read_block_index(&rebuild(w.into_vec())),
+            Err(SnapshotError::Malformed { .. })
+        ));
+
+        // Overlapping blocks: both entries claim block 0's bytes.
+        let mut w = ByteWriter::new();
+        w.u16(KIND_MLP);
+        w.u32(2);
+        entry(&mut w, &e0.name, e0.kind, e0.offset, e0.len);
+        entry(&mut w, &e1.name, e1.kind, e0.offset, e0.len);
+        assert!(matches!(
+            read_block_index(&rebuild(w.into_vec())),
+            Err(SnapshotError::Malformed { .. })
+        ));
+
+        // A count larger than the index bytes could hold is truncation.
+        let mut w = ByteWriter::new();
+        w.u16(KIND_MLP);
+        w.u32(1_000_000);
+        assert!(matches!(
+            read_block_index(&rebuild(w.into_vec())),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // A length shorter than the real section is caught by the framing
+        // cross-check, not silently accepted.
+        let mut w = ByteWriter::new();
+        w.u16(KIND_MLP);
+        w.u32(1);
+        entry(&mut w, &e0.name, e0.kind, e0.offset, e0.len - 1);
+        assert!(matches!(
+            read_block_index(&rebuild(w.into_vec())),
+            Err(SnapshotError::Malformed { .. })
+        ));
+
+        // Flipping a byte of the stored index payload itself fails its CRC.
+        let mut corrupt = blocked.clone();
+        let index_payload_at = 16 + 2 + BLOCK_INDEX_SECTION.len() + 8;
+        corrupt[index_payload_at + 1] ^= 0x55;
+        assert!(matches!(
+            read_block_index(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_blocked_container_never_panics() {
+        let (bytes, _, _) = model_like_snapshot();
+        let blocked = block_stream_snapshot(&bytes).unwrap();
+        for len in 0..blocked.len() {
+            let truncated = &blocked[..len];
+            assert!(
+                read_block_index(truncated).is_err(),
+                "index read of {len}-byte prefix must fail"
+            );
+            assert!(
+                extract_block(truncated, 0).is_err(),
+                "block extract of {len}-byte prefix must fail"
+            );
+        }
     }
 }

@@ -25,7 +25,9 @@ use permdnn_core::snapshot::{
     ByteReader, ByteWriter, SnapshotCodec, SnapshotError, FORMAT_CIRCULANT, FORMAT_CSC, FORMAT_EIE,
     FORMAT_SHARED_PD,
 };
-use permdnn_runtime::{BatchModel, ModelLoader};
+use permdnn_runtime::{
+    BatchModel, ModelLoader, PagedConfig, PagedModel, PagedModelLoader, PagedStage,
+};
 
 use crate::layers::WeightFormat;
 use crate::{FrozenConvNet, MlpClassifier};
@@ -144,6 +146,147 @@ pub fn load_batch_model(bytes: &[u8]) -> Result<Arc<dyn BatchModel>, SnapshotErr
 /// `permdnn_runtime::ModelRegistry::new`.
 pub fn batch_model_loader() -> ModelLoader {
     Box::new(load_batch_model)
+}
+
+/// Builds a [`PagedModel`] skeleton from a block-streamed
+/// ([`KIND_BLOCKED`](permdnn_core::snapshot::KIND_BLOCKED)) snapshot: the
+/// metadata sections (layer graph, biases) load eagerly, and each weight
+/// block becomes a vacant slot the serving registry faults in on demand.
+/// Supports the blocked forms of [`KIND_MLP`] (layer chain, per-layer
+/// `"layerN.weights"` blocks with biases) and [`KIND_TENSOR`] (one
+/// `"tensor"` block served bare — no bias step, matching
+/// `SingleLayerModel`'s arithmetic exactly).
+///
+/// Every weight block *is* decoded once here — standalone, via
+/// [`extract_block`](permdnn_core::snapshot::extract_block) — to validate
+/// its shape and record its per-example cost, then dropped; only the
+/// skeleton stays resident.
+///
+/// [`KIND_MLP`]: permdnn_core::snapshot::KIND_MLP
+/// [`KIND_TENSOR`]: permdnn_core::snapshot::KIND_TENSOR
+///
+/// # Errors
+///
+/// Returns a typed [`SnapshotError`] for corrupted bytes, a broken layer
+/// chain, or an inner kind with no paged-serving surface.
+pub fn load_paged_model(bytes: &[u8]) -> Result<PagedModel, SnapshotError> {
+    use permdnn_core::snapshot::{
+        extract_block, load_tensor, read_block_index, read_blocked_section, KIND_MLP, KIND_TENSOR,
+    };
+    let index = read_block_index(bytes)?;
+    let codec = codec();
+    match index.inner_kind {
+        KIND_TENSOR => {
+            let k = index
+                .position("tensor")
+                .ok_or_else(|| SnapshotError::MissingSection {
+                    name: "tensor".to_string(),
+                })?;
+            let op = load_tensor(&extract_block(bytes, k)?, &codec)?;
+            PagedModel::new(vec![PagedStage::linear(
+                k,
+                index.blocks[k].len,
+                op.in_dim(),
+                op.out_dim(),
+                op.mul_count(),
+                Vec::new(),
+            )])
+        }
+        KIND_MLP => {
+            let graph = read_blocked_section(bytes, "graph")?;
+            let mut g = ByteReader::new(&graph);
+            let input_dim = g.dim("mlp input dim")?;
+            let num_classes = g.dim("mlp class count")?;
+            let _hidden_format = read_weight_format(&mut g)?;
+            let n_layers = g.dim("mlp layer count")?;
+            let mut stages = Vec::with_capacity(n_layers.min(g.remaining() + 1));
+            let mut current = input_dim;
+            for i in 0..n_layers {
+                match g.u8("mlp layer kind")? {
+                    0 => {
+                        let name = format!("layer{i}.weights");
+                        let k = index
+                            .position(&name)
+                            .ok_or(SnapshotError::MissingSection { name })?;
+                        let op = load_tensor(&extract_block(bytes, k)?, &codec)?;
+                        if op.in_dim() != current {
+                            return Err(SnapshotError::Malformed {
+                                context: "paged mlp layer chain",
+                                reason: format!(
+                                    "layer {i} consumes {} values but receives {current}",
+                                    op.in_dim()
+                                ),
+                            });
+                        }
+                        let bias = read_bias(
+                            &read_blocked_section(bytes, &format!("layer{i}.bias"))?,
+                            op.out_dim(),
+                        )?;
+                        current = op.out_dim();
+                        stages.push(PagedStage::linear(
+                            k,
+                            index.blocks[k].len,
+                            op.in_dim(),
+                            op.out_dim(),
+                            op.mul_count(),
+                            bias,
+                        ));
+                    }
+                    kind @ (1 | 2) => {
+                        let dim = g.dim("mlp activation dim")?;
+                        if dim != current {
+                            return Err(SnapshotError::Malformed {
+                                context: "paged mlp layer chain",
+                                reason: format!(
+                                    "activation {i} has width {dim}, expected {current}"
+                                ),
+                            });
+                        }
+                        stages.push(if kind == 1 {
+                            PagedStage::map(dim, Box::new(crate::activations::relu_vec))
+                        } else {
+                            PagedStage::map(dim, Box::new(crate::activations::tanh_vec))
+                        });
+                    }
+                    other => {
+                        return Err(SnapshotError::Malformed {
+                            context: "mlp layer kind",
+                            reason: format!("unknown kind {other}"),
+                        })
+                    }
+                }
+            }
+            g.expect_end("mlp graph")?;
+            if current != num_classes {
+                return Err(SnapshotError::Malformed {
+                    context: "paged mlp layer chain",
+                    reason: format!("network emits {current} values for {num_classes} classes"),
+                });
+            }
+            PagedModel::new(stages)
+        }
+        other => Err(SnapshotError::Malformed {
+            context: "paged model snapshot",
+            reason: format!("inner kind {other} has no paged-serving surface"),
+        }),
+    }
+}
+
+/// A [`PagedModelLoader`] wrapping [`load_paged_model`].
+pub fn paged_model_loader() -> PagedModelLoader {
+    Box::new(load_paged_model)
+}
+
+/// The workspace-standard [`PagedConfig`]: [`paged_model_loader`] for
+/// skeletons, the full workspace [`codec`] for block decodes, and the
+/// default [`PagingModel`](permdnn_runtime::PagingModel) tick costs — plug
+/// it straight into `permdnn_runtime::ModelRegistry::new_paged`.
+pub fn paged_config() -> PagedConfig {
+    PagedConfig {
+        loader: paged_model_loader(),
+        codec: codec(),
+        paging: permdnn_runtime::PagingModel::default(),
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,9 @@ use permdnn_core::format::{check_dim, BatchView, FormatError};
 use permdnn_core::snapshot::{extract_shard, read_shard_index, shard_tensor_snapshot};
 
 use crate::executor::ParallelExecutor;
-use crate::registry::{ModelLoader, ModelRegistry, RegistryError, TaggedCompletion, TaggedRequest};
+use crate::registry::{
+    ModelLoader, ModelRegistry, RegistryError, RegistryStats, TaggedCompletion, TaggedRequest,
+};
 use crate::serve::{percentile_of_sorted, plan_batches, BatchModel, CompletedRequest, Request};
 use crate::slo::{
     admit_stream, order_batches, RefCost, Rejection, ScheduledBatch, SloTally, SloTarget,
@@ -210,6 +212,10 @@ pub struct HostStats {
     pub batches: usize,
     /// Ticks this host's engine was busy.
     pub busy_ticks: u64,
+    /// This host's registry weight-cache activity during the run: reloads,
+    /// evictions, block faults and the resident-byte high-water mark (see
+    /// [`RegistryStats`]; counter fields are run deltas).
+    pub registry: RegistryStats,
 }
 
 /// The outcome of one [`Cluster::serve_traffic`] run.
@@ -859,7 +865,10 @@ impl Cluster {
                 substream,
             )?;
             debug_assert!(stray.is_empty(), "shed=false cannot reject");
-            let mut stats = HostStats::default();
+            let mut stats = HostStats {
+                registry: report.stats,
+                ..HostStats::default()
+            };
             for tally in report.per_model.values() {
                 stats.served += tally.served;
                 stats.batches += tally.batches;
@@ -925,6 +934,7 @@ impl Cluster {
 
         let hosts = self.hosts.len();
         let mut per_host = vec![HostStats::default(); hosts];
+        let registry_before: Vec<RegistryStats> = self.hosts.iter().map(|h| h.stats()).collect();
         // Row-sharded hosts share one engine timeline (lockstep); pipeline
         // hosts each own a stage timeline, seeded at the stream start.
         let mut stage_free = vec![first_arrival_tick; hosts];
@@ -1022,6 +1032,18 @@ impl Cluster {
                     },
                 });
             }
+        }
+        for (k, stats) in per_host.iter_mut().enumerate() {
+            let (b, a) = (registry_before[k], self.hosts[k].stats());
+            stats.registry = RegistryStats {
+                loads: a.loads - b.loads,
+                reloads: a.reloads - b.reloads,
+                evictions: a.evictions - b.evictions,
+                swaps: a.swaps - b.swaps,
+                blocks_faulted: a.blocks_faulted - b.blocks_faulted,
+                bytes_faulted: a.bytes_faulted - b.bytes_faulted,
+                peak_resident_bytes: a.peak_resident_bytes,
+            };
         }
         Ok((completed, per_host, final_tick))
     }

@@ -42,6 +42,7 @@
 
 pub mod cluster;
 mod executor;
+mod paging;
 mod pool;
 mod registry;
 mod serve;
@@ -52,10 +53,11 @@ pub use cluster::{
     Cluster, ClusterError, ClusterReport, ClusterTopology, HostStats, PipelineModel, RoutingPolicy,
 };
 pub use executor::ParallelExecutor;
+pub use paging::{PagedConfig, PagedModel, PagedModelLoader, PagedStage, PagingModel, RowMap};
 pub use pool::WorkerPool;
 pub use registry::{
     interleave_streams, ModelLoader, ModelRegistry, ModelServeStats, MultiServeReport,
-    RegistryError, RegistryStats, TaggedCompletion, TaggedRequest, TrafficReport,
+    RegistryError, RegistryStats, ResidencyMode, TaggedCompletion, TaggedRequest, TrafficReport,
 };
 pub use serve::{
     plan_batches, seeded_request_stream, serve, BatchConfig, BatchModel, BatchingQueue,

@@ -29,15 +29,29 @@
 //! `EarliestDeadline`) decided on a reference timeline — so admission and
 //! ordering stay bit-identical across worker counts too. `serve_multi` is the
 //! `Fifo`, no-shedding special case of the same loop.
+//!
+//! A registry built with [`ModelRegistry::new_paged`] runs in
+//! [`ResidencyMode::Paged`] — "Memory-Efficient mode": block-streamed
+//! snapshots ([`KIND_BLOCKED`]) load as metadata-sized *skeletons*
+//! ([`PagedModel`]) and the LRU byte budget is enforced at weight-*block*
+//! granularity. Before a batch executes, the registry faults in exactly the
+//! blocks that batch's model needs (each decoded standalone via
+//! [`extract_block`], never touching the rest of the container), a
+//! deterministic prefetch hook pages the *next* scheduled batch's model in
+//! the idle gap, and eviction drops cold blocks, not whole models. Faults
+//! are charged ticks by a [`PagingModel`], so a model whose weights exceed
+//! `budget_bytes` serves correctly — just slower — with outputs bit-identical
+//! to an unlimited-budget whole-load run.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use pd_tensor::Matrix;
 use permdnn_core::format::{BatchView, FormatError};
-use permdnn_core::snapshot::SnapshotError;
+use permdnn_core::snapshot::{extract_block, load_tensor, peek_kind, SnapshotError, KIND_BLOCKED};
 
 use crate::executor::ParallelExecutor;
+use crate::paging::{PagedConfig, PagedModel, PagingModel};
 use crate::serve::{
     plan_batches, BatchModel, CompletedRequest, PlannedBatch, Request, ServeConfig,
 };
@@ -74,6 +88,26 @@ pub enum RegistryError {
     },
     /// A request's input did not match its model.
     Format(FormatError),
+    /// In [`ResidencyMode::Paged`], a non-blocked snapshot larger than the
+    /// byte budget was inserted: it can neither be admitted whole nor paged.
+    /// (Whole-load mode instead admits it under the never-evict-the-routed-
+    /// model carve-out — see [`ModelRegistry::new`].)
+    OverBudget {
+        /// The id that was being inserted.
+        id: String,
+        /// Size of the rejected snapshot.
+        bytes: u64,
+        /// The registry's resident-byte budget.
+        budget_bytes: u64,
+    },
+    /// The id resolves to a block-paged model, which has no whole
+    /// materialisation to hand out. Serve it through
+    /// [`ModelRegistry::serve_multi`] / [`ModelRegistry::serve_traffic`],
+    /// which fault its blocks per batch.
+    PagedResidency {
+        /// The paged model's id.
+        id: String,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -91,6 +125,20 @@ impl std::fmt::Display for RegistryError {
                 replacement.1, replacement.0, current.1, current.0
             ),
             RegistryError::Format(e) => write!(f, "format error: {e}"),
+            RegistryError::OverBudget {
+                id,
+                bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "insert of {id:?} rejected: {bytes} snapshot bytes exceed the {budget_bytes}-byte \
+                 budget and the snapshot is not block-streamed (block_stream_snapshot it first)"
+            ),
+            RegistryError::PagedResidency { id } => write!(
+                f,
+                "{id:?} is a block-paged model with no whole materialisation; serve it through \
+                 serve_multi/serve_traffic"
+            ),
         }
     }
 }
@@ -109,13 +157,53 @@ impl From<FormatError> for RegistryError {
     }
 }
 
+/// How a registry keeps model weights resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidencyMode {
+    /// Models load whole and evict whole (the default,
+    /// [`ModelRegistry::new`]).
+    Whole,
+    /// Block-streamed models page weight blocks at layer granularity under
+    /// the byte budget ([`ModelRegistry::new_paged`]).
+    Paged,
+}
+
+/// How one entry's weights are held.
+enum Residency {
+    /// The whole-snapshot cache: `Some` while resident, rebuilt from bytes
+    /// on demand after eviction.
+    Whole(Option<Arc<dyn BatchModel>>),
+    /// A block-paged skeleton: always resident itself (metadata-sized), its
+    /// weight slots fault in and out. `stamps[s]` is stage `s`'s LRU stamp
+    /// (shares the registry clock with whole entries; 0 = never resident).
+    Paged {
+        model: Arc<PagedModel>,
+        stamps: Vec<u64>,
+    },
+}
+
+/// What a snapshot materialised into at insert/swap validation time.
+enum Loaded {
+    Whole(Arc<dyn BatchModel>),
+    Paged(Arc<PagedModel>),
+}
+
+impl Loaded {
+    fn dims(&self) -> (usize, usize) {
+        match self {
+            Loaded::Whole(m) => (m.in_dim(), m.out_dim()),
+            Loaded::Paged(m) => (m.in_dim(), m.out_dim()),
+        }
+    }
+}
+
 /// One registered model: its durable snapshot plus the (evictable) loaded
 /// instance and LRU bookkeeping. The input/output widths are recorded at
 /// insert time so hot swaps can be shape-checked even while the model
 /// itself is evicted.
 struct ModelEntry {
     snapshot: Arc<Vec<u8>>,
-    model: Option<Arc<dyn BatchModel>>,
+    residency: Residency,
     last_used: u64,
     in_dim: usize,
     out_dim: usize,
@@ -130,14 +218,26 @@ struct ModelEntry {
 /// Counters the registry accumulates across its lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RegistryStats {
-    /// Models materialised from bytes (first loads and reloads alike).
+    /// Models materialised from bytes (first loads and reloads alike; paged
+    /// models count once per skeleton load, not per block).
     pub loads: u64,
     /// Reloads of a previously evicted model (cache misses after warm-up).
     pub reloads: u64,
-    /// Models evicted from the weight cache to respect the byte budget.
+    /// Evictions performed to respect the byte budget: whole models in
+    /// [`ResidencyMode::Whole`], and individual weight blocks too in
+    /// [`ResidencyMode::Paged`].
     pub evictions: u64,
     /// Hot swaps applied.
     pub swaps: u64,
+    /// Weight blocks faulted into paged models' slots (demand faults and
+    /// prefetches alike).
+    pub blocks_faulted: u64,
+    /// Snapshot bytes streamed by those block faults.
+    pub bytes_faulted: u64,
+    /// High-water mark of resident bytes: lifetime in
+    /// [`ModelRegistry::stats`], this-run-only in the per-run delta a
+    /// [`MultiServeReport`] carries.
+    pub peak_resident_bytes: u64,
 }
 
 /// A request routed to a named model.
@@ -184,7 +284,9 @@ pub struct MultiServeReport {
     /// Worker count the stream was served with.
     pub workers: usize,
     /// Registry counter deltas accumulated during this run (reloads of
-    /// evicted models, evictions, swaps applied).
+    /// evicted models, evictions, swaps applied, blocks faulted).
+    /// `peak_resident_bytes` alone is not a delta: it is the high-water mark
+    /// of resident bytes observed *during this run*.
     pub stats: RegistryStats,
 }
 
@@ -297,6 +399,8 @@ pub fn interleave_streams(streams: Vec<(String, Vec<Request>)>) -> Vec<TaggedReq
 /// cache and atomic between-batch hot swaps.
 pub struct ModelRegistry {
     loader: ModelLoader,
+    /// `Some` puts the registry in [`ResidencyMode::Paged`].
+    paged: Option<PagedConfig>,
     budget_bytes: u64,
     entries: BTreeMap<String, ModelEntry>,
     loaded_bytes: u64,
@@ -317,13 +421,21 @@ impl std::fmt::Debug for ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// An empty registry. `budget_bytes` caps the total snapshot bytes of
-    /// *resident* (loaded) models; `u64::MAX` disables eviction. The model
-    /// most recently routed to is never evicted, so a single model larger
-    /// than the budget still serves (the budget then admits nothing else).
+    /// An empty registry in whole-load mode. `budget_bytes` caps the total
+    /// snapshot bytes of *resident* (loaded) models; `u64::MAX` disables
+    /// eviction.
+    ///
+    /// Whole-load carve-out: the model most recently routed to is never
+    /// evicted, so a single model larger than the budget still serves — the
+    /// budget then admits nothing else, and every other model thrashes.
+    /// [`ModelRegistry::new_paged`] replaces that carve-out with block
+    /// paging: over-budget *blocked* models serve within budget, and an
+    /// over-budget non-blocked insert becomes a typed
+    /// [`RegistryError::OverBudget`].
     pub fn new(loader: ModelLoader, budget_bytes: u64) -> Self {
         ModelRegistry {
             loader,
+            paged: None,
             budget_bytes,
             entries: BTreeMap::new(),
             loaded_bytes: 0,
@@ -331,6 +443,33 @@ impl ModelRegistry {
             stats: RegistryStats::default(),
             pending_swaps: Vec::new(),
         }
+    }
+
+    /// An empty registry in [`ResidencyMode::Paged`] — "Memory-Efficient
+    /// mode". Blocked snapshots ([`KIND_BLOCKED`]) load as skeletons through
+    /// `paged.loader` and page weight blocks under `budget_bytes` at layer
+    /// granularity, each fault charged ticks by `paged.paging`; non-blocked
+    /// snapshots still load whole, but only if they fit the budget
+    /// (otherwise [`RegistryError::OverBudget`]).
+    pub fn new_paged(loader: ModelLoader, paged: PagedConfig, budget_bytes: u64) -> Self {
+        let mut reg = ModelRegistry::new(loader, budget_bytes);
+        reg.paged = Some(paged);
+        reg
+    }
+
+    /// Which residency mode this registry runs in.
+    pub fn residency_mode(&self) -> ResidencyMode {
+        if self.paged.is_some() {
+            ResidencyMode::Paged
+        } else {
+            ResidencyMode::Whole
+        }
+    }
+
+    /// The tick cost model paged faults are charged with (`None` in
+    /// whole-load mode).
+    pub fn paging_model(&self) -> Option<PagingModel> {
+        self.paged.as_ref().map(|p| p.paging)
     }
 
     /// Registers (or replaces) a model under `id`. The snapshot is validated
@@ -370,26 +509,87 @@ impl ModelRegistry {
         snapshot: Vec<u8>,
         slo: Option<SloTarget>,
     ) -> Result<(), RegistryError> {
-        let model = (self.loader)(&snapshot)?;
+        let loaded = self.load_for_insert(id, &snapshot)?;
+        self.install_entry(id, snapshot, slo, loaded);
+        Ok(())
+    }
+
+    /// Materialises snapshot bytes the way this registry's mode dictates:
+    /// blocked bytes in paged mode become a skeleton, everything else loads
+    /// whole — unless paged mode's budget makes whole-loading impossible,
+    /// which is a typed error rather than whole-load mode's silent
+    /// carve-out.
+    fn load_for_insert(&self, id: &str, snapshot: &[u8]) -> Result<Loaded, RegistryError> {
+        if let Some(paged) = &self.paged {
+            if peek_kind(snapshot) == Some(KIND_BLOCKED) {
+                return Ok(Loaded::Paged(Arc::new((paged.loader)(snapshot)?)));
+            }
+            let bytes = snapshot.len() as u64;
+            if bytes > self.budget_bytes {
+                return Err(RegistryError::OverBudget {
+                    id: id.to_string(),
+                    bytes,
+                    budget_bytes: self.budget_bytes,
+                });
+            }
+        }
+        Ok(Loaded::Whole((self.loader)(snapshot)?))
+    }
+
+    /// Replaces (or creates) `id`'s entry with an already-validated load:
+    /// the shared tail of insert and swap. Whole loads count their snapshot
+    /// bytes resident immediately; paged skeletons start cold (every slot
+    /// vacant, zero resident bytes).
+    fn install_entry(
+        &mut self,
+        id: &str,
+        snapshot: Vec<u8>,
+        slo: Option<SloTarget>,
+        loaded: Loaded,
+    ) {
         self.evict_entry_model(id);
         let size = snapshot.len() as u64;
         self.clock += 1;
+        let (in_dim, out_dim, mul_count, residency, resident_bytes) = match loaded {
+            Loaded::Whole(m) => (
+                m.in_dim(),
+                m.out_dim(),
+                m.mul_count_per_example(),
+                Residency::Whole(Some(m)),
+                size,
+            ),
+            Loaded::Paged(m) => (
+                m.in_dim(),
+                m.out_dim(),
+                m.mul_count_per_example(),
+                Residency::Paged {
+                    stamps: vec![0; m.stages()],
+                    model: m,
+                },
+                0,
+            ),
+        };
         self.entries.insert(
             id.to_string(),
             ModelEntry {
                 snapshot: Arc::new(snapshot),
-                in_dim: model.in_dim(),
-                out_dim: model.out_dim(),
-                mul_count: model.mul_count_per_example(),
-                model: Some(model),
+                in_dim,
+                out_dim,
+                mul_count,
+                residency,
                 last_used: self.clock,
                 slo,
             },
         );
         self.stats.loads += 1;
-        self.loaded_bytes += size;
+        self.loaded_bytes += resident_bytes;
+        self.note_peak();
         self.enforce_budget(Some(id));
-        Ok(())
+    }
+
+    /// Records a new resident-byte high-water mark if one was just set.
+    fn note_peak(&mut self) {
+        self.stats.peak_resident_bytes = self.stats.peak_resident_bytes.max(self.loaded_bytes);
     }
 
     /// Attaches (or, with `None`, detaches) a service-level objective on a
@@ -444,8 +644,9 @@ impl ModelRegistry {
             return Err(RegistryError::UnknownModel { id: id.to_string() });
         };
         let current = (entry.in_dim, entry.out_dim);
-        let model = (self.loader)(&snapshot)?;
-        let replacement = (model.in_dim(), model.out_dim());
+        let slo = entry.slo;
+        let loaded = self.load_for_insert(id, &snapshot)?;
+        let replacement = loaded.dims();
         if replacement != current {
             return Err(RegistryError::ShapeMismatch {
                 id: id.to_string(),
@@ -453,26 +654,8 @@ impl ModelRegistry {
                 replacement,
             });
         }
-        let slo = entry.slo;
-        self.evict_entry_model(id);
-        let size = snapshot.len() as u64;
-        self.clock += 1;
-        self.entries.insert(
-            id.to_string(),
-            ModelEntry {
-                snapshot: Arc::new(snapshot),
-                in_dim: replacement.0,
-                out_dim: replacement.1,
-                mul_count: model.mul_count_per_example(),
-                model: Some(model),
-                last_used: self.clock,
-                slo,
-            },
-        );
-        self.stats.loads += 1;
+        self.install_entry(id, snapshot, slo, loaded);
         self.stats.swaps += 1;
-        self.loaded_bytes += size;
-        self.enforce_budget(Some(id));
         Ok(())
     }
 
@@ -517,12 +700,31 @@ impl ModelRegistry {
         self.entries.contains_key(id)
     }
 
-    /// Whether `id` is currently materialised in the weight cache.
+    /// Whether any of `id`'s weights are currently materialised in the
+    /// weight cache: the whole model in [`ResidencyMode::Whole`], at least
+    /// one weight block for a paged model.
     pub fn is_resident(&self, id: &str) -> bool {
-        self.entries.get(id).is_some_and(|e| e.model.is_some())
+        self.entries.get(id).is_some_and(|e| match &e.residency {
+            Residency::Whole(m) => m.is_some(),
+            Residency::Paged { model, .. } => model.any_resident(),
+        })
     }
 
-    /// Snapshot bytes of the currently resident models.
+    /// Resident weight blocks of a paged model. `None` for unknown or
+    /// whole-loaded ids.
+    pub fn resident_blocks(&self, id: &str) -> Option<usize> {
+        match &self.entries.get(id)?.residency {
+            Residency::Paged { model, .. } => Some(
+                (0..model.stages())
+                    .filter(|&s| model.stage_block(s).is_some() && model.is_stage_resident(s))
+                    .count(),
+            ),
+            Residency::Whole(_) => None,
+        }
+    }
+
+    /// Bytes currently resident: whole models count their snapshot size,
+    /// paged models count exactly their resident blocks.
     pub fn loaded_bytes(&self) -> u64 {
         self.loaded_bytes
     }
@@ -550,9 +752,11 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// Returns [`RegistryError::UnknownModel`] for unregistered ids; reload
-    /// errors cannot occur for snapshots that validated at insert time but
-    /// are still propagated rather than unwrapped.
+    /// Returns [`RegistryError::UnknownModel`] for unregistered ids, or
+    /// [`RegistryError::PagedResidency`] for a block-paged model (which has
+    /// no whole materialisation); reload errors cannot occur for snapshots
+    /// that validated at insert time but are still propagated rather than
+    /// unwrapped.
     pub fn model(&mut self, id: &str) -> Result<Arc<dyn BatchModel>, RegistryError> {
         if !self.entries.contains_key(id) {
             return Err(RegistryError::UnknownModel { id: id.to_string() });
@@ -561,15 +765,19 @@ impl ModelRegistry {
         let clock = self.clock;
         let entry = self.entries.get_mut(id).expect("checked above");
         entry.last_used = clock;
-        let model = match &entry.model {
-            Some(m) => Arc::clone(m),
-            None => {
-                let m = (self.loader)(&entry.snapshot)?;
-                entry.model = Some(Arc::clone(&m));
-                let size = entry.snapshot.len() as u64;
+        let snapshot = Arc::clone(&entry.snapshot);
+        let model = match &mut entry.residency {
+            Residency::Paged { .. } => {
+                return Err(RegistryError::PagedResidency { id: id.to_string() })
+            }
+            Residency::Whole(Some(m)) => Arc::clone(m),
+            Residency::Whole(slot @ None) => {
+                let m = (self.loader)(&snapshot)?;
+                *slot = Some(Arc::clone(&m));
                 self.stats.loads += 1;
                 self.stats.reloads += 1;
-                self.loaded_bytes += size;
+                self.loaded_bytes += snapshot.len() as u64;
+                self.note_peak();
                 m
             }
         };
@@ -577,36 +785,204 @@ impl ModelRegistry {
         Ok(model)
     }
 
-    /// Drops `id`'s loaded model (keeping its snapshot), adjusting the
-    /// resident-byte total.
+    /// Drops `id`'s loaded weights (keeping its snapshot and, for paged
+    /// entries, the skeleton), adjusting the resident-byte total.
     fn evict_entry_model(&mut self, id: &str) {
         if let Some(entry) = self.entries.get_mut(id) {
-            if entry.model.take().is_some() {
-                self.loaded_bytes -= entry.snapshot.len() as u64;
+            match &mut entry.residency {
+                Residency::Whole(slot) => {
+                    if slot.take().is_some() {
+                        self.loaded_bytes -= entry.snapshot.len() as u64;
+                    }
+                }
+                Residency::Paged { model, stamps } => {
+                    self.loaded_bytes -= model.evict_all();
+                    stamps.fill(0);
+                }
             }
         }
     }
 
-    /// Evicts least-recently-used resident models (never `keep`) until the
+    /// Evicts the globally least-recently-used resident *unit* — a whole
+    /// model or one paged weight block — skipping `keep` (whole entries
+    /// only; block faults pin nothing, the incoming block is not resident
+    /// yet). Returns whether anything was evicted. LRU stamps are unique
+    /// (the clock strictly increments and both kinds share it), so the
+    /// victim is deterministic.
+    fn evict_lru_unit(&mut self, keep: Option<&str>) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .flat_map(|(id, e)| match &e.residency {
+                Residency::Whole(Some(_)) if Some(id.as_str()) != keep => {
+                    vec![(e.last_used, id.clone(), None)]
+                }
+                Residency::Paged { model, stamps } => (0..model.stages())
+                    .filter(|&s| model.stage_block(s).is_some() && model.is_stage_resident(s))
+                    .map(|s| (stamps[s], id.clone(), Some(s)))
+                    .collect(),
+                _ => Vec::new(),
+            })
+            .min_by_key(|(stamp, _, _)| *stamp);
+        match victim {
+            Some((_, id, None)) => {
+                self.evict_entry_model(&id);
+                self.stats.evictions += 1;
+                true
+            }
+            Some((_, id, Some(s))) => {
+                let entry = self.entries.get(&id).expect("victim ids are registered");
+                let Residency::Paged { model, .. } = &entry.residency else {
+                    unreachable!("block victims come from paged entries");
+                };
+                let (_, bytes) = model.stage_block(s).expect("victims are weight stages");
+                if model.evict_stage(s) {
+                    self.loaded_bytes -= bytes;
+                }
+                self.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts least-recently-used resident units (never `keep`) until the
     /// byte budget is respected or nothing evictable remains.
     fn enforce_budget(&mut self, keep: Option<&str>) {
         while self.loaded_bytes > self.budget_bytes {
-            // `last_used` values are unique (the clock strictly increments),
-            // so they alone determine the LRU victim.
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(id, e)| e.model.is_some() && Some(id.as_str()) != keep)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(id, _)| id.clone());
-            match victim {
-                Some(id) => {
-                    self.evict_entry_model(&id);
-                    self.stats.evictions += 1;
-                }
-                None => break,
+            if !self.evict_lru_unit(keep) {
+                break;
             }
         }
+    }
+
+    /// Evicts until `incoming` more bytes would fit the budget (or nothing
+    /// evictable remains) — the admission step before a block fault. The
+    /// incoming block is not resident, so nothing needs pinning; resident
+    /// bytes therefore never exceed `max(budget, largest block)`.
+    fn make_room_for(&mut self, incoming: u64) {
+        while self.loaded_bytes.saturating_add(incoming) > self.budget_bytes {
+            if !self.evict_lru_unit(None) {
+                break;
+            }
+        }
+    }
+
+    /// Ensures stage `s` of paged model `id` is resident, returning the
+    /// modeled ticks the fault cost (0 if it was already resident or is a
+    /// never-paged stage). Decodes exactly that stage's block — CRC-checked
+    /// standalone, the rest of the container untouched.
+    fn fault_stage(&mut self, id: &str, s: usize) -> Result<u64, RegistryError> {
+        let (model, snapshot) = {
+            let entry = self.entries.get(id).expect("fault callers check the id");
+            let Residency::Paged { model, .. } = &entry.residency else {
+                unreachable!("fault_stage is only called on paged entries");
+            };
+            (Arc::clone(model), Arc::clone(&entry.snapshot))
+        };
+        let Some((block, bytes)) = model.stage_block(s) else {
+            return Ok(0);
+        };
+        self.clock += 1;
+        let clock = self.clock;
+        if !model.is_stage_resident(s) {
+            self.make_room_for(bytes);
+            let (op, ticks) = {
+                let paged = self.paged.as_ref().expect("paged entries imply paged mode");
+                let record = extract_block(&snapshot, block)?;
+                (
+                    load_tensor(&record, &paged.codec)?,
+                    paged.paging.fault_ticks(bytes),
+                )
+            };
+            model.install(s, op)?;
+            self.loaded_bytes += bytes;
+            self.note_peak();
+            self.stats.blocks_faulted += 1;
+            self.stats.bytes_faulted += bytes;
+            self.stamp_stage(id, s, clock);
+            return Ok(ticks);
+        }
+        self.stamp_stage(id, s, clock);
+        Ok(0)
+    }
+
+    /// Records stage `s`'s LRU stamp.
+    fn stamp_stage(&mut self, id: &str, s: usize, clock: u64) {
+        if let Some(entry) = self.entries.get_mut(id) {
+            if let Residency::Paged { stamps, .. } = &mut entry.residency {
+                stamps[s] = clock;
+            }
+        }
+    }
+
+    /// The deterministic prefetch hook: pages `id`'s weight blocks in stage
+    /// order, stopping before the blocks fetched so far would overflow the
+    /// budget — so an over-budget model keeps its *early* stages resident
+    /// between batches instead of thrashing the whole chain — and returns
+    /// the modeled ticks spent. Whole-loaded ids cost nothing here.
+    fn prefetch_model(&mut self, id: &str) -> Result<u64, RegistryError> {
+        let model = match self.entries.get(id).map(|e| &e.residency) {
+            Some(Residency::Paged { model, .. }) => Arc::clone(model),
+            _ => return Ok(0),
+        };
+        let mut cumulative = 0u64;
+        let mut ticks = 0u64;
+        for s in 0..model.stages() {
+            let Some((_, bytes)) = model.stage_block(s) else {
+                continue;
+            };
+            cumulative += bytes;
+            if cumulative > self.budget_bytes {
+                break;
+            }
+            ticks += self.fault_stage(id, s)?;
+        }
+        Ok(ticks)
+    }
+
+    /// Runs one batch through a paged model, demand-faulting each stage just
+    /// before it executes, and writes the batch outputs into `outputs`.
+    /// Returns the total demand-fault ticks. The arithmetic per stage is
+    /// exactly the whole-loaded model's (`exec.matmul` + bias rows, or the
+    /// row-wise activation), so outputs are independent of residency
+    /// history.
+    fn paged_forward(
+        &mut self,
+        id: &str,
+        input: &[f32],
+        batch: usize,
+        exec: &ParallelExecutor,
+        outputs: &mut Matrix,
+    ) -> Result<u64, RegistryError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let model = {
+            let entry = self
+                .entries
+                .get_mut(id)
+                .expect("serve routes registered ids");
+            entry.last_used = clock;
+            let Residency::Paged { model, .. } = &entry.residency else {
+                unreachable!("paged_forward is only called on paged entries");
+            };
+            Arc::clone(model)
+        };
+        let mut fault_ticks = 0u64;
+        let mut current: Option<Matrix> = None;
+        for s in 0..model.stages() {
+            fault_ticks += self.fault_stage(id, s)?;
+            let next = match &current {
+                Some(m) => model.run_stage(s, &BatchView::from_matrix(m), exec)?,
+                None => {
+                    let xs = BatchView::new(input, batch, model.in_dim())?;
+                    model.run_stage(s, &xs, exec)?
+                }
+            };
+            current = Some(next);
+        }
+        *outputs = current.expect("paged models have at least one stage");
+        Ok(fault_ticks)
     }
 
     /// Applies every pending swap scheduled at or before `tick`. Invalid
@@ -750,6 +1126,10 @@ impl ModelRegistry {
         requests: Vec<TaggedRequest>,
     ) -> Result<(MultiServeReport, Vec<Rejection>), RegistryError> {
         let stats_before = self.stats;
+        // Re-seed the high-water mark so the report's `peak_resident_bytes`
+        // covers exactly this run; the lifetime value is restored (merged)
+        // on the way out.
+        self.stats.peak_resident_bytes = self.loaded_bytes;
         let first_arrival_tick = requests
             .iter()
             .map(|r| r.request.arrival_tick)
@@ -816,34 +1196,55 @@ impl ModelRegistry {
 
         let mut completed = Vec::new();
         let mut per_model: BTreeMap<String, ModelServeStats> = BTreeMap::new();
-        let mut engine_free = first_arrival_tick;
+        // When the engine can next *start* a batch: the last completion tick
+        // plus any prefetch issued after it. A prefetch is free whenever the
+        // gap to the next batch's close tick absorbs it.
+        let mut engine_ready = first_arrival_tick;
+        let mut final_tick = first_arrival_tick;
         let mut input = Vec::new();
         let mut outputs = Matrix::zeros(0, 0);
-        for idx in order {
+        for (pos, &idx) in order.iter().enumerate() {
             let plan = batches[idx].take().expect("each batch executes once");
             let id = metas[idx].model_id.clone();
-            let start = plan.close_tick.max(engine_free);
+            let start = plan.close_tick.max(engine_ready);
             self.apply_swaps_due(start);
-            let model = self.model(&id)?;
+            let entry = self.entries.get(&id).expect("routed ids stay registered");
+            let in_dim = entry.in_dim;
+            let mul_count = entry.mul_count;
+            let paged_entry = matches!(entry.residency, Residency::Paged { .. });
 
             let batch = plan.requests.len();
             input.clear();
             for request in &plan.requests {
-                permdnn_core::format::check_dim(
-                    "serve_multi",
-                    model.in_dim(),
-                    request.input.len(),
-                )?;
+                permdnn_core::format::check_dim("serve_multi", in_dim, request.input.len())?;
                 input.extend_from_slice(&request.input);
             }
-            let xs = BatchView::new(&input, batch, model.in_dim())?;
-            model.forward_batch_into(&xs, exec, &mut outputs)?;
+            // Demand faults stall the engine before execution; whole-loaded
+            // models load outside the modeled timeline, as before.
+            let fault_ticks = if paged_entry {
+                self.paged_forward(&id, &input, batch, exec, &mut outputs)?
+            } else {
+                let model = self.model(&id)?;
+                let xs = BatchView::new(&input, batch, in_dim)?;
+                model.forward_batch_into(&xs, exec, &mut outputs)?;
+                0
+            };
 
-            let ticks = cfg
-                .service
-                .batch_ticks(model.mul_count_per_example() * batch as u64, exec.workers());
+            let ticks = fault_ticks
+                + cfg
+                    .service
+                    .batch_ticks(mul_count * batch as u64, exec.workers());
             let completion_tick = start + ticks;
-            engine_free = completion_tick;
+            final_tick = completion_tick;
+            // Deterministic prefetch hook: page the next scheduled batch's
+            // model right after this batch completes. Depends only on the
+            // reference-decided order and fault history, so it is identical
+            // for every worker count.
+            let prefetch_ticks = match order.get(pos + 1) {
+                Some(&next) => self.prefetch_model(&metas[next].model_id)?,
+                None => 0,
+            };
+            engine_ready = completion_tick + prefetch_ticks;
 
             let tally = per_model.entry(id.clone()).or_default();
             tally.served += batch;
@@ -866,11 +1267,14 @@ impl ModelRegistry {
         self.apply_swaps_due(u64::MAX);
 
         let after = self.stats;
+        self.stats.peak_resident_bytes = stats_before
+            .peak_resident_bytes
+            .max(after.peak_resident_bytes);
         Ok((
             MultiServeReport {
                 completed,
                 per_model,
-                final_tick: engine_free,
+                final_tick,
                 first_arrival_tick,
                 workers: exec.workers(),
                 stats: RegistryStats {
@@ -878,6 +1282,9 @@ impl ModelRegistry {
                     reloads: after.reloads - stats_before.reloads,
                     evictions: after.evictions - stats_before.evictions,
                     swaps: after.swaps - stats_before.swaps,
+                    blocks_faulted: after.blocks_faulted - stats_before.blocks_faulted,
+                    bytes_faulted: after.bytes_faulted - stats_before.bytes_faulted,
+                    peak_resident_bytes: after.peak_resident_bytes,
                 },
             },
             rejections,
@@ -1279,6 +1686,158 @@ mod tests {
         let tally = report.per_model_slo["m"];
         assert_eq!((tally.offered, tally.met, tally.shed), (5, 2, 3));
         assert!((report.shed_rate() - 0.6).abs() < 1e-12);
+    }
+
+    use crate::paging::{PagedModelLoader, PagedStage};
+    use permdnn_core::snapshot::{block_stream_snapshot, read_block_index};
+
+    /// A paged loader over blocked bare-tensor snapshots: one weight slot,
+    /// no bias step — mirroring `tensor_loader`'s `SingleLayerModel`
+    /// arithmetic exactly.
+    fn paged_tensor_loader() -> PagedModelLoader {
+        Box::new(|bytes| {
+            let index = read_block_index(bytes)?;
+            let k = index
+                .position("tensor")
+                .ok_or_else(|| SnapshotError::MissingSection {
+                    name: "tensor".to_string(),
+                })?;
+            let op = load_tensor(&extract_block(bytes, k)?, &SnapshotCodec::new())?;
+            PagedModel::new(vec![PagedStage::linear(
+                k,
+                index.blocks[k].len,
+                op.in_dim(),
+                op.out_dim(),
+                op.mul_count(),
+                Vec::new(),
+            )])
+        })
+    }
+
+    fn paged_cfg() -> PagedConfig {
+        PagedConfig {
+            loader: paged_tensor_loader(),
+            codec: SnapshotCodec::new(),
+            paging: PagingModel::default(),
+        }
+    }
+
+    #[test]
+    fn paged_registry_pages_blocks_and_serves_bit_identically() {
+        let snaps: Vec<Vec<u8>> = (0..3).map(|i| pd_snapshot(8, 80 + i)).collect();
+        let blocked: Vec<Vec<u8>> = snaps
+            .iter()
+            .map(|s| block_stream_snapshot(s).unwrap())
+            .collect();
+        let max_block = blocked
+            .iter()
+            .map(|b| read_block_index(b).unwrap().max_block_bytes())
+            .max()
+            .unwrap();
+        // Budget fits roughly one model's block at a time.
+        let budget = max_block + 16;
+
+        let tagged = interleave_streams(
+            (0..3)
+                .map(|i| {
+                    (
+                        format!("m{i}"),
+                        crate::serve::seeded_request_stream(90 + i as u64, 12, 8, 1.5),
+                    )
+                })
+                .collect(),
+        );
+
+        let mut whole = ModelRegistry::new(tensor_loader(), u64::MAX);
+        let mut paged = ModelRegistry::new_paged(tensor_loader(), paged_cfg(), budget);
+        assert_eq!(paged.residency_mode(), ResidencyMode::Paged);
+        for (i, (snap, blk)) in snaps.iter().zip(&blocked).enumerate() {
+            whole.insert(&format!("m{i}"), snap.clone()).unwrap();
+            paged.insert(&format!("m{i}"), blk.clone()).unwrap();
+            // Skeletons start cold: registered, dims known, nothing resident.
+            assert!(!paged.is_resident(&format!("m{i}")));
+            assert_eq!(paged.resident_blocks(&format!("m{i}")), Some(0));
+            assert_eq!(paged.dims(&format!("m{i}")), Some((8, 8)));
+            assert_eq!(
+                paged.mul_count(&format!("m{i}")),
+                whole.mul_count(&format!("m{i}"))
+            );
+        }
+        assert_eq!(paged.loaded_bytes(), 0);
+
+        let exec = ParallelExecutor::sequential();
+        let w = whole.serve_multi(&exec, &cfg(), tagged.clone()).unwrap();
+        let p = paged.serve_multi(&exec, &cfg(), tagged).unwrap();
+
+        // Outputs, batch membership and order are bit-identical; only the
+        // modeled ticks differ (faults are charged).
+        let strip = |r: &MultiServeReport| {
+            r.completed
+                .iter()
+                .map(|tc| {
+                    (
+                        tc.model_id.clone(),
+                        tc.completed.id,
+                        tc.completed.batch_size,
+                        tc.completed.output.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&p), strip(&w));
+        assert!(p.final_tick > w.final_tick, "faults cost modeled ticks");
+
+        // Three models round-robin through a one-block budget: faults,
+        // block evictions, and a pinned residency bound.
+        assert!(p.stats.blocks_faulted >= 3);
+        assert!(p.stats.bytes_faulted >= 3 * (max_block - 16));
+        assert!(p.stats.evictions > 0, "cold blocks evict under pressure");
+        assert!(
+            p.stats.peak_resident_bytes <= budget + max_block,
+            "peak {} exceeds budget {budget} + max block {max_block}",
+            p.stats.peak_resident_bytes
+        );
+        assert!(paged.loaded_bytes() <= budget + max_block);
+    }
+
+    #[test]
+    fn paged_mode_rejects_oversize_whole_loads_with_a_typed_error() {
+        let snap = pd_snapshot(16, 5);
+        let budget = snap.len() as u64 - 1;
+        // Whole-load mode silently admits it under the carve-out...
+        let mut whole = ModelRegistry::new(tensor_loader(), budget);
+        whole.insert("big", snap.clone()).unwrap();
+        assert!(whole.is_resident("big"));
+        // ...paged mode makes it a hard typed error,
+        let mut paged = ModelRegistry::new_paged(tensor_loader(), paged_cfg(), budget);
+        match paged.insert("big", snap.clone()) {
+            Err(RegistryError::OverBudget {
+                id,
+                bytes,
+                budget_bytes,
+            }) => {
+                assert_eq!(id, "big");
+                assert_eq!(bytes, snap.len() as u64);
+                assert_eq!(budget_bytes, budget);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        assert!(paged.is_empty());
+        // ...while the blocked form of the same model is admitted and the
+        // non-blocked form still whole-loads when it fits.
+        paged
+            .insert("big", block_stream_snapshot(&snap).unwrap())
+            .unwrap();
+        assert_eq!(paged.resident_blocks("big"), Some(0));
+        let small = pd_snapshot(8, 6);
+        paged.insert("small", small.clone()).unwrap();
+        assert_eq!(paged.resident_blocks("small"), None, "whole-loaded");
+        assert!(paged.model("small").is_ok());
+        // A paged model has no whole materialisation to hand out.
+        assert!(matches!(
+            paged.model("big"),
+            Err(RegistryError::PagedResidency { .. })
+        ));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod eie;
 pub mod engine;
 pub mod host;
 pub mod metrics;
+pub mod paging;
 pub mod power;
 pub mod project;
 pub mod quant;
@@ -51,6 +52,7 @@ pub mod workload;
 pub use config::{EngineConfig, PeConfig};
 pub use engine::{simulate_layer, EngineResult};
 pub use host::{simulate_multi_host, MultiHostResult};
+pub use paging::{DramChannel, TransferCost};
 pub use quant::{simulate_quantized, FixedPointDatapath, QuantSimResult};
 pub use scenario::{
     simulate_quantized_conv, ConvQuantSimResult, ConvSimResult, ConvWorkload, LstmSimResult,

@@ -1,0 +1,113 @@
+//! DRAM→on-chip transfer model behind the serving registry's block paging.
+//!
+//! PermDNN's deployment premise is that compressed weights live in a small
+//! on-chip SRAM; anything that does not fit streams in from DRAM. The
+//! runtime charges those faults in abstract engine ticks
+//! ([`PagingModel`](permdnn_runtime::PagingModel)); this module grounds the
+//! two constants in a first-order DRAM channel model — fixed access latency
+//! plus a bus-width bandwidth term, with a pJ/byte energy charge — and
+//! converts a channel into the runtime's tick currency.
+
+use permdnn_runtime::PagingModel;
+
+/// A first-order DRAM channel: every block transfer pays a fixed access
+/// latency (row activation + controller turnaround) and then streams at the
+/// bus width, paying an energy toll per byte moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramChannel {
+    /// Cycles from fault issue to first data beat.
+    pub access_latency_cycles: u64,
+    /// Bytes transferred per cycle once streaming (bus width × rate).
+    pub bus_bytes_per_cycle: u64,
+    /// Energy per byte moved, in pJ (DDR-class interfaces run ~10–70 pJ/B;
+    /// the default sits at the efficient end, matching the paper's 28 nm
+    /// serving context).
+    pub pj_per_byte: f64,
+}
+
+impl Default for DramChannel {
+    fn default() -> Self {
+        DramChannel {
+            access_latency_cycles: 80,
+            bus_bytes_per_cycle: 8,
+            pj_per_byte: 20.0,
+        }
+    }
+}
+
+/// One block transfer's modeled cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferCost {
+    /// Total cycles from fault to last beat.
+    pub cycles: u64,
+    /// Energy moved onto the chip, in pJ.
+    pub energy_pj: f64,
+}
+
+impl DramChannel {
+    /// Cost of streaming one `bytes`-long block over this channel.
+    pub fn transfer(&self, bytes: u64) -> TransferCost {
+        TransferCost {
+            cycles: self.access_latency_cycles + bytes.div_ceil(self.bus_bytes_per_cycle.max(1)),
+            energy_pj: bytes as f64 * self.pj_per_byte,
+        }
+    }
+
+    /// This channel expressed in the serving runtime's tick currency, at
+    /// `cycles_per_tick` engine cycles per registry tick: the fixed latency
+    /// becomes the per-fault overhead, the bus width becomes bytes per tick.
+    /// Both round *up* on the overhead and *down* on the bandwidth (clamped
+    /// to ≥ 1), so the tick model never undercharges a transfer.
+    pub fn to_paging_model(&self, cycles_per_tick: u64) -> PagingModel {
+        let cycles_per_tick = cycles_per_tick.max(1);
+        PagingModel {
+            fault_overhead_ticks: self.access_latency_cycles.div_ceil(cycles_per_tick),
+            bytes_per_tick: (self.bus_bytes_per_cycle * cycles_per_tick).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_charges_latency_bandwidth_and_energy() {
+        let ch = DramChannel {
+            access_latency_cycles: 100,
+            bus_bytes_per_cycle: 8,
+            pj_per_byte: 20.0,
+        };
+        assert_eq!(ch.transfer(0).cycles, 100);
+        assert_eq!(ch.transfer(1).cycles, 101);
+        assert_eq!(ch.transfer(64).cycles, 108);
+        assert_eq!(ch.transfer(65).cycles, 109);
+        let e = ch.transfer(1024).energy_pj;
+        assert!((e - 20_480.0).abs() < 1e-9);
+        // A bigger block is never cheaper.
+        let mut prev = 0;
+        for bytes in [0u64, 1, 7, 8, 9, 4096, 4097] {
+            let c = ch.transfer(bytes).cycles;
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn tick_conversion_never_undercharges() {
+        let ch = DramChannel::default();
+        let pm = ch.to_paging_model(16);
+        assert_eq!(pm.fault_overhead_ticks, 5); // ceil(80 / 16)
+        assert_eq!(pm.bytes_per_tick, 128); // 8 B/cycle × 16 cycles
+        for bytes in [1u64, 128, 129, 4096] {
+            let ticks = pm.fault_ticks(bytes);
+            let cycles = ch.transfer(bytes).cycles;
+            assert!(
+                ticks * 16 >= cycles,
+                "{bytes} B: {ticks} ticks × 16 < {cycles} cycles"
+            );
+        }
+        // Degenerate scales stay sane.
+        assert_eq!(ch.to_paging_model(0).bytes_per_tick, 8);
+    }
+}

@@ -1,0 +1,326 @@
+//! Contracts of the block-streamed snapshot path (`permdnn_core::snapshot`
+//! `KIND_BLOCKED` + `permdnn_runtime` paged residency):
+//!
+//! 1. **Corruption safety.** Truncating a blocked container at any byte, or
+//!    flipping any single bit, makes the paged loader return a typed
+//!    [`SnapshotError`] — never a panic, never a silently different model.
+//! 2. **Paged ≡ whole.** For every arrival generator × admission policy ×
+//!    worker count in {1, 2, 3, 7}, a registry paging blocks through a tight
+//!    budget serves outputs, batch membership and order bit-identical to an
+//!    unlimited-budget whole-load registry. Only modeled ticks differ (demand
+//!    faults are charged).
+//! 3. **Over-budget serving.** A model whose weight blocks exceed the entire
+//!    cache budget still completes a Zipf-mix run bit-identically, with peak
+//!    resident weight bytes pinned to `budget + max_block`.
+
+use permdnn::core::snapshot::{block_stream_snapshot, read_block_index, SnapshotError};
+use permdnn::nn::layers::WeightFormat;
+use permdnn::nn::snapshot::{batch_model_loader, load_paged_model, paged_config};
+use permdnn::nn::MlpClassifier;
+use permdnn::runtime::{
+    interleave_streams, AdmissionPolicy, BatchConfig, ModelRegistry, OnOffFlashCrowd,
+    ParallelExecutor, PoissonBurst, ServeConfig, ServiceModel, TaggedRequest, TrafficConfig,
+    TrafficReport, UniformProcess, ZipfMix,
+};
+use permdnn::tensor::init::seeded_rng;
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 7];
+const IN_DIM: usize = 24;
+const HIDDEN: [usize; 1] = [32];
+const CLASSES: usize = 8;
+
+/// A frozen permuted-diagonal MLP snapshot (the shape the paging layer was
+/// built for: FC weight blocks chained through bias and activation stages).
+fn mlp_snapshot(seed: u64) -> Vec<u8> {
+    MlpClassifier::new_frozen(
+        IN_DIM,
+        &HIDDEN,
+        CLASSES,
+        WeightFormat::PermutedDiagonal { p: 4 },
+        &mut seeded_rng(seed),
+    )
+    .save()
+    .expect("frozen models snapshot")
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        batching: BatchConfig::new(4, 8),
+        service: ServiceModel::default(),
+    }
+}
+
+/// The worker- and budget-invariant fingerprint of a run: everything except
+/// completion ticks.
+fn strip(r: &TrafficReport) -> Vec<(String, u64, usize, Vec<f32>)> {
+    r.serve
+        .completed
+        .iter()
+        .map(|tc| {
+            (
+                tc.model_id.clone(),
+                tc.completed.id,
+                tc.completed.batch_size,
+                tc.completed.output.clone(),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Corruption safety.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Truncation at every prefix length is a typed error; only the full
+    // container loads.
+    #[test]
+    fn truncated_blocked_containers_are_typed_errors(cut_frac in 0.0f64..1.0, seed in 0u64..50) {
+        let blocked = block_stream_snapshot(&mlp_snapshot(seed % 3)).unwrap();
+        // Clamp instead of assuming: every cut strictly inside the container.
+        let cut = ((cut_frac * blocked.len() as f64) as usize).min(blocked.len() - 1);
+        // The Err type is SnapshotError by signature: typed, never a panic.
+        let err: Result<_, SnapshotError> = load_paged_model(&blocked[..cut]);
+        prop_assert!(err.is_err(), "cut at {cut}/{} must not load", blocked.len());
+    }
+
+    // Any single flipped bit is caught by the header checks, the index CRC,
+    // the per-section CRCs, or the graph validation — typed error, no panic.
+    #[test]
+    fn bit_flips_in_blocked_containers_are_typed_errors(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut blocked = block_stream_snapshot(&mlp_snapshot(0)).unwrap();
+        let pos = ((pos_frac * blocked.len() as f64) as usize).min(blocked.len() - 1);
+        blocked[pos] ^= 1 << bit;
+        let loaded = load_paged_model(&blocked);
+        prop_assert!(
+            loaded.is_err(),
+            "flip of bit {bit} at byte {pos} must be detected"
+        );
+    }
+
+    // Block extraction bounds survive a corrupted index: whatever the index
+    // claims, reading it back is Ok or a typed error, never a panic or an
+    // out-of-bounds slice.
+    #[test]
+    fn corrupt_index_entries_never_escape_bounds(pos_frac in 0.0f64..1.0, byte in 0u8..=255u8) {
+        let mut blocked = block_stream_snapshot(&mlp_snapshot(1)).unwrap();
+        // Overwrite a byte inside the leading index section specifically.
+        let index_span = 16 + 2 + "block_index".len() + 64;
+        let pos = ((pos_frac * index_span as f64) as usize).min(blocked.len() - 1);
+        blocked[pos] = byte;
+        let _ = read_block_index(&blocked).map(|ix| ix.blocks.len());
+        let _ = load_paged_model(&blocked);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Paged ≡ whole across generators × policies × workers.
+// ---------------------------------------------------------------------------
+
+/// Three MLP tenants on a shared input width, as plain and blocked snapshots.
+fn tenant_snapshots() -> Vec<(String, Vec<u8>, Vec<u8>)> {
+    (0..3)
+        .map(|i| {
+            let snap = mlp_snapshot(0x5717 + i);
+            let blocked = block_stream_snapshot(&snap).unwrap();
+            (format!("m{i}"), snap, blocked)
+        })
+        .collect()
+}
+
+/// A budget tight enough that the three tenants' blocks cannot all stay
+/// resident, plus the largest single block (the residency-bound unit).
+fn tight_budget(tenants: &[(String, Vec<u8>, Vec<u8>)]) -> (u64, u64) {
+    let indexes: Vec<_> = tenants
+        .iter()
+        .map(|(_, _, b)| read_block_index(b).unwrap())
+        .collect();
+    let total: u64 = indexes.iter().map(|ix| ix.total_block_bytes()).sum();
+    let max_block = indexes.iter().map(|ix| ix.max_block_bytes()).max().unwrap();
+    ((total / 3).max(max_block), max_block)
+}
+
+fn generator_streams() -> Vec<(&'static str, Vec<TaggedRequest>)> {
+    let uniform = |seed: u64| UniformProcess::new(IN_DIM, 6.0).unwrap().stream(seed, 14);
+    let poisson = |seed: u64| {
+        PoissonBurst::new(IN_DIM, 7.0, 0.3, 4)
+            .unwrap()
+            .stream(seed, 14)
+    };
+    let crowd = |seed: u64| {
+        OnOffFlashCrowd::new(IN_DIM, 30, 90, 2.0)
+            .unwrap()
+            .stream(seed, 14)
+    };
+    let three = |streams: [Vec<_>; 3]| {
+        let mut tagged = Vec::new();
+        for (i, s) in streams.into_iter().enumerate() {
+            tagged.push((format!("m{i}"), s));
+        }
+        interleave_streams(tagged)
+    };
+    vec![
+        (
+            "uniform",
+            three([uniform(0xA0), uniform(0xA1), uniform(0xA2)]),
+        ),
+        (
+            "poisson_burst",
+            three([poisson(0xB0), poisson(0xB1), poisson(0xB2)]),
+        ),
+        (
+            "flash_crowd",
+            three([crowd(0xC0), crowd(0xC1), crowd(0xC2)]),
+        ),
+        (
+            "zipf_mix",
+            ZipfMix::new(
+                (0..3).map(|i| (format!("m{i}"), IN_DIM)).collect(),
+                1.2,
+                5.0,
+            )
+            .unwrap()
+            .stream(0xD0, 42),
+        ),
+    ]
+}
+
+#[test]
+fn paged_serving_is_bit_identical_to_whole_load_everywhere() {
+    let tenants = tenant_snapshots();
+    let (budget, max_block) = tight_budget(&tenants);
+    let policies = [
+        AdmissionPolicy::Fifo,
+        AdmissionPolicy::Priority,
+        AdmissionPolicy::EarliestDeadline,
+    ];
+
+    for (gen_name, stream) in generator_streams() {
+        for policy in policies {
+            let cfg = TrafficConfig::new(serve_cfg(), policy);
+
+            // Whole-load reference at one worker.
+            let mut whole = ModelRegistry::new(batch_model_loader(), u64::MAX);
+            for (id, snap, _) in &tenants {
+                whole.insert(id, snap.clone()).unwrap();
+            }
+            let reference = whole
+                .serve_traffic(&ParallelExecutor::new(1), &cfg, stream.clone())
+                .unwrap();
+            assert!(
+                reference.rejections.is_empty(),
+                "{gen_name}/{policy:?}: no SLOs registered, nothing sheds"
+            );
+            let expected = strip(&reference);
+
+            for workers in WORKER_COUNTS {
+                let mut paged =
+                    ModelRegistry::new_paged(batch_model_loader(), paged_config(), budget);
+                for (id, _, blocked) in &tenants {
+                    paged.insert(id, blocked.clone()).unwrap();
+                }
+                let report = paged
+                    .serve_traffic(&ParallelExecutor::new(workers), &cfg, stream.clone())
+                    .unwrap();
+                assert_eq!(
+                    strip(&report),
+                    expected,
+                    "{gen_name}/{policy:?}/{workers} workers: paged run diverged"
+                );
+                assert!(report.rejections.is_empty());
+                assert!(
+                    report.serve.stats.peak_resident_bytes <= budget + max_block,
+                    "{gen_name}/{policy:?}/{workers} workers: peak {} > {budget} + {max_block}",
+                    report.serve.stats.peak_resident_bytes
+                );
+                assert!(
+                    report.serve.stats.blocks_faulted > 0,
+                    "{gen_name}/{policy:?}: a cold paged registry must fault"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paged_runs_are_deterministic_across_repeats() {
+    let tenants = tenant_snapshots();
+    let (budget, _) = tight_budget(&tenants);
+    let cfg = TrafficConfig::new(serve_cfg(), AdmissionPolicy::EarliestDeadline);
+    let stream = generator_streams().remove(3).1;
+
+    let run = || {
+        let mut paged = ModelRegistry::new_paged(batch_model_loader(), paged_config(), budget);
+        for (id, _, blocked) in &tenants {
+            paged.insert(id, blocked.clone()).unwrap();
+        }
+        let report = paged
+            .serve_traffic(&ParallelExecutor::new(3), &cfg, stream.clone())
+            .unwrap();
+        (
+            strip(&report),
+            report.serve.final_tick,
+            report.serve.stats.blocks_faulted,
+            report.serve.stats.bytes_faulted,
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same budget: same everything");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Serving a model bigger than the entire budget.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn model_larger_than_the_whole_budget_still_serves_bit_identically() {
+    let snap = mlp_snapshot(0xB16);
+    let blocked = block_stream_snapshot(&snap).unwrap();
+    let index = read_block_index(&blocked).unwrap();
+    let max_block = index.max_block_bytes();
+    // The budget holds one block with headroom, but not the model.
+    let budget = max_block + 32;
+    assert!(
+        budget < index.total_block_bytes(),
+        "the scenario requires model > budget"
+    );
+
+    let stream = ZipfMix::new(vec![("big".to_string(), IN_DIM)], 1.1, 3.0)
+        .unwrap()
+        .stream(0xE0, 36);
+    let cfg = TrafficConfig::new(serve_cfg(), AdmissionPolicy::Fifo);
+
+    let mut whole = ModelRegistry::new(batch_model_loader(), u64::MAX);
+    whole.insert("big", snap).unwrap();
+    let reference = whole
+        .serve_traffic(&ParallelExecutor::new(2), &cfg, stream.clone())
+        .unwrap();
+
+    let mut paged = ModelRegistry::new_paged(batch_model_loader(), paged_config(), budget);
+    paged.insert("big", blocked).unwrap();
+    let report = paged
+        .serve_traffic(&ParallelExecutor::new(2), &cfg, stream)
+        .unwrap();
+
+    assert_eq!(strip(&report), strip(&reference));
+    assert_eq!(
+        report.serve.completed.len(),
+        reference.serve.completed.len()
+    );
+    let stats = report.serve.stats;
+    assert!(
+        stats.peak_resident_bytes <= budget + max_block,
+        "peak {} exceeds budget {budget} + max block {max_block}",
+        stats.peak_resident_bytes
+    );
+    assert!(
+        stats.blocks_faulted as usize > index.blocks.len(),
+        "an over-budget model must re-fault evicted blocks"
+    );
+    assert!(stats.evictions > 0);
+    assert!(paged.loaded_bytes() <= budget + max_block);
+    // Paging costs modeled time; the contract is it never costs bits.
+    assert!(report.serve.final_tick > reference.serve.final_tick);
+}
