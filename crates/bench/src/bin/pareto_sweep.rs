@@ -1,0 +1,172 @@
+//! Per-layer format autotuner sweep (`BENCH_pareto.json`).
+//!
+//! Runs the deterministic beam search of `permdnn_bench::tune` over per-layer
+//! (format × q16) assignments, scores every distinct candidate on held-out
+//! accuracy / multiplies per example / snapshot bytes, and emits the
+//! 3-objective Pareto frontier plus the chosen knee point — the model that is
+//! also committed as the `mlp_mixed` golden fixture.
+//!
+//! Asserted acceptance bars:
+//!
+//! * **Bit-reproducible** — running the sweep twice from the same seed yields
+//!   byte-identical JSON and the identical chosen spec.
+//! * **Frontier beats dense** — some frontier point is strictly better than
+//!   the all-dense f32 baseline on at least 2 of the 3 objectives.
+//! * **Knee accuracy** — the chosen model stays within 1 accuracy point of
+//!   all-dense while multiplying and storing strictly less.
+//! * **Serving matches the score** — the chosen and dense models served
+//!   through a `ModelRegistry` produce outputs bit-identical to direct
+//!   evaluation, and the registry's final tick equals
+//!   `modeled_completion_ticks` fed with the scored multiply count — the
+//!   score is the serving cost, not an estimate of it.
+//!
+//! Run: `cargo run --release -p permdnn-bench --bin pareto_sweep [-- --out PATH]`
+
+use std::collections::BTreeMap;
+
+use permdnn_bench::tune::{render_json, tune, TuneConfig};
+use permdnn_bench::{out_path, print_header, ratio, write_artifact};
+use permdnn_nn::MlpClassifier;
+use permdnn_runtime::{
+    interleave_streams, modeled_completion_ticks, seeded_request_stream, BatchConfig,
+    ModelRegistry, ParallelExecutor, ServeConfig, ServiceModel,
+};
+
+/// Requests in the serving cross-check.
+const REQUESTS: usize = 24;
+/// Worker counts the serving cross-check sweeps.
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let out = out_path("BENCH_pareto.json");
+    print_header("Per-layer format autotuner: accuracy / muls / size Pareto sweep");
+
+    let cfg = TuneConfig::sweep_config();
+    let run = tune(&cfg).expect("sweep config is valid");
+
+    // Bit-reproducibility: a second full run from the same seed must agree
+    // byte for byte.
+    let rerun = tune(&cfg).expect("sweep config is valid");
+    let json = render_json(&cfg, &run);
+    assert_eq!(
+        json,
+        render_json(&cfg, &rerun),
+        "the sweep must be bit-reproducible from its seed"
+    );
+    assert_eq!(
+        run.scored[run.chosen].label, rerun.scored[rerun.chosen].label,
+        "both runs must choose the identical spec"
+    );
+
+    let dense = run.dense_objectives();
+    let chosen = run.chosen_objectives();
+    println!(
+        "scored {} specs ({} per layer, beam {}), frontier size {}",
+        run.scored.len(),
+        cfg.layer_candidates().len(),
+        cfg.beam_width,
+        run.frontier.len()
+    );
+    println!(
+        "\n{:<56} {:>8} {:>8} {:>8}  front",
+        "spec", "acc", "muls", "bytes"
+    );
+    for (i, cand) in run.scored.iter().enumerate() {
+        let mark = if i == run.chosen {
+            "  <- chosen"
+        } else if run.frontier.contains(&i) {
+            "  *"
+        } else {
+            ""
+        };
+        println!(
+            "{:<56} {:>8.4} {:>8} {:>8}{}",
+            cand.label,
+            cand.objectives.accuracy,
+            cand.objectives.mul_count,
+            cand.objectives.snapshot_bytes,
+            mark
+        );
+    }
+
+    // The frontier must strictly beat all-dense on >= 2 of the 3 objectives.
+    let beats_dense = run
+        .frontier
+        .iter()
+        .any(|&i| run.scored[i].objectives.strictly_better_count(&dense) >= 2);
+    assert!(
+        beats_dense,
+        "some frontier point must be strictly better than all-dense on >= 2 objectives"
+    );
+    assert!(
+        chosen.accuracy >= dense.accuracy - cfg.accuracy_slack,
+        "chosen accuracy {:.4} fell more than {} below dense {:.4}",
+        chosen.accuracy,
+        cfg.accuracy_slack,
+        dense.accuracy
+    );
+    assert!(
+        chosen.mul_count < dense.mul_count && chosen.snapshot_bytes < dense.snapshot_bytes,
+        "the knee point must multiply and store strictly less than all-dense"
+    );
+    println!(
+        "\nchosen: {}  ({} acc vs {} dense, {} fewer muls, {} smaller)",
+        run.scored[run.chosen].label,
+        chosen.accuracy,
+        dense.accuracy,
+        ratio(dense.mul_count as f64 / chosen.mul_count as f64),
+        ratio(dense.snapshot_bytes as f64 / chosen.snapshot_bytes as f64),
+    );
+
+    // Serving cross-check: route both models through the registry and demand
+    // the scored multiply count predicts the serve loop exactly.
+    let chosen_model = run.chosen_model().expect("chosen spec realizes");
+    let dense_model = run.realize(run.all_dense).expect("dense spec realizes");
+    serve_and_check("chosen", &chosen_model, chosen.mul_count, &cfg);
+    serve_and_check("all-dense", &dense_model, dense.mul_count, &cfg);
+
+    write_artifact(&out, &json);
+}
+
+/// Serves `model` through a fresh `ModelRegistry` at every swept worker
+/// count, asserting (a) every output is bit-identical to direct evaluation
+/// and (b) the report's final tick equals `modeled_completion_ticks` fed with
+/// the *scored* multiply count.
+fn serve_and_check(name: &str, model: &MlpClassifier, scored_muls: u64, cfg: &TuneConfig) {
+    let bytes = model.save().expect("models snapshot");
+    let serve_cfg = ServeConfig {
+        batching: BatchConfig::new(8, 16),
+        service: ServiceModel::default(),
+    };
+    let requests = seeded_request_stream(cfg.seed ^ 0x5EED, REQUESTS, cfg.input_dim, 3.0);
+    let by_id: BTreeMap<u64, Vec<f32>> = requests
+        .iter()
+        .map(|r| (r.id, model.logits(&r.input)))
+        .collect();
+    let tagged = interleave_streams(vec![("tuned".to_string(), requests.clone())]);
+    for workers in WORKERS {
+        let mut reg = ModelRegistry::new(permdnn_nn::snapshot::batch_model_loader(), u64::MAX);
+        reg.insert("tuned", bytes.clone()).expect("snapshot loads");
+        let report = reg
+            .serve_multi(&ParallelExecutor::new(workers), &serve_cfg, tagged.clone())
+            .expect("the id is registered");
+        assert_eq!(report.completed.len(), REQUESTS);
+        for completion in &report.completed {
+            assert_eq!(
+                &completion.completed.output,
+                by_id.get(&completion.completed.id).expect("known id"),
+                "{name}: served output must equal direct evaluation"
+            );
+        }
+        let predicted = modeled_completion_ticks(&requests, &serve_cfg, scored_muls, workers);
+        assert_eq!(
+            report.final_tick, predicted,
+            "{name}: the scored multiply count must predict the serve loop exactly"
+        );
+        println!(
+            "serving {name} at {workers} workers: {} requests, final tick {} (= modeled), outputs bit-exact",
+            report.completed.len(),
+            report.final_tick
+        );
+    }
+}

@@ -112,6 +112,20 @@ pub fn all() -> Vec<Fixture> {
         logits: q_model.logits(&probe_input(MLP_IN)),
     });
 
+    // Mixed-format model: the knee point of the format autotuner's Pareto
+    // sweep (`crate::tune`, same config as `pareto_sweep`). Pins the
+    // per-record format ids of a snapshot that mixes weight formats (and
+    // possibly q16) across layers — the container needs no change for this,
+    // which is exactly what the fixture proves.
+    let cfg = crate::tune::TuneConfig::sweep_config();
+    let run = crate::tune::tune(&cfg).expect("the sweep config is valid");
+    let mixed = run.chosen_model().expect("the chosen spec realizes");
+    fixtures.push(Fixture {
+        name: "mlp_mixed",
+        bytes: mixed.save().expect("mixed-format models snapshot"),
+        logits: mixed.logits(&probe_input(cfg.input_dim)),
+    });
+
     fixtures
 }
 

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
+pub mod tune;
 
 /// Returns `true` when the binary was invoked with `--full`, selecting the longer-running
 /// (non-quick) experiment configuration.

@@ -1,0 +1,499 @@
+//! Per-layer format autotuner: deterministic beam search over mixed-format
+//! model specs on the accuracy / multiply-count / snapshot-size Pareto front.
+//!
+//! The paper fixes one compression format for the whole network; in practice
+//! different layers tolerate different formats (an over-provisioned hidden
+//! layer survives aggressive PD or pruning, a bottleneck layer may not). The
+//! tuner searches the per-layer assignment space:
+//!
+//! * **Candidates** — every [`WeightFormat`] in [`TuneConfig::formats`]
+//!   (dense, permuted-diagonal at several block sizes, circulant,
+//!   CSC-pruned, EIE-encoded, shared-PD), each optionally wrapped in the
+//!   16-bit fixed-point backend (`q16`).
+//! * **Search** — beam search layer by layer. Each partial assignment is
+//!   completed with dense-f32 tails and scored in full; because
+//!   [`ModelSpec::realize`] derives every layer's projection RNG from
+//!   `(seed, layer index)` alone, a layer's realized weights do not depend
+//!   on what the search chose for other layers, so prefix scores are honest
+//!   predictors of completed specs.
+//! * **Scoring** — each candidate spec is realized from one shared trained
+//!   dense reference, calibrated on the training features, and measured on
+//!   the held-out split: top-1 accuracy (maximize), multiplies per example
+//!   (minimize), snapshot bytes (minimize).
+//! * **Output** — the full scored table, the 3-objective Pareto frontier
+//!   ([`permdnn_core::pareto`]), and the knee point: the cheapest frontier
+//!   model whose accuracy stays within [`TuneConfig::accuracy_slack`] of the
+//!   all-dense baseline.
+//!
+//! Everything is seeded: same [`TuneConfig`] → byte-identical
+//! [`render_json`] output and a bit-identical chosen model.
+
+use std::collections::BTreeMap;
+
+use permdnn_core::pareto::{knee_point, pareto_frontier, Objectives};
+use permdnn_nn::data::GaussianClusters;
+use permdnn_nn::layers::WeightFormat;
+use permdnn_nn::spec::{LayerSpec, ModelSpec};
+use permdnn_nn::MlpClassifier;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use crate::json_f64;
+
+/// Block sizes the tuner accepts for the PD-family formats. The paper's
+/// hardware evaluation only covers power-of-two block sizes in this range,
+/// and the search keeps the candidate grid aligned with it.
+pub const SUPPORTED_BLOCK_SIZES: [usize; 4] = [2, 4, 8, 16];
+
+/// Configuration for one tuning run. Every field participates in
+/// determinism: two runs with equal configs produce byte-identical results.
+#[derive(Debug, Clone)]
+pub struct TuneConfig {
+    /// Master seed: dataset generation, reference training init, and every
+    /// candidate realization derive from it.
+    pub seed: u64,
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths of the reference MLP (one spec slot per entry).
+    pub hidden_dims: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Total dataset size before the train/test split.
+    pub samples: usize,
+    /// Gaussian cluster overlap (0.3–0.8 is learnable but not trivial).
+    pub noise: f32,
+    /// Fraction of the dataset used for training (rest is held out).
+    pub train_fraction: f64,
+    /// Training epochs for the dense reference.
+    pub epochs: usize,
+    /// Mini-batch size for the dense reference.
+    pub batch_size: usize,
+    /// Learning rate for the dense reference.
+    pub learning_rate: f32,
+    /// Beam width: partial assignments kept per layer. Must be non-zero.
+    pub beam_width: usize,
+    /// Per-layer candidate formats.
+    pub formats: Vec<WeightFormat>,
+    /// When `true`, every format is also tried with q16 quantization.
+    pub try_q16: bool,
+    /// Knee-point accuracy slack: the chosen model must stay within this
+    /// many accuracy points (0.01 = 1 point) of the all-dense baseline.
+    pub accuracy_slack: f64,
+}
+
+impl TuneConfig {
+    /// The fixture-scale search shared by `gen_fixtures`, `pareto_sweep` and
+    /// the `tune` test suite: small enough for debug-profile test runs, rich
+    /// enough that the frontier contains genuinely mixed assignments and the
+    /// knee-point snapshot fits the 8 KiB fixture budget.
+    pub fn sweep_config() -> Self {
+        TuneConfig {
+            seed: 0x7A12,
+            input_dim: 16,
+            hidden_dims: vec![24, 16],
+            num_classes: 4,
+            samples: 420,
+            noise: 0.50,
+            train_fraction: 0.7,
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.1,
+            beam_width: 4,
+            formats: vec![
+                WeightFormat::Dense,
+                WeightFormat::PermutedDiagonal { p: 2 },
+                WeightFormat::PermutedDiagonal { p: 4 },
+                WeightFormat::Circulant { k: 4 },
+                WeightFormat::UnstructuredSparse { p: 4 },
+                WeightFormat::EieEncoded { p: 4 },
+                WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+            ],
+            try_q16: true,
+            accuracy_slack: 0.01,
+        }
+    }
+
+    /// Validates the search space before any work happens.
+    pub fn validate(&self) -> Result<(), TuneError> {
+        if self.beam_width == 0 {
+            return Err(TuneError::EmptyBeam);
+        }
+        if self.formats.is_empty() {
+            return Err(TuneError::NoCandidates);
+        }
+        for format in &self.formats {
+            let p = match *format {
+                WeightFormat::PermutedDiagonal { p }
+                | WeightFormat::SharedPermutedDiagonal { p, .. } => p,
+                _ => continue,
+            };
+            if !SUPPORTED_BLOCK_SIZES.contains(&p) {
+                return Err(TuneError::InvalidBlockSize { p });
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-layer candidate list this config induces, in deterministic
+    /// order: each format as f32, then (when [`TuneConfig::try_q16`]) each
+    /// format again with q16.
+    pub fn layer_candidates(&self) -> Vec<LayerSpec> {
+        let mut out: Vec<LayerSpec> = self.formats.iter().map(|&f| LayerSpec::f32(f)).collect();
+        if self.try_q16 {
+            out.extend(self.formats.iter().map(|&f| LayerSpec::q16(f)));
+        }
+        out
+    }
+}
+
+/// Typed errors from [`tune`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// `beam_width` was zero: the search would keep no partial assignments.
+    EmptyBeam,
+    /// The candidate format list was empty.
+    NoCandidates,
+    /// A PD-family candidate used a block size outside
+    /// [`SUPPORTED_BLOCK_SIZES`].
+    InvalidBlockSize {
+        /// The rejected block size.
+        p: usize,
+    },
+    /// A candidate spec failed to realize (propagated from the spec layer).
+    Spec(permdnn_nn::SpecError),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::EmptyBeam => write!(f, "beam width must be non-zero"),
+            TuneError::NoCandidates => write!(f, "candidate format list is empty"),
+            TuneError::InvalidBlockSize { p } => write!(
+                f,
+                "block size {p} is outside the supported set {SUPPORTED_BLOCK_SIZES:?}"
+            ),
+            TuneError::Spec(e) => write!(f, "candidate failed to realize: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<permdnn_nn::SpecError> for TuneError {
+    fn from(e: permdnn_nn::SpecError) -> Self {
+        TuneError::Spec(e)
+    }
+}
+
+/// One fully-scored candidate spec.
+#[derive(Debug, Clone)]
+pub struct ScoredCandidate {
+    /// The per-layer assignment.
+    pub spec: ModelSpec,
+    /// Human-readable spec label (also the dedup key — unique per spec).
+    pub label: String,
+    /// Measured objectives: held-out accuracy, multiplies per example,
+    /// snapshot bytes.
+    pub objectives: Objectives,
+}
+
+/// The result of one tuning run: the scored table, the frontier over it,
+/// and everything needed to reproduce the chosen model bit-for-bit.
+pub struct TuneRun {
+    /// Every distinct spec the search scored, in first-scored order
+    /// (deterministic given the config).
+    pub scored: Vec<ScoredCandidate>,
+    /// Indices into [`TuneRun::scored`] forming the Pareto frontier
+    /// (ascending).
+    pub frontier: Vec<usize>,
+    /// Index of the knee-point spec the tuner chose.
+    pub chosen: usize,
+    /// Index of the all-dense f32 baseline (always scored).
+    pub all_dense: usize,
+    reference: MlpClassifier,
+    calibration: Vec<Vec<f32>>,
+    test: GaussianClusters,
+    seed: u64,
+}
+
+impl TuneRun {
+    /// Rebuilds the scored candidate at `index` bit-identically to how it was
+    /// scored during the search.
+    pub fn realize(&self, index: usize) -> Result<MlpClassifier, TuneError> {
+        Ok(self.scored[index]
+            .spec
+            .realize(&self.reference, &self.calibration, self.seed)?)
+    }
+
+    /// The chosen knee-point model, rebuilt bit-identically.
+    pub fn chosen_model(&self) -> Result<MlpClassifier, TuneError> {
+        self.realize(self.chosen)
+    }
+
+    /// The held-out evaluation split (for serving-path cross-checks).
+    pub fn test_set(&self) -> &GaussianClusters {
+        &self.test
+    }
+
+    /// Convenience accessor: the chosen candidate's scored objectives.
+    pub fn chosen_objectives(&self) -> Objectives {
+        self.scored[self.chosen].objectives
+    }
+
+    /// Convenience accessor: the all-dense baseline's objectives.
+    pub fn dense_objectives(&self) -> Objectives {
+        self.scored[self.all_dense].objectives
+    }
+}
+
+/// Runs the full deterministic tuning pipeline: generate data, train the
+/// dense reference, beam-search per-layer assignments, score every distinct
+/// candidate, and pick the knee point of the Pareto frontier.
+pub fn tune(cfg: &TuneConfig) -> Result<TuneRun, TuneError> {
+    cfg.validate()?;
+    let layers = cfg.hidden_dims.len();
+
+    // Shared trained dense reference + data splits, all derived from the seed.
+    let mut rng = ChaCha20Rng::seed_from_u64(cfg.seed);
+    let data = GaussianClusters::generate(
+        &mut rng,
+        cfg.samples,
+        cfg.num_classes,
+        cfg.input_dim,
+        cfg.noise,
+    );
+    let (train, test) = data.split(cfg.train_fraction);
+    let mut reference = MlpClassifier::new(
+        cfg.input_dim,
+        &cfg.hidden_dims,
+        cfg.num_classes,
+        WeightFormat::Dense,
+        &mut rng,
+    );
+    reference.fit(&train, cfg.epochs, cfg.batch_size, cfg.learning_rate);
+    let calibration = train.features.clone();
+
+    let mut scored: Vec<ScoredCandidate> = Vec::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    fn score(
+        spec: ModelSpec,
+        reference: &MlpClassifier,
+        calibration: &[Vec<f32>],
+        test: &GaussianClusters,
+        seed: u64,
+        scored: &mut Vec<ScoredCandidate>,
+        seen: &mut BTreeMap<String, usize>,
+    ) -> Result<usize, TuneError> {
+        let label = spec.label();
+        if let Some(&idx) = seen.get(&label) {
+            return Ok(idx);
+        }
+        let model = spec.realize(reference, calibration, seed)?;
+        let objectives = Objectives {
+            accuracy: model.evaluate(test),
+            mul_count: model.mul_count_per_example(),
+            snapshot_bytes: model.save().expect("candidate snapshot encodes").len() as u64,
+        };
+        let idx = scored.len();
+        scored.push(ScoredCandidate {
+            spec,
+            label: label.clone(),
+            objectives,
+        });
+        seen.insert(label, idx);
+        Ok(idx)
+    }
+
+    // Completes a partial assignment with dense-f32 tail layers.
+    let complete = |prefix: &[LayerSpec]| -> ModelSpec {
+        let mut hidden = prefix.to_vec();
+        hidden.resize(layers, LayerSpec::f32(WeightFormat::Dense));
+        ModelSpec { hidden }
+    };
+
+    // The all-dense baseline is always scored first so index 0 is the anchor
+    // the frontier assertions and normalized beam utility compare against.
+    let all_dense = score(
+        complete(&[]),
+        &reference,
+        &calibration,
+        &test,
+        cfg.seed,
+        &mut scored,
+        &mut seen,
+    )?;
+    let dense = scored[all_dense].objectives;
+    let utility = |o: Objectives| -> f64 {
+        let mul_share = o.mul_count as f64 / dense.mul_count.max(1) as f64;
+        let byte_share = o.snapshot_bytes as f64 / dense.snapshot_bytes.max(1) as f64;
+        o.accuracy - 0.25 * mul_share - 0.25 * byte_share
+    };
+
+    let candidates = cfg.layer_candidates();
+    let mut beam: Vec<Vec<LayerSpec>> = vec![Vec::new()];
+    for _layer in 0..layers {
+        let mut expansions: Vec<(Vec<LayerSpec>, usize)> = Vec::new();
+        for prefix in &beam {
+            for choice in &candidates {
+                let mut extended = prefix.clone();
+                extended.push(*choice);
+                let idx = score(
+                    complete(&extended),
+                    &reference,
+                    &calibration,
+                    &test,
+                    cfg.seed,
+                    &mut scored,
+                    &mut seen,
+                )?;
+                expansions.push((extended, idx));
+            }
+        }
+        // Deterministic ranking: utility descending, label ascending as the
+        // tie-break so equal-utility candidates never depend on insert order.
+        expansions.sort_by(|a, b| {
+            let (ua, ub) = (
+                utility(scored[a.1].objectives),
+                utility(scored[b.1].objectives),
+            );
+            ub.partial_cmp(&ua)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| scored[a.1].label.cmp(&scored[b.1].label))
+        });
+        expansions.truncate(cfg.beam_width);
+        beam = expansions.into_iter().map(|(prefix, _)| prefix).collect();
+    }
+
+    let objectives: Vec<Objectives> = scored.iter().map(|s| s.objectives).collect();
+    let frontier = pareto_frontier(&objectives);
+    let floor = dense.accuracy - cfg.accuracy_slack;
+    let chosen = knee_point(&objectives, &frontier, floor).expect("frontier of a non-empty table");
+
+    Ok(TuneRun {
+        scored,
+        frontier,
+        chosen,
+        all_dense,
+        reference,
+        calibration,
+        test,
+        seed: cfg.seed,
+    })
+}
+
+/// Renders a tuning run as the deterministic JSON artifact committed as
+/// `BENCH_pareto.json`: byte-identical for equal configs.
+pub fn render_json(cfg: &TuneConfig, run: &TuneRun) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"pareto_sweep\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!(
+        "  \"architecture\": \"{}-{}-{}\",\n",
+        cfg.input_dim,
+        cfg.hidden_dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("-"),
+        cfg.num_classes
+    ));
+    out.push_str(&format!("  \"beam_width\": {},\n", cfg.beam_width));
+    out.push_str(&format!(
+        "  \"candidates_per_layer\": {},\n",
+        cfg.layer_candidates().len()
+    ));
+    out.push_str(&format!("  \"specs_scored\": {},\n", run.scored.len()));
+    out.push_str("  \"scored\": [\n");
+    let frontier: std::collections::BTreeSet<usize> = run.frontier.iter().copied().collect();
+    for (i, cand) in run.scored.iter().enumerate() {
+        let comma = if i + 1 == run.scored.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"accuracy\": {}, \"mul_count\": {}, \"snapshot_bytes\": {}, \"on_frontier\": {}}}{}\n",
+            cand.label,
+            json_f64(cand.objectives.accuracy, 4),
+            cand.objectives.mul_count,
+            cand.objectives.snapshot_bytes,
+            frontier.contains(&i),
+            comma
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"frontier\": [{}],\n",
+        run.frontier
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"all_dense_index\": {},\n", run.all_dense));
+    out.push_str(&format!("  \"chosen_index\": {},\n", run.chosen));
+    out.push_str(&format!(
+        "  \"chosen_label\": \"{}\",\n",
+        run.scored[run.chosen].label
+    ));
+    let dense = run.dense_objectives();
+    let chosen = run.chosen_objectives();
+    out.push_str(&format!(
+        "  \"dense_accuracy\": {},\n  \"chosen_accuracy\": {},\n",
+        json_f64(dense.accuracy, 4),
+        json_f64(chosen.accuracy, 4)
+    ));
+    out.push_str(&format!(
+        "  \"mul_reduction\": {},\n  \"size_reduction\": {}\n",
+        json_f64(dense.mul_count as f64 / chosen.mul_count.max(1) as f64, 3),
+        json_f64(
+            dense.snapshot_bytes as f64 / chosen.snapshot_bytes.max(1) as f64,
+            3
+        )
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> TuneConfig {
+        TuneConfig {
+            hidden_dims: vec![8],
+            samples: 80,
+            epochs: 2,
+            ..TuneConfig::sweep_config()
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = TuneConfig::sweep_config();
+        cfg.beam_width = 0;
+        assert_eq!(cfg.validate(), Err(TuneError::EmptyBeam));
+
+        let mut cfg = TuneConfig::sweep_config();
+        cfg.formats.clear();
+        assert_eq!(cfg.validate(), Err(TuneError::NoCandidates));
+
+        let mut cfg = TuneConfig::sweep_config();
+        cfg.formats.push(WeightFormat::PermutedDiagonal { p: 3 });
+        assert_eq!(cfg.validate(), Err(TuneError::InvalidBlockSize { p: 3 }));
+    }
+
+    #[test]
+    fn candidate_list_is_deterministic_and_doubles_with_q16() {
+        let mut cfg = TuneConfig::sweep_config();
+        cfg.try_q16 = false;
+        let plain = cfg.layer_candidates();
+        assert_eq!(plain.len(), cfg.formats.len());
+        cfg.try_q16 = true;
+        assert_eq!(cfg.layer_candidates().len(), 2 * plain.len());
+    }
+
+    #[test]
+    fn all_dense_is_always_scored_and_on_the_table() {
+        let run = tune(&tiny_config()).expect("tune");
+        assert_eq!(run.all_dense, 0);
+        let dense_label = ModelSpec::all_dense(1).label();
+        assert_eq!(run.scored[0].label, dense_label);
+    }
+}

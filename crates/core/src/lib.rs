@@ -36,6 +36,9 @@
 //!   Tables II–V and the per-weight storage comparison of Fig. 4.
 //! * [`cost`] — arithmetic-operation counting for PD, dense and circulant formats
 //!   (Section III-H, Table VI).
+//! * [`pareto`] — three-objective (accuracy / multiplications / snapshot bytes)
+//!   dominance, frontier extraction and knee-point selection: the scoring arithmetic of
+//!   the per-layer format autotuner.
 //! * [`connect`] — the "connectedness" property underlying the universal-approximation
 //!   argument (Section III-E): with non-identical `k_l`, stacked PD layers do not cut any
 //!   neuron off from the next layer.
@@ -67,6 +70,7 @@ pub mod format;
 pub mod grad;
 pub mod lowering;
 pub mod matvec;
+pub mod pareto;
 pub mod pd_block;
 pub mod pd_matrix;
 pub mod qlinear;

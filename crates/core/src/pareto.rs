@@ -1,0 +1,181 @@
+//! Three-objective Pareto accounting for compression-format selection.
+//!
+//! The autotuner (ROADMAP item 5) scores every candidate model on the three
+//! axes the paper's evaluation trades off — task accuracy (Tables II–V),
+//! real multiplications per example (Table VI) and compressed storage
+//! (Fig. 4) — and keeps the candidates no other candidate beats on all
+//! three. This module is the format-agnostic arithmetic of that search:
+//! dominance, frontier extraction and knee-point selection over plain
+//! [`Objectives`] values, deliberately independent of any weight-format or
+//! model type so `bench` can drive it and tests can probe it in isolation.
+
+/// One candidate's score on the three objectives the tuner optimises:
+/// accuracy is maximised, multiplications and snapshot bytes are minimised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Top-1 accuracy on the held-out evaluation set (maximise).
+    pub accuracy: f64,
+    /// Real multiplications per served example (minimise).
+    pub mul_count: u64,
+    /// On-disk snapshot size in bytes (minimise).
+    pub snapshot_bytes: u64,
+}
+
+impl Objectives {
+    /// Number of objectives on which `self` is *strictly* better than
+    /// `other` (0..=3).
+    pub fn strictly_better_count(&self, other: &Objectives) -> usize {
+        usize::from(self.accuracy > other.accuracy)
+            + usize::from(self.mul_count < other.mul_count)
+            + usize::from(self.snapshot_bytes < other.snapshot_bytes)
+    }
+
+    /// Number of objectives on which `self` is strictly *worse* than
+    /// `other` (0..=3).
+    pub fn strictly_worse_count(&self, other: &Objectives) -> usize {
+        other.strictly_better_count(self)
+    }
+}
+
+/// Pareto dominance: `a` dominates `b` when it is at least as good on every
+/// objective and strictly better on at least one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let no_worse = a.accuracy >= b.accuracy
+        && a.mul_count <= b.mul_count
+        && a.snapshot_bytes <= b.snapshot_bytes;
+    no_worse && a.strictly_better_count(b) >= 1
+}
+
+/// Indices of the Pareto frontier of `scored`: every point not dominated by
+/// any other point. Duplicated points (identical on all three objectives)
+/// all survive — none dominates the other. The returned indices are in
+/// ascending order, so the frontier is deterministic for a deterministic
+/// input order.
+pub fn pareto_frontier(scored: &[Objectives]) -> Vec<usize> {
+    (0..scored.len())
+        .filter(|&i| !scored.iter().any(|other| dominates(other, &scored[i])))
+        .collect()
+}
+
+/// Selects the deployment "knee" among `frontier` indices into `scored`: of
+/// the frontier points whose accuracy is at least `accuracy_floor`, the one
+/// with the fewest multiplications, breaking ties by fewer snapshot bytes,
+/// then higher accuracy, then lowest index (fully deterministic). Falls back
+/// to the most accurate frontier point (ties again broken by muls, bytes,
+/// index) when nothing meets the floor, so the tuner always has a pick.
+///
+/// Returns `None` only for an empty frontier.
+pub fn knee_point(scored: &[Objectives], frontier: &[usize], accuracy_floor: f64) -> Option<usize> {
+    let eligible: Vec<usize> = frontier
+        .iter()
+        .copied()
+        .filter(|&i| scored[i].accuracy >= accuracy_floor)
+        .collect();
+    let pick_cheapest = |candidates: &[usize]| -> Option<usize> {
+        candidates.iter().copied().min_by(|&a, &b| {
+            scored[a]
+                .mul_count
+                .cmp(&scored[b].mul_count)
+                .then(scored[a].snapshot_bytes.cmp(&scored[b].snapshot_bytes))
+                .then(
+                    scored[b]
+                        .accuracy
+                        .partial_cmp(&scored[a].accuracy)
+                        .expect("accuracies are finite"),
+                )
+                .then(a.cmp(&b))
+        })
+    };
+    if !eligible.is_empty() {
+        return pick_cheapest(&eligible);
+    }
+    // Nothing meets the floor: take the most accurate point, cheapest first
+    // among equals.
+    frontier.iter().copied().min_by(|&a, &b| {
+        scored[b]
+            .accuracy
+            .partial_cmp(&scored[a].accuracy)
+            .expect("accuracies are finite")
+            .then(scored[a].mul_count.cmp(&scored[b].mul_count))
+            .then(scored[a].snapshot_bytes.cmp(&scored[b].snapshot_bytes))
+            .then(a.cmp(&b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(accuracy: f64, mul_count: u64, snapshot_bytes: u64) -> Objectives {
+        Objectives {
+            accuracy,
+            mul_count,
+            snapshot_bytes,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_no_worse_everywhere_and_better_somewhere() {
+        assert!(dominates(&o(0.9, 100, 100), &o(0.9, 200, 100)));
+        assert!(dominates(&o(0.95, 100, 100), &o(0.9, 200, 300)));
+        // Equal points do not dominate each other.
+        assert!(!dominates(&o(0.9, 100, 100), &o(0.9, 100, 100)));
+        // A trade-off (better muls, worse accuracy) is not dominance.
+        assert!(!dominates(&o(0.8, 50, 100), &o(0.9, 100, 100)));
+        assert!(!dominates(&o(0.9, 100, 100), &o(0.8, 50, 100)));
+    }
+
+    #[test]
+    fn strictly_better_counts_are_symmetric_complements_on_distinct_values() {
+        let a = o(0.9, 50, 300);
+        let b = o(0.8, 100, 200);
+        assert_eq!(a.strictly_better_count(&b), 2); // accuracy + muls
+        assert_eq!(a.strictly_worse_count(&b), 1); // bytes
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points_and_keeps_tradeoffs() {
+        let scored = vec![
+            o(0.95, 1000, 4000), // 0: accurate but big — frontier
+            o(0.90, 250, 1000),  // 1: the trade-off — frontier
+            o(0.90, 500, 2000),  // 2: dominated by 1
+            o(0.85, 250, 1000),  // 3: dominated by 1
+            o(0.80, 100, 500),   // 4: cheapest — frontier
+        ];
+        assert_eq!(pareto_frontier(&scored), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn duplicate_points_all_survive_the_frontier() {
+        let scored = vec![o(0.9, 100, 100), o(0.9, 100, 100)];
+        assert_eq!(pareto_frontier(&scored), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_gives_an_empty_frontier_and_no_knee() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert_eq!(knee_point(&[], &[], 0.5), None);
+    }
+
+    #[test]
+    fn knee_takes_the_cheapest_point_meeting_the_accuracy_floor() {
+        let scored = vec![o(0.95, 1000, 4000), o(0.90, 250, 1000), o(0.80, 100, 500)];
+        let frontier = pareto_frontier(&scored);
+        assert_eq!(knee_point(&scored, &frontier, 0.88), Some(1));
+        // A floor nothing on the cheap side meets pushes the knee upward.
+        assert_eq!(knee_point(&scored, &frontier, 0.94), Some(0));
+        // A floor nothing meets falls back to the most accurate point.
+        assert_eq!(knee_point(&scored, &frontier, 0.99), Some(0));
+    }
+
+    #[test]
+    fn knee_ties_break_by_bytes_then_accuracy_then_index() {
+        let scored = vec![
+            o(0.90, 100, 900),
+            o(0.90, 100, 800), // fewer bytes wins
+            o(0.92, 100, 800), // more accurate wins over index 1
+        ];
+        let frontier = vec![0, 1, 2];
+        assert_eq!(knee_point(&scored, &frontier, 0.5), Some(2));
+    }
+}

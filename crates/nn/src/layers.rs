@@ -27,6 +27,7 @@ use permdnn_circulant::BlockCirculantMatrix;
 use permdnn_core::approx::{pd_approximate, ApproxStrategy};
 use permdnn_core::format::{BatchView, CompressedLinear, FormatError};
 use permdnn_core::{grad as pd_grad, BlockPermDiagMatrix};
+use permdnn_prune::eie_format::{uniform_codebook, EieEncodedMatrix};
 use permdnn_prune::{magnitude_prune, CscMatrix};
 use permdnn_quant::SharedWeightPdMatrix;
 use permdnn_runtime::ParallelExecutor;
@@ -71,6 +72,13 @@ pub enum WeightFormat {
         /// Codebook tag width in bits (4 in the paper).
         tag_bits: u32,
     },
+    /// Magnitude-pruned weights in the EIE relative-index + 4-bit-codebook
+    /// encoding (the full EIE baseline storage format), keeping one weight
+    /// in `p`.
+    EieEncoded {
+        /// Inverse density: the pruned matrix keeps a `1/p` fraction of weights.
+        p: usize,
+    },
 }
 
 impl WeightFormat {
@@ -86,6 +94,7 @@ impl WeightFormat {
             WeightFormat::SharedPermutedDiagonal { p, tag_bits } => {
                 format!("permuted-diagonal (p={p}) + {tag_bits}-bit shared")
             }
+            WeightFormat::EieEncoded { p } => format!("eie-encoded (1/{p} kept)"),
         }
     }
 
@@ -116,6 +125,13 @@ impl WeightFormat {
             WeightFormat::SharedPermutedDiagonal { p, tag_bits } => {
                 let w = BlockPermDiagMatrix::random(rows, cols, p, rng);
                 Box::new(SharedWeightPdMatrix::quantize(&w, tag_bits, 25, rng))
+            }
+            WeightFormat::EieEncoded { p } => {
+                assert!(p > 0, "inverse density must be non-zero");
+                let dense = xavier_uniform(rng, rows, cols);
+                let pruned = magnitude_prune(&dense, 1.0 / p as f64).pruned;
+                let codebook = uniform_codebook(4, pruned.max_abs());
+                Box::new(EieEncodedMatrix::encode(&pruned, &codebook, 4, 4))
             }
         }
     }
@@ -854,7 +870,9 @@ pub fn make_fc_layer(
         WeightFormat::Circulant { k } => {
             Box::new(CirculantDense::new(input_dim, output_dim, k, rng))
         }
-        WeightFormat::UnstructuredSparse { .. } | WeightFormat::SharedPermutedDiagonal { .. } => {
+        WeightFormat::UnstructuredSparse { .. }
+        | WeightFormat::SharedPermutedDiagonal { .. }
+        | WeightFormat::EieEncoded { .. } => {
             Box::new(CompressedFc::build(input_dim, output_dim, format, rng))
         }
     }

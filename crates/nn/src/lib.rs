@@ -33,6 +33,9 @@
 //!   (MLP, conv net, seq2seq) over the binary container of
 //!   [`permdnn_core::snapshot`], the workspace-wide tensor codec, and the
 //!   batch-model loader the serving registry routes through.
+//! * [`spec`] — mixed-format model specifications: one [`WeightFormat`] (+ optional
+//!   q16) per hidden layer, realized from a trained dense reference — the candidate
+//!   layer the per-layer format autotuner (`permdnn_bench::tune`) searches over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,9 +51,11 @@ pub mod metrics;
 pub mod mlp;
 pub mod quantize;
 pub mod snapshot;
+pub mod spec;
 
 pub use conv_net::{ConvClassifier, FrozenConvNet};
 pub use layers::{Layer, WeightFormat};
 pub use lstm::{capture_proxy_warnings, FrozenSeq2Seq, Seq2Seq};
 pub use mlp::MlpClassifier;
 pub use quantize::{quantize_mlp, LayerQuantization, QuantizationReport};
+pub use spec::{LayerSpec, ModelSpec, SpecError};

@@ -25,6 +25,7 @@ use permdnn_circulant::approx::circulant_approximate;
 use permdnn_core::format::{BatchView, CompressedLinear, FormatError};
 use permdnn_core::qlinear::{QScheme, QuantizedLinear};
 use permdnn_core::{grad as pd_grad, BlockPermDiagMatrix};
+use permdnn_prune::eie_format::{uniform_codebook, EieEncodedMatrix};
 use permdnn_prune::{magnitude_prune, CscMatrix};
 use permdnn_quant::SharedWeightPdMatrix;
 use permdnn_runtime::ParallelExecutor;
@@ -45,7 +46,9 @@ use crate::quantize::{max_abs, LayerQuantization, QuantizationReport};
 /// operator from the trained proxy weights.
 fn proxy_representation(format: WeightFormat) -> Option<&'static str> {
     match format {
-        WeightFormat::Circulant { .. } | WeightFormat::UnstructuredSparse { .. } => Some("dense"),
+        WeightFormat::Circulant { .. }
+        | WeightFormat::UnstructuredSparse { .. }
+        | WeightFormat::EieEncoded { .. } => Some("dense"),
         WeightFormat::SharedPermutedDiagonal { .. } => Some("unquantized permuted-diagonal"),
         WeightFormat::Dense | WeightFormat::PermutedDiagonal { .. } => None,
     }
@@ -129,9 +132,9 @@ fn validate_freezable(format: WeightFormat) {
              freeze() builds the operators via the circulant projection, which \
              is only defined for 2^t blocks"
         ),
-        WeightFormat::UnstructuredSparse { p } => assert!(
+        WeightFormat::UnstructuredSparse { p } | WeightFormat::EieEncoded { p } => assert!(
             p > 0,
-            "LSTM unstructured-sparse gates need a non-zero inverse density: \
+            "LSTM pruned gates need a non-zero inverse density: \
              freeze() magnitude-prunes the trained gates to keep 1/p of the weights"
         ),
         _ => {}
@@ -156,7 +159,8 @@ impl GateWeight {
         match format {
             WeightFormat::Dense
             | WeightFormat::Circulant { .. }
-            | WeightFormat::UnstructuredSparse { .. } => GateWeight::Dense {
+            | WeightFormat::UnstructuredSparse { .. }
+            | WeightFormat::EieEncoded { .. } => GateWeight::Dense {
                 w: xavier_uniform(rng, rows, cols),
                 grad: Matrix::zeros(rows, cols),
             },
@@ -233,6 +237,11 @@ impl GateWeight {
             (GateWeight::Dense { w, .. }, WeightFormat::UnstructuredSparse { p }) => {
                 let pruned = magnitude_prune(w, 1.0 / p as f64).pruned;
                 Arc::new(CscMatrix::from_dense(&pruned))
+            }
+            (GateWeight::Dense { w, .. }, WeightFormat::EieEncoded { p }) => {
+                let pruned = magnitude_prune(w, 1.0 / p as f64).pruned;
+                let codebook = uniform_codebook(4, pruned.max_abs());
+                Arc::new(EieEncodedMatrix::encode(&pruned, &codebook, 4, 4))
             }
             (GateWeight::Pd { w, .. }, WeightFormat::PermutedDiagonal { .. }) => {
                 Arc::new(w.clone())

@@ -100,6 +100,39 @@ impl MlpClassifier {
         }
     }
 
+    /// Builds a frozen *mixed-format* serving MLP: each hidden layer gets its
+    /// own `(width, format)` pair, the head stays dense — the shape the
+    /// per-layer format autotuner ([`crate::spec::ModelSpec`]) deploys, and
+    /// the snapshot container already handles (every tensor record carries
+    /// its own format id).
+    pub fn new_frozen_mixed(
+        input_dim: usize,
+        hidden: &[(usize, WeightFormat)],
+        num_classes: usize,
+        rng: &mut ChaCha20Rng,
+    ) -> Self {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut current = input_dim;
+        for &(h, format) in hidden {
+            layers.push(Box::new(CompressedFc::build(current, h, format, rng)));
+            layers.push(Box::new(Relu::new(h)));
+            current = h;
+        }
+        layers.push(Box::new(CompressedFc::build(
+            current,
+            num_classes,
+            WeightFormat::Dense,
+            rng,
+        )));
+        let hidden_format = hidden.first().map_or(WeightFormat::Dense, |&(_, f)| f);
+        MlpClassifier {
+            layers,
+            input_dim,
+            num_classes,
+            hidden_format,
+        }
+    }
+
     /// Assembles a classifier from an explicit layer stack (used by the
     /// quantization path, which rebuilds each layer in fixed point).
     pub(crate) fn from_layers(

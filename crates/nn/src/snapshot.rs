@@ -53,6 +53,7 @@ pub(crate) fn write_weight_format(format: WeightFormat, w: &mut ByteWriter) {
         WeightFormat::Circulant { k } => (2, k as u32, 0),
         WeightFormat::UnstructuredSparse { p } => (3, p as u32, 0),
         WeightFormat::SharedPermutedDiagonal { p, tag_bits } => (4, p as u32, tag_bits),
+        WeightFormat::EieEncoded { p } => (5, p as u32, 0),
     };
     w.u8(tag);
     w.u32(a);
@@ -70,6 +71,7 @@ pub(crate) fn read_weight_format(r: &mut ByteReader<'_>) -> Result<WeightFormat,
         2 => Ok(WeightFormat::Circulant { k: a }),
         3 => Ok(WeightFormat::UnstructuredSparse { p: a }),
         4 => Ok(WeightFormat::SharedPermutedDiagonal { p: a, tag_bits: b }),
+        5 => Ok(WeightFormat::EieEncoded { p: a }),
         other => Err(SnapshotError::Malformed {
             context: "weight format tag",
             reason: format!("unknown variant {other}"),
@@ -301,6 +303,7 @@ mod tests {
             WeightFormat::Circulant { k: 4 },
             WeightFormat::UnstructuredSparse { p: 2 },
             WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+            WeightFormat::EieEncoded { p: 4 },
         ] {
             let mut w = ByteWriter::new();
             write_weight_format(format, &mut w);

@@ -1,0 +1,506 @@
+//! Mixed-format model specifications: the candidate-description layer the
+//! per-layer format autotuner searches over.
+//!
+//! A [`ModelSpec`] assigns every *hidden* layer of an MLP its own
+//! [`WeightFormat`] plus an optional 16-bit fixed-point flag; the output head
+//! always stays dense f32 (as in the paper, where compression targets the
+//! large hidden FC layers). [`ModelSpec::realize`] deploys a spec from one
+//! *trained dense reference model*: each hidden layer's trained weights are
+//! projected into the spec'd format (the Section III-F post-training
+//! pipeline, generalised across every registry format), biases carry over
+//! unchanged, and layers flagged `q16` are then rebuilt on the
+//! [`QuantizedLinear`] backend with Q-formats calibrated exactly like
+//! [`crate::quantize::quantize_mlp`] — but per layer, so f32 and fixed-point
+//! layers mix freely in one network (activations flow between layers as f32
+//! vectors either way).
+//!
+//! Realisation is deterministic and *path-independent*: layer `j` is
+//! projected with its own ChaCha stream derived from `(seed, j)`, so the same
+//! layer spec at the same position always produces bit-identical weights
+//! regardless of what the other layers chose — the property that makes the
+//! beam search's shared-prefix reuse sound and the emitted frontier
+//! bit-reproducible.
+
+use pd_tensor::Matrix;
+use permdnn_circulant::approx::circulant_approximate;
+use permdnn_core::approx::{pd_approximate, ApproxStrategy};
+use permdnn_core::format::CompressedLinear;
+use permdnn_core::qlinear::{QScheme, QuantizedLinear};
+use permdnn_prune::eie_format::{uniform_codebook, EieEncodedMatrix};
+use permdnn_prune::{magnitude_prune, CscMatrix};
+use permdnn_quant::SharedWeightPdMatrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use crate::layers::{CompressedFc, Dense, Layer, Relu, WeightFormat};
+use crate::mlp::MlpClassifier;
+use crate::quantize::max_abs;
+
+/// What one hidden layer deploys as: a weight format, optionally dropped
+/// onto the 16-bit fixed-point backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// The compressed weight representation.
+    pub format: WeightFormat,
+    /// Whether the layer runs through [`QuantizedLinear`] (i16 weights,
+    /// saturating 24-bit accumulation) instead of f32.
+    pub q16: bool,
+}
+
+impl LayerSpec {
+    /// An f32 layer of the given format.
+    pub fn f32(format: WeightFormat) -> Self {
+        LayerSpec { format, q16: false }
+    }
+
+    /// A 16-bit fixed-point layer of the given format.
+    pub fn q16(format: WeightFormat) -> Self {
+        LayerSpec { format, q16: true }
+    }
+
+    /// Deterministic human-readable name, used in reports and as the
+    /// dedup key of the tuner's candidate table.
+    pub fn label(&self) -> String {
+        if self.q16 {
+            format!("{}+q16", self.format.label())
+        } else {
+            self.format.label()
+        }
+    }
+}
+
+/// A full per-layer deployment choice for an MLP's hidden layers (the head
+/// is always dense f32 and is not part of the spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// One [`LayerSpec`] per hidden layer, in forward order.
+    pub hidden: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// The all-dense-f32 spec over `n` hidden layers — the uncompressed
+    /// baseline every tuner run scores.
+    pub fn all_dense(n: usize) -> Self {
+        ModelSpec {
+            hidden: vec![LayerSpec::f32(WeightFormat::Dense); n],
+        }
+    }
+
+    /// Deterministic name: per-layer labels joined with `" | "`.
+    pub fn label(&self) -> String {
+        self.hidden
+            .iter()
+            .map(LayerSpec::label)
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Structural validation of every layer's format parameters, independent
+    /// of any reference model.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::ZeroBlockSize`] for a PD-family block size of 0,
+    /// [`SpecError::NonPowerOfTwoCirculant`] for a circulant block the
+    /// projection cannot produce, [`SpecError::ZeroDensity`] for a pruned
+    /// format keeping 1/0 of the weights.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for spec in &self.hidden {
+            match spec.format {
+                WeightFormat::Dense => {}
+                WeightFormat::PermutedDiagonal { p }
+                | WeightFormat::SharedPermutedDiagonal { p, .. } => {
+                    if p == 0 {
+                        return Err(SpecError::ZeroBlockSize);
+                    }
+                }
+                WeightFormat::Circulant { k } => {
+                    if k == 0 || !k.is_power_of_two() {
+                        return Err(SpecError::NonPowerOfTwoCirculant { k });
+                    }
+                }
+                WeightFormat::UnstructuredSparse { p } | WeightFormat::EieEncoded { p } => {
+                    if p == 0 {
+                        return Err(SpecError::ZeroDensity);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deploys this spec from a trained dense reference model: projects each
+    /// hidden layer's trained weights into the spec'd format, carries the
+    /// trained biases and the dense head over, then rebuilds the `q16`
+    /// layers in fixed point with Q-formats calibrated on `calibration`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelSpec::validate`] rejects, plus
+    /// [`SpecError::LayerCountMismatch`] when the spec's length differs from
+    /// the reference's hidden-layer count,
+    /// [`SpecError::NotDenseReference`] when the reference contains anything
+    /// but trainable [`Dense`] + [`Relu`] layers, and
+    /// [`SpecError::EmptyCalibration`] when a `q16` layer is requested with
+    /// no calibration inputs to observe ranges on.
+    pub fn realize(
+        &self,
+        reference: &MlpClassifier,
+        calibration: &[Vec<f32>],
+        seed: u64,
+    ) -> Result<MlpClassifier, SpecError> {
+        self.validate()?;
+        let ref_layers = reference.layers();
+        let fc_count = ref_layers
+            .iter()
+            .filter(|l| l.as_any().downcast_ref::<Dense>().is_some())
+            .count();
+        let hidden_count = fc_count.saturating_sub(1);
+        if self.hidden.len() != hidden_count {
+            return Err(SpecError::LayerCountMismatch {
+                spec: self.hidden.len(),
+                model: hidden_count,
+            });
+        }
+        if self.hidden.iter().any(|s| s.q16) && calibration.is_empty() {
+            return Err(SpecError::EmptyCalibration);
+        }
+
+        // Stage 1: project every trained dense layer into its f32 target
+        // format. `q16_of[i]` remembers which stacked layers stage 2 must
+        // rebuild in fixed point.
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(ref_layers.len());
+        let mut q16_of: Vec<bool> = Vec::with_capacity(ref_layers.len());
+        let mut fc_seen = 0usize;
+        for (i, layer) in ref_layers.iter().enumerate() {
+            let any = layer.as_any();
+            if let Some(d) = any.downcast_ref::<Dense>() {
+                if fc_seen + 1 == fc_count {
+                    // The output head stays dense f32.
+                    layers.push(Box::new(
+                        CompressedFc::new(Box::new(d.weights().clone())).with_bias(d.bias()),
+                    ));
+                    q16_of.push(false);
+                } else {
+                    let spec = self.hidden[fc_seen];
+                    // Per-layer ChaCha stream: realisation of layer j never
+                    // depends on what the other layers chose.
+                    let mut rng = ChaCha20Rng::seed_from_u64(
+                        seed ^ (fc_seen as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let op = project_dense(d.weights(), spec.format, &mut rng)?;
+                    layers.push(Box::new(CompressedFc::new(op).with_bias(d.bias())));
+                    q16_of.push(spec.q16);
+                }
+                fc_seen += 1;
+            } else if let Some(r) = any.downcast_ref::<Relu>() {
+                layers.push(Box::new(r.clone()));
+                q16_of.push(false);
+            } else {
+                return Err(SpecError::NotDenseReference { layer: i });
+            }
+        }
+
+        // Stage 2: selectively drop the flagged layers onto the fixed-point
+        // backend — the same two-pass calibration as `quantize_mlp`, but the
+        // unflagged layers keep their f32 operators. Mixing is lossless: data
+        // flows between layers as f32 vectors carrying either arithmetic.
+        if q16_of.iter().any(|&q| q) {
+            let mut input_max = vec![0.0f32; layers.len()];
+            let mut output_max = vec![0.0f32; layers.len()];
+            for x in calibration {
+                let mut current = x.clone();
+                for (i, layer) in layers.iter().enumerate() {
+                    input_max[i] = input_max[i].max(max_abs(&current));
+                    current = layer.forward(&current);
+                    output_max[i] = output_max[i].max(max_abs(&current));
+                }
+            }
+            for (i, layer) in layers.iter_mut().enumerate() {
+                if !q16_of[i] {
+                    continue;
+                }
+                let fc = layer
+                    .as_any()
+                    .downcast_ref::<CompressedFc>()
+                    .expect("only FC layers are flagged q16");
+                let scheme =
+                    QScheme::calibrate(input_max[i], fc.weights().max_weight_abs(), output_max[i]);
+                let q = QuantizedLinear::from_op(fc.shared_weights(), scheme).with_bias(fc.bias());
+                *layer = Box::new(CompressedFc::new(Box::new(q)));
+            }
+        }
+
+        let hidden_format = self
+            .hidden
+            .first()
+            .map_or(WeightFormat::Dense, |s| s.format);
+        Ok(MlpClassifier::from_layers(
+            layers,
+            reference.input_dim(),
+            reference.num_classes(),
+            hidden_format,
+        ))
+    }
+}
+
+/// Projects one trained dense weight matrix into `format` — the
+/// post-training deployment step of each format's pipeline (PD/circulant
+/// l2 projection, magnitude pruning, codebook clustering).
+fn project_dense(
+    dense: &Matrix,
+    format: WeightFormat,
+    rng: &mut ChaCha20Rng,
+) -> Result<Box<dyn CompressedLinear>, SpecError> {
+    match format {
+        WeightFormat::Dense => Ok(Box::new(dense.clone())),
+        WeightFormat::PermutedDiagonal { p } => {
+            let approx = pd_approximate(dense, p, ApproxStrategy::BestPerBlock)
+                .map_err(|_| SpecError::ZeroBlockSize)?;
+            Ok(Box::new(approx.matrix))
+        }
+        WeightFormat::Circulant { k } => circulant_approximate(dense, k)
+            .map(|a| Box::new(a.matrix) as Box<dyn CompressedLinear>)
+            .map_err(|_| SpecError::NonPowerOfTwoCirculant { k }),
+        WeightFormat::UnstructuredSparse { p } => {
+            if p == 0 {
+                return Err(SpecError::ZeroDensity);
+            }
+            let pruned = magnitude_prune(dense, 1.0 / p as f64).pruned;
+            Ok(Box::new(CscMatrix::from_dense(&pruned)))
+        }
+        WeightFormat::EieEncoded { p } => {
+            if p == 0 {
+                return Err(SpecError::ZeroDensity);
+            }
+            let pruned = magnitude_prune(dense, 1.0 / p as f64).pruned;
+            let codebook = uniform_codebook(4, pruned.max_abs());
+            Ok(Box::new(EieEncodedMatrix::encode(&pruned, &codebook, 4, 4)))
+        }
+        WeightFormat::SharedPermutedDiagonal { p, tag_bits } => {
+            let approx = pd_approximate(dense, p, ApproxStrategy::BestPerBlock)
+                .map_err(|_| SpecError::ZeroBlockSize)?;
+            Ok(Box::new(SharedWeightPdMatrix::quantize(
+                &approx.matrix,
+                tag_bits,
+                25,
+                rng,
+            )))
+        }
+    }
+}
+
+/// Why a [`ModelSpec`] cannot be validated or realized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec lists a different number of hidden layers than the reference
+    /// model has.
+    LayerCountMismatch {
+        /// Hidden layers in the spec.
+        spec: usize,
+        /// Hidden layers in the reference model.
+        model: usize,
+    },
+    /// A PD-family format with block size 0.
+    ZeroBlockSize,
+    /// A circulant block size the l2 projection cannot produce (zero or not
+    /// a power of two).
+    NonPowerOfTwoCirculant {
+        /// The rejected block size.
+        k: usize,
+    },
+    /// A pruned format keeping `1/0` of the weights.
+    ZeroDensity,
+    /// The reference model is not a trainable dense MLP (`Dense` + `Relu`
+    /// layers only).
+    NotDenseReference {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// A `q16` layer was requested with an empty calibration set.
+    EmptyCalibration,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::LayerCountMismatch { spec, model } => write!(
+                f,
+                "spec describes {spec} hidden layers but the reference model has {model}"
+            ),
+            SpecError::ZeroBlockSize => write!(f, "permuted-diagonal block size must be non-zero"),
+            SpecError::NonPowerOfTwoCirculant { k } => write!(
+                f,
+                "circulant projection needs a power-of-two block size (got k = {k})"
+            ),
+            SpecError::ZeroDensity => write!(f, "pruned formats need a non-zero inverse density"),
+            SpecError::NotDenseReference { layer } => write!(
+                f,
+                "layer {layer} of the reference is not a trainable Dense/Relu layer"
+            ),
+            SpecError::EmptyCalibration => write!(
+                f,
+                "q16 layers need at least one calibration input to observe activation ranges"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::GaussianClusters;
+    use pd_tensor::init::seeded_rng;
+
+    fn trained_reference(seed: u64) -> (MlpClassifier, GaussianClusters) {
+        let (train, test) =
+            GaussianClusters::generate(&mut seeded_rng(seed), 300, 4, 16, 0.4).split(0.6);
+        let mut model = MlpClassifier::new(
+            16,
+            &[16, 12],
+            4,
+            WeightFormat::Dense,
+            &mut seeded_rng(seed + 1),
+        );
+        model.fit(&train, 6, 8, 0.1);
+        (model, test)
+    }
+
+    fn mixed_spec() -> ModelSpec {
+        ModelSpec {
+            hidden: vec![
+                LayerSpec::f32(WeightFormat::PermutedDiagonal { p: 4 }),
+                LayerSpec::q16(WeightFormat::UnstructuredSparse { p: 2 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn realize_is_deterministic_and_path_independent() {
+        let (reference, test) = trained_reference(1);
+        let spec = mixed_spec();
+        let a = spec.realize(&reference, &test.features, 0x5EED).unwrap();
+        let b = spec.realize(&reference, &test.features, 0x5EED).unwrap();
+        let probe: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        assert_eq!(a.logits(&probe), b.logits(&probe));
+        assert_eq!(a.save().unwrap(), b.save().unwrap(), "byte-identical");
+
+        // Path independence: changing layer 1's choice must not change how
+        // layer 0 realizes.
+        let other = ModelSpec {
+            hidden: vec![
+                LayerSpec::f32(WeightFormat::PermutedDiagonal { p: 4 }),
+                LayerSpec::f32(WeightFormat::Dense),
+            ],
+        };
+        let c = other.realize(&reference, &test.features, 0x5EED).unwrap();
+        let layer0 = |m: &MlpClassifier| {
+            m.layers()[0]
+                .as_any()
+                .downcast_ref::<CompressedFc>()
+                .unwrap()
+                .weights()
+                .to_dense()
+        };
+        assert_eq!(layer0(&a), layer0(&c));
+    }
+
+    #[test]
+    fn realized_mixed_model_snapshots_and_reloads_bitwise() {
+        let (reference, test) = trained_reference(3);
+        let model = mixed_spec()
+            .realize(&reference, &test.features, 0xABCD)
+            .unwrap();
+        let bytes = model.save().unwrap();
+        let reloaded = MlpClassifier::load(&bytes).unwrap();
+        let probe: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).sin()).collect();
+        assert_eq!(model.logits(&probe), reloaded.logits(&probe));
+        // A mixed model stores mixed records: CSC-q16 + PD + dense head.
+        assert_eq!(bytes, reloaded.save().unwrap());
+    }
+
+    #[test]
+    fn all_dense_spec_reproduces_the_reference_bitwise() {
+        let (reference, test) = trained_reference(5);
+        let model = ModelSpec::all_dense(2)
+            .realize(&reference, &test.features, 7)
+            .unwrap();
+        for x in test.features.iter().take(10) {
+            assert_eq!(model.logits(x), reference.logits(x));
+        }
+        assert_eq!(model.mul_count_per_example(), {
+            // Frozen dense layers count every weight.
+            (16 * 16 + 16 * 12 + 12 * 4) as u64
+        });
+    }
+
+    #[test]
+    fn structural_errors_are_typed() {
+        let (reference, test) = trained_reference(7);
+        let wrong_len = ModelSpec::all_dense(3);
+        assert_eq!(
+            wrong_len.realize(&reference, &test.features, 0).err(),
+            Some(SpecError::LayerCountMismatch { spec: 3, model: 2 })
+        );
+        let bad_circ = ModelSpec {
+            hidden: vec![
+                LayerSpec::f32(WeightFormat::Circulant { k: 3 }),
+                LayerSpec::f32(WeightFormat::Dense),
+            ],
+        };
+        assert_eq!(
+            bad_circ.validate(),
+            Err(SpecError::NonPowerOfTwoCirculant { k: 3 })
+        );
+        let zero_p = ModelSpec {
+            hidden: vec![
+                LayerSpec::f32(WeightFormat::PermutedDiagonal { p: 0 }),
+                LayerSpec::f32(WeightFormat::Dense),
+            ],
+        };
+        assert_eq!(zero_p.validate(), Err(SpecError::ZeroBlockSize));
+        let q16_no_cal = ModelSpec {
+            hidden: vec![
+                LayerSpec::q16(WeightFormat::Dense),
+                LayerSpec::f32(WeightFormat::Dense),
+            ],
+        };
+        assert_eq!(
+            q16_no_cal.realize(&reference, &[], 0).err(),
+            Some(SpecError::EmptyCalibration)
+        );
+    }
+
+    #[test]
+    fn q16_layers_mix_losslessly_with_f32_layers() {
+        let (reference, test) = trained_reference(9);
+        let f32_spec = ModelSpec {
+            hidden: vec![
+                LayerSpec::f32(WeightFormat::Dense),
+                LayerSpec::f32(WeightFormat::PermutedDiagonal { p: 4 }),
+            ],
+        };
+        let q_spec = ModelSpec {
+            hidden: vec![
+                LayerSpec::q16(WeightFormat::Dense),
+                LayerSpec::f32(WeightFormat::PermutedDiagonal { p: 4 }),
+            ],
+        };
+        let f = f32_spec.realize(&reference, &test.features, 11).unwrap();
+        let q = q_spec.realize(&reference, &test.features, 11).unwrap();
+        let f_acc = f.evaluate(&test);
+        let q_acc = q.evaluate(&test);
+        assert!(
+            (f_acc - q_acc).abs() <= 0.02,
+            "one q16 layer should not move accuracy: {f_acc} vs {q_acc}"
+        );
+        // The quantized dense layer drops its f32 weights to raw i16: a
+        // strictly smaller snapshot. (For the compact structured formats the
+        // QuantizedLinear record's scheme + framing overhead can outweigh
+        // the halved weight bytes at toy sizes, so this is asserted on the
+        // dense layer only.)
+        assert!(q.save().unwrap().len() < f.save().unwrap().len());
+    }
+}

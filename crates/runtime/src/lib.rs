@@ -60,8 +60,8 @@ pub use registry::{
     RegistryError, RegistryStats, ResidencyMode, TaggedCompletion, TaggedRequest, TrafficReport,
 };
 pub use serve::{
-    plan_batches, seeded_request_stream, serve, BatchConfig, BatchModel, BatchingQueue,
-    CompletedRequest, PlannedBatch, Request, ServeConfig, ServeReport, ServiceModel,
+    modeled_completion_ticks, plan_batches, seeded_request_stream, serve, BatchConfig, BatchModel,
+    BatchingQueue, CompletedRequest, PlannedBatch, Request, ServeConfig, ServeReport, ServiceModel,
     SingleLayerModel,
 };
 pub use slo::{

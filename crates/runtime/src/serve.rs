@@ -494,6 +494,35 @@ pub fn serve(
     })
 }
 
+/// Predicts the final completion tick [`serve`] will report for a stream,
+/// without executing any arithmetic: replays [`plan_batches`] and the serve
+/// loop's exact timing recurrence (`start = max(close_tick, engine_free)`,
+/// `completion = start + batch_ticks`) over a model described only by its
+/// per-example multiplication count. This is the modeled-throughput side of
+/// the autotuner's score — `pareto_sweep` asserts a served run's
+/// `final_tick` equals this prediction exactly, confirming the `mul_count`
+/// objective the search optimised is the same quantity the serving runtime
+/// charges.
+pub fn modeled_completion_ticks(
+    requests: &[Request],
+    cfg: &ServeConfig,
+    mul_count_per_example: u64,
+    workers: usize,
+) -> u64 {
+    let first_arrival_tick = requests.first().map_or(0, |r| r.arrival_tick);
+    let plans = plan_batches(requests.to_vec(), cfg.batching);
+    let mut engine_free = first_arrival_tick;
+    for plan in plans {
+        let batch = plan.requests.len();
+        let start = plan.close_tick.max(engine_free);
+        let ticks = cfg
+            .service
+            .batch_ticks(mul_count_per_example * batch as u64, workers);
+        engine_free = start + ticks;
+    }
+    engine_free
+}
+
 /// Generates a ChaCha-seeded request stream: exponential inter-arrival gaps
 /// with the given mean (0 ⇒ every request arrives at tick 0, the saturated
 /// closed-loop mode the throughput bench uses) and uniform inputs in
@@ -743,6 +772,32 @@ mod tests {
         for (a, b) in one.completed.iter().zip(four.completed.iter()) {
             assert_eq!(a.id, b.id);
             assert_eq!(a.output, b.output);
+        }
+    }
+
+    #[test]
+    fn modeled_ticks_match_the_serve_loop_exactly() {
+        let op: Arc<dyn CompressedLinear> =
+            Arc::new(BlockPermDiagMatrix::random(16, 16, 4, &mut seeded_rng(5)));
+        let model = SingleLayerModel::new(op);
+        let cfg = ServeConfig {
+            batching: BatchConfig::new(4, 6),
+            service: ServiceModel::default(),
+        };
+        for (mean, workers) in [(0.0, 1), (0.0, 3), (2.5, 2), (7.0, 7)] {
+            let stream = seeded_request_stream(11, 30, 16, mean);
+            let report = serve(
+                &model,
+                &ParallelExecutor::new(workers),
+                &cfg,
+                stream.clone(),
+            )
+            .unwrap();
+            assert_eq!(
+                modeled_completion_ticks(&stream, &cfg, model.mul_count_per_example(), workers),
+                report.final_tick,
+                "mean {mean}, {workers} workers"
+            );
         }
     }
 

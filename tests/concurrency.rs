@@ -200,6 +200,57 @@ fn quantized_serving_is_bit_exact_across_worker_counts() {
 }
 
 #[test]
+fn mixed_format_serving_is_bit_exact_across_worker_counts() {
+    // The autotuner's output shape: different weight formats on different
+    // layers of the same model. Worker-count invariance must hold exactly as
+    // it does for uniform-format models — each layer's kernel shards by
+    // batch rows independently of its neighbours' formats.
+    let model = MlpClassifier::new_frozen_mixed(
+        16,
+        &[
+            (24, WeightFormat::PermutedDiagonal { p: 4 }),
+            (16, WeightFormat::EieEncoded { p: 4 }),
+            (
+                12,
+                WeightFormat::SharedPermutedDiagonal { p: 4, tag_bits: 4 },
+            ),
+        ],
+        4,
+        &mut seeded_rng(51),
+    );
+    let cfg = ServeConfig {
+        batching: BatchConfig::new(4, 6),
+        service: ServiceModel::default(),
+    };
+    let stream = seeded_request_stream(53, 24, 16, 2.0);
+    let baseline = serve(&model, &ParallelExecutor::new(1), &cfg, stream.clone()).unwrap();
+    for workers in [2usize, 3, 7] {
+        let exec = ParallelExecutor::new(workers);
+        let report = serve(&model, &exec, &cfg, stream.clone()).unwrap();
+        assert_eq!(
+            report.batch_sizes, baseline.batch_sizes,
+            "{workers} workers changed the batching decisions"
+        );
+        for (got, want) in report.completed.iter().zip(baseline.completed.iter()) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(
+                got.output, want.output,
+                "mixed-format request {} diverged at {workers} workers",
+                got.id
+            );
+        }
+    }
+    for done in &baseline.completed {
+        assert_eq!(
+            done.output,
+            model.logits(&stream[done.id as usize].input),
+            "request {} diverged from sequential inference",
+            done.id
+        );
+    }
+}
+
+#[test]
 fn quantized_integer_matmul_is_bit_identical_for_every_format_and_worker_count() {
     use permdnn::core::qlinear::{QScheme, QuantizedLinear};
     let xs_mat = xavier_uniform(&mut seeded_rng(53), 9, 32);

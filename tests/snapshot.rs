@@ -598,3 +598,158 @@ fn registry_hot_swap_switches_models_between_batches() {
         assert_eq!(tc.completed.output, expected, "request {}", tc.completed.id);
     }
 }
+
+// ---------------------------------------------------------------------------
+// 4. Mixed-format models (the autotuner's output shape).
+// ---------------------------------------------------------------------------
+
+/// A frozen MLP mixing four weight formats across its layers: PD, CSC and
+/// circulant hidden layers plus the dense head — one snapshot, four distinct
+/// tensor record formats.
+fn mixed_model(seed: u64) -> MlpClassifier {
+    MlpClassifier::new_frozen_mixed(
+        12,
+        &[
+            (16, WeightFormat::PermutedDiagonal { p: 4 }),
+            (12, WeightFormat::UnstructuredSparse { p: 4 }),
+            (8, WeightFormat::Circulant { k: 4 }),
+        ],
+        5,
+        &mut seeded_rng(seed),
+    )
+}
+
+#[test]
+fn mixed_format_models_round_trip_and_serve_bit_identically() {
+    let model = mixed_model(0x313);
+    let reloaded = MlpClassifier::load(&model.save().unwrap()).unwrap();
+    let x = fixtures::probe_input(12);
+    assert_eq!(model.logits(&x), reloaded.logits(&x), "mixed-format reload");
+    assert_serving_equivalence("mixed-format mlp", &model, &reloaded, 0x31);
+}
+
+#[test]
+fn quantized_mixed_format_models_round_trip_and_serve_bit_identically() {
+    let calibration: Vec<Vec<f32>> = (0..6)
+        .map(|i| {
+            let mut rng = seeded_rng(0xD1CE + i);
+            (0..12)
+                .map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0))
+                .collect()
+        })
+        .collect();
+    let (q_model, report) = mixed_model(0x31A).quantize(&calibration);
+    assert_eq!(report.layers.len(), 4, "three hidden + head all quantize");
+    let reloaded = MlpClassifier::load(&q_model.save().unwrap()).unwrap();
+    let x = fixtures::probe_input(12);
+    assert_eq!(q_model.logits(&x), reloaded.logits(&x));
+    assert_serving_equivalence("mixed-format mlp q16", &q_model, &reloaded, 0x32);
+}
+
+/// A mixed-format snapshot to corrupt: four record formats in one container.
+fn mixed_victim_bytes() -> Vec<u8> {
+    mixed_model(0xC1).save().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mixed_snapshot_truncation_at_any_point_is_a_typed_error(cut in 0usize..4000) {
+        let bytes = mixed_victim_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(MlpClassifier::load(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn mixed_snapshot_bit_flips_never_panic_and_never_load_silently(
+        (byte, bit) in (0usize..4000, 0u8..8)
+    ) {
+        let mut bytes = mixed_victim_bytes();
+        let byte = byte % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        // Every record format's decoder must fail cleanly, whatever the flip
+        // hit — framing, a PD record, a CSC record, a circulant record or
+        // the dense head.
+        let _ = MlpClassifier::load(&bytes);
+    }
+
+    #[test]
+    fn mixed_snapshot_payload_flips_are_detected_by_the_checksum(
+        (offset, bit) in (0usize..10_000, 0u8..8)
+    ) {
+        let bytes = mixed_victim_bytes();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        let (_, payload) = snap
+            .sections()
+            .iter()
+            .max_by_key(|(_, p)| p.len())
+            .unwrap();
+        let start = find_subslice(&bytes, payload).expect("payload is embedded verbatim");
+        let mut corrupted = bytes.clone();
+        let offset = offset % payload.len();
+        corrupted[start + offset] ^= 1 << bit;
+        prop_assert!(matches!(
+            Snapshot::parse(&corrupted),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn mixed_fixture_serves_identically_whole_loaded_and_paged() {
+    use permdnn::core::snapshot::block_stream_snapshot;
+    use permdnn::nn::snapshot::paged_config;
+
+    let bytes = std::fs::read(fixture_path("mlp_mixed", "snap")).expect("committed fixture");
+    let model = MlpClassifier::load(&bytes).expect("fixture loads");
+    let stream = seeded_request_stream(0x33, 16, model.input_dim(), 2.0);
+    let tagged: Vec<TaggedRequest> = stream
+        .iter()
+        .map(|r| TaggedRequest {
+            model_id: "mixed".into(),
+            request: r.clone(),
+        })
+        .collect();
+    let decisions = |report: &permdnn::runtime::MultiServeReport| -> Vec<_> {
+        report
+            .completed
+            .iter()
+            .map(|tc| {
+                (
+                    tc.completed.id,
+                    tc.completed.batch_size,
+                    tc.completed.output.clone(),
+                )
+            })
+            .collect()
+    };
+
+    for workers in WORKER_COUNTS {
+        let exec = ParallelExecutor::new(workers);
+        // Whole-load path.
+        let mut whole = ModelRegistry::new(batch_model_loader(), u64::MAX);
+        whole.insert("mixed", bytes.clone()).unwrap();
+        let whole_report = whole
+            .serve_multi(&exec, &serve_cfg(), tagged.clone())
+            .unwrap();
+        // Paged path over the block-streamed re-encoding of the same fixture.
+        let blocked = block_stream_snapshot(&bytes).unwrap();
+        let mut paged = ModelRegistry::new_paged(batch_model_loader(), paged_config(), u64::MAX);
+        paged.insert("mixed", blocked).unwrap();
+        let paged_report = paged
+            .serve_multi(&exec, &serve_cfg(), tagged.clone())
+            .unwrap();
+
+        assert_eq!(
+            decisions(&whole_report),
+            decisions(&paged_report),
+            "{workers} workers: paged serving must match whole-load bit for bit"
+        );
+        // And both match direct evaluation of the committed fixture.
+        for tc in &whole_report.completed {
+            let expected = model.logits(&stream[tc.completed.id as usize].input);
+            assert_eq!(tc.completed.output, expected, "request {}", tc.completed.id);
+        }
+    }
+}

@@ -324,3 +324,55 @@ fn model_larger_than_the_whole_budget_still_serves_bit_identically() {
     // Paging costs modeled time; the contract is it never costs bits.
     assert!(report.serve.final_tick > reference.serve.final_tick);
 }
+
+// ---------------------------------------------------------------------------
+// 4. Mixed-format snapshots page like any other: the layer-granular block
+// index is format-agnostic, so the autotuner's golden fixture (EIE +
+// shared-PD hidden layers, dense head) streams block by block and serves
+// bit-identically to whole loading.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mixed_format_fixture_pages_bit_identically_to_whole_load() {
+    let snap = std::fs::read(
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mlp_mixed.snap"),
+    )
+    .expect("committed mlp_mixed fixture");
+    let in_dim = MlpClassifier::load(&snap)
+        .expect("fixture loads")
+        .input_dim();
+    let blocked = block_stream_snapshot(&snap).unwrap();
+    let index = read_block_index(&blocked).unwrap();
+    assert!(
+        index.blocks.len() >= 3,
+        "a three-layer mixed model should block per weight section"
+    );
+    // Budget below the model's total block bytes: serving must fault blocks
+    // in and out rather than hold the whole model.
+    let budget = index.max_block_bytes() + 32;
+    assert!(budget < index.total_block_bytes());
+
+    let stream = ZipfMix::new(vec![("mixed".to_string(), in_dim)], 1.1, 3.0)
+        .unwrap()
+        .stream(0x313, 28);
+    let cfg = TrafficConfig::new(serve_cfg(), AdmissionPolicy::Fifo);
+
+    let mut whole = ModelRegistry::new(batch_model_loader(), u64::MAX);
+    whole.insert("mixed", snap).unwrap();
+    let reference = whole
+        .serve_traffic(&ParallelExecutor::new(2), &cfg, stream.clone())
+        .unwrap();
+
+    let mut paged = ModelRegistry::new_paged(batch_model_loader(), paged_config(), budget);
+    paged.insert("mixed", blocked).unwrap();
+    let report = paged
+        .serve_traffic(&ParallelExecutor::new(2), &cfg, stream)
+        .unwrap();
+
+    assert_eq!(
+        strip(&report),
+        strip(&reference),
+        "paging a mixed-format snapshot must not change a single output bit"
+    );
+    assert!(report.serve.stats.blocks_faulted > 0);
+}

@@ -1,0 +1,216 @@
+//! Integration tests for the per-layer format autotuner (`permdnn::bench::tune`).
+//!
+//! 1. **Determinism** — the same seed yields a byte-identical rendered
+//!    frontier, the identical chosen spec, and a bit-identical chosen model
+//!    across two full runs; the chosen model equals the committed
+//!    `mlp_mixed` golden fixture byte for byte.
+//! 2. **Pareto dominance** — property tests over random objective tables:
+//!    no frontier point is dominated, every non-frontier point is dominated
+//!    by some frontier point, and the knee point sits on the frontier and
+//!    meets the accuracy floor whenever any frontier point does.
+//! 3. **Typed errors** — zero beam width, an empty candidate list, and
+//!    PD-family block sizes outside {2, 4, 8, 16} are rejected with the
+//!    matching `TuneError` before any search work happens.
+
+use permdnn::bench::tune::{render_json, tune, TuneConfig, TuneError};
+use permdnn::core::pareto::{dominates, knee_point, pareto_frontier, Objectives};
+use permdnn::nn::layers::WeightFormat;
+use proptest::prelude::*;
+
+fn fixture_path(name: &str, ext: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.{ext}"))
+}
+
+// A cut-down two-layer search that keeps debug-profile runs quick while
+// still exercising beam expansion, dedup and q16 candidates.
+fn small_config() -> TuneConfig {
+    TuneConfig {
+        hidden_dims: vec![12, 8],
+        samples: 160,
+        epochs: 4,
+        beam_width: 2,
+        formats: vec![
+            WeightFormat::Dense,
+            WeightFormat::PermutedDiagonal { p: 4 },
+            WeightFormat::EieEncoded { p: 4 },
+        ],
+        ..TuneConfig::sweep_config()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn same_seed_gives_byte_identical_frontier_and_identical_chosen_spec() {
+    let cfg = small_config();
+    let a = tune(&cfg).expect("valid config");
+    let b = tune(&cfg).expect("valid config");
+
+    assert_eq!(
+        render_json(&cfg, &a),
+        render_json(&cfg, &b),
+        "rendered frontier must be byte-identical across runs"
+    );
+    assert_eq!(a.frontier, b.frontier);
+    assert_eq!(a.chosen, b.chosen);
+    assert_eq!(a.scored[a.chosen].label, b.scored[b.chosen].label);
+
+    // The chosen model itself is bit-identical, not just its label.
+    let model_a = a.chosen_model().expect("realizes").save().expect("saves");
+    let model_b = b.chosen_model().expect("realizes").save().expect("saves");
+    assert_eq!(model_a, model_b);
+}
+
+#[test]
+fn sweep_config_chosen_model_equals_the_committed_mixed_fixture() {
+    let run = tune(&TuneConfig::sweep_config()).expect("valid config");
+    let rebuilt = run.chosen_model().expect("realizes").save().expect("saves");
+    let committed = std::fs::read(fixture_path("mlp_mixed", "snap"))
+        .expect("mlp_mixed.snap is committed — regenerate with gen_fixtures");
+    assert_eq!(
+        rebuilt, committed,
+        "the tuner's knee point must reproduce the golden fixture byte for byte"
+    );
+}
+
+#[test]
+fn all_dense_baseline_is_scored_and_chosen_meets_the_accuracy_floor() {
+    let cfg = small_config();
+    let run = tune(&cfg).expect("valid config");
+    let dense = run.dense_objectives();
+    let chosen = run.chosen_objectives();
+    assert!(
+        run.frontier.contains(&run.chosen),
+        "knee sits on the frontier"
+    );
+    assert!(
+        chosen.accuracy >= dense.accuracy - cfg.accuracy_slack,
+        "chosen accuracy {} fell below the floor ({} - {})",
+        chosen.accuracy,
+        dense.accuracy,
+        cfg.accuracy_slack
+    );
+}
+
+#[test]
+fn frontier_of_a_real_run_obeys_pareto_dominance() {
+    let run = tune(&small_config()).expect("valid config");
+    let objectives: Vec<Objectives> = run.scored.iter().map(|s| s.objectives).collect();
+    for &f in &run.frontier {
+        for o in &objectives {
+            assert!(
+                !dominates(o, &objectives[f]),
+                "frontier point {f} is dominated"
+            );
+        }
+    }
+    for (i, o) in objectives.iter().enumerate() {
+        if !run.frontier.contains(&i) {
+            assert!(
+                run.frontier.iter().any(|&f| dominates(&objectives[f], o)),
+                "non-frontier point {i} is not dominated by any frontier point"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pareto dominance: property tests over random objective tables
+// ---------------------------------------------------------------------------
+
+fn objective_table() -> impl Strategy<Value = Vec<Objectives>> {
+    // Small value ranges on purpose: ties and exact duplicates must appear
+    // often enough to exercise the duplicate-survival rule.
+    proptest::collection::vec((0u8..5, 0u8..5, 0u8..5), 1..24).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(a, m, b)| Objectives {
+                accuracy: a as f64 / 4.0,
+                mul_count: m as u64,
+                snapshot_bytes: b as u64,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frontier_points_are_never_dominated(table in objective_table()) {
+        let frontier = pareto_frontier(&table);
+        prop_assert!(!frontier.is_empty());
+        for &f in &frontier {
+            for o in &table {
+                prop_assert!(!dominates(o, &table[f]));
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_frontier_point_is_dominated_by_a_frontier_point(table in objective_table()) {
+        let frontier = pareto_frontier(&table);
+        for (i, o) in table.iter().enumerate() {
+            if !frontier.contains(&i) {
+                prop_assert!(frontier.iter().any(|&f| dominates(&table[f], o)));
+            }
+        }
+    }
+
+    #[test]
+    fn knee_point_sits_on_the_frontier_and_respects_a_feasible_floor(
+        table in objective_table(),
+        floor_raw in 0u8..5,
+    ) {
+        let frontier = pareto_frontier(&table);
+        let floor = floor_raw as f64 / 4.0;
+        let knee = knee_point(&table, &frontier, floor).expect("non-empty frontier");
+        prop_assert!(frontier.contains(&knee));
+        if frontier.iter().any(|&f| table[f].accuracy >= floor) {
+            prop_assert!(table[knee].accuracy >= floor);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_beam_width_is_an_empty_beam_error() {
+    let mut cfg = small_config();
+    cfg.beam_width = 0;
+    assert_eq!(tune(&cfg).err(), Some(TuneError::EmptyBeam));
+}
+
+#[test]
+fn empty_candidate_list_is_a_typed_error() {
+    let mut cfg = small_config();
+    cfg.formats.clear();
+    assert_eq!(tune(&cfg).err(), Some(TuneError::NoCandidates));
+}
+
+#[test]
+fn block_sizes_outside_the_supported_set_are_rejected() {
+    for p in [1usize, 3, 5, 32] {
+        let mut cfg = small_config();
+        cfg.formats.push(WeightFormat::PermutedDiagonal { p });
+        assert_eq!(tune(&cfg).err(), Some(TuneError::InvalidBlockSize { p }));
+
+        let mut cfg = small_config();
+        cfg.formats
+            .push(WeightFormat::SharedPermutedDiagonal { p, tag_bits: 4 });
+        assert_eq!(tune(&cfg).err(), Some(TuneError::InvalidBlockSize { p }));
+    }
+}
+
+#[test]
+fn tune_errors_format_readably() {
+    assert!(TuneError::EmptyBeam.to_string().contains("beam"));
+    assert!(TuneError::InvalidBlockSize { p: 3 }
+        .to_string()
+        .contains('3'));
+}

@@ -275,6 +275,58 @@ fn serve_loop_outputs_equal_sequential_operator() {
     }
 }
 
+// 6a'. Mixed-format model (the autotuner's output shape): one executor's
+// arenas and one reused output matrix carry state across layers whose
+// formats differ — PD scratch, EIE run-decoding, shared-PD tag lookups and
+// the dense head must not leak into each other across repeated calls.
+#[test]
+fn mixed_format_model_stays_bit_identical_under_arena_reuse() {
+    let model = permdnn::nn::MlpClassifier::new_frozen_mixed(
+        16,
+        &[
+            (24, WeightFormat::PermutedDiagonal { p: 4 }),
+            (16, WeightFormat::Circulant { k: 4 }),
+            (12, WeightFormat::UnstructuredSparse { p: 4 }),
+        ],
+        4,
+        &mut seeded_rng(0xA11),
+    );
+    // Repeated varying-size batches through ONE executor per worker count.
+    for workers in WORKER_COUNTS {
+        let exec = ParallelExecutor::new(workers);
+        for trial in 0..4u64 {
+            let b = 1 + ((3 * trial as usize) % 7);
+            let xs_mat = xavier_uniform(&mut seeded_rng(0xA12 + trial), b, 16);
+            let xs = BatchView::from_matrix(&xs_mat);
+            let got = model.forward_batch(&xs, &exec).unwrap();
+            let want = model
+                .forward_batch(&xs, &ParallelExecutor::sequential())
+                .unwrap();
+            assert_eq!(got, want, "workers {workers} trial {trial}");
+        }
+    }
+    // And through the serve loop's reused output matrix.
+    let cfg = ServeConfig {
+        batching: BatchConfig::new(5, 3),
+        service: ServiceModel::default(),
+    };
+    let requests = seeded_request_stream(0xA13, 32, 16, 2.0);
+    for workers in WORKER_COUNTS {
+        let report = serve(
+            &model,
+            &ParallelExecutor::new(workers),
+            &cfg,
+            requests.clone(),
+        )
+        .unwrap();
+        assert_eq!(report.completed.len(), 32);
+        for c in &report.completed {
+            let expected = model.logits(&requests[c.id as usize].input);
+            assert_eq!(c.output, expected, "request {} workers {}", c.id, workers);
+        }
+    }
+}
+
 // 6b. serve_traffic through the registry, two models with *different* output
 // widths sharing the reused matrix: outputs must be bit-identical across
 // worker counts and across repeated runs.
